@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation: automatic-checkpoint policy.
+ *
+ * TICS supports timer-driven, hardware-assisted (voltage-threshold)
+ * and manual/protocol-only checkpointing (paper Section 4). On a
+ * harvesting supply, the policy decides how much completed work a
+ * brown-out throws away (sparse checkpoints) versus how much overhead
+ * checkpointing itself adds (dense checkpoints). Wall-clock completion
+ * time under intermittent power captures both effects at once.
+ */
+
+#include <iostream>
+
+#include "apps/bc/bc_legacy.hpp"
+#include "harness/experiment.hpp"
+#include "support/table.hpp"
+
+using namespace ticsim;
+
+int
+main()
+{
+    Table t("Ablation: checkpoint policy (BC, RF-harvested power)");
+    t.header({"Policy", "Completed", "Wall time (ms)", "On time (ms)",
+              "Reboots", "Checkpoints"});
+
+    auto runWith = [&](const char *name, tics::PolicyKind policy,
+                       TimeNs timer, Volts thresh) {
+        harness::SupplySpec spec;
+        spec.setup = harness::PowerSetup::RfHarvested;
+        spec.rfDistanceM = 2.9;
+        auto b = harness::makeBoard(spec, 13);
+        tics::TicsConfig cfg;
+        cfg.segmentBytes = 256;
+        cfg.policy = policy;
+        if (timer)
+            cfg.timerPeriod = timer;
+        cfg.voltageThreshold = thresh;
+        tics::TicsRuntime rt(cfg);
+        apps::BcParams p;
+        p.iterations = 160;
+        apps::BcLegacyApp app(*b, rt, p);
+        const auto r = b->run(rt, [&] { app.main(); }, 300 * kNsPerSec);
+        t.row()
+            .cell(name)
+            .cell(r.completed && app.verify() ? "yes" : "NO")
+            .cell(static_cast<double>(r.elapsed) / kNsPerMs, 1)
+            .cell(harness::simMs(r), 1)
+            .cell(r.reboots)
+            .cell(rt.checkpointsTotal());
+    };
+
+    runWith("protocol-only (None)", tics::PolicyKind::None, 0, 0);
+    runWith("timer 5 ms", tics::PolicyKind::Timer, 5 * kNsPerMs, 0);
+    runWith("timer 10 ms", tics::PolicyKind::Timer, 10 * kNsPerMs, 0);
+    runWith("timer 25 ms", tics::PolicyKind::Timer, 25 * kNsPerMs, 0);
+    runWith("voltage < 2.6 V", tics::PolicyKind::Voltage, 0, 2.6);
+    runWith("voltage < 2.1 V", tics::PolicyKind::Voltage, 0, 2.1);
+    runWith("every trigger", tics::PolicyKind::EveryTrigger, 0, 0);
+    t.print(std::cout);
+    return 0;
+}

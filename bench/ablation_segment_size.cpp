@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Ablation: working-stack segment size.
+ *
+ * DESIGN.md calls out the central TICS design choice: segment size
+ * trades per-checkpoint cost (grows with the segment) against
+ * protocol-driven checkpoint frequency (shrinks with it). This sweep
+ * quantifies both on continuous power, and additionally checks the
+ * starvation boundary on a tiny energy buffer: very large segments
+ * push the bounded checkpoint+restore cost toward the per-burst energy
+ * budget, eroding TICS's own starvation-freedom headroom.
+ */
+
+#include <iostream>
+
+#include "apps/ar/ar_legacy.hpp"
+#include "apps/bc/bc_legacy.hpp"
+#include "harness/experiment.hpp"
+#include "support/table.hpp"
+
+using namespace ticsim;
+
+namespace {
+
+tics::TicsConfig
+cfgFor(std::uint32_t segBytes)
+{
+    tics::TicsConfig cfg;
+    cfg.segmentBytes = segBytes;
+    cfg.segmentCount = 48;
+    cfg.policy = tics::PolicyKind::Timer;
+    cfg.timerPeriod = 10 * kNsPerMs;
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    Table t("Ablation: segment size sweep (timer policy, 10 ms)");
+    t.header({"Benchmark", "Segment (B)", "Time cont. (ms)",
+              "Checkpoints", "Stack grows", "Tiny-buffer outcome"});
+
+    for (const std::uint32_t seg :
+         {50u, 64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+        for (int which = 0; which < 2; ++which) {
+            // Continuous-power overhead.
+            harness::SupplySpec cont;
+            auto b1 = harness::makeBoard(cont);
+            tics::TicsRuntime rt1(cfgFor(seg));
+            double ms = 0;
+            std::uint64_t ckpts = 0;
+            std::uint64_t grows = 0;
+            bool ok = false;
+            if (which == 0) {
+                apps::ArLegacyApp app(*b1, rt1);
+                const auto r =
+                    b1->run(rt1, [&] { app.main(); }, 600 * kNsPerSec);
+                ms = harness::simMs(r);
+                ok = r.completed && app.verify();
+            } else {
+                apps::BcLegacyApp app(*b1, rt1);
+                const auto r =
+                    b1->run(rt1, [&] { app.main(); }, 600 * kNsPerSec);
+                ms = harness::simMs(r);
+                ok = r.completed && app.verify();
+            }
+            ckpts = rt1.checkpointsTotal();
+            grows = rt1.stats().counterValue("stackGrows");
+
+            // Starvation probe: 6 ms power bursts.
+            harness::SupplySpec tiny;
+            tiny.setup = harness::PowerSetup::Pattern;
+            tiny.patternPeriod = 20 * kNsPerMs;
+            tiny.patternOnFraction = 0.4;
+            auto b2 = harness::makeBoard(tiny);
+            // The probe checkpoints fast (2 ms timer) so only the
+            // segment-size-driven checkpoint/restore cost decides
+            // whether a burst leaves room for forward progress.
+            tics::TicsConfig probeCfg = cfgFor(seg);
+            probeCfg.timerPeriod = 2 * kNsPerMs;
+            tics::TicsRuntime rt2(probeCfg);
+            std::string verdict;
+            if (which == 0) {
+                apps::ArLegacyApp app(*b2, rt2);
+                const auto r =
+                    b2->run(rt2, [&] { app.main(); }, 600 * kNsPerSec);
+                verdict = r.starved ? "STARVED"
+                          : r.completed && app.verify() ? "completes"
+                                                        : "DNF";
+            } else {
+                apps::BcLegacyApp app(*b2, rt2);
+                const auto r =
+                    b2->run(rt2, [&] { app.main(); }, 600 * kNsPerSec);
+                verdict = r.starved ? "STARVED"
+                          : r.completed && app.verify() ? "completes"
+                                                        : "DNF";
+            }
+
+            t.row()
+                .cell(which == 0 ? "AR" : "BC")
+                .cell(std::uint64_t{seg})
+                .cell(harness::msCell(true, ok, ms))
+                .cell(ckpts)
+                .cell(grows)
+                .cell(verdict);
+        }
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Ablation: persistent-timekeeper quality.
+ *
+ * The time annotations are only as good as the cross-failure clock
+ * (paper Section 4 mandates a remanence timer or an RTC with a holdup
+ * capacitor). This sweep runs the annotated AR application over
+ * timekeepers of decreasing quality and reports how freshness
+ * decisions degrade: an optimistic clock (underestimating outages)
+ * consumes stale windows; a pessimistic one discards good data.
+ */
+
+#include <iostream>
+
+#include "apps/ar/ar_timed.hpp"
+#include "harness/experiment.hpp"
+#include "support/table.hpp"
+
+using namespace ticsim;
+
+namespace {
+
+struct Row {
+    const char *name;
+    std::unique_ptr<timekeeper::Timekeeper> tk;
+};
+
+} // namespace
+
+int
+main()
+{
+    Table t("Ablation: timekeeper quality (annotated AR, RF power)");
+    t.header({"Timekeeper", "Processed", "Discarded", "True-stale "
+              "consumed", "Reboots"});
+
+    auto runWith = [&](const char *name,
+                       std::unique_ptr<timekeeper::Timekeeper> tk) {
+        harness::SupplySpec spec;
+        spec.setup = harness::PowerSetup::RfHarvested;
+        spec.rfDistanceM = 2.9;
+        spec.accelRegimePeriod = 120 * kNsPerMs;
+        board::BoardConfig cfg;
+        cfg.seed = 7;
+        cfg.accelRegimePeriod = spec.accelRegimePeriod;
+        board::Board b(cfg, harness::makeSupply(spec), std::move(tk));
+
+        tics::TicsConfig tcfg;
+        tcfg.segmentBytes = 128;
+        tcfg.policy = tics::PolicyKind::Timer;
+        tics::TicsRuntime rt(tcfg);
+        apps::ArTimedParams p;
+        p.windows = 80;
+        apps::ArTimedTicsApp app(b, rt, p);
+        const auto r = b.run(rt, [&] { app.main(); }, 300 * kNsPerSec);
+        const auto stale =
+            b.monitor().counts(board::ViolationKind::Expiration).observed;
+        t.row()
+            .cell(name)
+            .cell(app.processed())
+            .cell(app.discarded())
+            .cell(stale)
+            .cell(r.reboots);
+    };
+
+    runWith("perfect",
+            std::make_unique<timekeeper::PerfectTimekeeper>());
+    runWith("RTC + cap (1 s holdup)",
+            std::make_unique<timekeeper::RtcCapTimekeeper>(kNsPerSec));
+    runWith("RTC + cap (100 ms holdup)",
+            std::make_unique<timekeeper::RtcCapTimekeeper>(100 *
+                                                           kNsPerMs));
+    runWith("remanence (+/-10%)",
+            std::make_unique<timekeeper::RemanenceTimekeeper>(
+                0.10, 10 * kNsPerSec, Rng(21)));
+    runWith("remanence (+/-40%)",
+            std::make_unique<timekeeper::RemanenceTimekeeper>(
+                0.40, 10 * kNsPerSec, Rng(21)));
+    t.print(std::cout);
+
+    std::cout << "\n'True-stale consumed' scores freshness decisions "
+                 "against true time: a short-holdup RTC resets to zero "
+                 "after long outages (underestimates age -> consumes "
+                 "stale data), while noisy remanence timers cut both "
+                 "ways.\n";
+    return 0;
+}

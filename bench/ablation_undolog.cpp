@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ablation: undo-log capacity.
+ *
+ * TICS bounds memory-versioning state with a fixed-size undo log and
+ * forces a checkpoint when it fills. Pointer-heavy workloads (the
+ * cuckoo filter) probe the trade-off: a small log converts pointer
+ * pressure into forced checkpoints; a large log amortizes them but
+ * occupies more FRAM.
+ */
+
+#include <iostream>
+
+#include "apps/cuckoo/cuckoo_legacy.hpp"
+#include "harness/experiment.hpp"
+#include "support/table.hpp"
+
+using namespace ticsim;
+
+int
+main()
+{
+    Table t("Ablation: undo-log capacity (cuckoo filter, pointer-heavy)");
+    t.header({"Log bytes", "Log entries", "Time (ms)",
+              "Forced ckpts (log full)", "Total ckpts", "Undo appends"});
+
+    for (const auto &[bytes, entries] :
+         std::initializer_list<std::pair<std::uint32_t, std::uint32_t>>{
+             {96, 12},
+             {128, 16},
+             {256, 32},
+             {512, 64},
+             {1024, 128},
+             {2048, 128},
+             {8192, 512}}) {
+        harness::SupplySpec cont;
+        auto b = harness::makeBoard(cont);
+        tics::TicsConfig cfg;
+        cfg.segmentBytes = 256;
+        cfg.policy = tics::PolicyKind::Timer;
+        cfg.undoLogBytes = bytes;
+        cfg.undoLogEntries = entries;
+        tics::TicsRuntime rt(cfg);
+        apps::CuckooParams p;
+        p.buckets = 64;
+        p.keys = 176;
+        apps::CuckooLegacyApp app(*b, rt, p);
+        const auto r = b->run(rt, [&] { app.main(); }, 600 * kNsPerSec);
+        t.row()
+            .cell(std::uint64_t{bytes})
+            .cell(std::uint64_t{entries})
+            .cell(harness::msCell(true, r.completed && app.verify(),
+                                  harness::simMs(r)))
+            .cell(rt.checkpointCount(tics::CkptCause::UndoFull))
+            .cell(rt.checkpointsTotal())
+            .cell(rt.stats().counterValue("undoAppends"));
+    }
+    t.print(std::cout);
+    return 0;
+}

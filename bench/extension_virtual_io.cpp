@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Extension: virtualized I/O (the paper's Section 7 future work).
+ *
+ * A transmit-heavy loop runs on harvested power twice: once sending
+ * straight to the radio (the legacy pattern — failures between the
+ * transmission and the next checkpoint replay it), and once through
+ * tics::VirtualRadio (staged in FRAM, flushed at checkpoint commit
+ * with a durable cursor). Reported: physical transmissions, distinct
+ * messages delivered, duplicates, and losses.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <set>
+
+#include "board/board.hpp"
+#include "harness/experiment.hpp"
+#include "support/table.hpp"
+#include "tics/io.hpp"
+
+using namespace ticsim;
+
+namespace {
+
+constexpr std::uint32_t kMessages = 40;
+
+struct Outcome {
+    std::uint64_t physical = 0;
+    std::uint64_t distinct = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t reboots = 0;
+};
+
+Outcome
+analyze(const device::Radio &radio, std::uint64_t reboots,
+        bool hasHeader)
+{
+    Outcome o;
+    o.reboots = reboots;
+    o.physical = radio.sentCount();
+    std::set<std::uint32_t> seen;
+    for (const auto &pkt : radio.packets()) {
+        std::uint32_t id;
+        std::memcpy(&id,
+                    pkt.payload.data() +
+                        (hasHeader ? sizeof(tics::VirtualRadio::Header)
+                                   : 0),
+                    sizeof(id));
+        if (!seen.insert(id).second)
+            ++o.duplicates;
+    }
+    o.distinct = seen.size();
+    o.lost = kMessages - o.distinct;
+    return o;
+}
+
+harness::SupplySpec
+supply()
+{
+    harness::SupplySpec spec;
+    spec.setup = harness::PowerSetup::Pattern;
+    spec.patternPeriod = 12 * kNsPerMs;
+    spec.patternOnFraction = 0.6;
+    return spec;
+}
+
+tics::TicsConfig
+cfg()
+{
+    tics::TicsConfig c;
+    c.segmentBytes = 128;
+    c.policy = tics::PolicyKind::Timer;
+    c.timerPeriod = 3 * kNsPerMs;
+    return c;
+}
+
+Outcome
+runRaw()
+{
+    auto b = harness::makeBoard(supply());
+    tics::TicsRuntime rt(cfg());
+    mem::nv<std::uint32_t> i(b->nvram(), "i");
+    const auto res = b->run(
+        rt,
+        [&] {
+            board::FrameGuard fg(rt, 20);
+            while (i.get() < kMessages) {
+                rt.triggerPoint();
+                const std::uint32_t id = i.get();
+                b->radioSend(&id, sizeof(id)); // irrevocable, replayable
+                i = i.get() + 1;
+                b->charge(1500);
+            }
+        },
+        60 * kNsPerSec);
+    return analyze(b->radio(), res.reboots, /*hasHeader=*/false);
+}
+
+Outcome
+runVirtual()
+{
+    auto b = harness::makeBoard(supply());
+    tics::TicsRuntime rt(cfg());
+    tics::VirtualRadio vr(rt, b->nvram(), "vr");
+    mem::nv<std::uint32_t> i(b->nvram(), "i");
+    const auto res = b->run(
+        rt,
+        [&] {
+            board::FrameGuard fg(rt, 20);
+            while (i.get() < kMessages) {
+                rt.triggerPoint();
+                const std::uint32_t id = i.get();
+                vr.send(&id, sizeof(id));
+                i = i.get() + 1;
+                b->charge(1500);
+            }
+            vr.drainAll();
+        },
+        60 * kNsPerSec);
+    return analyze(b->radio(), res.reboots, /*hasHeader=*/true);
+}
+
+} // namespace
+
+int
+main()
+{
+    const Outcome raw = runRaw();
+    const Outcome vio = runVirtual();
+
+    Table t("Extension: virtualized I/O (40 messages on a 12 ms / 60% "
+            "reset pattern)");
+    t.header({"Variant", "Reboots", "Physical TX", "Distinct delivered",
+              "Duplicate TX", "Lost"});
+    t.row()
+        .cell("raw radio (legacy)")
+        .cell(raw.reboots)
+        .cell(raw.physical)
+        .cell(raw.distinct)
+        .cell(raw.duplicates)
+        .cell(raw.lost);
+    t.row()
+        .cell("tics::VirtualRadio")
+        .cell(vio.reboots)
+        .cell(vio.physical)
+        .cell(vio.distinct)
+        .cell(vio.duplicates)
+        .cell(vio.lost);
+    t.print(std::cout);
+    std::cout << "\nVirtualRadio duplicates carry repeated sequence "
+                 "numbers (receiver-deduplicable -> exactly-once end to "
+                 "end); raw-radio duplicates are indistinguishable "
+                 "replays, and nothing bounds them.\n";
+    return vio.lost == 0 ? 0 : 1;
+}

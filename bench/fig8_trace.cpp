@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fig. 8 — timely execution trace of the annotated AR application.
+ *
+ * The TICS-annotated AR app runs RF-powered; this bench renders its
+ * per-window execution trace: sampled windows that stayed fresh were
+ * featurized/classified, stale windows (a long outage elapsed between
+ * sampling and consumption) were discarded by @expires, and activity
+ * switches raised @timely alerts only inside the 200 ms deadline.
+ */
+
+#include <iostream>
+
+#include "apps/ar/ar_timed.hpp"
+#include "harness/experiment.hpp"
+#include "support/table.hpp"
+
+using namespace ticsim;
+
+int
+main()
+{
+    harness::SupplySpec spec;
+    spec.setup = harness::PowerSetup::RfHarvested;
+    spec.rfDistanceM = 2.9;
+    spec.accelRegimePeriod = 120 * kNsPerMs;
+    auto b = harness::makeBoard(spec, 7);
+
+    tics::TicsConfig cfg;
+    cfg.segmentBytes = 128;
+    cfg.policy = tics::PolicyKind::Timer;
+    cfg.timerPeriod = 10 * kNsPerMs;
+    tics::TicsRuntime rt(cfg);
+
+    apps::ArTimedParams p;
+    p.windows = 40;
+    apps::ArTimedTicsApp app(*b, rt, p);
+    const auto res = b->run(rt, [&] { app.main(); }, 120 * kNsPerSec);
+
+    std::cout << "== Fig. 8: AR execution trace under RF power ==\n"
+              << "reboots=" << res.reboots
+              << "  processed=" << app.processed()
+              << "  discarded(stale)=" << app.discarded()
+              << "  alerts=" << app.alerts() << "\n\n";
+
+    Table t("per-window trace (deduplicated re-executions)");
+    t.header({"Window", "t (ms)", "Freshness", "Activity switch",
+              "Timely alert"});
+    std::uint64_t lastWindow = ~0ULL;
+    for (const auto &ev : app.trace()) {
+        if (ev.window == lastWindow)
+            continue; // keep the final (committed) record per window
+        lastWindow = ev.window;
+        t.row()
+            .cell(ev.window)
+            .cell(static_cast<double>(ev.at) / kNsPerMs, 1)
+            .cell(ev.fresh ? "fresh -> processed" : "EXPIRED -> discarded")
+            .cell(ev.switched ? "yes" : "-")
+            .cell(ev.alerted ? "ALERT (in deadline)" : "-");
+    }
+    t.print(std::cout);
+    return 0;
+}

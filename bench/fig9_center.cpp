@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fig. 9, center column — micro-benchmarking TICS: execution time and
+ * checkpoint counts as a function of the working-stack size.
+ *
+ * Configurations from the paper: S1 = 50 B and S2 = 256 B segments
+ * with only protocol-driven (grow/shrink-enforced) checkpoints, and
+ * S1* / S2* adding a 10 ms checkpoint timer. Continuous power.
+ *
+ * Expected shape: S1 produces many working-stack changes and therefore
+ * enforced checkpoints; S2 produces (almost) none; the timer restores
+ * forward-progress guarantees at bounded extra cost; larger segments
+ * make each checkpoint dearer but rarer — the trade-off the paper
+ * calls out.
+ */
+
+#include <iostream>
+
+#include "apps/ar/ar_legacy.hpp"
+#include "apps/bc/bc_legacy.hpp"
+#include "apps/cuckoo/cuckoo_legacy.hpp"
+#include "harness/experiment.hpp"
+#include "support/table.hpp"
+
+using namespace ticsim;
+
+namespace {
+
+struct MicroResult {
+    double ms = 0;
+    bool ok = false;
+    std::uint64_t ckpts = 0;
+    std::uint64_t growCkpts = 0;
+    std::uint64_t timerCkpts = 0;
+    std::uint64_t grows = 0;
+};
+
+template <typename App, typename Params>
+MicroResult
+runMicro(const harness::TicsSetup &setup, Params p)
+{
+    harness::SupplySpec spec; // continuous
+    auto b = harness::makeBoard(spec);
+    tics::TicsRuntime rt(harness::makeTicsConfig(setup));
+    App app(*b, rt, p);
+    const auto res = b->run(rt, [&] { app.main(); }, 600 * kNsPerSec);
+    MicroResult m;
+    m.ms = harness::simMs(res);
+    m.ok = res.completed && app.verify();
+    m.ckpts = rt.checkpointsTotal();
+    m.growCkpts = rt.checkpointCount(tics::CkptCause::Shrink);
+    m.timerCkpts = rt.checkpointCount(tics::CkptCause::Timer);
+    m.grows = rt.stats().counterValue("stackGrows");
+    return m;
+}
+
+template <typename App, typename Params>
+void
+benchRows(Table &t, const char *name, Params p)
+{
+    for (const auto *setup :
+         {&harness::kSetupS1, &harness::kSetupS2, &harness::kSetupS1Star,
+          &harness::kSetupS2Star}) {
+        const auto m = runMicro<App>(*setup, p);
+        t.row()
+            .cell(name)
+            .cell(setup->name)
+            .cell(harness::msCell(true, m.ok, m.ms))
+            .cell(m.ckpts)
+            .cell(m.growCkpts)
+            .cell(m.timerCkpts)
+            .cell(m.grows);
+    }
+    t.separator();
+}
+
+} // namespace
+
+int
+main()
+{
+    Table t("Fig. 9 (center): TICS micro-benchmark vs working-stack "
+            "size (continuous power)");
+    t.header({"Benchmark", "Config", "Time (ms)", "Checkpoints",
+              "shrink-enforced", "timer", "Stack grows"});
+    benchRows<apps::ArLegacyApp>(t, "AR", apps::ArParams{});
+    benchRows<apps::BcLegacyApp>(t, "BC", apps::BcParams{});
+    benchRows<apps::CuckooLegacyApp>(t, "CF", apps::CuckooParams{});
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Fig. 9, left column — TICS vs. Chinchilla execution time.
+ *
+ * The three benchmarks run to completion on continuous power (the
+ * paper's methodology for the timing comparison), under two modeled
+ * compiler settings: LO0 (unoptimized codegen, straight-line work
+ * x2.5) and LO2 (optimized, x1.0). Chinchilla cannot compile the
+ * original recursive bitcount at all — printed as "x", exactly the
+ * red-cross cells of the paper; an extra row shows the hand-modified
+ * recursion-free BC the Chinchilla authors had to use.
+ *
+ * Expected shape: TICS within a small factor of plain C on every
+ * benchmark; Chinchilla slower (versioned promoted globals), with the
+ * gap widening at LO0; Chinchilla x on BC.
+ */
+
+#include <iostream>
+
+#include "apps/ar/ar_chinchilla.hpp"
+#include "apps/ar/ar_legacy.hpp"
+#include "apps/bc/bc_chinchilla.hpp"
+#include "apps/bc/bc_legacy.hpp"
+#include "apps/cuckoo/cuckoo_chinchilla.hpp"
+#include "apps/cuckoo/cuckoo_legacy.hpp"
+#include "harness/experiment.hpp"
+#include "runtimes/plainc.hpp"
+#include "support/table.hpp"
+
+using namespace ticsim;
+
+namespace {
+
+constexpr TimeNs kBudget = 600 * kNsPerSec;
+
+template <typename Rt, typename App, typename Params>
+std::string
+timeOne(Rt &&rt, Params p, double workScale)
+{
+    p.workScale = workScale;
+    harness::SupplySpec spec; // continuous
+    auto b = harness::makeBoard(spec);
+    App app(*b, rt, p);
+    const auto res = b->run(rt, [&] { app.main(); }, kBudget);
+    return harness::msCell(true, res.completed && app.verify(),
+                           harness::simMs(res));
+}
+
+tics::TicsConfig
+ticsCfg()
+{
+    return harness::makeTicsConfig(harness::kSetupS2Star);
+}
+
+} // namespace
+
+int
+main()
+{
+    Table t("Fig. 9 (left): TICS vs Chinchilla, execution time (sim ms)");
+    t.header({"Benchmark", "Compiler", "plain C", "TICS (S2*)",
+              "Chinchilla"});
+
+    for (const auto &[label, scale] :
+         std::initializer_list<std::pair<const char *, double>>{
+             {"LO0", 2.5}, {"LO2", 1.0}}) {
+        {
+            runtimes::PlainCRuntime plain;
+            tics::TicsRuntime tics(ticsCfg());
+            runtimes::ChinchillaRuntime chin;
+            t.row()
+                .cell("AR")
+                .cell(label)
+                .cell(timeOne<runtimes::PlainCRuntime &,
+                              apps::ArLegacyApp>(plain, apps::ArParams{},
+                                                 scale))
+                .cell(timeOne<tics::TicsRuntime &, apps::ArLegacyApp>(
+                    tics, apps::ArParams{}, scale))
+                .cell(timeOne<runtimes::ChinchillaRuntime &,
+                              apps::ArChinchillaApp>(
+                    chin, apps::ArParams{}, scale));
+        }
+        {
+            runtimes::PlainCRuntime plain;
+            tics::TicsRuntime tics(ticsCfg());
+            t.row()
+                .cell("BC (recursive)")
+                .cell(label)
+                .cell(timeOne<runtimes::PlainCRuntime &,
+                              apps::BcLegacyApp>(plain, apps::BcParams{},
+                                                 scale))
+                .cell(timeOne<tics::TicsRuntime &, apps::BcLegacyApp>(
+                    tics, apps::BcParams{}, scale))
+                .cell("x"); // recursion: does not compile in Chinchilla
+        }
+        {
+            runtimes::ChinchillaRuntime chin;
+            t.row()
+                .cell("BC (hand-derecursed)")
+                .cell(label)
+                .cell("-")
+                .cell("-")
+                .cell(timeOne<runtimes::ChinchillaRuntime &,
+                              apps::BcChinchillaApp>(
+                    chin, apps::BcParams{}, scale));
+        }
+        {
+            runtimes::PlainCRuntime plain;
+            tics::TicsRuntime tics(ticsCfg());
+            runtimes::ChinchillaRuntime chin;
+            t.row()
+                .cell("CF")
+                .cell(label)
+                .cell(timeOne<runtimes::PlainCRuntime &,
+                              apps::CuckooLegacyApp>(
+                    plain, apps::CuckooParams{}, scale))
+                .cell(timeOne<tics::TicsRuntime &, apps::CuckooLegacyApp>(
+                    tics, apps::CuckooParams{}, scale))
+                .cell(timeOne<runtimes::ChinchillaRuntime &,
+                              apps::CuckooChinchillaApp>(
+                    chin, apps::CuckooParams{}, scale));
+        }
+        if (scale != 1.0)
+            t.separator();
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Fig. 9, right column — TICS against the task-based systems and the
+ * naive checkpointer.
+ *
+ * Per benchmark: plain C (reference), TICS S1*, TICS S2*, TICS ST
+ * (checkpoints at the task-granular trigger points, the paper's
+ * "checkpoints at task boundaries" configuration), the Alpaca-like
+ * and InK-like task runtimes on the task-decomposed ports, the
+ * MayFly-like runtime on the loop-free ports, and the MementOS-like
+ * naive full-state checkpointer. Continuous power; the task ports drop
+ * the recursive BC method (inexpressible), and CF is not expressible
+ * in MayFly at all (graph loops) — printed "x" like the paper.
+ *
+ * Expected shape: with a reasonable working-stack size TICS lands
+ * close to the task-based systems; the naive checkpointer pays for
+ * full-state copies.
+ */
+
+#include <iostream>
+
+#include "apps/ar/ar_legacy.hpp"
+#include "apps/ar/ar_task.hpp"
+#include "apps/bc/bc_legacy.hpp"
+#include "apps/bc/bc_task.hpp"
+#include "apps/cuckoo/cuckoo_legacy.hpp"
+#include "apps/cuckoo/cuckoo_task.hpp"
+#include "harness/experiment.hpp"
+#include "runtimes/ink.hpp"
+#include "runtimes/mayfly.hpp"
+#include "runtimes/mementos.hpp"
+#include "runtimes/plainc.hpp"
+#include "support/table.hpp"
+
+using namespace ticsim;
+
+namespace {
+
+constexpr TimeNs kBudget = 600 * kNsPerSec;
+
+template <typename Rt, typename App, typename... CtorArgs>
+std::string
+runLegacy(Rt &rt, CtorArgs &&...args)
+{
+    harness::SupplySpec spec;
+    auto b = harness::makeBoard(spec);
+    App app(*b, rt, std::forward<CtorArgs>(args)...);
+    const auto res = b->run(rt, [&] { app.main(); }, kBudget);
+    return harness::msCell(true, res.completed && app.verify(),
+                           harness::simMs(res));
+}
+
+template <typename Rt, typename App, typename Params>
+std::string
+runTask(Params p, bool graphLoop = true)
+{
+    harness::SupplySpec spec;
+    auto b = harness::makeBoard(spec);
+    Rt rt;
+    App app(*b, rt, p, graphLoop);
+    const auto res = b->run(rt, {}, kBudget);
+    return harness::msCell(true, res.completed && app.verify(),
+                           harness::simMs(res));
+}
+
+/** CuckooTaskApp has no graphLoop knob (always a graph loop). */
+template <typename Rt>
+std::string
+runCuckooTask()
+{
+    harness::SupplySpec spec;
+    auto b = harness::makeBoard(spec);
+    Rt rt;
+    apps::CuckooTaskApp app(*b, rt);
+    const auto res = b->run(rt, {}, kBudget);
+    return harness::msCell(true, res.completed && app.verify(),
+                           harness::simMs(res));
+}
+
+template <typename App, typename Params>
+std::string
+runTics(const harness::TicsSetup &setup, Params p)
+{
+    tics::TicsRuntime rt(harness::makeTicsConfig(setup));
+    return runLegacy<tics::TicsRuntime, App>(rt, p);
+}
+
+template <typename App, typename Params>
+std::string
+runNaive(Params p)
+{
+    // The paper's naive comparator checkpoints at the task boundaries,
+    // i.e. at every trigger point, saving the full stack and globals.
+    runtimes::MementosConfig cfg;
+    cfg.trigger = runtimes::MementosConfig::Trigger::Every;
+    runtimes::MementosRuntime rt(cfg);
+    return runLegacy<runtimes::MementosRuntime, App>(rt, p);
+}
+
+template <typename App, typename Params>
+std::string
+runPlain(Params p)
+{
+    runtimes::PlainCRuntime rt;
+    return runLegacy<runtimes::PlainCRuntime, App>(rt, p);
+}
+
+} // namespace
+
+int
+main()
+{
+    Table t("Fig. 9 (right): TICS vs task-based systems, execution time "
+            "(sim ms, continuous power)");
+    t.header({"Benchmark", "plain C", "TICS S1*", "TICS S2*", "TICS ST",
+              "Alpaca", "InK", "MayFly", "naive (MementOS)"});
+
+    t.row()
+        .cell("AR")
+        .cell(runPlain<apps::ArLegacyApp>(apps::ArParams{}))
+        .cell(runTics<apps::ArLegacyApp>(harness::kSetupS1Star,
+                                         apps::ArParams{}))
+        .cell(runTics<apps::ArLegacyApp>(harness::kSetupS2Star,
+                                         apps::ArParams{}))
+        .cell(runTics<apps::ArLegacyApp>(harness::kSetupST,
+                                         apps::ArParams{}))
+        .cell(runTask<taskrt::TaskRuntime, apps::ArTaskApp>(
+            apps::ArParams{}))
+        .cell(runTask<taskrt::InkRuntime, apps::ArTaskApp>(
+            apps::ArParams{}))
+        .cell(runTask<taskrt::MayflyRuntime, apps::ArTaskApp>(
+            apps::ArParams{}, /*graphLoop=*/false))
+        .cell(runNaive<apps::ArLegacyApp>(apps::ArParams{}));
+
+    t.row()
+        .cell("BC")
+        .cell(runPlain<apps::BcLegacyApp>(apps::BcParams{}))
+        .cell(runTics<apps::BcLegacyApp>(harness::kSetupS1Star,
+                                         apps::BcParams{}))
+        .cell(runTics<apps::BcLegacyApp>(harness::kSetupS2Star,
+                                         apps::BcParams{}))
+        .cell(runTics<apps::BcLegacyApp>(harness::kSetupST,
+                                         apps::BcParams{}))
+        .cell(runTask<taskrt::TaskRuntime, apps::BcTaskApp>(
+            apps::BcParams{}))
+        .cell(runTask<taskrt::InkRuntime, apps::BcTaskApp>(
+            apps::BcParams{}))
+        .cell(runTask<taskrt::MayflyRuntime, apps::BcTaskApp>(
+            apps::BcParams{}, /*graphLoop=*/false))
+        .cell(runNaive<apps::BcLegacyApp>(apps::BcParams{}));
+
+    t.row()
+        .cell("CF")
+        .cell(runPlain<apps::CuckooLegacyApp>(apps::CuckooParams{}))
+        .cell(runTics<apps::CuckooLegacyApp>(harness::kSetupS1Star,
+                                             apps::CuckooParams{}))
+        .cell(runTics<apps::CuckooLegacyApp>(harness::kSetupS2Star,
+                                             apps::CuckooParams{}))
+        .cell(runTics<apps::CuckooLegacyApp>(harness::kSetupST,
+                                             apps::CuckooParams{}))
+        .cell(runCuckooTask<taskrt::TaskRuntime>())
+        .cell(runCuckooTask<taskrt::InkRuntime>())
+        .cell("x") // loops: inexpressible in MayFly
+        .cell(runNaive<apps::CuckooLegacyApp>(apps::CuckooParams{}));
+
+    t.print(std::cout);
+    std::cout << "\nNote: task ports use the recursion-free BC (the "
+                 "task model cannot express recursion); 'x' marks "
+                 "programs a system cannot express.\n";
+    return 0;
+}

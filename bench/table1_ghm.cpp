@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Table 1 — "Real-world program with TICS on intermittent power".
+ *
+ * Greenhouse monitoring (GHM) in four configurations — plain C, plain
+ * C + TICS, TinyOS, TinyOS + TICS — executed against pre-programmed
+ * reset patterns at 4%, 48% and 100% power-on rates, for a fixed
+ * virtual-time budget. Reported per configuration: completions of each
+ * routine (sense moisture, sense temperature, compute, send) and the
+ * consistency verdict (lockstep counters + no duplicated/replayed
+ * rounds on the radio).
+ *
+ * Expected shape (paper Table 1): plain C makes skewed partial
+ * progress and is inconsistent under intermittency (sense counts
+ * inflate, sends lag or vanish); TICS keeps all four counters in
+ * lockstep and consistent at every intermittency level, at a small
+ * throughput cost at 100%.
+ */
+
+#include <iostream>
+
+#include "apps/ghm/ghm.hpp"
+#include "harness/experiment.hpp"
+#include "runtimes/plainc.hpp"
+#include "support/table.hpp"
+#include "tics/runtime.hpp"
+
+using namespace ticsim;
+
+namespace {
+
+struct Row {
+    const char *config;
+    apps::GhmOutcome outcome;
+};
+
+template <typename App, typename Rt>
+apps::GhmOutcome
+runOne(double onFraction, Rt &rt)
+{
+    harness::SupplySpec spec;
+    spec.setup = harness::PowerSetup::Pattern;
+    spec.patternPeriod = 100 * kNsPerMs;
+    spec.patternOnFraction = onFraction;
+    auto b = harness::makeBoard(spec, /*seed=*/42);
+    apps::GhmParams p;
+    p.rounds = 0; // run until the budget expires
+    App app(*b, rt, p);
+    b->run(rt, [&] { app.main(); }, kNsPerSec);
+    return app.outcome();
+}
+
+tics::TicsConfig
+ghmTicsConfig()
+{
+    tics::TicsConfig cfg;
+    cfg.segmentBytes = 128;
+    cfg.policy = tics::PolicyKind::Timer;
+    cfg.timerPeriod = 10 * kNsPerMs;
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    Table t("Table 1: GHM routine completions on intermittent power "
+            "(1 s budget, 100 ms reset period)");
+    t.header({"Intermit.", "Config", "Sense Moist.", "Sense Temp.",
+              "Compute", "Send", "Consistent"});
+
+    for (const double duty : {0.04, 0.48, 1.00}) {
+        std::vector<Row> rows;
+        {
+            runtimes::PlainCRuntime rt;
+            rows.push_back(
+                {"plain C", runOne<apps::GhmPlainApp>(duty, rt)});
+        }
+        {
+            tics::TicsRuntime rt(ghmTicsConfig());
+            rows.push_back(
+                {"plain C + TICS", runOne<apps::GhmPlainApp>(duty, rt)});
+        }
+        {
+            runtimes::PlainCRuntime rt;
+            rows.push_back(
+                {"TinyOS", runOne<apps::GhmTinyosApp>(duty, rt)});
+        }
+        {
+            tics::TicsRuntime rt(ghmTicsConfig());
+            rows.push_back(
+                {"TinyOS + TICS", runOne<apps::GhmTinyosApp>(duty, rt)});
+        }
+
+        char dutyLabel[16];
+        std::snprintf(dutyLabel, sizeof(dutyLabel), "%.0f%%",
+                      duty * 100.0);
+        t.separator();
+        for (const auto &r : rows) {
+            t.row()
+                .cell(dutyLabel)
+                .cell(r.config)
+                .cell(r.outcome.senseMoisture)
+                .cell(r.outcome.senseTemp)
+                .cell(r.outcome.compute)
+                .cell(r.outcome.send)
+                .cell(r.outcome.consistent ? "yes" : "NO");
+        }
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Greenhouse monitoring: a two-decade-old shape of TinyOS application
+ * (timers, split-phase sensing, active messages) running first
+ * unprotected and then under TICS, on the same intermittent supply —
+ * the Table 1 experiment as a narrative.
+ */
+
+#include <cstdio>
+
+#include "apps/ghm/ghm.hpp"
+#include "runtimes/plainc.hpp"
+#include "tics/runtime.hpp"
+
+using namespace ticsim;
+
+namespace {
+
+apps::GhmOutcome
+runOnce(bool withTics)
+{
+    board::BoardConfig cfg;
+    cfg.seed = 2026;
+    board::Board board(
+        cfg,
+        std::make_unique<energy::PatternSupply>(100 * kNsPerMs, 0.48),
+        std::make_unique<timekeeper::PerfectTimekeeper>());
+
+    apps::GhmParams p; // run until the budget expires
+
+    if (withTics) {
+        tics::TicsConfig tcfg;
+        tcfg.segmentBytes = 128;
+        tcfg.policy = tics::PolicyKind::Timer;
+        tics::TicsRuntime rt(tcfg);
+        apps::GhmTinyosApp app(board, rt, p);
+        board.run(rt, [&] { app.main(); }, 2 * kNsPerSec);
+        return app.outcome();
+    }
+    runtimes::PlainCRuntime rt;
+    apps::GhmTinyosApp app(board, rt, p);
+    board.run(rt, [&] { app.main(); }, 2 * kNsPerSec);
+    return app.outcome();
+}
+
+void
+report(const char *label, const apps::GhmOutcome &o)
+{
+    std::printf("%-18s moisture=%-4llu temp=%-4llu compute=%-4llu "
+                "send=%-4llu -> %s\n",
+                label, static_cast<unsigned long long>(o.senseMoisture),
+                static_cast<unsigned long long>(o.senseTemp),
+                static_cast<unsigned long long>(o.compute),
+                static_cast<unsigned long long>(o.send),
+                o.consistent ? "consistent" : "INCONSISTENT");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Greenhouse monitoring on a 48%% duty reset pattern "
+                "(2 s budget):\n\n");
+    const auto plain = runOnce(false);
+    report("TinyOS, bare:", plain);
+    const auto tics = runOnce(true);
+    report("TinyOS + TICS:", tics);
+    std::printf("\nThe unprotected kernel loses its timers and task "
+                "queue at every reset;\nTICS checkpoints the whole OS "
+                "state (it lives on the instrumented stack)\nand the "
+                "legacy application simply keeps running.\n");
+    return tics.consistent ? 0 : 1;
+}

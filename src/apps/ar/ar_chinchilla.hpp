@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Activity recognition in the Chinchilla programming model: the window
+ * buffer, loop indices and model live as promoted non-volatile
+ * globals with dual-copy versioning (paper Section 5.3.1).
+ */
+
+#ifndef TICSIM_APPS_AR_AR_CHINCHILLA_HPP
+#define TICSIM_APPS_AR_AR_CHINCHILLA_HPP
+
+#include "apps/ar/ar_common.hpp"
+#include "mem/nv.hpp"
+#include "runtimes/chinchilla.hpp"
+
+namespace ticsim::apps {
+
+class ArChinchillaApp
+{
+  public:
+    ArChinchillaApp(board::Board &b, runtimes::ChinchillaRuntime &rt,
+                    ArParams p = {});
+
+    void main();
+
+    std::uint32_t stationary() const { return stationary_.get(); }
+    std::uint32_t moving() const { return moving_.get(); }
+    bool done() const { return done_.get() != 0; }
+    bool verify() const;
+
+  private:
+    board::Board &b_;
+    runtimes::ChinchillaRuntime &rt_;
+    ArParams params_;
+    mem::nvArray<std::int16_t, kArMaxWindow> window_; ///< promoted buffer
+    mem::nv<std::uint32_t> w_;                        ///< promoted index
+    mem::nv<ArModel> model_;
+    mem::nv<std::uint32_t> stationary_;
+    mem::nv<std::uint32_t> moving_;
+    mem::nv<std::uint8_t> done_;
+};
+
+} // namespace ticsim::apps
+
+#endif // TICSIM_APPS_AR_AR_CHINCHILLA_HPP

@@ -1,0 +1,67 @@
+#include "ar_common.hpp"
+
+#include "support/logging.hpp"
+
+namespace ticsim::apps {
+
+void
+arGenWindow(std::uint32_t seed, std::uint32_t w, std::uint32_t n,
+            std::int16_t *out)
+{
+    TICSIM_ASSERT(n <= kArMaxWindow);
+    Lcg lcg(seed ^ (w * 2654435761u));
+    const bool moving = (w & 1u) != 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const auto noise =
+            static_cast<std::int32_t>(lcg.next() % 41u) - 20;
+        std::int32_t mag;
+        if (moving) {
+            // Large oscillation around gravity.
+            const std::int32_t swing = (i & 1u) ? 900 : 300;
+            mag = 1000 + swing + 4 * noise;
+        } else {
+            mag = 1000 + noise;
+        }
+        out[i] = static_cast<std::int16_t>(mag);
+    }
+}
+
+ArFeatures
+arFeaturize(const std::int16_t *mag, std::uint32_t n)
+{
+    ArFeatures f;
+    f.meanMag = meanI16(mag, n);
+    f.stddevMag = stddevI16(mag, n);
+    return f;
+}
+
+ArModel
+arTrain(const ArParams &p)
+{
+    std::int16_t buf[kArMaxWindow];
+    ArModel m;
+    arGenWindow(p.seed, 0, p.windowSize, buf);
+    m.centroid[0] = arFeaturize(buf, p.windowSize);
+    arGenWindow(p.seed, 1, p.windowSize, buf);
+    m.centroid[1] = arFeaturize(buf, p.windowSize);
+    return m;
+}
+
+ArExpected
+arGolden(const ArParams &p)
+{
+    const ArModel m = arTrain(p);
+    ArExpected e;
+    std::int16_t buf[kArMaxWindow];
+    for (std::uint32_t w = 2; w < 2 + p.windows; ++w) {
+        arGenWindow(p.seed, w, p.windowSize, buf);
+        const auto f = arFeaturize(buf, p.windowSize);
+        if (classify(m, f) == 0)
+            ++e.stationary;
+        else
+            ++e.moving;
+    }
+    return e;
+}
+
+} // namespace ticsim::apps

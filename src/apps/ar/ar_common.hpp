@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Activity-recognition benchmark core (paper Sections 5.2/5.3): a
+ * window of three-axis accelerometer data is reduced to mean/stddev
+ * magnitude features and classified stationary-vs-moving with a
+ * nearest-neighbour model trained on one window of each class.
+ *
+ * The Fig. 9 benchmark variant works on a *stored* dataset ("locally
+ * stored accelerometer data"), generated deterministically here so
+ * every runtime variant computes on identical input and results can
+ * be verified exactly. The live, time-annotated variant for Table 2 /
+ * Fig. 8 samples the board's accelerometer instead (ar_timed.hpp).
+ */
+
+#ifndef TICSIM_APPS_AR_AR_COMMON_HPP
+#define TICSIM_APPS_AR_AR_COMMON_HPP
+
+#include <cstdint>
+
+#include "apps/common/dsp.hpp"
+
+namespace ticsim::apps {
+
+struct ArParams {
+    std::uint32_t windows = 32;    ///< windows to classify
+    std::uint32_t windowSize = 16; ///< samples per window
+    std::uint32_t seed = 0xA11CEu;
+    double workScale = 1.0;
+};
+
+/** Max samples per window the fixed buffers accommodate. */
+constexpr std::uint32_t kArMaxWindow = 32;
+
+/**
+ * Deterministic stored dataset: window @p w is "moving" when odd.
+ * Writes @p n magnitude samples (|x|+|y|+|z|) into @p out.
+ */
+void arGenWindow(std::uint32_t seed, std::uint32_t w, std::uint32_t n,
+                 std::int16_t *out);
+
+/** Feature extraction over a magnitude window. */
+ArFeatures arFeaturize(const std::int16_t *mag, std::uint32_t n);
+
+/** Train the two centroids from windows 0 (stationary) and 1 (moving). */
+ArModel arTrain(const ArParams &p);
+
+/** Expected (stationary, moving) classification counts. */
+struct ArExpected {
+    std::uint32_t stationary = 0;
+    std::uint32_t moving = 0;
+};
+ArExpected arGolden(const ArParams &p);
+
+} // namespace ticsim::apps
+
+#endif // TICSIM_APPS_AR_AR_COMMON_HPP

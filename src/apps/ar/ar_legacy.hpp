@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Activity recognition, legacy-C shape: train, then classify stored
+ * windows in a loop, counting each class. One instrumented source that
+ * runs unchanged under plain C, TICS and the MementOS-like runtime.
+ */
+
+#ifndef TICSIM_APPS_AR_AR_LEGACY_HPP
+#define TICSIM_APPS_AR_AR_LEGACY_HPP
+
+#include "apps/ar/ar_common.hpp"
+#include "board/board.hpp"
+#include "board/runtime.hpp"
+#include "mem/nv.hpp"
+
+namespace ticsim::apps {
+
+class ArLegacyApp
+{
+  public:
+    ArLegacyApp(board::Board &b, board::Runtime &rt, ArParams p = {});
+
+    void main();
+
+    std::uint32_t stationary() const { return stationary_.get(); }
+    std::uint32_t moving() const { return moving_.get(); }
+    bool done() const { return done_.get() != 0; }
+    bool verify() const;
+
+    const ArParams &params() const { return params_; }
+
+  private:
+    ArFeatures featurize(const std::int16_t *mag);
+
+    board::Board &b_;
+    board::Runtime &rt_;
+    ArParams params_;
+    mem::nv<ArModel> model_;
+    mem::nv<std::uint32_t> stationary_;
+    mem::nv<std::uint32_t> moving_;
+    mem::nv<std::uint8_t> done_;
+};
+
+} // namespace ticsim::apps
+
+#endif // TICSIM_APPS_AR_AR_LEGACY_HPP

@@ -1,0 +1,114 @@
+#include "ar_task.hpp"
+
+#include "runtimes/mayfly.hpp"
+
+namespace ticsim::apps {
+
+ArTaskApp::ArTaskApp(board::Board &b, taskrt::TaskRuntime &rt, ArParams p,
+                     bool graphLoop)
+    : b_(b), rt_(rt), params_(p),
+      window_(rt, b.nvram(), "ar.window"),
+      features_(rt, b.nvram(), "ar.features"),
+      model_(rt, b.nvram(), "ar.model"),
+      w_(rt, b.nvram(), "ar.w"),
+      stationary_(rt, b.nvram(), "ar.stationary"),
+      moving_(rt, b.nvram(), "ar.moving"),
+      done_(rt, b.nvram(), "ar.done")
+{
+    rt.footprint().add("ar application", 2300, 12);
+
+    auto genCharge = [this] {
+        b_.charge(static_cast<Cycles>(
+            8 * params_.windowSize * params_.workScale));
+    };
+    auto featCharge = [this] {
+        b_.charge(static_cast<Cycles>(
+            (30 + 14 * params_.windowSize) * params_.workScale));
+    };
+
+    tInit_ = rt_.addTask("init", [this]() -> taskrt::TaskId {
+        w_.set(0);
+        stationary_.set(0);
+        moving_.set(0);
+        return tTrain_;
+    });
+
+    tTrain_ = rt_.addTask("train", [this, genCharge,
+                                    featCharge]() -> taskrt::TaskId {
+        Window buf{};
+        ArModel m;
+        arGenWindow(params_.seed, 0, params_.windowSize, buf.data());
+        genCharge();
+        featCharge();
+        m.centroid[0] = arFeaturize(buf.data(), params_.windowSize);
+        arGenWindow(params_.seed, 1, params_.windowSize, buf.data());
+        genCharge();
+        featCharge();
+        m.centroid[1] = arFeaturize(buf.data(), params_.windowSize);
+        model_.set(m);
+        w_.set(2);
+        return tSample_;
+    });
+
+    tSample_ = rt_.addTask("sample", [this,
+                                      genCharge]() -> taskrt::TaskId {
+        Window buf{};
+        arGenWindow(params_.seed, w_.get(), params_.windowSize,
+                    buf.data());
+        genCharge();
+        window_.set(buf);
+        return tFeaturize_;
+    });
+
+    tFeaturize_ = rt_.addTask("featurize",
+                              [this, featCharge]() -> taskrt::TaskId {
+        const Window buf = window_.get();
+        featCharge();
+        features_.set(arFeaturize(buf.data(), params_.windowSize));
+        return tClassify_;
+    });
+
+    tClassify_ = rt_.addTask("classify",
+                             [this, graphLoop]() -> taskrt::TaskId {
+        b_.charge(static_cast<Cycles>(48 * params_.workScale));
+        if (classify(model_.get(), features_.get()) == 0)
+            stationary_.set(stationary_.get() + 1);
+        else
+            moving_.set(moving_.get() + 1);
+        const std::uint32_t next = w_.get() + 1;
+        w_.set(next);
+        if (next >= 2 + params_.windows) {
+            done_.set(1);
+            return taskrt::kTaskDone;
+        }
+        return graphLoop ? tSample_ : taskrt::kTaskDone;
+    });
+
+    rt_.setInitial(tInit_);
+
+    if (auto *mf = dynamic_cast<taskrt::MayflyRuntime *>(&rt_)) {
+        // MayFly wiring: declared (acyclic) edges, periodic
+        // re-dispatch of the per-window chain, and an edge-expiry
+        // constraint on the window channel (stale windows reroute to
+        // a fresh sample instead of being featurized).
+        mf->declareEdge(tInit_, tTrain_);
+        mf->declareEdge(tTrain_, tSample_);
+        mf->declareEdge(tSample_, tFeaturize_);
+        mf->declareEdge(tFeaturize_, tClassify_);
+        if (graphLoop)
+            mf->declareEdge(tClassify_, tSample_); // rejected: a loop
+        mf->restartUntil(tSample_, [this] { return done(); });
+        mf->constrainInput(tFeaturize_, &window_, 500 * kNsPerMs,
+                           tSample_);
+    }
+}
+
+bool
+ArTaskApp::verify() const
+{
+    const auto e = arGolden(params_);
+    return done() && stationary() == e.stationary &&
+           moving() == e.moving;
+}
+
+} // namespace ticsim::apps

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Activity recognition decomposed into tasks (the paper's Fig. 2
+ * porting example made concrete): sample → featurize → classify →
+ * accumulate stages connected by privatized channels, with the window
+ * loop expressed as graph edges. Runs under the Alpaca-like and
+ * InK-like runtimes; MayFly additionally attaches edge expiry to the
+ * window channel (see the Table 2 / Fig. 9 benches).
+ */
+
+#ifndef TICSIM_APPS_AR_AR_TASK_HPP
+#define TICSIM_APPS_AR_AR_TASK_HPP
+
+#include <array>
+
+#include "apps/ar/ar_common.hpp"
+#include "runtimes/task_core.hpp"
+
+namespace ticsim::apps {
+
+class ArTaskApp
+{
+  public:
+    using Window = std::array<std::int16_t, kArMaxWindow>;
+
+    /**
+     * @param graphLoop When true (Alpaca/InK), the classify task loops
+     *        back to sample via a graph edge. When false (MayFly: no
+     *        loops allowed), the chain ends after each window and the
+     *        MayFly runtime re-dispatches it until done, with an edge
+     *        expiry constraint on the window channel.
+     */
+    ArTaskApp(board::Board &b, taskrt::TaskRuntime &rt, ArParams p = {},
+              bool graphLoop = true);
+
+    std::uint32_t stationary() const { return stationary_.committed(); }
+    std::uint32_t moving() const { return moving_.committed(); }
+    bool done() const { return done_.committed() != 0; }
+    bool verify() const;
+
+    taskrt::Channel<Window> &windowChannel() { return window_; }
+    taskrt::TaskId sampleTask() const { return tSample_; }
+
+  private:
+    board::Board &b_;
+    taskrt::TaskRuntime &rt_;
+    ArParams params_;
+
+    taskrt::Channel<Window> window_;
+    taskrt::Channel<ArFeatures> features_;
+    taskrt::Channel<ArModel> model_;
+    taskrt::Channel<std::uint32_t> w_;
+    taskrt::Channel<std::uint32_t> stationary_;
+    taskrt::Channel<std::uint32_t> moving_;
+    taskrt::Channel<std::uint8_t> done_;
+
+    taskrt::TaskId tInit_ = 0;
+    taskrt::TaskId tTrain_ = 0;
+    taskrt::TaskId tSample_ = 0;
+    taskrt::TaskId tFeaturize_ = 0;
+    taskrt::TaskId tClassify_ = 0;
+};
+
+} // namespace ticsim::apps
+
+#endif // TICSIM_APPS_AR_AR_TASK_HPP

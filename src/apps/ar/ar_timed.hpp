@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The *live*, time-sensitive AR application of paper Sections 5.2 and
+ * Fig. 8: windows of accelerometer samples are featurized and
+ * classified, stale windows must be discarded (200 ms freshness), and
+ * activity changes must be alerted within a 200 ms deadline.
+ *
+ * Two implementations of the same behaviour:
+ *  - ArTimedManualApp: manual time management on top of a
+ *    MementOS-like checkpointer — the baseline whose timing the
+ *    ViolationMonitor scores (Table 2 "w/o TICS");
+ *  - ArTimedTicsApp: the TICS-annotated port (@=, @expires, @timely),
+ *    whose annotations eliminate all three violation classes.
+ *
+ * Both report sampling/consumption/branch events to the monitor with
+ * identical instance keys, so their violation counts are directly
+ * comparable.
+ */
+
+#ifndef TICSIM_APPS_AR_AR_TIMED_HPP
+#define TICSIM_APPS_AR_AR_TIMED_HPP
+
+#include <array>
+#include <vector>
+
+#include "apps/ar/ar_common.hpp"
+#include "board/board.hpp"
+#include "mem/nv.hpp"
+#include "runtimes/mementos.hpp"
+#include "tics/annotations.hpp"
+#include "tics/runtime.hpp"
+
+namespace ticsim::apps {
+
+struct ArTimedParams {
+    std::uint32_t windows = 145;       ///< 145 x 6 = 870 samplings
+    static constexpr std::uint32_t kWindow = 6;
+    TimeNs freshness = 200 * kNsPerMs; ///< @expires_after=200ms
+    TimeNs alertDeadline = 200 * kNsPerMs;
+    /** Modeled raw-to-magnitude conversion between sample and
+     *  timestamp (the instrumentable gap). */
+    Cycles convertCycles = 1800;
+    /** Modeled inter-sample spacing (sensor cadence). */
+    Cycles interSampleCycles = 1600;
+};
+
+/** One processed window, for the Fig. 8 execution trace. */
+struct ArTraceEvent {
+    std::uint64_t window = 0;
+    TimeNs at = 0;
+    bool fresh = false;    ///< window consumed (vs. discarded stale)
+    bool switched = false; ///< activity change detected
+    bool alerted = false;  ///< timely alert sent
+};
+
+/** Shared result surface of the two timed variants. The counters are
+ *  non-volatile application state (so re-execution after a restore
+ *  cannot inflate them); the raw trace is host-side observability and
+ *  may contain re-executed entries (benches keep the last record per
+ *  window — the committed outcome). */
+class ArTimedResults
+{
+  public:
+    virtual ~ArTimedResults() = default;
+
+    virtual std::uint64_t processed() const = 0;
+    virtual std::uint64_t discarded() const = 0;
+    virtual std::uint64_t alerts() const = 0;
+
+    const std::vector<ArTraceEvent> &trace() const { return trace_; }
+
+  protected:
+    std::vector<ArTraceEvent> trace_;
+};
+
+/** Manual time management over MementOS-like checkpoints. */
+class ArTimedManualApp : public ArTimedResults
+{
+  public:
+    ArTimedManualApp(board::Board &b, runtimes::MementosRuntime &rt,
+                     ArTimedParams p = {});
+
+    void main();
+    bool done() const { return window_.get() >= params_.windows; }
+
+    std::uint64_t processed() const override { return processed_.get(); }
+    std::uint64_t discarded() const override { return 0; }
+    std::uint64_t alerts() const override { return alerts_.get(); }
+
+  private:
+    board::Board &b_;
+    runtimes::MementosRuntime &rt_;
+    ArTimedParams params_;
+    /** Program state block tracked by the MementOS-like runtime. */
+    struct State {
+        std::uint32_t window;
+        std::int32_t mags[ArTimedParams::kWindow];
+        TimeNs ts[ArTimedParams::kWindow];
+        std::int32_t lastActivity;
+        TimeNs activityStart;
+    };
+    mem::nv<State> state_;
+    mem::nv<std::uint32_t> window_;
+    mem::nv<std::uint64_t> processed_;
+    mem::nv<std::uint64_t> alerts_;
+};
+
+/** The TICS-annotated port. */
+class ArTimedTicsApp : public ArTimedResults
+{
+  public:
+    ArTimedTicsApp(board::Board &b, tics::TicsRuntime &rt,
+                   ArTimedParams p = {});
+
+    void main();
+    bool done() const { return window_.get() >= params_.windows; }
+
+    std::uint64_t processed() const override { return processed_.get(); }
+    std::uint64_t discarded() const override { return discarded_.get(); }
+    std::uint64_t alerts() const override { return alerts_.get(); }
+
+  private:
+    using Window = std::array<std::int32_t, ArTimedParams::kWindow>;
+
+    board::Board &b_;
+    tics::TicsRuntime &rt_;
+    ArTimedParams params_;
+    tics::Expiring<Window> accel_; ///< @expires_after=200ms
+    /** Timestamped at the window's first sample: guards consumption so
+     *  that even the oldest sample in the window is inside the
+     *  freshness budget (stale windows are discarded and re-sampled,
+     *  as in the paper's Fig. 8 trace). */
+    tics::Expiring<std::uint32_t> winStart_;
+    mem::nv<std::uint32_t> window_;
+    mem::nv<std::int32_t> lastActivity_;
+    mem::nv<TimeNs> activityStart_;
+    mem::nv<std::uint64_t> processed_;
+    mem::nv<std::uint64_t> discarded_;
+    mem::nv<std::uint64_t> alerts_;
+};
+
+/** Magnitude of one accelerometer sample. */
+inline std::int32_t
+accelMagnitude(const device::AccelSample &s)
+{
+    const auto ax = s.x < 0 ? -s.x : s.x;
+    const auto ay = s.y < 0 ? -s.y : s.y;
+    const auto az = s.z < 0 ? -s.z : s.z;
+    return ax + ay + az;
+}
+
+/** Threshold classifier: moving when the window swings hard. */
+bool arWindowMoving(const std::int32_t *mags, std::uint32_t n);
+
+} // namespace ticsim::apps
+
+#endif // TICSIM_APPS_AR_AR_TIMED_HPP

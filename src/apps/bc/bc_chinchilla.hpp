@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Bitcount in the Chinchilla programming model: every variable that
+ * lives across a checkpoint boundary is promoted to a non-volatile
+ * global (the compile-time transformation Chinchilla performs), and —
+ * critically — the recursive counting method is removed, because
+ * local-to-global promotion cannot express per-activation locals
+ * (paper Section 5.3.1: the authors had to hand-modify BC the same
+ * way). Only six of the seven methods run.
+ */
+
+#ifndef TICSIM_APPS_BC_BC_CHINCHILLA_HPP
+#define TICSIM_APPS_BC_BC_CHINCHILLA_HPP
+
+#include "apps/bc/bc_legacy.hpp"
+#include "runtimes/chinchilla.hpp"
+
+namespace ticsim::apps {
+
+class BcChinchillaApp
+{
+  public:
+    BcChinchillaApp(board::Board &b, runtimes::ChinchillaRuntime &rt,
+                    BcParams p = {});
+
+    void main();
+
+    std::uint64_t totalBits() const { return totalBits_.get(); }
+    std::uint64_t mismatches() const { return mismatches_.get(); }
+    bool done() const { return done_.get() != 0; }
+    bool verify() const;
+
+  private:
+    board::Board &b_;
+    runtimes::ChinchillaRuntime &rt_;
+    BcParams params_;
+    // Promoted locals (Chinchilla's local-to-global transformation).
+    mem::nv<std::uint32_t> i_;
+    mem::nv<std::uint32_t> lcgState_;
+    mem::nv<std::uint32_t> x_;
+    mem::nv<std::uint64_t> totalBits_;
+    mem::nv<std::uint64_t> mismatches_;
+    mem::nv<std::uint8_t> done_;
+};
+
+} // namespace ticsim::apps
+
+#endif // TICSIM_APPS_BC_BC_CHINCHILLA_HPP

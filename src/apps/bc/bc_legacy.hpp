@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Bitcount (BC) benchmark, legacy-C shape (MiBench-derived; paper
+ * Section 5.3): counts bits in a pseudo-random sequence with seven
+ * different methods — including the recursive one — cross-verifying
+ * the methods against each other, and accumulates a grand total.
+ *
+ * This is the *unaltered program* variant: one source, instrumented
+ * with frame guards and trigger points exactly where the paper's
+ * compiler passes would put them. It runs unchanged under plain C,
+ * TICS and the MementOS-like checkpointer — which runtime protects it
+ * is decided entirely by the Runtime object passed in.
+ *
+ * Non-volatile accumulators make re-execution visible: an unprotected
+ * run that restarts mid-loop double-counts into `totalBits`, the WAR
+ * violation of paper Fig. 3a.
+ */
+
+#ifndef TICSIM_APPS_BC_BC_LEGACY_HPP
+#define TICSIM_APPS_BC_BC_LEGACY_HPP
+
+#include "apps/common/dsp.hpp"
+#include "board/board.hpp"
+#include "board/runtime.hpp"
+#include "mem/nv.hpp"
+
+namespace ticsim::apps {
+
+struct BcParams {
+    std::uint32_t iterations = 64;  ///< random numbers to process
+    std::uint32_t seed = 0x2545F491u;
+    /** Straight-line work multiplier (models -O0 vs -O2 codegen). */
+    double workScale = 1.0;
+};
+
+class BcLegacyApp
+{
+  public:
+    BcLegacyApp(board::Board &b, board::Runtime &rt, BcParams p = {});
+
+    /** The program entry (give to Board::run). */
+    void main();
+
+    // ---- results ---------------------------------------------------------
+    std::uint64_t totalBits() const { return totalBits_.get(); }
+    std::uint64_t mismatches() const { return mismatches_.get(); }
+    bool done() const { return done_.get() != 0; }
+
+    /** Host-computed expected total for these parameters. */
+    static std::uint64_t expectedTotal(const BcParams &p);
+
+    /** Result check: finished, methods agreed, total exact. */
+    bool verify() const;
+
+    const BcParams &params() const { return params_; }
+
+  private:
+    int countAllMethods(std::uint32_t x);
+
+    board::Board &b_;
+    board::Runtime &rt_;
+    BcParams params_;
+    mem::nv<std::uint64_t> totalBits_;
+    mem::nv<std::uint64_t> mismatches_;
+    mem::nv<std::uint8_t> done_;
+};
+
+} // namespace ticsim::apps
+
+#endif // TICSIM_APPS_BC_BC_LEGACY_HPP

@@ -1,0 +1,106 @@
+#include "bc_task.hpp"
+
+#include "runtimes/mayfly.hpp"
+
+namespace ticsim::apps {
+
+BcTaskApp::BcTaskApp(board::Board &b, taskrt::TaskRuntime &rt, BcParams p,
+                     bool graphLoop)
+    : b_(b), rt_(rt), params_(p),
+      lcgState_(rt, b.nvram(), "bc.lcg"),
+      x_(rt, b.nvram(), "bc.x"),
+      i_(rt, b.nvram(), "bc.i"),
+      counts_(rt, b.nvram(), "bc.counts"),
+      total_(rt, b.nvram(), "bc.total"),
+      mismatches_(rt, b.nvram(), "bc.mismatches"),
+      done_(rt, b.nvram(), "bc.done")
+{
+    rt.footprint().add("bc application", 1750, 24);
+
+    tInit_ = rt_.addTask("init", [this]() -> taskrt::TaskId {
+        lcgState_.set(params_.seed);
+        i_.set(0);
+        total_.set(0);
+        mismatches_.set(0);
+        return tGen_;
+    });
+
+    tGen_ = rt_.addTask("gen", [this]() -> taskrt::TaskId {
+        const std::uint32_t s =
+            lcgState_.get() * 1664525u + 1013904223u;
+        lcgState_.set(s);
+        x_.set(s);
+        b_.charge(static_cast<Cycles>(12 * params_.workScale));
+        return tCount_;
+    });
+
+    tCount_ = rt_.addTask("count", [this]() -> taskrt::TaskId {
+        const std::uint32_t x = x_.get();
+        std::array<std::int32_t, 6> c{};
+        c[0] = bitcountOptimized(x);
+        b_.charge(static_cast<Cycles>(34 * params_.workScale));
+        c[1] = bitcountNibbleLut(x);
+        b_.charge(static_cast<Cycles>(26 * params_.workScale));
+        c[2] = bitcountByteLut(x);
+        b_.charge(static_cast<Cycles>(18 * params_.workScale));
+        c[3] = bitcountShift(x);
+        b_.charge(static_cast<Cycles>(70 * params_.workScale));
+        c[4] = bitcountKernighan(x);
+        b_.charge(static_cast<Cycles>(30 * params_.workScale));
+        c[5] = bitcountSwar(x);
+        b_.charge(static_cast<Cycles>(14 * params_.workScale));
+        counts_.set(c);
+        return tVerify_;
+    });
+
+    tVerify_ = rt_.addTask("verify", [this]() -> taskrt::TaskId {
+        const auto c = counts_.get();
+        std::uint64_t bad = 0;
+        for (int m = 1; m < 6; ++m) {
+            if (c[static_cast<std::size_t>(m)] != c[0])
+                ++bad;
+        }
+        if (bad)
+            mismatches_.set(mismatches_.get() + bad);
+        b_.charge(static_cast<Cycles>(18 * params_.workScale));
+        return tAccum_;
+    });
+
+    tAccum_ = rt_.addTask("accumulate",
+                          [this, graphLoop]() -> taskrt::TaskId {
+        total_.set(total_.get() +
+                   static_cast<std::uint64_t>(counts_.get()[0]));
+        const std::uint32_t next = i_.get() + 1;
+        i_.set(next);
+        b_.charge(static_cast<Cycles>(10 * params_.workScale));
+        if (next >= params_.iterations) {
+            done_.set(1);
+            return taskrt::kTaskDone;
+        }
+        return graphLoop ? tGen_ : taskrt::kTaskDone;
+    });
+
+    rt_.setInitial(tInit_);
+
+    if (auto *mf = dynamic_cast<taskrt::MayflyRuntime *>(&rt_)) {
+        mf->declareEdge(tInit_, tGen_);
+        mf->declareEdge(tGen_, tCount_);
+        mf->declareEdge(tCount_, tVerify_);
+        mf->declareEdge(tVerify_, tAccum_);
+        if (graphLoop) {
+            // The looping port's back edge — declared so the
+            // validator can reject it (MayFly forbids graph loops).
+            mf->declareEdge(tAccum_, tGen_);
+        }
+        mf->restartUntil(tGen_, [this] { return done(); });
+    }
+}
+
+bool
+BcTaskApp::verify() const
+{
+    return done() && mismatches() == 0 &&
+           totalBits() == BcLegacyApp::expectedTotal(params_);
+}
+
+} // namespace ticsim::apps

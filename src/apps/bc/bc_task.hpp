@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Bitcount decomposed into the task-based programming model (the
+ * porting effort the paper's Fig. 2 illustrates): one task per
+ * counting method plus generation / verification / accumulation
+ * tasks, all data flow through privatized channels, and the recursive
+ * method dropped — task systems enforce a static memory model with no
+ * per-activation stack.
+ *
+ * The same graph runs under the Alpaca-like and InK-like runtimes.
+ */
+
+#ifndef TICSIM_APPS_BC_BC_TASK_HPP
+#define TICSIM_APPS_BC_BC_TASK_HPP
+
+#include <array>
+
+#include "apps/bc/bc_legacy.hpp"
+#include "runtimes/task_core.hpp"
+
+namespace ticsim::apps {
+
+class BcTaskApp
+{
+  public:
+    /** @param graphLoop false = MayFly shape (no back edge; the
+     *         runtime re-dispatches the chain per iteration). */
+    BcTaskApp(board::Board &b, taskrt::TaskRuntime &rt, BcParams p = {},
+              bool graphLoop = true);
+
+    std::uint64_t totalBits() const { return total_.committed(); }
+    std::uint64_t mismatches() const { return mismatches_.committed(); }
+    bool done() const { return done_.committed() != 0; }
+    bool verify() const;
+
+    /** First task id (give to setInitial; done in the constructor). */
+    taskrt::TaskId initialTask() const { return tInit_; }
+
+  private:
+    board::Board &b_;
+    taskrt::TaskRuntime &rt_;
+    BcParams params_;
+
+    taskrt::Channel<std::uint32_t> lcgState_;
+    taskrt::Channel<std::uint32_t> x_;
+    taskrt::Channel<std::uint32_t> i_;
+    taskrt::Channel<std::array<std::int32_t, 6>> counts_;
+    taskrt::Channel<std::uint64_t> total_;
+    taskrt::Channel<std::uint64_t> mismatches_;
+    taskrt::Channel<std::uint8_t> done_;
+
+    taskrt::TaskId tInit_ = 0;
+    taskrt::TaskId tGen_ = 0;
+    taskrt::TaskId tCount_ = 0;
+    taskrt::TaskId tVerify_ = 0;
+    taskrt::TaskId tAccum_ = 0;
+};
+
+} // namespace ticsim::apps
+
+#endif // TICSIM_APPS_BC_BC_TASK_HPP

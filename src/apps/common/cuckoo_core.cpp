@@ -1,0 +1,33 @@
+#include "cuckoo_core.hpp"
+
+#include <vector>
+
+#include "apps/common/dsp.hpp"
+
+namespace ticsim::apps {
+
+CuckooExpected
+cuckooGolden(const CuckooParams &p)
+{
+    std::vector<std::uint16_t> slots(p.slots(), 0);
+    auto store = [](std::uint16_t *slot, std::uint16_t v) { *slot = v; };
+    CuckooTable<decltype(store)> table(slots.data(), p.buckets,
+                                       p.maxKicks, store);
+    CuckooExpected e;
+    Lcg lcg(p.seed);
+    std::vector<std::uint32_t> keys;
+    keys.reserve(p.keys);
+    for (std::uint32_t i = 0; i < p.keys; ++i) {
+        const std::uint32_t k = lcg.next();
+        keys.push_back(k);
+        if (table.insert(k))
+            ++e.inserted;
+    }
+    for (const auto k : keys) {
+        if (table.contains(k))
+            ++e.recovered;
+    }
+    return e;
+}
+
+} // namespace ticsim::apps

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Cuckoo-filter core (the paper's Cuckoo benchmark): insertion with
+ * bounded eviction kicks and membership queries over 4-way buckets of
+ * 16-bit fingerprints.
+ *
+ * The table mutation is parameterized on a store policy so the same
+ * verified logic serves (a) the host-side golden reference, (b) the
+ * legacy pointer-based variant whose stores go through the runtime's
+ * instrumented pointer-write path, and (c) the Chinchilla variant.
+ * Bucket count must be a power of two so the partner-bucket XOR stays
+ * in range and is involutive.
+ */
+
+#ifndef TICSIM_APPS_COMMON_CUCKOO_CORE_HPP
+#define TICSIM_APPS_COMMON_CUCKOO_CORE_HPP
+
+#include <cstdint>
+
+#include "support/logging.hpp"
+
+namespace ticsim::apps {
+
+struct CuckooParams {
+    std::uint32_t buckets = 32;  ///< power of two
+    std::uint32_t keys = 48;     ///< keys inserted then recovered
+    std::uint32_t maxKicks = 16;
+    std::uint32_t seed = 0xC0FFEEu;
+    double workScale = 1.0;
+
+    std::uint32_t slots() const { return buckets * 4; }
+};
+
+inline std::uint32_t
+cuckooHash(std::uint32_t v)
+{
+    v ^= v >> 16;
+    v *= 0x45D9F3Bu;
+    v ^= v >> 16;
+    return v;
+}
+
+inline std::uint16_t
+cuckooFingerprint(std::uint32_t key)
+{
+    const auto fp =
+        static_cast<std::uint16_t>(cuckooHash(key ^ 0x5BD1E995u));
+    return fp ? fp : 1;
+}
+
+/**
+ * Table operations over a caller-owned slot array. @p StoreFn is
+ * invoked as store(std::uint16_t *slot, std::uint16_t value) for every
+ * mutation — the instrumented-pointer-write surface.
+ */
+template <typename StoreFn>
+class CuckooTable
+{
+  public:
+    CuckooTable(std::uint16_t *slots, std::uint32_t buckets,
+                std::uint32_t maxKicks, StoreFn store)
+        : slots_(slots), buckets_(buckets), maxKicks_(maxKicks),
+          store_(store)
+    {
+        TICSIM_ASSERT((buckets & (buckets - 1)) == 0,
+                      "cuckoo bucket count must be a power of two");
+    }
+
+    /** @return true if the key was placed (false: table overflow). */
+    bool
+    insert(std::uint32_t key)
+    {
+        const std::uint16_t fp = cuckooFingerprint(key);
+        const std::uint32_t i1 = cuckooHash(key) & (buckets_ - 1);
+        const std::uint32_t i2 = altBucket(i1, fp);
+        if (tryPlace(i1, fp) || tryPlace(i2, fp))
+            return true;
+
+        // Evict: displace fingerprints until something lands.
+        std::uint16_t cur = fp;
+        std::uint32_t bucket = i1;
+        for (std::uint32_t k = 0; k < maxKicks_; ++k) {
+            const std::uint32_t victimSlot =
+                bucket * 4 + ((cur + k) & 3u);
+            const std::uint16_t victim = slots_[victimSlot];
+            store_(&slots_[victimSlot], cur);
+            cur = victim;
+            bucket = altBucket(bucket, cur);
+            if (tryPlace(bucket, cur))
+                return true;
+        }
+        return false;
+    }
+
+    bool
+    contains(std::uint32_t key) const
+    {
+        const std::uint16_t fp = cuckooFingerprint(key);
+        const std::uint32_t i1 = cuckooHash(key) & (buckets_ - 1);
+        const std::uint32_t i2 = altBucket(i1, fp);
+        return bucketHas(i1, fp) || bucketHas(i2, fp);
+    }
+
+  private:
+    std::uint32_t
+    altBucket(std::uint32_t bucket, std::uint16_t fp) const
+    {
+        return (bucket ^ cuckooHash(fp)) & (buckets_ - 1);
+    }
+
+    bool
+    tryPlace(std::uint32_t bucket, std::uint16_t fp)
+    {
+        for (std::uint32_t s = 0; s < 4; ++s) {
+            std::uint16_t *slot = &slots_[bucket * 4 + s];
+            if (*slot == 0) {
+                store_(slot, fp);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    bool
+    bucketHas(std::uint32_t bucket, std::uint16_t fp) const
+    {
+        for (std::uint32_t s = 0; s < 4; ++s) {
+            if (slots_[bucket * 4 + s] == fp)
+                return true;
+        }
+        return false;
+    }
+
+    std::uint16_t *slots_;
+    std::uint32_t buckets_;
+    std::uint32_t maxKicks_;
+    StoreFn store_;
+};
+
+/** Host-side golden run: expected (inserted, recovered) counts. */
+struct CuckooExpected {
+    std::uint32_t inserted = 0;
+    std::uint32_t recovered = 0;
+};
+
+CuckooExpected cuckooGolden(const CuckooParams &p);
+
+} // namespace ticsim::apps
+
+#endif // TICSIM_APPS_COMMON_CUCKOO_CORE_HPP

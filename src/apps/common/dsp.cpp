@@ -1,0 +1,156 @@
+#include "dsp.hpp"
+
+namespace ticsim::apps {
+
+std::uint32_t
+isqrt(std::uint64_t v)
+{
+    if (v == 0)
+        return 0;
+    std::uint64_t x = v;
+    std::uint64_t next = (x + 1) / 2;
+    while (next < x) {
+        x = next;
+        next = (x + v / x) / 2;
+    }
+    return static_cast<std::uint32_t>(x);
+}
+
+std::int32_t
+meanI16(const std::int16_t *x, std::uint32_t n)
+{
+    if (n == 0)
+        return 0;
+    std::int64_t sum = 0;
+    for (std::uint32_t i = 0; i < n; ++i)
+        sum += x[i];
+    return static_cast<std::int32_t>(sum / n);
+}
+
+std::uint32_t
+stddevI16(const std::int16_t *x, std::uint32_t n)
+{
+    if (n < 2)
+        return 0;
+    const std::int64_t m = meanI16(x, n);
+    std::uint64_t acc = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const std::int64_t d = x[i] - m;
+        acc += static_cast<std::uint64_t>(d * d);
+    }
+    return isqrt(acc / n);
+}
+
+std::uint64_t
+featureDistance(const ArFeatures &a, const ArFeatures &b)
+{
+    const std::int64_t dm = a.meanMag - b.meanMag;
+    const std::int64_t ds = static_cast<std::int64_t>(a.stddevMag) -
+                            static_cast<std::int64_t>(b.stddevMag);
+    return static_cast<std::uint64_t>(dm * dm) +
+           static_cast<std::uint64_t>(ds * ds);
+}
+
+int
+classify(const ArModel &m, const ArFeatures &f)
+{
+    return featureDistance(m.centroid[0], f) <=
+                   featureDistance(m.centroid[1], f)
+               ? 0
+               : 1;
+}
+
+int
+bitcountOptimized(std::uint32_t x)
+{
+    int n = 0;
+    while (x) {
+        n += static_cast<int>(x & 1u);
+        x >>= 1;
+        if (!x)
+            break;
+        n += static_cast<int>(x & 1u);
+        x >>= 1;
+    }
+    return n;
+}
+
+int
+bitcountRecursive(std::uint32_t x)
+{
+    if (x == 0)
+        return 0;
+    return static_cast<int>(x & 1u) + bitcountRecursive(x >> 1);
+}
+
+namespace {
+
+constexpr int kNibbleBits[16] = {0, 1, 1, 2, 1, 2, 2, 3,
+                                 1, 2, 2, 3, 2, 3, 3, 4};
+
+struct ByteLut {
+    std::uint8_t bits[256];
+
+    constexpr ByteLut() : bits{}
+    {
+        for (int i = 0; i < 256; ++i) {
+            int n = 0;
+            for (int b = 0; b < 8; ++b)
+                n += (i >> b) & 1;
+            bits[i] = static_cast<std::uint8_t>(n);
+        }
+    }
+};
+
+constexpr ByteLut kByteLut{};
+
+} // namespace
+
+int
+bitcountNibbleLut(std::uint32_t x)
+{
+    int n = 0;
+    for (int i = 0; i < 8; ++i) {
+        n += kNibbleBits[x & 0xFu];
+        x >>= 4;
+    }
+    return n;
+}
+
+int
+bitcountByteLut(std::uint32_t x)
+{
+    return kByteLut.bits[x & 0xFFu] + kByteLut.bits[(x >> 8) & 0xFFu] +
+           kByteLut.bits[(x >> 16) & 0xFFu] + kByteLut.bits[x >> 24];
+}
+
+int
+bitcountShift(std::uint32_t x)
+{
+    int n = 0;
+    for (int i = 0; i < 32; ++i)
+        n += static_cast<int>((x >> i) & 1u);
+    return n;
+}
+
+int
+bitcountKernighan(std::uint32_t x)
+{
+    int n = 0;
+    while (x) {
+        x &= x - 1;
+        ++n;
+    }
+    return n;
+}
+
+int
+bitcountSwar(std::uint32_t x)
+{
+    x = x - ((x >> 1) & 0x55555555u);
+    x = (x & 0x33333333u) + ((x >> 2) & 0x33333333u);
+    x = (x + (x >> 4)) & 0x0F0F0F0Fu;
+    return static_cast<int>((x * 0x01010101u) >> 24);
+}
+
+} // namespace ticsim::apps

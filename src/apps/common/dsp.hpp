@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Integer DSP helpers shared by the benchmark applications: fixed-point
+ * mean / standard deviation, integer square root, a nearest-neighbour
+ * classifier and a deterministic pseudo-random sequence (the embedded
+ * equivalents of what the MiBench-derived benchmarks use).
+ *
+ * Everything here is pure (no device access, no instrumentation) so
+ * every application variant — legacy, Chinchilla-style, task-based —
+ * can share one verified implementation, exactly as the paper reuses
+ * one algorithm across runtimes.
+ */
+
+#ifndef TICSIM_APPS_COMMON_DSP_HPP
+#define TICSIM_APPS_COMMON_DSP_HPP
+
+#include <cstdint>
+
+namespace ticsim::apps {
+
+/** Integer square root (floor). */
+std::uint32_t isqrt(std::uint64_t v);
+
+/** Mean of @p n int16 samples (rounded toward zero). */
+std::int32_t meanI16(const std::int16_t *x, std::uint32_t n);
+
+/** Population standard deviation of @p n int16 samples. */
+std::uint32_t stddevI16(const std::int16_t *x, std::uint32_t n);
+
+/** Feature vector of one accelerometer window. */
+struct ArFeatures {
+    std::int32_t meanMag = 0;   ///< mean of |x|+|y|+|z|
+    std::uint32_t stddevMag = 0;
+};
+
+/** Two-class nearest-neighbour model (stationary vs. moving). */
+struct ArModel {
+    ArFeatures centroid[2]; ///< [0]=stationary, [1]=moving
+};
+
+/** Squared distance between feature vectors. */
+std::uint64_t featureDistance(const ArFeatures &a, const ArFeatures &b);
+
+/** Classify features against the model; returns the class index. */
+int classify(const ArModel &m, const ArFeatures &f);
+
+/**
+ * MiBench-style deterministic pseudo-random sequence (a 32-bit LCG);
+ * used to drive bitcount and the cuckoo filter identically in every
+ * runtime variant.
+ */
+class Lcg
+{
+  public:
+    explicit Lcg(std::uint32_t seed) : state_(seed) {}
+
+    std::uint32_t
+    next()
+    {
+        state_ = state_ * 1664525u + 1013904223u;
+        return state_;
+    }
+
+    void reset(std::uint32_t seed) { state_ = seed; }
+
+  private:
+    std::uint32_t state_;
+};
+
+// ---- bitcount methods (MiBench's seven counting strategies) -----------
+
+/** 1. Optimized single-loop counter. */
+int bitcountOptimized(std::uint32_t x);
+/** 2. Recursive divide-by-two counter (the method Chinchilla and the
+ *     task systems cannot express). */
+int bitcountRecursive(std::uint32_t x);
+/** 3. 4-bit nibble lookup table. */
+int bitcountNibbleLut(std::uint32_t x);
+/** 4. 8-bit byte lookup table. */
+int bitcountByteLut(std::uint32_t x);
+/** 5. Naive shift-and-test. */
+int bitcountShift(std::uint32_t x);
+/** 6. Kernighan clear-lowest-set-bit. */
+int bitcountKernighan(std::uint32_t x);
+/** 7. SWAR parallel reduction. */
+int bitcountSwar(std::uint32_t x);
+
+} // namespace ticsim::apps
+
+#endif // TICSIM_APPS_COMMON_DSP_HPP

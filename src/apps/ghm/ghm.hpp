@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Greenhouse monitoring (GHM), the paper's Table 1 application: an
+ * infinite loop of {sense soil moisture, sense temperature, compute
+ * averages, send} rounds, with per-routine completion counters.
+ *
+ * Two shapes of the same program:
+ *  - GhmPlainApp: straight-line C loop (instrumented source; runs
+ *    unchanged under plain C, TICS, and MementOS-like runtimes);
+ *  - GhmTinyosApp: the event-driven TinyOS port, driven by the mini
+ *    TinyOS kernel (timers + split-phase sensing + AM send).
+ *
+ * Consistency (the Table 1 ✓/✗ column) is judged from the recorded
+ * execution: routine counts must progress in lockstep and the radio
+ * must carry each round exactly once with a monotonically increasing
+ * round id. Unprotected restarts inflate the early routines and
+ * duplicate rounds — exactly the plain-C failure rows of the paper.
+ */
+
+#ifndef TICSIM_APPS_GHM_GHM_HPP
+#define TICSIM_APPS_GHM_GHM_HPP
+
+#include "board/board.hpp"
+#include "board/runtime.hpp"
+#include "mem/nv.hpp"
+#include "tinyos/kernel.hpp"
+
+namespace ticsim::apps {
+
+struct GhmParams {
+    std::uint32_t samplesPerSense = 4;
+    /** Rounds to run (0: until the experiment budget expires). */
+    std::uint32_t rounds = 0;
+    /** Sensing cadence (TinyOS timer / plain-C pacing loop). */
+    TimeNs timerPeriod = 20 * kNsPerMs;
+    /** Modeled compute cost per round. */
+    Cycles computeCycles = 6000;
+    /** Modeled per-sample post-processing. */
+    Cycles sampleProcessCycles = 500;
+};
+
+/** Radio payload of one GHM round. */
+struct GhmPacket {
+    std::uint32_t round;
+    std::int32_t avgMoisture;
+    std::int32_t avgTemp;
+};
+
+/** Table 1 per-routine completion counters + consistency verdict. */
+struct GhmOutcome {
+    std::uint64_t senseMoisture = 0;
+    std::uint64_t senseTemp = 0;
+    std::uint64_t compute = 0;
+    std::uint64_t send = 0;
+    bool consistent = false;
+};
+
+/** Judge counters + the radio log against the lockstep criterion. */
+GhmOutcome ghmJudge(std::uint64_t m, std::uint64_t t, std::uint64_t c,
+                    std::uint64_t s, const device::Radio &radio);
+
+class GhmPlainApp
+{
+  public:
+    GhmPlainApp(board::Board &b, board::Runtime &rt, GhmParams p = {});
+
+    void main();
+
+    GhmOutcome outcome() const;
+
+  private:
+    board::Board &b_;
+    board::Runtime &rt_;
+    GhmParams params_;
+    mem::nv<std::uint64_t> senseM_;
+    mem::nv<std::uint64_t> senseT_;
+    mem::nv<std::uint64_t> compute_;
+    mem::nv<std::uint64_t> send_;
+    mem::nv<std::uint32_t> round_;
+};
+
+class GhmTinyosApp
+{
+  public:
+    GhmTinyosApp(board::Board &b, board::Runtime &rt, GhmParams p = {});
+
+    void main();
+
+    GhmOutcome outcome() const;
+
+    // ---- callbacks from the kernel-driven round pipeline ---------------
+    const GhmParams &paramsRef() const { return params_; }
+    void noteSenseMoisture() { senseM_ += 1; }
+    void noteSenseTemp() { senseT_ += 1; }
+    void noteCompute() { compute_ += 1; }
+    std::uint32_t currentRound() const { return round_.get(); }
+
+    void
+    noteSendAndAdvance()
+    {
+        send_ += 1;
+        round_ = round_.get() + 1;
+    }
+
+    bool
+    finished() const
+    {
+        return params_.rounds != 0 && round_.get() >= params_.rounds;
+    }
+
+    /** Volatile (stack-resident) round state driven by the kernel. */
+    struct RoundState;
+
+  private:
+
+    board::Board &b_;
+    board::Runtime &rt_;
+    GhmParams params_;
+    mem::nv<std::uint64_t> senseM_;
+    mem::nv<std::uint64_t> senseT_;
+    mem::nv<std::uint64_t> compute_;
+    mem::nv<std::uint64_t> send_;
+    mem::nv<std::uint32_t> round_;
+};
+
+} // namespace ticsim::apps
+
+#endif // TICSIM_APPS_GHM_GHM_HPP

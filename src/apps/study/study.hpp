@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The three programs of the paper's user study (Section 5.4): swap of
+ * two variables without a temporary, bubble sort, and a program with
+ * time-based variable expiration. Each exists in the two styles the
+ * study compared:
+ *
+ *  - TICS style: ordinary sequential C, optionally time-annotated;
+ *  - InK (task) style: decomposed into tasks with channel plumbing.
+ *
+ * Both styles are *runnable* here (tests execute them under
+ * intermittency and verify they compute the same results), and each
+ * carries the idiomatic source listing shown to study participants,
+ * which the Fig. 10 proxy bench measures (LoC, decision points,
+ * program elements, shared-state spread).
+ */
+
+#ifndef TICSIM_APPS_STUDY_STUDY_HPP
+#define TICSIM_APPS_STUDY_STUDY_HPP
+
+#include <array>
+
+#include "board/board.hpp"
+#include "mem/nv.hpp"
+#include "runtimes/task_core.hpp"
+#include "tics/annotations.hpp"
+#include "tics/runtime.hpp"
+
+namespace ticsim::apps::study {
+
+/** Source listings + structural facts for the Fig. 10 proxy. */
+struct ProgramText {
+    const char *name;
+    const char *ticsSource;
+    std::uint32_t ticsElements;
+    std::uint32_t ticsSharedState;
+    const char *inkSource;
+    std::uint32_t inkElements;
+    std::uint32_t inkSharedState;
+};
+
+/** The three study programs' texts, in paper order. */
+const std::array<ProgramText, 3> &programTexts();
+
+// ---- runnable: swap without a temporary --------------------------------
+
+class SwapTics
+{
+  public:
+    SwapTics(board::Board &b, tics::TicsRuntime &rt, int a, int c);
+    void main();
+    int a() const { return a_.get(); }
+    int b() const { return b_.get(); }
+
+  private:
+    board::Board &bd_;
+    tics::TicsRuntime &rt_;
+    mem::nv<int> a_;
+    mem::nv<int> b_;
+};
+
+class SwapInk
+{
+  public:
+    SwapInk(board::Board &b, taskrt::TaskRuntime &rt, int a, int c);
+    int a() const { return a_.committed(); }
+    int b() const { return b_.committed(); }
+
+  private:
+    taskrt::Channel<int> a_;
+    taskrt::Channel<int> b_;
+};
+
+// ---- runnable: bubble sort ------------------------------------------------
+
+constexpr std::uint32_t kSortN = 12;
+using SortArray = std::array<std::int32_t, kSortN>;
+
+class BubbleTics
+{
+  public:
+    BubbleTics(board::Board &b, tics::TicsRuntime &rt,
+               const SortArray &input);
+    void main();
+    SortArray result() const;
+
+  private:
+    board::Board &bd_;
+    tics::TicsRuntime &rt_;
+    mem::nvArray<std::int32_t, kSortN> arr_;
+};
+
+class BubbleInk
+{
+  public:
+    BubbleInk(board::Board &b, taskrt::TaskRuntime &rt,
+              const SortArray &input);
+    SortArray result() const { return arr_.committed(); }
+
+  private:
+    board::Board &bd_;
+    taskrt::TaskRuntime &rt_;
+    taskrt::Channel<SortArray> arr_;
+    taskrt::Channel<std::uint32_t> i_;
+    taskrt::Channel<std::uint32_t> j_;
+    taskrt::Channel<std::uint8_t> swapped_;
+    taskrt::TaskId tInit_ = 0;
+    taskrt::TaskId tOuter_ = 0;
+    taskrt::TaskId tInner_ = 0;
+};
+
+// ---- runnable: timekeeping / expiration -----------------------------------
+
+class TimekeepTics
+{
+  public:
+    TimekeepTics(board::Board &b, tics::TicsRuntime &rt,
+                 TimeNs lifetime);
+    void main();
+    std::uint32_t consumed() const { return consumed_.get(); }
+    std::uint32_t discarded() const { return discarded_.get(); }
+
+  private:
+    board::Board &bd_;
+    tics::TicsRuntime &rt_;
+    tics::Expiring<std::int32_t> reading_;
+    mem::nv<std::uint32_t> consumed_;
+    mem::nv<std::uint32_t> discarded_;
+    mem::nv<std::uint32_t> rounds_;
+};
+
+class TimekeepInk
+{
+  public:
+    TimekeepInk(board::Board &b, taskrt::TaskRuntime &rt,
+                TimeNs lifetime);
+    std::uint32_t consumed() const { return consumed_.committed(); }
+    std::uint32_t discarded() const { return discarded_.committed(); }
+
+  private:
+    board::Board &bd_;
+    taskrt::TaskRuntime &rt_;
+    TimeNs lifetime_;
+    taskrt::Channel<std::int32_t> reading_;
+    taskrt::Channel<TimeNs> ts_;
+    taskrt::Channel<std::uint32_t> consumed_;
+    taskrt::Channel<std::uint32_t> discarded_;
+    taskrt::Channel<std::uint32_t> rounds_;
+    taskrt::TaskId tInit_ = 0;
+    taskrt::TaskId tSample_ = 0;
+    taskrt::TaskId tUse_ = 0;
+};
+
+} // namespace ticsim::apps::study
+
+#endif // TICSIM_APPS_STUDY_STUDY_HPP

@@ -1,0 +1,163 @@
+#include "board.hpp"
+
+#include "board/runtime.hpp"
+#include "support/logging.hpp"
+
+namespace ticsim::board {
+
+void
+Runtime::attach(Board &board, std::function<void()> appMain)
+{
+    board_ = &board;
+    appMain_ = std::move(appMain);
+}
+
+void
+Runtime::storeBytes(void *dst, const void *src, std::uint32_t bytes)
+{
+    std::memcpy(dst, src, bytes);
+}
+
+Board::Board(BoardConfig cfg, std::unique_ptr<energy::Supply> supply,
+             std::unique_ptr<timekeeper::Timekeeper> tk)
+    : cfg_(cfg), nvram_(cfg.nvramBytes), mcu_(cfg.costs),
+      supply_(std::move(supply)), tk_(std::move(tk)), rng_(cfg.seed),
+      accel_(Rng(cfg.seed ^ 0xACCE1ULL), cfg.accelRegimePeriod),
+      temp_(Rng(cfg.seed ^ 0x7E3Full), 22.0, 6.0, 60 * kNsPerSec, 0.5),
+      moisture_(Rng(cfg.seed ^ 0x5011ULL), 400.0, 120.0, 120 * kNsPerSec,
+                8.0)
+{
+    if (!supply_)
+        fatal("board: null supply");
+    if (!tk_)
+        fatal("board: null timekeeper");
+    const Addr stackAddr =
+        nvram_.allocate("app-stack", cfg.stackHostBytes, 64);
+    ctx_ = std::make_unique<context::ExecContext>(nvram_.hostPtr(stackAddr),
+                                                  cfg.stackHostBytes);
+}
+
+bool
+Board::drainCycles(Cycles c)
+{
+    const TimeNs dur = mcu_.cyclesToNs(c);
+    const auto r = supply_->drain(now_, dur, costs().activePower);
+    now_ += r.ranFor;
+    onTime_ += r.ranFor;
+    const Cycles ran = r.died
+        ? static_cast<Cycles>(r.ranFor / costs().cycleTimeNs())
+        : c;
+    mcu_.addCycles(ran);
+    return r.died;
+}
+
+void
+Board::charge(Cycles c)
+{
+    if (!ctx_->inside()) {
+        if (drainCycles(c))
+            sysDied_ = true;
+        return;
+    }
+    if (drainCycles(c))
+        ctx_->exitWith(context::ExitReason::PowerFail);
+    if (now_ >= endTime_)
+        ctx_->exitWith(context::ExitReason::TimeLimit);
+}
+
+bool
+Board::chargeSys(Cycles c)
+{
+    if (sysDied_)
+        return false;
+    if (drainCycles(c)) {
+        sysDied_ = true;
+        return false;
+    }
+    return true;
+}
+
+RunResult
+Board::run(Runtime &rt, std::function<void()> appMain, TimeNs budget)
+{
+    rt.attach(*this, std::move(appMain));
+    endTime_ = now_ + budget;
+    RunResult res;
+    const TimeNs start = now_;
+    std::uint32_t noProgressReboots = 0;
+
+    while (now_ < endTime_) {
+        sysDied_ = false;
+        progressSinceBoot_ = false;
+        const bool bootOk = rt.onPowerOn() && !sysDied_;
+        if (bootOk) {
+            mem::ScopedHooks sh(rt.memHooks());
+            const auto reason = ctx_->run();
+            if (reason == context::ExitReason::Completed) {
+                res.completed = true;
+                break;
+            }
+            if (reason == context::ExitReason::TimeLimit)
+                break;
+            if (reason == context::ExitReason::Starved) {
+                res.starved = true;
+                break;
+            }
+            // PowerFail: fall through to the outage path.
+        }
+        ++res.reboots;
+        if (progressSinceBoot_) {
+            noProgressReboots = 0;
+        } else if (++noProgressReboots > cfg_.starvationRebootLimit) {
+            res.starved = true;
+            break;
+        }
+        tk_->onPowerFail(now_);
+        const TimeNs off = supply_->offTimeAfterDeath(now_);
+        now_ += off;
+        tk_->onPowerOn(now_);
+    }
+
+    res.cycles = mcu_.cycles();
+    res.elapsed = now_ - start;
+    res.onTime = onTime_;
+    return res;
+}
+
+device::AccelSample
+Board::sampleAccel()
+{
+    charge(costs().sensorSample);
+    return accel_.sample(now_);
+}
+
+std::int32_t
+Board::sampleTemp()
+{
+    charge(costs().sensorSample);
+    return temp_.sample(now_);
+}
+
+std::int32_t
+Board::sampleMoisture()
+{
+    charge(costs().sensorSample);
+    return moisture_.sample(now_);
+}
+
+void
+Board::radioSend(const void *data, std::uint32_t bytes)
+{
+    charge(device::CostModel::linear(costs().radioSend,
+                                     costs().radioPerByte, bytes));
+    radio_.send(now_, data, bytes);
+}
+
+TimeNs
+Board::deviceNow()
+{
+    charge(costs().timeRead);
+    return tk_->read(now_);
+}
+
+} // namespace ticsim::board

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The Board: one simulated batteryless device.
+ *
+ * Owns the MCU cost model, the FRAM arena, the power supply, the
+ * persistent timekeeper, the peripherals and the application execution
+ * context, and drives the boot / run / brown-out / recharge loop.
+ * Virtual time only advances through cycle charges (while on) and
+ * supply recharge intervals (while off).
+ */
+
+#ifndef TICSIM_BOARD_BOARD_HPP
+#define TICSIM_BOARD_BOARD_HPP
+
+#include <functional>
+#include <memory>
+
+#include "board/violation.hpp"
+#include "context/exec_context.hpp"
+#include "device/mcu.hpp"
+#include "device/radio.hpp"
+#include "device/sensors.hpp"
+#include "energy/supply.hpp"
+#include "mem/nvram.hpp"
+#include "support/rng.hpp"
+#include "timekeeper/timekeeper.hpp"
+
+namespace ticsim::board {
+
+class Runtime;
+
+/** Static configuration of a simulated device. */
+struct BoardConfig {
+    /** FRAM arena size. Larger than the real 64 KiB because host
+     *  stack frames are an order of magnitude bigger than MSP430
+     *  frames; modeled footprints (Table 3) are accounted separately. */
+    std::uint32_t nvramBytes = 512 * 1024;
+    /** Host bytes reserved for the application stack buffer. */
+    std::uint32_t stackHostBytes = 96 * 1024;
+    device::CostModel costs{};
+    std::uint64_t seed = 1;
+    /** Consecutive no-progress reboots before declaring starvation. */
+    std::uint32_t starvationRebootLimit = 300;
+    /** Accelerometer activity-regime switching period. */
+    TimeNs accelRegimePeriod = 500 * kNsPerMs;
+};
+
+/** Outcome of one Board::run(). */
+struct RunResult {
+    bool completed = false;  ///< the application entry returned
+    bool starved = false;    ///< no forward progress across many reboots
+    std::uint64_t reboots = 0;
+    Cycles cycles = 0;       ///< MCU cycles executed
+    TimeNs elapsed = 0;      ///< total virtual time (on + off)
+    TimeNs onTime = 0;       ///< powered time
+};
+
+class Board
+{
+  public:
+    Board(BoardConfig cfg, std::unique_ptr<energy::Supply> supply,
+          std::unique_ptr<timekeeper::Timekeeper> tk);
+
+    /**
+     * Execute @p appMain under @p rt until it completes, starves, or
+     * the virtual-time budget runs out.
+     */
+    RunResult run(Runtime &rt, std::function<void()> appMain,
+                  TimeNs budget);
+
+    // ---- component access -------------------------------------------------
+    mem::NvRam &nvram() { return nvram_; }
+    device::Mcu &mcu() { return mcu_; }
+    context::ExecContext &ctx() { return *ctx_; }
+    ViolationMonitor &monitor() { return monitor_; }
+    energy::Supply &supply() { return *supply_; }
+    timekeeper::Timekeeper &timekeeper() { return *tk_; }
+    device::Radio &radio() { return radio_; }
+    device::Accelerometer &accel() { return accel_; }
+    Rng &rng() { return rng_; }
+    const device::CostModel &costs() const { return mcu_.costs(); }
+    const BoardConfig &config() const { return cfg_; }
+
+    /** True virtual time. */
+    TimeNs now() const { return now_; }
+
+    /** The running experiment's end time. */
+    TimeNs endTime() const { return endTime_; }
+
+    // ---- cycle accounting -------------------------------------------------
+
+    /**
+     * Charge @p c cycles. From inside the app context this does not
+     * return if the supply browns out or the time budget expires (the
+     * context is abandoned, like a real power failure). From the
+     * scheduler side it records the death for the caller to observe.
+     */
+    void charge(Cycles c);
+
+    /**
+     * Charge cycles on the scheduler side (boot/restore work).
+     * @return false if the supply browned out.
+     */
+    bool chargeSys(Cycles c);
+
+    /** Whether a scheduler-side charge browned out this boot. */
+    bool sysDied() const { return sysDied_; }
+
+    /** Runtime reports forward progress (a commit); clears the
+     *  starvation counter. */
+    void markProgress() { progressSinceBoot_ = true; }
+
+    // ---- peripherals (call from the app context; charge internally) ------
+    device::AccelSample sampleAccel();
+    std::int32_t sampleTemp();
+    std::int32_t sampleMoisture();
+    void radioSend(const void *data, std::uint32_t bytes);
+
+    /** Device's own estimate of current time (charges a clock read). */
+    TimeNs deviceNow();
+
+  private:
+    BoardConfig cfg_;
+    mem::NvRam nvram_;
+    device::Mcu mcu_;
+    std::unique_ptr<energy::Supply> supply_;
+    std::unique_ptr<timekeeper::Timekeeper> tk_;
+    std::unique_ptr<context::ExecContext> ctx_;
+    ViolationMonitor monitor_;
+    device::Radio radio_;
+    Rng rng_;
+    device::Accelerometer accel_;
+    device::ScalarSensor temp_;
+    device::ScalarSensor moisture_;
+
+    TimeNs now_ = 0;
+    TimeNs onTime_ = 0;
+    TimeNs endTime_ = 0;
+    bool sysDied_ = false;
+    bool progressSinceBoot_ = false;
+
+    /** @return true if the supply browned out during the charge. */
+    bool drainCycles(Cycles c);
+};
+
+} // namespace ticsim::board
+
+#endif // TICSIM_BOARD_BOARD_HPP

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Modeled (target-scale) call-stack bookkeeping.
+ *
+ * Host x86-64 frames are roughly an order of magnitude larger than
+ * MSP430 frames, so runtime cost accounting cannot use host stack
+ * extents. Instead, every instrumented application function declares
+ * its target-scale frame size through a FrameGuard (exactly the
+ * information the paper's compiler pass computes at build time), and
+ * this structure tracks the modeled stack the runtimes charge against.
+ *
+ * The structure is trivially copyable on purpose: runtimes that keep
+ * stack bookkeeping in non-volatile memory (TICS does) snapshot it as
+ * part of their checkpoint.
+ */
+
+#ifndef TICSIM_BOARD_MODEL_STACK_HPP
+#define TICSIM_BOARD_MODEL_STACK_HPP
+
+#include <cstdint>
+
+#include "support/logging.hpp"
+
+namespace ticsim::board {
+
+/** Fixed-capacity modeled call stack (frame sizes in target bytes). */
+struct ModelStack {
+    static constexpr std::uint32_t kMaxDepth = 256;
+
+    std::uint16_t frameBytes[kMaxDepth] = {};
+    std::uint32_t depth = 0;
+    std::uint32_t totalBytes = 0;
+
+    void
+    push(std::uint16_t bytes)
+    {
+        TICSIM_ASSERT(depth < kMaxDepth, "modeled stack overflow");
+        frameBytes[depth++] = bytes;
+        totalBytes += bytes;
+    }
+
+    void
+    pop()
+    {
+        TICSIM_ASSERT(depth > 0, "modeled stack underflow");
+        totalBytes -= frameBytes[--depth];
+    }
+
+    std::uint16_t
+    top() const
+    {
+        TICSIM_ASSERT(depth > 0);
+        return frameBytes[depth - 1];
+    }
+
+    void
+    clear()
+    {
+        depth = 0;
+        totalBytes = 0;
+    }
+};
+
+} // namespace ticsim::board
+
+#endif // TICSIM_BOARD_MODEL_STACK_HPP

@@ -1,0 +1,88 @@
+#include "violation.hpp"
+
+#include "support/logging.hpp"
+
+namespace ticsim::board {
+
+void
+ViolationMonitor::branchArm(const std::string &branchId,
+                            std::uint64_t instance, int arm)
+{
+    ++timelyBranch_.potential;
+    auto key = std::make_pair(branchId, instance);
+    auto it = branchArms_.find(key);
+    if (it == branchArms_.end()) {
+        branchArms_.emplace(key, std::make_pair(arm, false));
+        return;
+    }
+    if (it->second.first != arm && !it->second.second) {
+        // Both arms executed for one logical evaluation.
+        it->second.second = true;
+        ++timelyBranch_.observed;
+    }
+}
+
+void
+ViolationMonitor::dataSampled(const std::string &dataId,
+                              std::uint64_t instance, TimeNs trueNow)
+{
+    sampledAt_[std::make_pair(dataId, instance)] = trueNow;
+}
+
+void
+ViolationMonitor::timestampAssigned(const std::string &dataId,
+                                    std::uint64_t instance, TimeNs tsValue,
+                                    TimeNs tolerance)
+{
+    ++misalignment_.potential;
+    auto it = sampledAt_.find(std::make_pair(dataId, instance));
+    if (it == sampledAt_.end()) {
+        // Timestamp for data never acquired: count as misaligned.
+        ++misalignment_.observed;
+        return;
+    }
+    const TimeNs truth = it->second;
+    const TimeNs diff = tsValue > truth ? tsValue - truth : truth - tsValue;
+    if (diff > tolerance)
+        ++misalignment_.observed;
+}
+
+void
+ViolationMonitor::dataConsumed(const std::string &dataId,
+                               std::uint64_t instance, TimeNs lifetime,
+                               TimeNs trueNow)
+{
+    ++expiration_.potential;
+    auto it = sampledAt_.find(std::make_pair(dataId, instance));
+    if (it == sampledAt_.end())
+        return; // nothing known about this datum
+    const TimeNs age = trueNow >= it->second ? trueNow - it->second : 0;
+    if (age > lifetime)
+        ++expiration_.observed;
+}
+
+const ViolationCounts &
+ViolationMonitor::counts(ViolationKind k) const
+{
+    switch (k) {
+      case ViolationKind::TimelyBranch:
+        return timelyBranch_;
+      case ViolationKind::Misalignment:
+        return misalignment_;
+      case ViolationKind::Expiration:
+        return expiration_;
+    }
+    panic("unknown violation kind");
+}
+
+void
+ViolationMonitor::reset()
+{
+    timelyBranch_ = {};
+    misalignment_ = {};
+    expiration_ = {};
+    branchArms_.clear();
+    sampledAt_.clear();
+}
+
+} // namespace ticsim::board

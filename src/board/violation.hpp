@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Detector for the paper's four consistency-violation classes (Fig. 3).
+ *
+ * Applications (or the TICS annotation layer on their behalf) report
+ * semantically interesting events — branch-arm executions, sensor
+ * acquisitions, timestamp assignments, data consumptions — keyed by a
+ * stable instance identifier held in non-volatile state. The monitor
+ * compares against *true* virtual time and scores:
+ *
+ *  - Timely-branch violations (Fig. 3b): both arms of the same branch
+ *    instance observed to execute (re-execution took the other arm).
+ *  - Time/data misalignment (Fig. 3c): the timestamp associated with a
+ *    sample differs from the true acquisition time by more than the
+ *    tolerance.
+ *  - Data expiration (Fig. 3d): data consumed later than its declared
+ *    freshness lifetime without being discarded.
+ *
+ * (Write-after-read memory violations, Fig. 3a, are detected by the
+ * applications' own output verification: corrupted state produces a
+ * wrong final answer.)
+ *
+ * The monitor is pure host-side observability; it charges no cycles.
+ */
+
+#ifndef TICSIM_BOARD_VIOLATION_HPP
+#define TICSIM_BOARD_VIOLATION_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "support/units.hpp"
+
+namespace ticsim::board {
+
+/** Violation classes tracked for Table 2. */
+enum class ViolationKind {
+    TimelyBranch,
+    Misalignment,
+    Expiration,
+};
+
+/** Tally of potential sites executed and violations observed. */
+struct ViolationCounts {
+    std::uint64_t potential = 0;
+    std::uint64_t observed = 0;
+};
+
+class ViolationMonitor
+{
+  public:
+    /**
+     * A branch arm executed. @p instance must identify one logical
+     * evaluation of the branch (e.g. a persistent iteration counter).
+     * A second, different arm for the same instance is a violation.
+     */
+    void branchArm(const std::string &branchId, std::uint64_t instance,
+                   int arm);
+
+    /** A sensor datum was physically acquired at true time @p trueNow. */
+    void dataSampled(const std::string &dataId, std::uint64_t instance,
+                     TimeNs trueNow);
+
+    /**
+     * A timestamp claiming to date the acquisition of
+     * (@p dataId, @p instance) was assigned the value @p tsValue.
+     * Misaligned when it differs from the true acquisition time by
+     * more than @p tolerance.
+     */
+    void timestampAssigned(const std::string &dataId,
+                           std::uint64_t instance, TimeNs tsValue,
+                           TimeNs tolerance);
+
+    /**
+     * The datum was consumed at true time @p trueNow. Expired when
+     * its true age exceeds @p lifetime.
+     */
+    void dataConsumed(const std::string &dataId, std::uint64_t instance,
+                      TimeNs lifetime, TimeNs trueNow);
+
+    const ViolationCounts &counts(ViolationKind k) const;
+
+    void reset();
+
+  private:
+    ViolationCounts timelyBranch_;
+    ViolationCounts misalignment_;
+    ViolationCounts expiration_;
+
+    /** (branchId, instance) -> first arm observed / poisoned flag. */
+    std::map<std::pair<std::string, std::uint64_t>, std::pair<int, bool>>
+        branchArms_;
+    /** (dataId, instance) -> true acquisition time. */
+    std::map<std::pair<std::string, std::uint64_t>, TimeNs> sampledAt_;
+};
+
+} // namespace ticsim::board
+
+#endif // TICSIM_BOARD_VIOLATION_HPP

@@ -1,0 +1,131 @@
+#include "exec_context.hpp"
+
+#include "support/logging.hpp"
+
+namespace ticsim::context {
+
+namespace {
+
+/** The context whose trampoline should run next (single-threaded). */
+ExecContext *currentCtx = nullptr;
+
+} // namespace
+
+ExecContext::ExecContext(std::uint8_t *stackBase, std::size_t stackSize)
+    : stackBase_(stackBase), stackSize_(stackSize)
+{
+    if (!stackBase || stackSize < 8 * 1024)
+        fatal("exec context: stack buffer must be at least 8 KiB");
+}
+
+void
+ExecContext::trampoline()
+{
+    ExecContext *self = currentCtx;
+    TICSIM_ASSERT(self != nullptr);
+    self->entry_();
+    // Entry returned normally: report completion; uc_link brings us
+    // back to the scheduler context.
+    self->reason_ = ExitReason::Completed;
+    self->inside_ = false;
+}
+
+void
+ExecContext::prepare(Entry entry)
+{
+    TICSIM_ASSERT(!inside_, "prepare() from inside the context");
+    entry_ = std::move(entry);
+    if (getcontext(&startCtx_) != 0)
+        panic("getcontext failed");
+    startCtx_.uc_stack.ss_sp = stackBase_;
+    startCtx_.uc_stack.ss_size = stackSize_;
+    startCtx_.uc_link = &schedCtx_;
+    makecontext(&startCtx_, &ExecContext::trampoline, 0);
+    armedFresh_ = true;
+    armedResume_ = false;
+}
+
+void
+ExecContext::prepareResume(RegSlot &slot)
+{
+    TICSIM_ASSERT(!inside_, "prepareResume() from inside the context");
+    resumeSlot_ = &slot;
+    armedResume_ = true;
+    armedFresh_ = false;
+}
+
+ExitReason
+ExecContext::run()
+{
+    TICSIM_ASSERT(armedFresh_ || armedResume_, "run() without arming");
+    reason_ = ExitReason::Completed;
+    inside_ = true;
+    currentCtx = this;
+    if (armedFresh_) {
+        armedFresh_ = false;
+        if (swapcontext(&schedCtx_, &startCtx_) != 0)
+            panic("swapcontext (fresh) failed");
+    } else {
+        armedResume_ = false;
+        resumedFlag_ = true;
+        if (swapcontext(&schedCtx_, &resumeSlot_->uc) != 0)
+            panic("swapcontext (resume) failed");
+    }
+    inside_ = false;
+    currentCtx = nullptr;
+    return reason_;
+}
+
+bool
+ExecContext::captureRegs(RegSlot &slot)
+{
+    TICSIM_ASSERT(inside_, "captureRegs() outside the context");
+    resumedFlag_ = false;
+    if (getcontext(&slot.uc) != 0)
+        panic("getcontext (capture) failed");
+    // Two returns: directly after the capture (resumedFlag_ still
+    // false) or re-entered from run() after prepareResume() (which set
+    // the flag). The flag is volatile host state, never on the
+    // simulated stack, so the restored stack image cannot forge it.
+    if (resumedFlag_) {
+        resumedFlag_ = false;
+        return false;
+    }
+    return true;
+}
+
+void
+ExecContext::exitWith(ExitReason reason)
+{
+    TICSIM_ASSERT(inside_, "exitWith() outside the context");
+    reason_ = reason;
+    inside_ = false;
+    // Abandon the context without unwinding, like a brown-out.
+    setcontext(&schedCtx_);
+    panic("setcontext returned");
+}
+
+std::uintptr_t
+ExecContext::probeSp()
+{
+    // Address of a local approximates the caller's stack pointer
+    // closely enough for red-zone arithmetic.
+    volatile char probe = 0;
+    return reinterpret_cast<std::uintptr_t>(&probe);
+}
+
+std::uintptr_t
+ExecContext::stackTop() const
+{
+    return reinterpret_cast<std::uintptr_t>(stackBase_) + stackSize_;
+}
+
+bool
+ExecContext::onStack(const void *p) const
+{
+    const auto v = reinterpret_cast<std::uintptr_t>(p);
+    const auto base = reinterpret_cast<std::uintptr_t>(stackBase_);
+    return v >= base && v < base + stackSize_;
+}
+
+} // namespace ticsim::context

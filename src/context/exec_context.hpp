@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Execution contexts for intermittently-powered application code.
+ *
+ * Application code is real, natively compiled C++ (full pointers and
+ * recursion), but it runs on a stack buffer carved out of the simulated
+ * FRAM arena inside a ucontext. This gives the simulator the three
+ * properties an FRAM MCU has:
+ *
+ *  1. The call stack physically persists across power failures (the
+ *     buffer is never cleared), but
+ *  2. machine registers (PC, SP, callee state) are volatile: a power
+ *     failure abandons the context, and
+ *  3. a register checkpoint (getcontext) plus a copy of the live stack
+ *     region is sufficient to resume execution mid-function after a
+ *     reboot, at the same addresses, so pointers into the stack stay
+ *     valid.
+ *
+ * A note on abandonment: a simulated power failure leaves the context
+ * via setcontext without unwinding, exactly as a real brown-out would.
+ * Application code must therefore keep only trivially-destructible
+ * state on the simulated stack (which embedded firmware does anyway).
+ */
+
+#ifndef TICSIM_CONTEXT_EXEC_CONTEXT_HPP
+#define TICSIM_CONTEXT_EXEC_CONTEXT_HPP
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <functional>
+
+namespace ticsim::context {
+
+/** Why control returned from the application context. */
+enum class ExitReason {
+    Completed,  ///< the entry function returned
+    PowerFail,  ///< a brown-out abandoned the context
+    TimeLimit,  ///< the experiment's time budget expired mid-run
+    Starved,    ///< the runtime detected unrecoverable starvation
+};
+
+/**
+ * Machine-register checkpoint slot. Opaque to callers; the TICS
+ * runtime double-buffers two of these. The modeled size of this
+ * structure on the target is Mcu::regFileBytes, not sizeof(RegSlot).
+ */
+struct RegSlot {
+    ucontext_t uc;
+};
+
+/**
+ * One application execution context on a caller-provided stack buffer.
+ * Single-threaded simulation: exactly one context runs at a time,
+ * entered and exited only through run()/exitWith()/captureRegs().
+ */
+class ExecContext
+{
+  public:
+    using Entry = std::function<void()>;
+
+    /**
+     * @param stackBase Base (lowest address) of the stack buffer,
+     *                  normally inside the NvRam arena.
+     * @param stackSize Buffer size in bytes.
+     */
+    ExecContext(std::uint8_t *stackBase, std::size_t stackSize);
+
+    /** Arm a fresh boot: the next run() starts @p entry from scratch. */
+    void prepare(Entry entry);
+
+    /**
+     * Arm a resume-from-checkpoint: the next run() re-enters the
+     * captureRegs() call that filled @p slot (whose stack contents the
+     * caller must already have restored).
+     */
+    void prepareResume(RegSlot &slot);
+
+    /**
+     * Transfer control to the application context until it exits.
+     * Must be armed by prepare() or prepareResume() first.
+     */
+    ExitReason run();
+
+    /**
+     * From inside the application context: capture the machine
+     * registers into @p slot.
+     * @return true on the capture path; false when execution re-enters
+     *         here through prepareResume()/run() after a reboot.
+     *
+     * NOTE: only safe when the caller does not rely on stack-spilled
+     * locals after the call (the resumed stack image may predate the
+     * call). Checkpointing runtimes should instead use
+     * armResumedCheck()/getcontext()/wasResumed() inline, in the same
+     * frame that copies the stack image *after* the capture, so every
+     * spill slot the resume path can read is part of the image.
+     */
+    bool captureRegs(RegSlot &slot);
+
+    /** Clear the resume discriminator before an inline getcontext(). */
+    void armResumedCheck() { resumedFlag_ = false; }
+
+    /**
+     * Test-and-clear the resume discriminator after an inline
+     * getcontext(): true when execution re-entered the capture point
+     * via prepareResume()/run().
+     */
+    bool
+    wasResumed()
+    {
+        if (resumedFlag_) {
+            resumedFlag_ = false;
+            return true;
+        }
+        return false;
+    }
+
+    /**
+     * From inside the application context: abandon execution (no
+     * unwinding) and return @p reason from the pending run().
+     */
+    [[noreturn]] void exitWith(ExitReason reason);
+
+    /** Approximate current stack pointer of the caller (app side). */
+    static std::uintptr_t probeSp();
+
+    std::uint8_t *stackBase() const { return stackBase_; }
+    std::size_t stackSize() const { return stackSize_; }
+    /** One past the highest stack address (stack grows down from it). */
+    std::uintptr_t stackTop() const;
+
+    /** Whether @p p points into this context's stack buffer. */
+    bool onStack(const void *p) const;
+
+    /** True while application code is executing in this context. */
+    bool inside() const { return inside_; }
+
+  private:
+    static void trampoline();
+
+    std::uint8_t *stackBase_;
+    std::size_t stackSize_;
+    Entry entry_;
+    ucontext_t schedCtx_{};
+    ucontext_t startCtx_{};
+    RegSlot *resumeSlot_ = nullptr;
+    bool armedFresh_ = false;
+    bool armedResume_ = false;
+    volatile bool resumedFlag_ = false;
+    bool inside_ = false;
+    ExitReason reason_ = ExitReason::Completed;
+};
+
+} // namespace ticsim::context
+
+#endif // TICSIM_CONTEXT_EXEC_CONTEXT_HPP

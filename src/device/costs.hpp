@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Cycle/energy cost model of the simulated MSP430FR5969-class device.
+ *
+ * The per-operation constants are calibrated so that the *isolated*
+ * runtime operations land near the paper's Table 4 values at 1 MHz
+ * (where 1 cycle == 1 us). Everything the evaluation derives from
+ * composition — checkpoint counts, overhead ratios, crossovers — is
+ * measured by the simulator, not calibrated.
+ *
+ * Table 4 anchor points (GCC -O2, 1 MHz):
+ *   stack grow/shrink             345 us (max)
+ *   checkpoint logic  0/64/256 B  264 / 464 / 656 us
+ *   restore logic     0/64/256 B  273 / 475 / 664 us
+ *   pointer access  no log        13 us
+ *   pointer access  log 4 B       308 us
+ *   pointer access  log 64 B      371 us
+ *   undo-log rollback 4 / 64 B    234 / 294 us
+ */
+
+#ifndef TICSIM_DEVICE_COSTS_HPP
+#define TICSIM_DEVICE_COSTS_HPP
+
+#include <cstdint>
+
+#include "support/units.hpp"
+
+namespace ticsim::device {
+
+/** All tunable device and runtime-operation costs, in cycles. */
+struct CostModel {
+    /** MCU clock (paper micro-benchmarks run at 1 MHz). */
+    double clockHz = 1.0e6;
+
+    /** Average MCU active-mode power draw (CPU + FRAM). */
+    Watts activePower = 0.75e-3;
+
+    // --- Checkpoint / restore (TICS two-phase commit) -------------------
+    /** Fixed checkpoint logic: registers + commit-flag flip. */
+    Cycles ckptLogic = 264;
+    /** Per stack-byte cost of a checkpoint (two-phase: copy + commit). */
+    double ckptPerByte = 1.53;
+    /** Fixed restore logic after reboot. */
+    Cycles restoreLogic = 273;
+    /** Per stack-byte cost of restoring the working segment. */
+    double restorePerByte = 1.53;
+
+    // --- Stack segmentation ---------------------------------------------
+    /** Working-stack grow or shrink (segment switch + argument copy). */
+    Cycles stackGrow = 345;
+    Cycles stackShrink = 345;
+    /** Frame-entry bookkeeping when no grow/shrink is needed. */
+    Cycles frameCheck = 6;
+
+    // --- Memory manager ---------------------------------------------------
+    /** Pointer-target classification (working stack vs. elsewhere). */
+    Cycles ptrCheck = 13;
+    /** Fixed cost of appending an undo-log entry. */
+    Cycles undoLogBase = 291;
+    /** Per-byte cost of saving the old value into the undo log. */
+    double undoLogPerByte = 1.05;
+    /** Fixed cost of rolling one undo entry back at reboot. */
+    Cycles rollbackBase = 230;
+    /** Per-byte cost of an undo rollback. */
+    double rollbackPerByte = 1.0;
+
+    // --- Plain memory traffic ---------------------------------------------
+    /** Per-byte FRAM write outside the versioning paths. */
+    double framWritePerByte = 0.6;
+    /** Per-byte FRAM read. */
+    double framReadPerByte = 0.3;
+
+    // --- Timekeeping -------------------------------------------------------
+    /** Reading the persistent timekeeper. */
+    Cycles timeRead = 24;
+    /** Updating a variable's associated timestamp (@= operator). */
+    Cycles timestampWrite = 18;
+
+    // --- Peripherals --------------------------------------------------------
+    /** One ADC/accelerometer sample (conversion + transfer). */
+    Cycles sensorSample = 120;
+    /** Radio packet transmission (fixed portion). */
+    Cycles radioSend = 2000;
+    /** Per-payload-byte radio cost. */
+    double radioPerByte = 8.0;
+
+    // --- Task-based runtimes ------------------------------------------------
+    /** Task transition (commit + next-task update), excluding data. */
+    Cycles taskTransition = 180;
+    /** Per-byte channel/privatization commit cost. */
+    double taskCommitPerByte = 1.2;
+
+    /** Boot-time runtime initialization after a reboot. */
+    Cycles bootInit = 150;
+
+    /** Cycle count of one nanosecond-resolution virtual duration. */
+    TimeNs cycleTimeNs() const
+    {
+        return static_cast<TimeNs>(1e9 / clockHz);
+    }
+
+    /** Duration of @p c cycles. */
+    TimeNs cyclesToNs(Cycles c) const { return c * cycleTimeNs(); }
+
+    /** Energy consumed by @p c active cycles. */
+    Joules cyclesToJoules(Cycles c) const
+    {
+        return activePower * static_cast<double>(c) / clockHz;
+    }
+
+    /** Helper: fixed + per-byte cost rounded to whole cycles. */
+    static Cycles
+    linear(Cycles base, double perByte, std::uint32_t bytes)
+    {
+        return base + static_cast<Cycles>(perByte *
+                                          static_cast<double>(bytes));
+    }
+};
+
+} // namespace ticsim::device
+
+#endif // TICSIM_DEVICE_COSTS_HPP

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * MCU core model: clock, cycle accounting, and the bridge from charged
+ * cycles to elapsed virtual time and consumed energy. The Board owns
+ * one Mcu and forwards every charge to the power supply.
+ */
+
+#ifndef TICSIM_DEVICE_MCU_HPP
+#define TICSIM_DEVICE_MCU_HPP
+
+#include "device/costs.hpp"
+#include "support/stats.hpp"
+#include "support/units.hpp"
+
+namespace ticsim::device {
+
+/**
+ * The simulated microcontroller core. Time on the device only advances
+ * when cycles are charged; the Board adds off-time during outages.
+ */
+class Mcu
+{
+  public:
+    explicit Mcu(CostModel costs = CostModel())
+        : costs_(costs), stats_("mcu")
+    {
+    }
+
+    const CostModel &costs() const { return costs_; }
+
+    /** Modeled register-file size (16 x 16-bit regs + SR/PC bookkeeping). */
+    static constexpr std::uint32_t regFileBytes = 34;
+
+    /** Total cycles executed since reset(). */
+    Cycles cycles() const { return cycles_; }
+
+    /** Account @p c executed cycles. */
+    void addCycles(Cycles c) { cycles_ += c; }
+
+    /** Duration of @p c cycles at the configured clock. */
+    TimeNs cyclesToNs(Cycles c) const { return costs_.cyclesToNs(c); }
+
+    /** Energy drawn by @p c active cycles. */
+    Joules cyclesToJoules(Cycles c) const
+    {
+        return costs_.cyclesToJoules(c);
+    }
+
+    void reset() { cycles_ = 0; }
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    CostModel costs_;
+    Cycles cycles_ = 0;
+    StatGroup stats_;
+};
+
+} // namespace ticsim::device
+
+#endif // TICSIM_DEVICE_MCU_HPP

@@ -1,0 +1,15 @@
+#include "radio.hpp"
+
+namespace ticsim::device {
+
+void
+Radio::send(TimeNs now, const void *data, std::uint32_t bytes)
+{
+    Packet p;
+    p.sentAt = now;
+    const auto *b = static_cast<const std::uint8_t *>(data);
+    p.payload.assign(b, b + bytes);
+    packets_.push_back(std::move(p));
+}
+
+} // namespace ticsim::device

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Simulated low-power radio. send() records the packet with the true
+ * transmission time so experiments can count deliveries (Table 1's
+ * "Send" column) and check payload correctness and timeliness.
+ */
+
+#ifndef TICSIM_DEVICE_RADIO_HPP
+#define TICSIM_DEVICE_RADIO_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "support/units.hpp"
+
+namespace ticsim::device {
+
+/** One transmitted packet as observed by the (perfect) receiver. */
+struct Packet {
+    TimeNs sentAt = 0;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Packet-logging radio model. */
+class Radio
+{
+  public:
+    /** Record a transmission at true time @p now. */
+    void send(TimeNs now, const void *data, std::uint32_t bytes);
+
+    const std::vector<Packet> &packets() const { return packets_; }
+    std::size_t sentCount() const { return packets_.size(); }
+
+    void reset() { packets_.clear(); }
+
+  private:
+    std::vector<Packet> packets_;
+};
+
+} // namespace ticsim::device
+
+#endif // TICSIM_DEVICE_RADIO_HPP

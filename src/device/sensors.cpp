@@ -1,0 +1,78 @@
+#include "sensors.hpp"
+
+#include <cmath>
+
+namespace ticsim::device {
+
+Accelerometer::Accelerometer(Rng rng, TimeNs regimePeriod)
+    : rng_(rng), rngInitial_(rng), regimePeriod_(regimePeriod)
+{
+}
+
+bool
+Accelerometer::movingAt(TimeNs t) const
+{
+    return (t / regimePeriod_) % 2 == 1;
+}
+
+AccelSample
+Accelerometer::sample(TimeNs trueNow)
+{
+    AccelSample s;
+    if (movingAt(trueNow)) {
+        // Large oscillation around gravity on all axes.
+        const double phase =
+            2.0 * M_PI *
+            static_cast<double>(trueNow % (100 * kNsPerMs)) /
+            static_cast<double>(100 * kNsPerMs);
+        s.x = static_cast<std::int16_t>(600.0 * std::sin(phase) +
+                                        rng_.gaussian(0, 80));
+        s.y = static_cast<std::int16_t>(600.0 * std::cos(phase) +
+                                        rng_.gaussian(0, 80));
+        s.z = static_cast<std::int16_t>(1000.0 +
+                                        400.0 * std::sin(2.0 * phase) +
+                                        rng_.gaussian(0, 80));
+    } else {
+        // Stationary: gravity on z, small noise.
+        s.x = static_cast<std::int16_t>(rng_.gaussian(0, 12));
+        s.y = static_cast<std::int16_t>(rng_.gaussian(0, 12));
+        s.z = static_cast<std::int16_t>(1000.0 + rng_.gaussian(0, 12));
+    }
+    return s;
+}
+
+void
+Accelerometer::reset()
+{
+    rng_ = rngInitial_;
+}
+
+ScalarSensor::ScalarSensor(Rng rng, double base, double swing, TimeNs period,
+                           double noise)
+    : rng_(rng), rngInitial_(rng), base_(base), swing_(swing),
+      period_(period), noise_(noise)
+{
+}
+
+double
+ScalarSensor::truth(TimeNs t) const
+{
+    const double phase = 2.0 * M_PI *
+        static_cast<double>(t % period_) / static_cast<double>(period_);
+    return base_ + swing_ * std::sin(phase);
+}
+
+std::int32_t
+ScalarSensor::sample(TimeNs trueNow)
+{
+    return static_cast<std::int32_t>(
+        std::lround(truth(trueNow) + rng_.gaussian(0.0, noise_)));
+}
+
+void
+ScalarSensor::reset()
+{
+    rng_ = rngInitial_;
+}
+
+} // namespace ticsim::device

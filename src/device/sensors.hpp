@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Simulated sensing peripherals.
+ *
+ * The benchmarks need three sensors:
+ *  - a 3-axis accelerometer whose signal alternates between stationary
+ *    and moving regimes (the AR application classifies these),
+ *  - soil-moisture and ambient-temperature sensors for the greenhouse
+ *    monitoring application (slow-varying signals with noise).
+ *
+ * Sensors are functions of *true* virtual time, so data gathered before
+ * a long outage is genuinely stale afterwards — the physical origin of
+ * the paper's data-expiration violations.
+ */
+
+#ifndef TICSIM_DEVICE_SENSORS_HPP
+#define TICSIM_DEVICE_SENSORS_HPP
+
+#include <cstdint>
+
+#include "support/rng.hpp"
+#include "support/units.hpp"
+
+namespace ticsim::device {
+
+/** One accelerometer reading (raw 12-bit-style integer axes). */
+struct AccelSample {
+    std::int16_t x = 0;
+    std::int16_t y = 0;
+    std::int16_t z = 0;
+};
+
+/**
+ * Two-regime synthetic accelerometer: alternates stationary (gravity
+ * plus small noise) and moving (large oscillation plus noise) every
+ * @p regimePeriod of true time. The ground-truth regime at any time is
+ * exposed so experiments can score classification results.
+ */
+class Accelerometer
+{
+  public:
+    Accelerometer(Rng rng, TimeNs regimePeriod = 500 * kNsPerMs);
+
+    AccelSample sample(TimeNs trueNow);
+
+    /** Ground truth: is the device in the moving regime at @p t? */
+    bool movingAt(TimeNs t) const;
+
+    void reset();
+
+  private:
+    Rng rng_;
+    Rng rngInitial_;
+    TimeNs regimePeriod_;
+};
+
+/** Slow-varying scalar sensor with Gaussian noise (temp / moisture). */
+class ScalarSensor
+{
+  public:
+    /**
+     * @param base Mean value of the signal.
+     * @param swing Amplitude of the slow sinusoidal component.
+     * @param period Period of the slow component.
+     * @param noise Standard deviation of the added noise.
+     */
+    ScalarSensor(Rng rng, double base, double swing, TimeNs period,
+                 double noise);
+
+    /** Sampled value at true time @p trueNow (rounded to integer). */
+    std::int32_t sample(TimeNs trueNow);
+
+    /** Noise-free signal value (for result verification). */
+    double truth(TimeNs t) const;
+
+    void reset();
+
+  private:
+    Rng rng_;
+    Rng rngInitial_;
+    double base_;
+    double swing_;
+    TimeNs period_;
+    double noise_;
+};
+
+} // namespace ticsim::device
+
+#endif // TICSIM_DEVICE_SENSORS_HPP

@@ -1,0 +1,150 @@
+#include "harvester.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace ticsim::energy {
+
+SquareWaveHarvester::SquareWaveHarvester(Watts onPower, TimeNs period,
+                                         double dutyOn)
+    : onPower_(onPower), period_(period)
+{
+    if (period == 0)
+        fatal("square-wave harvester: period must be nonzero");
+    if (dutyOn < 0.0 || dutyOn > 1.0)
+        fatal("square-wave harvester: duty %g outside [0, 1]", dutyOn);
+    onLength_ = static_cast<TimeNs>(static_cast<double>(period) * dutyOn);
+}
+
+Watts
+SquareWaveHarvester::power(TimeNs now)
+{
+    return (now % period_) < onLength_ ? onPower_ : 0.0;
+}
+
+RfHarvester::RfHarvester(Watts txEirpW, double distanceM, double rxGain,
+                         double efficiency)
+    : txEirpW_(txEirpW), distanceM_(distanceM), rxGain_(rxGain),
+      efficiency_(efficiency)
+{
+    if (distanceM <= 0.0)
+        fatal("rf harvester: distance must be > 0 (got %g m)", distanceM);
+    if (efficiency <= 0.0 || efficiency > 1.0)
+        fatal("rf harvester: efficiency %g outside (0, 1]", efficiency);
+    recompute();
+}
+
+void
+RfHarvester::setDistance(double distanceM)
+{
+    if (distanceM <= 0.0)
+        fatal("rf harvester: distance must be > 0 (got %g m)", distanceM);
+    distanceM_ = distanceM;
+    recompute();
+}
+
+void
+RfHarvester::setFading(double sigmaDb, TimeNs blockNs, std::uint64_t seed)
+{
+    if (blockNs == 0)
+        fatal("rf harvester: zero fading block");
+    fadingSigmaDb_ = sigmaDb;
+    fadingBlockNs_ = blockNs;
+    fadingSeed_ = seed;
+}
+
+Watts
+RfHarvester::power(TimeNs now)
+{
+    if (fadingSigmaDb_ <= 0.0)
+        return harvested_;
+    // Stateless per-block fade: hash the block index into an
+    // approximately normal dB offset (sum of three uniforms).
+    const std::uint64_t block = now / fadingBlockNs_;
+    std::uint64_t x = block ^ fadingSeed_;
+    double acc = 0.0;
+    for (int i = 0; i < 3; ++i) {
+        x += 0x9E3779B97F4A7C15ULL;
+        std::uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        z ^= z >> 31;
+        acc += static_cast<double>(z >> 11) * 0x1.0p-53;
+    }
+    const double normal = (acc - 1.5) * 2.0; // ~N(0,1)
+    const double db = normal * fadingSigmaDb_;
+    return harvested_ * std::pow(10.0, db / 10.0);
+}
+
+void
+RfHarvester::recompute()
+{
+    // Friis free-space: Prx = Ptx * Grx * (lambda / (4 pi d))^2.
+    constexpr double kLambda915MHz = 0.3276; // meters
+    const double factor =
+        kLambda915MHz / (4.0 * M_PI * distanceM_);
+    harvested_ = txEirpW_ * rxGain_ * factor * factor * efficiency_;
+}
+
+TraceHarvester::TraceHarvester(std::vector<std::pair<TimeNs, Watts>> points,
+                               TimeNs repeatEvery)
+    : points_(std::move(points)), repeatEvery_(repeatEvery)
+{
+    if (points_.empty())
+        fatal("trace harvester: empty trace");
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (points_[i].first < points_[i - 1].first)
+            fatal("trace harvester: breakpoints not sorted");
+    }
+    if (repeatEvery_ != 0 && points_.back().first >= repeatEvery_)
+        fatal("trace harvester: trace longer than repeat period");
+}
+
+Watts
+TraceHarvester::power(TimeNs now)
+{
+    TimeNs t = repeatEvery_ ? now % repeatEvery_ : now;
+    // Find the last breakpoint at or before t.
+    auto it = std::upper_bound(
+        points_.begin(), points_.end(), t,
+        [](TimeNs v, const std::pair<TimeNs, Watts> &p) {
+            return v < p.first;
+        });
+    if (it == points_.begin())
+        return 0.0; // before the first breakpoint
+    return std::prev(it)->second;
+}
+
+StochasticHarvester::StochasticHarvester(Watts meanPower, TimeNs meanOnNs,
+                                         TimeNs meanOffNs, Rng rng)
+    : meanPower_(meanPower), meanOnNs_(meanOnNs), meanOffNs_(meanOffNs),
+      rng_(rng)
+{
+    if (meanOnNs == 0 || meanOffNs == 0)
+        fatal("stochastic harvester: mean interval lengths must be nonzero");
+}
+
+void
+StochasticHarvester::advanceTo(TimeNs now)
+{
+    while (now >= stateEnd_) {
+        on_ = !on_;
+        const double mean = on_ ? static_cast<double>(meanOnNs_)
+                                : static_cast<double>(meanOffNs_);
+        const double len = std::max(1.0, rng_.exponential(mean));
+        stateEnd_ += static_cast<TimeNs>(len);
+        current_ =
+            on_ ? std::max(0.0, meanPower_ * rng_.uniform(0.6, 1.4)) : 0.0;
+    }
+}
+
+Watts
+StochasticHarvester::power(TimeNs now)
+{
+    advanceTo(now);
+    return current_;
+}
+
+} // namespace ticsim::energy

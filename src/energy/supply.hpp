@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Power-supply models. The Board charges every simulated cycle to the
+ * supply; the supply decides when brown-outs happen and how long the
+ * device stays off before the turn-on threshold is reached again.
+ *
+ * Three models cover the paper's experimental setups:
+ *  - ContinuousSupply: bench power (Fig. 9 timing runs, plain C).
+ *  - PatternSupply: pre-programmed reset patterns (Table 1).
+ *  - HarvestingSupply: capacitor + harvester with Von/Voff hysteresis
+ *    (Table 2, Fig. 8 RF-powered runs).
+ */
+
+#ifndef TICSIM_ENERGY_SUPPLY_HPP
+#define TICSIM_ENERGY_SUPPLY_HPP
+
+#include <memory>
+
+#include "energy/capacitor.hpp"
+#include "energy/harvester.hpp"
+#include "support/stats.hpp"
+#include "support/units.hpp"
+
+namespace ticsim::energy {
+
+/** Outcome of draining the supply over a requested interval. */
+struct DrainResult {
+    bool died = false;   ///< brown-out occurred before the interval ended
+    TimeNs ranFor = 0;   ///< time actually powered (== request if !died)
+};
+
+/**
+ * Abstract supply. All times are absolute virtual times; drain() is
+ * always called with monotonically non-decreasing @p now.
+ */
+class Supply
+{
+  public:
+    Supply() : stats_("supply") {}
+    virtual ~Supply() = default;
+
+    /**
+     * Consume @p load watts over [now, now + dur).
+     * @return whether and when the supply browned out.
+     */
+    virtual DrainResult drain(TimeNs now, TimeNs dur, Watts load) = 0;
+
+    /**
+     * After a brown-out at @p deathTime, the time the device stays off
+     * until the turn-on condition is met again.
+     */
+    virtual TimeNs offTimeAfterDeath(TimeNs deathTime) = 0;
+
+    /** Restore the initial state (for experiment repetition). */
+    virtual void reset() = 0;
+
+    /** False for bench supplies that can never brown out. */
+    virtual bool intermittent() const { return true; }
+
+    /**
+     * Current storage voltage for hardware-assisted (voltage-
+     * triggered) checkpointing, or a negative value when the supply
+     * has no observable voltage (pattern/bench supplies).
+     */
+    virtual Volts voltageNow() const { return -1.0; }
+
+    StatGroup &stats() { return stats_; }
+
+  protected:
+    StatGroup stats_;
+};
+
+/** Never browns out. */
+class ContinuousSupply : public Supply
+{
+  public:
+    DrainResult drain(TimeNs, TimeNs dur, Watts) override;
+    TimeNs offTimeAfterDeath(TimeNs) override;
+    void reset() override {}
+    bool intermittent() const override { return false; }
+};
+
+/**
+ * Pre-programmed periodic reset pattern: power is on for the first
+ * @p onTime of every period and off for the remainder. An on-fraction
+ * of 1.0 degenerates to continuous power. This reproduces the paper's
+ * Table 1 methodology ("MCU was brought to hardware reset following a
+ * pre-programmed pattern").
+ */
+class PatternSupply : public Supply
+{
+  public:
+    PatternSupply(TimeNs period, double onFraction);
+
+    DrainResult drain(TimeNs now, TimeNs dur, Watts load) override;
+    TimeNs offTimeAfterDeath(TimeNs deathTime) override;
+    void reset() override {}
+    bool intermittent() const override { return onTime_ < period_; }
+
+    TimeNs period() const { return period_; }
+    TimeNs onTime() const { return onTime_; }
+
+  private:
+    TimeNs period_;
+    TimeNs onTime_;
+};
+
+/**
+ * Capacitor-buffered harvesting supply with hysteresis: the device
+ * turns on at Von and browns out at Voff. Integration uses a fixed
+ * step, which bounds the error in death-time placement.
+ */
+class HarvestingSupply : public Supply
+{
+  public:
+    struct Config {
+        Farads capacitance = 10e-6;   ///< 10 uF, as on the P2110-EVB
+        Volts vMax = 5.25;
+        Volts vOn = 3.0;              ///< turn-on threshold
+        Volts vOff = 1.8;             ///< MSP430 brown-out
+        Watts leakage = 1e-6;
+        TimeNs integrationStep = 50 * kNsPerUs;
+        /** Give up waiting for power-on after this long off. */
+        TimeNs maxOffTime = 3600 * kNsPerSec;
+    };
+
+    HarvestingSupply(Config cfg, std::unique_ptr<Harvester> harvester);
+
+    DrainResult drain(TimeNs now, TimeNs dur, Watts load) override;
+    TimeNs offTimeAfterDeath(TimeNs deathTime) override;
+    void reset() override;
+
+    Volts voltage() const { return cap_.voltage(); }
+    Volts voltageNow() const override { return cap_.voltage(); }
+    const Config &config() const { return cfg_; }
+
+  private:
+    Config cfg_;
+    std::unique_ptr<Harvester> harvester_;
+    Capacitor cap_;
+};
+
+} // namespace ticsim::energy
+
+#endif // TICSIM_ENERGY_SUPPLY_HPP

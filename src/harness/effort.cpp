@@ -1,0 +1,77 @@
+#include "effort.hpp"
+
+#include <cctype>
+
+namespace ticsim::harness {
+
+namespace {
+
+/** Count whole-word occurrences of @p word in @p src. */
+std::uint32_t
+countWord(const std::string &src, const std::string &word)
+{
+    std::uint32_t n = 0;
+    std::size_t pos = 0;
+    while ((pos = src.find(word, pos)) != std::string::npos) {
+        const bool leftOk =
+            pos == 0 || (!std::isalnum(static_cast<unsigned char>(
+                             src[pos - 1])) &&
+                         src[pos - 1] != '_');
+        const std::size_t end = pos + word.size();
+        const bool rightOk =
+            end >= src.size() ||
+            (!std::isalnum(static_cast<unsigned char>(src[end])) &&
+             src[end] != '_');
+        if (leftOk && rightOk)
+            ++n;
+        pos = end;
+    }
+    return n;
+}
+
+std::uint32_t
+countToken(const std::string &src, const std::string &tok)
+{
+    std::uint32_t n = 0;
+    std::size_t pos = 0;
+    while ((pos = src.find(tok, pos)) != std::string::npos) {
+        ++n;
+        pos += tok.size();
+    }
+    return n;
+}
+
+} // namespace
+
+EffortMetrics
+analyzeSource(const std::string &source, std::uint32_t elements,
+              std::uint32_t sharedState)
+{
+    EffortMetrics m;
+    m.elements = elements;
+    m.sharedState = sharedState;
+
+    bool lineHasContent = false;
+    for (const char c : source) {
+        if (c == '\n') {
+            if (lineHasContent)
+                ++m.loc;
+            lineHasContent = false;
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+            lineHasContent = true;
+        }
+    }
+    if (lineHasContent)
+        ++m.loc;
+
+    m.decisionPoints = countWord(source, "if") +
+                       countWord(source, "for") +
+                       countWord(source, "while") +
+                       countWord(source, "case") +
+                       countToken(source, "&&") +
+                       countToken(source, "||") +
+                       countToken(source, "?");
+    return m;
+}
+
+} // namespace ticsim::harness

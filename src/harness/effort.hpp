@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Developer-effort proxy metrics for the Fig. 10 user study.
+ *
+ * The paper's study is a human-subject experiment (bug-finding time
+ * and accuracy on three programs written in TICS vs. InK styles) and
+ * cannot be replicated without participants. The repository instead
+ * quantifies the property the study attributes the result to: task
+ * decomposition spreads one logical operation across more program
+ * elements and more shared-state plumbing, so there is more surface to
+ * search for a bug. These are objective, static measures over the
+ * exact program texts used by the study tasks (see apps/study).
+ */
+
+#ifndef TICSIM_HARNESS_EFFORT_HPP
+#define TICSIM_HARNESS_EFFORT_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace ticsim::harness {
+
+struct EffortMetrics {
+    std::uint32_t loc = 0;            ///< non-blank source lines
+    std::uint32_t decisionPoints = 0; ///< if/for/while/case/?:/&&/||
+    std::uint32_t elements = 0;       ///< functions, or tasks + channels
+    std::uint32_t sharedState = 0;    ///< cross-element state items
+};
+
+/**
+ * Count lines and decision points in @p source; @p elements and
+ * @p sharedState are structural facts supplied by the program author
+ * (task/channel counts cannot be inferred reliably from text).
+ */
+EffortMetrics analyzeSource(const std::string &source,
+                            std::uint32_t elements,
+                            std::uint32_t sharedState);
+
+} // namespace ticsim::harness
+
+#endif // TICSIM_HARNESS_EFFORT_HPP

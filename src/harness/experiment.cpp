@@ -1,0 +1,89 @@
+#include "experiment.hpp"
+
+#include <cstdio>
+
+namespace ticsim::harness {
+
+std::unique_ptr<energy::Supply>
+makeSupply(const SupplySpec &spec)
+{
+    switch (spec.setup) {
+      case PowerSetup::Continuous:
+        return std::make_unique<energy::ContinuousSupply>();
+      case PowerSetup::Pattern:
+        if (spec.patternOnFraction >= 1.0)
+            return std::make_unique<energy::ContinuousSupply>();
+        return std::make_unique<energy::PatternSupply>(
+            spec.patternPeriod, spec.patternOnFraction);
+      case PowerSetup::RfHarvested: {
+        energy::HarvestingSupply::Config cfg;
+        auto rf = std::make_unique<energy::RfHarvester>(
+            spec.rfTxEirp, spec.rfDistanceM);
+        rf->setFading(/*sigmaDb=*/2.2, /*blockNs=*/40 * kNsPerMs,
+                      spec.seed ^ 0xFAD3u);
+        return std::make_unique<energy::HarvestingSupply>(cfg,
+                                                          std::move(rf));
+      }
+      case PowerSetup::Stochastic: {
+        energy::HarvestingSupply::Config cfg;
+        return std::make_unique<energy::HarvestingSupply>(
+            cfg, std::make_unique<energy::StochasticHarvester>(
+                     spec.stochasticPower, spec.stochasticOn,
+                     spec.stochasticOff, Rng(spec.seed ^ 0x57E9u)));
+      }
+    }
+    return std::make_unique<energy::ContinuousSupply>();
+}
+
+std::unique_ptr<board::Board>
+makeBoard(const SupplySpec &spec, std::uint64_t seed,
+          device::CostModel costs)
+{
+    board::BoardConfig cfg;
+    cfg.seed = seed;
+    cfg.costs = costs;
+    cfg.accelRegimePeriod = spec.accelRegimePeriod;
+    return std::make_unique<board::Board>(
+        cfg, makeSupply(spec),
+        std::make_unique<timekeeper::PerfectTimekeeper>());
+}
+
+const TicsSetup kSetupS1{"S1", 50, tics::PolicyKind::None, 0};
+const TicsSetup kSetupS2{"S2", 256, tics::PolicyKind::None, 0};
+const TicsSetup kSetupS1Star{"S1*", 50, tics::PolicyKind::Timer,
+                             10 * kNsPerMs};
+const TicsSetup kSetupS2Star{"S2*", 256, tics::PolicyKind::Timer,
+                             10 * kNsPerMs};
+const TicsSetup kSetupST{"ST", 256, tics::PolicyKind::EveryTrigger, 0};
+
+tics::TicsConfig
+makeTicsConfig(const TicsSetup &s)
+{
+    tics::TicsConfig cfg;
+    cfg.segmentBytes = s.segmentBytes;
+    cfg.policy = s.policy;
+    if (s.timerPeriod)
+        cfg.timerPeriod = s.timerPeriod;
+    return cfg;
+}
+
+double
+simMs(const board::RunResult &r)
+{
+    return static_cast<double>(r.onTime) /
+           static_cast<double>(kNsPerMs);
+}
+
+std::string
+msCell(bool supported, bool completed, double ms)
+{
+    if (!supported)
+        return "x";
+    if (!completed)
+        return "DNF";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", ms);
+    return buf;
+}
+
+} // namespace ticsim::harness

@@ -1,0 +1,34 @@
+#include "footprint.hpp"
+
+namespace ticsim::mem {
+
+void
+Footprint::add(const std::string &component, std::uint32_t textBytes,
+               std::uint32_t dataBytes, bool excluded)
+{
+    items_.push_back({component, textBytes, dataBytes, excluded});
+}
+
+std::uint32_t
+Footprint::textTotal() const
+{
+    std::uint32_t total = 0;
+    for (const auto &it : items_) {
+        if (!it.excluded)
+            total += it.textBytes;
+    }
+    return total;
+}
+
+std::uint32_t
+Footprint::dataTotal() const
+{
+    std::uint32_t total = 0;
+    for (const auto &it : items_) {
+        if (!it.excluded)
+            total += it.dataBytes;
+    }
+    return total;
+}
+
+} // namespace ticsim::mem

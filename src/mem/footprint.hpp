@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Modeled program-memory footprint accounting for Table 3.
+ *
+ * We do not produce MSP430 ELF binaries, so .text/.data sizes are
+ * modeled instead of measured from a linker map:
+ *  - .data: the NV bytes the runtime statically reserves (checkpoint
+ *    buffers, control blocks, task descriptors, double-buffered global
+ *    copies, ...) plus the application's own globals. For TICS the
+ *    configurable segment array and undo log are excluded, matching the
+ *    paper's footnote.
+ *  - .text: a fixed per-runtime code-size constant plus a per-site cost
+ *    for every instrumentation point the system inserts (TICS: frame
+ *    guards and NV-store thunks; Chinchilla: per-variable versioning
+ *    thunks; task systems: per-task/channel dispatch code).
+ *
+ * The constants live with the runtime that registers them; this module
+ * only aggregates.
+ */
+
+#ifndef TICSIM_MEM_FOOTPRINT_HPP
+#define TICSIM_MEM_FOOTPRINT_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ticsim::mem {
+
+/** One contribution to a program's modeled footprint. */
+struct FootprintItem {
+    std::string component;  ///< e.g. "runtime core", "frame guards"
+    std::uint32_t textBytes = 0;
+    std::uint32_t dataBytes = 0;
+    /** Excluded from the reported total (paper footnote semantics). */
+    bool excluded = false;
+};
+
+/**
+ * Per-program footprint ledger. A runtime and its application variant
+ * both record items; the bench sums them into the Table 3 cells.
+ */
+class Footprint
+{
+  public:
+    void add(const std::string &component, std::uint32_t textBytes,
+             std::uint32_t dataBytes, bool excluded = false);
+
+    std::uint32_t textTotal() const;
+    std::uint32_t dataTotal() const;
+
+    const std::vector<FootprintItem> &items() const { return items_; }
+
+    void clear() { items_.clear(); }
+
+  private:
+    std::vector<FootprintItem> items_;
+};
+
+} // namespace ticsim::mem
+
+#endif // TICSIM_MEM_FOOTPRINT_HPP

@@ -1,0 +1,26 @@
+#include "nv.hpp"
+
+namespace ticsim::mem {
+
+namespace {
+
+MemHooks passThrough;
+MemHooks *current = &passThrough;
+
+} // namespace
+
+MemHooks &
+hooks()
+{
+    return *current;
+}
+
+MemHooks *
+setHooks(MemHooks *h)
+{
+    MemHooks *prev = current;
+    current = h ? h : &passThrough;
+    return prev;
+}
+
+} // namespace ticsim::mem

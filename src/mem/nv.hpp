@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Typed accessors for non-volatile application globals, and the write
+ * interception hook through which the active runtime versions memory.
+ *
+ * On the real platform, TICS's source-instrumentation pass rewrites
+ * every store to .data/.bss (and every pointer store) into a call into
+ * the memory manager. Here the same surface is expressed in the type
+ * system: application globals are nv<T>, and assignments route through
+ * the installed MemHooks before the byte is changed, so an undo log can
+ * capture the old value.
+ */
+
+#ifndef TICSIM_MEM_NV_HPP
+#define TICSIM_MEM_NV_HPP
+
+#include <cstring>
+#include <type_traits>
+
+#include "mem/nvram.hpp"
+#include "support/logging.hpp"
+
+namespace ticsim::mem {
+
+/**
+ * Write/read interception installed by the Board while application
+ * code runs. The default instance performs no versioning (plain-C
+ * semantics: FRAM writes land directly and persist).
+ */
+class MemHooks
+{
+  public:
+    virtual ~MemHooks() = default;
+
+    /**
+     * Called before @p bytes at @p hostAddr are overwritten. The
+     * runtime may undo-log the old contents, charge cycles, or force a
+     * checkpoint.
+     */
+    virtual void preWrite(void *hostAddr, std::uint32_t bytes) {}
+
+    /** Called before @p bytes at @p hostAddr are read. */
+    virtual void preRead(const void *hostAddr, std::uint32_t bytes) {}
+};
+
+/** Currently installed hooks (never null; defaults to pass-through). */
+MemHooks &hooks();
+
+/** Install hooks; returns the previous set (single-threaded sim). */
+MemHooks *setHooks(MemHooks *h);
+
+/** RAII hook installation for Board::run scopes. */
+class ScopedHooks
+{
+  public:
+    explicit ScopedHooks(MemHooks *h) : prev_(setHooks(h)) {}
+    ~ScopedHooks() { setHooks(prev_); }
+
+    ScopedHooks(const ScopedHooks &) = delete;
+    ScopedHooks &operator=(const ScopedHooks &) = delete;
+
+  private:
+    MemHooks *prev_;
+};
+
+/**
+ * A T stored in the simulated FRAM arena. All mutation goes through
+ * the installed MemHooks. Trivially-copyable T only (this is firmware
+ * state, not a general container).
+ */
+template <typename T>
+class nv
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "nv<T> holds raw firmware state");
+
+  public:
+    /** Allocate a slot in @p ram under @p name, default-initialized. */
+    nv(NvRam &ram, const std::string &name)
+    {
+        const Addr a = ram.allocate(name, sizeof(T), alignof(T));
+        slot_ = reinterpret_cast<T *>(ram.hostPtr(a));
+        std::memset(static_cast<void *>(slot_), 0, sizeof(T));
+    }
+
+    nv(NvRam &ram, const std::string &name, const T &init)
+        : nv(ram, name)
+    {
+        std::memcpy(static_cast<void *>(slot_), &init, sizeof(T));
+    }
+
+    nv(const nv &) = delete;
+    nv &operator=(const nv &) = delete;
+
+    /** Instrumented read. */
+    operator T() const
+    {
+        hooks().preRead(slot_, sizeof(T));
+        T v;
+        std::memcpy(&v, slot_, sizeof(T));
+        return v;
+    }
+
+    T get() const { return static_cast<T>(*this); }
+
+    /** Instrumented write. */
+    nv &operator=(const T &v)
+    {
+        hooks().preWrite(slot_, sizeof(T));
+        std::memcpy(static_cast<void *>(slot_), &v, sizeof(T));
+        return *this;
+    }
+
+    nv &operator+=(const T &v) { return *this = get() + v; }
+    nv &operator-=(const T &v) { return *this = get() - v; }
+    nv &operator++() { return *this = get() + T(1); }
+
+    /**
+     * Raw slot pointer, for passing to pointer-based legacy code. Any
+     * store through it must go via the runtime's instrumented store()
+     * (mirroring the paper's pointer-write instrumentation).
+     */
+    T *raw() { return slot_; }
+    const T *raw() const { return slot_; }
+
+  private:
+    T *slot_;
+};
+
+/**
+ * A fixed-size array of T in the FRAM arena with instrumented element
+ * access.
+ */
+template <typename T, std::uint32_t N>
+class nvArray
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "nvArray<T> holds raw firmware state");
+
+  public:
+    nvArray(NvRam &ram, const std::string &name)
+    {
+        const Addr a = ram.allocate(name, sizeof(T) * N, alignof(T));
+        slots_ = reinterpret_cast<T *>(ram.hostPtr(a));
+        std::memset(static_cast<void *>(slots_), 0, sizeof(T) * N);
+    }
+
+    nvArray(const nvArray &) = delete;
+    nvArray &operator=(const nvArray &) = delete;
+
+    static constexpr std::uint32_t size() { return N; }
+
+    T get(std::uint32_t i) const
+    {
+        TICSIM_ASSERT(i < N, "index %u", i);
+        hooks().preRead(slots_ + i, sizeof(T));
+        return slots_[i];
+    }
+
+    void set(std::uint32_t i, const T &v)
+    {
+        TICSIM_ASSERT(i < N, "index %u", i);
+        hooks().preWrite(slots_ + i, sizeof(T));
+        slots_[i] = v;
+    }
+
+    T *raw() { return slots_; }
+    const T *raw() const { return slots_; }
+
+  private:
+    T *slots_;
+};
+
+} // namespace ticsim::mem
+
+#endif // TICSIM_MEM_NV_HPP

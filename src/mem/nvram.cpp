@@ -1,0 +1,71 @@
+#include "nvram.hpp"
+
+#include "support/logging.hpp"
+
+namespace ticsim::mem {
+
+NvRam::NvRam(std::uint32_t size)
+    : size_(size), data_(size, 0), stats_("nvram")
+{
+}
+
+Addr
+NvRam::allocate(const std::string &name, std::uint32_t size,
+                std::uint32_t align)
+{
+    if (align == 0 || (align & (align - 1)) != 0)
+        fatal("nvram: alignment %u is not a power of two", align);
+    const std::uint32_t base = (next_ + align - 1) & ~(align - 1);
+    if (base + size > size_ || base + size < base) {
+        fatal("nvram: out of memory allocating '%s' (%u bytes; %u of %u "
+              "used)", name.c_str(), size, next_, size_);
+    }
+    next_ = base + size;
+    regions_.push_back({name, base, size});
+    return base;
+}
+
+std::uint8_t *
+NvRam::hostPtr(Addr a)
+{
+    TICSIM_ASSERT(a < size_, "addr %u", a);
+    return data_.data() + a;
+}
+
+const std::uint8_t *
+NvRam::hostPtr(Addr a) const
+{
+    TICSIM_ASSERT(a < size_, "addr %u", a);
+    return data_.data() + a;
+}
+
+Addr
+NvRam::addrOf(const void *hostPtr) const
+{
+    const auto *p = static_cast<const std::uint8_t *>(hostPtr);
+    TICSIM_ASSERT(contains(hostPtr), "host pointer outside arena");
+    return static_cast<Addr>(p - data_.data());
+}
+
+bool
+NvRam::contains(const void *hostPtr) const
+{
+    const auto *p = static_cast<const std::uint8_t *>(hostPtr);
+    return p >= data_.data() && p < data_.data() + size_;
+}
+
+void
+NvRam::accountWrite(std::uint32_t bytes)
+{
+    stats_.counter("bytesWritten") += bytes;
+    ++stats_.counter("writes");
+}
+
+void
+NvRam::accountRead(std::uint32_t bytes)
+{
+    stats_.counter("bytesRead") += bytes;
+    ++stats_.counter("reads");
+}
+
+} // namespace ticsim::mem

@@ -1,0 +1,37 @@
+#include "mayfly.hpp"
+
+#include <algorithm>
+
+namespace ticsim::taskrt {
+
+bool
+MayflyRuntime::validateAcyclic() const
+{
+    // Kahn's algorithm over the declared edges.
+    const auto n = static_cast<TaskId>(tasks_.size());
+    std::vector<int> indeg(static_cast<std::size_t>(n), 0);
+    for (const auto &e : edges_) {
+        if (e.second >= 0 && e.second < n)
+            ++indeg[static_cast<std::size_t>(e.second)];
+    }
+    std::vector<TaskId> ready;
+    for (TaskId t = 0; t < n; ++t) {
+        if (indeg[static_cast<std::size_t>(t)] == 0)
+            ready.push_back(t);
+    }
+    std::size_t visited = 0;
+    while (!ready.empty()) {
+        const TaskId t = ready.back();
+        ready.pop_back();
+        ++visited;
+        for (const auto &e : edges_) {
+            if (e.first != t || e.second < 0 || e.second >= n)
+                continue;
+            if (--indeg[static_cast<std::size_t>(e.second)] == 0)
+                ready.push_back(e.second);
+        }
+    }
+    return visited == static_cast<std::size_t>(n);
+}
+
+} // namespace ticsim::taskrt

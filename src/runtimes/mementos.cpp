@@ -1,0 +1,154 @@
+#include "mementos.hpp"
+
+#include "tics/config.hpp"
+
+#include <cstring>
+
+#include "support/logging.hpp"
+
+namespace ticsim::runtimes {
+
+void
+MementosRuntime::attach(board::Board &board, std::function<void()> appMain)
+{
+    Runtime::attach(board, std::move(appMain));
+    area_ = std::make_unique<tics::CheckpointArea>(
+        board.nvram(), "mementos.ckpt", board.config().stackHostBytes);
+    footprint_.add("mementos runtime code", 2600, 0);
+    auto pending = std::move(pendingGlobals_);
+    pendingGlobals_.clear();
+    for (const auto &[base, bytes] : pending)
+        trackGlobals(base, bytes);
+}
+
+void
+MementosRuntime::trackGlobals(void *base, std::uint32_t bytes)
+{
+    if (!board_) {
+        // Application objects are constructed before the runtime is
+        // attached to a board; defer the shadow allocation.
+        pendingGlobals_.emplace_back(base, bytes);
+        return;
+    }
+    GlobalRegion r;
+    r.base = base;
+    r.bytes = bytes;
+    // One shadow per checkpoint slot, laid out back to back.
+    const auto addr = board_->nvram().allocate(
+        "mementos.globals" + std::to_string(globals_.size()), 2 * bytes, 8);
+    r.shadow = board_->nvram().hostPtr(addr);
+    globals_.push_back(r);
+    globalsBytes_ += bytes;
+    footprint_.add("double-buffered globals", 0, 2 * bytes);
+}
+
+bool
+MementosRuntime::onPowerOn()
+{
+    auto &b = *board_;
+    const auto &costs = b.costs();
+    if (!b.chargeSys(costs.bootInit))
+        return false;
+
+    tics::CheckpointArea::Slot *slot = area_->valid();
+    if (!slot) {
+        model_.clear();
+        // Force an early checkpoint at the first trigger: MementOS has
+        // no undo log, so pre-checkpoint global writes are only safe
+        // once a restore point exists.
+        lastCkptTrue_ = 0;
+        b.ctx().prepare([this] { appMain_(); });
+        return true;
+    }
+
+    // Restore cost scales with the whole saved state: this is the
+    // unbounded-restore path that can starve small energy buffers.
+    const std::uint32_t stateBytes = committedStackBytes_ + globalsBytes_;
+    if (!b.chargeSys(device::CostModel::linear(
+            costs.restoreLogic, costs.restorePerByte, stateBytes)))
+        return false;
+
+    tics::restoreStackImage(*slot);
+    const int idx = area_->validIndex();
+    for (auto &g : globals_)
+        std::memcpy(g.base, g.shadow + static_cast<std::size_t>(idx) *
+                                g.bytes,
+                    g.bytes);
+    model_ = ckptModel_;
+    lastCkptTrue_ = b.now();
+    ++stats_.counter("restores");
+    b.ctx().prepareResume(slot->regs);
+    return true;
+}
+
+bool
+MementosRuntime::doCheckpoint()
+{
+    auto &b = *board_;
+    const auto &costs = b.costs();
+    const std::uint32_t stateBytes = model_.totalBytes + globalsBytes_;
+
+    // Whole cost up front: death here leaves the old commit valid.
+    b.charge(device::CostModel::linear(costs.ckptLogic, costs.ckptPerByte,
+                                       stateBytes));
+
+    tics::CheckpointArea::Slot &slot = area_->writeSlot();
+    const int idx = area_->writeIndex();
+    if (!tics::captureStackImage(b, slot, tics::TicsConfig::kHostRedzone))
+        return false; // resumed after a reboot
+
+    for (auto &g : globals_)
+        std::memcpy(g.shadow + static_cast<std::size_t>(idx) * g.bytes,
+                    g.base, g.bytes);
+    area_->commit();
+    ckptModel_ = model_;
+    committedStackBytes_ = model_.totalBytes;
+    lastCkptTrue_ = b.now();
+    ++ckpts_;
+    ++stats_.counter("checkpoints");
+    b.markProgress();
+    return true;
+}
+
+void
+MementosRuntime::frameEnter(std::uint16_t modeledBytes)
+{
+    model_.push(modeledBytes);
+}
+
+void
+MementosRuntime::frameExit()
+{
+    model_.pop();
+}
+
+void
+MementosRuntime::triggerPoint()
+{
+    auto &b = *board_;
+    b.charge(4); // MementOS voltage/trigger check at every site
+    bool want = false;
+    switch (cfg_.trigger) {
+      case MementosConfig::Trigger::Every:
+        want = true;
+        break;
+      case MementosConfig::Trigger::Timer:
+        want = b.now() - lastCkptTrue_ >= cfg_.timerPeriod;
+        break;
+      case MementosConfig::Trigger::Voltage: {
+        const Volts v = b.supply().voltageNow();
+        want = v >= 0.0 && v < cfg_.voltageThreshold;
+        break;
+      }
+    }
+    if (want)
+        doCheckpoint();
+}
+
+void
+MementosRuntime::checkpointNow()
+{
+    doCheckpoint();
+}
+
+} // namespace ticsim::runtimes

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The unprotected baseline: ordinary C on intermittent power.
+ *
+ * No checkpoints, no versioning. Every reboot restarts main() from
+ * scratch; volatile state (the call stack and registers) is lost, but
+ * globals live in FRAM and keep whatever values the failed run left
+ * behind — which is exactly how partial progress and WAR memory
+ * inconsistencies (paper Fig. 3a, Table 1 "plain C" rows) arise.
+ */
+
+#ifndef TICSIM_RUNTIMES_PLAINC_HPP
+#define TICSIM_RUNTIMES_PLAINC_HPP
+
+#include "board/board.hpp"
+#include "board/runtime.hpp"
+
+namespace ticsim::runtimes {
+
+class PlainCRuntime : public board::Runtime
+{
+  public:
+    const char *name() const override { return "plain-C"; }
+
+    void
+    attach(board::Board &board, std::function<void()> appMain) override
+    {
+        Runtime::attach(board, std::move(appMain));
+        footprint_.add("crt0/startup", 420, 0);
+    }
+
+    bool
+    onPowerOn() override
+    {
+        if (!board_->chargeSys(board_->costs().bootInit))
+            return false;
+        board_->ctx().prepare([this] {
+            // Restart-from-main is this system's notion of progress.
+            board_->markProgress();
+            appMain_();
+        });
+        return true;
+    }
+};
+
+} // namespace ticsim::runtimes
+
+#endif // TICSIM_RUNTIMES_PLAINC_HPP

@@ -1,0 +1,103 @@
+#include "logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ticsim {
+
+Logger &
+Logger::get()
+{
+    static Logger instance;
+    return instance;
+}
+
+void
+Logger::vlog(LogLevel level, const char *prefix, const char *fmt,
+             std::va_list ap)
+{
+    if (level > level_)
+        return;
+    std::fprintf(stderr, "%s", prefix);
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::fprintf(stderr, "panic: ");
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::fprintf(stderr, "fatal: ");
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    Logger::get().vlog(LogLevel::Normal, "warn: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    Logger::get().vlog(LogLevel::Normal, "info: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+debugLog(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    Logger::get().vlog(LogLevel::Debug, "debug: ", fmt, ap);
+    va_end(ap);
+}
+
+namespace detail {
+
+void
+assertFail(const char *cond)
+{
+    std::fprintf(stderr, "panic: assertion failed: %s\n", cond);
+    std::abort();
+}
+
+void
+assertFail(const char *cond, const char *fmt, ...)
+{
+    std::fprintf(stderr, "panic: assertion failed: %s", cond);
+    if (fmt && fmt[0] != '\0') {
+        std::fprintf(stderr, ": ");
+        std::va_list ap;
+        va_start(ap, fmt);
+        std::vfprintf(stderr, fmt, ap);
+        va_end(ap);
+    }
+    std::fputc('\n', stderr);
+    std::abort();
+}
+
+} // namespace detail
+
+} // namespace ticsim

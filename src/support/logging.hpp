@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Logging and error-reporting helpers, following the gem5 convention:
+ * panic() for internal invariant violations (simulator bugs) and
+ * fatal() for user/configuration errors, plus warn()/inform() status
+ * messages that never stop the simulation.
+ */
+
+#ifndef TICSIM_SUPPORT_LOGGING_HPP
+#define TICSIM_SUPPORT_LOGGING_HPP
+
+#include <cstdarg>
+#include <string>
+
+namespace ticsim {
+
+/** Verbosity levels for the global logger. */
+enum class LogLevel {
+    Quiet = 0,  ///< only panic/fatal output
+    Normal,     ///< + warn and inform
+    Debug,      ///< + debug traces
+};
+
+/**
+ * Minimal global logger. All simulator diagnostics funnel through here
+ * so benchmark binaries can silence the simulator while printing their
+ * own tables.
+ */
+class Logger
+{
+  public:
+    static Logger &get();
+
+    void setLevel(LogLevel level) { level_ = level; }
+    LogLevel level() const { return level_; }
+
+    /** printf-style message at the given level (no newline appended). */
+    void vlog(LogLevel level, const char *prefix, const char *fmt,
+              std::va_list ap);
+
+  private:
+    LogLevel level_ = LogLevel::Normal;
+};
+
+/**
+ * Abort the process: an internal invariant was violated (simulator
+ * bug). Mirrors gem5 panic().
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Exit with an error: the condition is the user's fault (bad
+ * configuration, invalid arguments). Mirrors gem5 fatal().
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Non-fatal warning about questionable but survivable conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Debug-level trace message (suppressed unless LogLevel::Debug). */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+namespace detail {
+/** Implementation of TICSIM_ASSERT failure reporting. */
+[[noreturn]] void assertFail(const char *cond);
+[[noreturn]] void assertFail(const char *cond, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+} // namespace detail
+
+/** panic() unless the condition holds; optional printf-style detail. */
+#define TICSIM_ASSERT(cond, ...)                                          \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            ::ticsim::detail::assertFail(#cond __VA_OPT__(, )             \
+                                             __VA_ARGS__);               \
+    } while (0)
+
+} // namespace ticsim
+
+#endif // TICSIM_SUPPORT_LOGGING_HPP

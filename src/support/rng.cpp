@@ -1,0 +1,102 @@
+#include "rng.hpp"
+
+#include <cmath>
+
+namespace ticsim {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+void
+Rng::reseed(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    // Simple rejection-free modulo; bias is negligible for our bounds.
+    return bound == 0 ? 0 : next() % bound;
+}
+
+std::int64_t
+Rng::range(std::int64_t lo, std::int64_t hi)
+{
+    if (hi <= lo)
+        return lo;
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    double acc = 0.0;
+    for (int i = 0; i < 12; ++i)
+        acc += uniform();
+    return mean + stddev * (acc - 6.0);
+}
+
+double
+Rng::exponential(double mean)
+{
+    double u = uniform();
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    return -mean * std::log(u);
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xD1F7C0DEULL);
+}
+
+} // namespace ticsim

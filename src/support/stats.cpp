@@ -1,0 +1,103 @@
+#include "stats.hpp"
+
+#include <cmath>
+#include <iomanip>
+
+#include "logging.hpp"
+
+namespace ticsim {
+
+void
+Distribution::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        if (v < min_) min_ = v;
+        if (v > max_) max_ = v;
+    }
+    ++count_;
+    sum_ += v;
+    sumSq_ += v * v;
+}
+
+void
+Distribution::reset()
+{
+    *this = Distribution();
+}
+
+double
+Distribution::stddev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    const double n = static_cast<double>(count_);
+    const double var = (sumSq_ - sum_ * sum_ / n) / (n - 1.0);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+Counter &
+StatGroup::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+Distribution &
+StatGroup::distribution(const std::string &name)
+{
+    return distributions_[name];
+}
+
+void
+StatGroup::setScalar(const std::string &name, double value)
+{
+    scalars_[name] = value;
+}
+
+bool
+StatGroup::hasCounter(const std::string &name) const
+{
+    return counters_.count(name) != 0;
+}
+
+std::uint64_t
+StatGroup::counterValue(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+double
+StatGroup::scalarValue(const std::string &name) const
+{
+    auto it = scalars_.find(name);
+    return it == scalars_.end() ? 0.0 : it->second;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &kv : counters_)
+        kv.second.reset();
+    for (auto &kv : distributions_)
+        kv.second.reset();
+    scalars_.clear();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &kv : counters_)
+        os << name_ << '.' << kv.first << "  " << kv.second.value() << '\n';
+    for (const auto &kv : scalars_)
+        os << name_ << '.' << kv.first << "  " << kv.second << '\n';
+    for (const auto &kv : distributions_) {
+        const auto &d = kv.second;
+        os << name_ << '.' << kv.first << "  n=" << d.count()
+           << " mean=" << d.mean() << " min=" << d.min()
+           << " max=" << d.max() << " sd=" << d.stddev() << '\n';
+    }
+}
+
+} // namespace ticsim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Lightweight statistics package in the spirit of gem5's stats: named
+ * counters, scalars and histograms grouped per component, dumpable in a
+ * human-readable listing. Benchmark harnesses read stats by name to
+ * build the paper's tables.
+ */
+
+#ifndef TICSIM_SUPPORT_STATS_HPP
+#define TICSIM_SUPPORT_STATS_HPP
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ticsim {
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running scalar statistic (min/max/mean over samples). */
+class Distribution
+{
+  public:
+    void sample(double v);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    /** Sample standard deviation (0 for < 2 samples). */
+    double stddev() const;
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A named bag of statistics owned by a component. Components register
+ * their counters/distributions once; the group formats them on dump()
+ * and exposes them for programmatic lookup.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    Counter &counter(const std::string &name);
+    Distribution &distribution(const std::string &name);
+
+    /** Scalar slot for values computed by the component itself. */
+    void setScalar(const std::string &name, double value);
+
+    bool hasCounter(const std::string &name) const;
+    std::uint64_t counterValue(const std::string &name) const;
+    double scalarValue(const std::string &name) const;
+
+    const std::string &name() const { return name_; }
+
+    /** Zero every statistic in the group. */
+    void resetAll();
+
+    /** Human-readable listing (one stat per line, gem5-style). */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Distribution> distributions_;
+    std::map<std::string, double> scalars_;
+};
+
+} // namespace ticsim
+
+#endif // TICSIM_SUPPORT_STATS_HPP

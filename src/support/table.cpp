@@ -1,0 +1,125 @@
+#include "table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ticsim {
+
+void
+Table::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+Table &
+Table::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &text)
+{
+    if (rows_.empty())
+        rows_.emplace_back();
+    rows_.back().push_back(text);
+    return *this;
+}
+
+Table &
+Table::cell(std::uint64_t v)
+{
+    return cell(std::to_string(v));
+}
+
+Table &
+Table::cell(std::int64_t v)
+{
+    return cell(std::to_string(v));
+}
+
+Table &
+Table::cell(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return cell(std::string(buf));
+}
+
+void
+Table::separator()
+{
+    separators_.push_back(rows_.size());
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &r) {
+        if (widths.size() < r.size())
+            widths.resize(r.size(), 0);
+        for (std::size_t i = 0; i < r.size(); ++i)
+            widths[i] = std::max(widths[i], r[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    auto rule = [&]() {
+        os << '+';
+        for (auto w : widths)
+            os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    };
+    auto line = [&](const std::vector<std::string> &r) {
+        os << '|';
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &c = i < r.size() ? r[i] : std::string();
+            os << ' ' << c << std::string(widths[i] - c.size() + 1, ' ')
+               << '|';
+        }
+        os << '\n';
+    };
+
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+    rule();
+    if (!header_.empty()) {
+        line(header_);
+        rule();
+    }
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        if (std::find(separators_.begin(), separators_.end(), i) !=
+            separators_.end()) {
+            rule();
+        }
+        line(rows_[i]);
+    }
+    rule();
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            os_ << ',';
+        const std::string &c = cells[i];
+        if (c.find_first_of(",\"\n") != std::string::npos) {
+            os_ << '"';
+            for (char ch : c) {
+                if (ch == '"')
+                    os_ << '"';
+                os_ << ch;
+            }
+            os_ << '"';
+        } else {
+            os_ << c;
+        }
+    }
+    os_ << '\n';
+}
+
+} // namespace ticsim

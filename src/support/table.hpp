@@ -1,0 +1,68 @@
+/**
+ * @file
+ * ASCII table and CSV emission used by the benchmark harnesses to print
+ * paper-style tables (Tables 1-4) and figure series (Fig. 8-10).
+ */
+
+#ifndef TICSIM_SUPPORT_TABLE_HPP
+#define TICSIM_SUPPORT_TABLE_HPP
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ticsim {
+
+/**
+ * Column-aligned ASCII table builder. Cells are strings; numeric
+ * convenience overloads format with limited precision.
+ */
+class Table
+{
+  public:
+    explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Begin a new body row. */
+    Table &row();
+
+    /** Append one cell to the current row. */
+    Table &cell(const std::string &text);
+    Table &cell(const char *text) { return cell(std::string(text)); }
+    Table &cell(std::uint64_t v);
+    Table &cell(std::int64_t v);
+    Table &cell(int v) { return cell(static_cast<std::int64_t>(v)); }
+    /** Doubles are printed with the given number of decimals. */
+    Table &cell(double v, int decimals = 2);
+
+    /** Insert a horizontal separator before the next row. */
+    void separator();
+
+    /** Render the table. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::size_t> separators_;
+};
+
+/** Minimal CSV writer (RFC-4180-ish quoting). */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(std::ostream &os) : os_(os) {}
+
+    void row(const std::vector<std::string> &cells);
+
+  private:
+    std::ostream &os_;
+};
+
+} // namespace ticsim
+
+#endif // TICSIM_SUPPORT_TABLE_HPP

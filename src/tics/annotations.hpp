@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Time-sensitivity semantics (paper Sections 3.2 and 4, Fig. 6).
+ *
+ * The paper extends C with declarative annotations that its
+ * source-instrumentation pass lowers into runtime calls:
+ *
+ *  | paper syntax              | this API                              |
+ *  |---------------------------|---------------------------------------|
+ *  | @expires_after=1s int x;  | Expiring<int> x(rt, "x", 1s);         |
+ *  | x @= read_sensor();       | x.assignTimed(read_sensor(), i);      |
+ *  | @expires(x){ ... }        | expires(rt, x, [&]{ ... });           |
+ *  | @expires(x){...}catch{...}| expiresCatch(rt, x, body, handler);   |
+ *  | @timely(T){...}else{...}  | timely(rt, id, i, T, then, orElse);   |
+ *
+ * All blocks open an atomic window (automatic checkpoints disabled) and
+ * close with the checkpoint the paper mandates, so a power failure
+ * inside a block re-executes it from its freshness test.
+ *
+ * The @p instance arguments identify one logical evaluation (normally
+ * a persistent iteration counter); they feed the ViolationMonitor that
+ * scores Table 2 and add no device cost.
+ */
+
+#ifndef TICSIM_TICS_ANNOTATIONS_HPP
+#define TICSIM_TICS_ANNOTATIONS_HPP
+
+#include <string>
+
+#include "mem/nv.hpp"
+#include "tics/runtime.hpp"
+
+namespace ticsim::tics {
+
+/**
+ * A non-volatile variable with an expiration constraint
+ * (@expires_after). Every timed assignment updates the associated
+ * persistent timestamp atomically with the value.
+ */
+template <typename T>
+class Expiring
+{
+  public:
+    /**
+     * @param ram The FRAM arena (annotated variables are created at
+     *            program-construction time, before the runtime is
+     *            attached to a board).
+     * @param id Stable identifier (also the NV region name).
+     * @param lifetime Freshness window; 0 means "timestamped but never
+     *                 expires" (the paper's @expires_after=0s).
+     */
+    Expiring(TicsRuntime &rt, mem::NvRam &ram, const std::string &id,
+             TimeNs lifetime)
+        : rt_(rt), id_(id), lifetime_(lifetime),
+          value_(ram, id + ".value"), ts_(ram, id + ".ts")
+    {
+    }
+
+    /**
+     * The @= operator: assign value and timestamp as one atomic block
+     * (checkpoints disabled inside, checkpoint placed right after), so
+     * a power failure can never split data from its timestamp.
+     */
+    void
+    assignTimed(const T &v, std::uint64_t instance,
+                TimeNs misalignTolerance = 10 * kNsPerMs)
+    {
+        rt_.beginAtomic();
+        value_ = v;
+        rt_.chargeTimestampWrite();
+        const TimeNs t = rt_.deviceNow();
+        ts_ = t;
+        rt_.board().monitor().timestampAssigned(id_, instance, t,
+                                                misalignTolerance);
+        rt_.endAtomic(/*checkpoint=*/true);
+    }
+
+    /** Plain (un-timed) update: the timestamp is deliberately kept —
+     *  e.g. converting raw ADC counts to degrees must not refresh the
+     *  data's age (paper Section 3.2.2). */
+    void set(const T &v) { value_ = v; }
+
+    /** Uninstrumented peek (no consumption semantics). */
+    T get() const { return value_.get(); }
+
+    /**
+     * Consume the value: reports the consumption to the violation
+     * monitor so stale uses outside @expires blocks are scored.
+     */
+    T
+    read(std::uint64_t instance)
+    {
+        rt_.board().monitor().dataConsumed(id_, instance, lifetime_,
+                                           rt_.board().now());
+        return value_.get();
+    }
+
+    /** Freshness per the device's own clock (charges a clock read). */
+    bool
+    fresh()
+    {
+        if (lifetime_ == 0)
+            return true;
+        const TimeNs now = rt_.deviceNow();
+        const TimeNs ts = ts_.get();
+        return now <= ts || now - ts <= lifetime_;
+    }
+
+    TimeNs timestamp() const { return ts_.get(); }
+    TimeNs lifetime() const { return lifetime_; }
+    const std::string &id() const { return id_; }
+
+  private:
+    TicsRuntime &rt_;
+    std::string id_;
+    TimeNs lifetime_;
+    mem::nv<T> value_;
+    mem::nv<TimeNs> ts_;
+};
+
+/**
+ * The @expires block: run @p body only if @p var is still fresh,
+ * atomically with respect to automatic checkpoints, with the mandated
+ * checkpoint at block end. Stale data is simply discarded.
+ * @return whether the body ran.
+ */
+template <typename T, typename Body>
+bool
+expires(TicsRuntime &rt, Expiring<T> &var, std::uint64_t instance,
+        Body &&body)
+{
+    rt.beginAtomic();
+    const bool isFresh = var.fresh();
+    if (isFresh)
+        body();
+    rt.endAtomic(/*checkpoint=*/true);
+    return isFresh;
+}
+
+/**
+ * The exception-based @expires/catch block: @p body runs under an
+ * expiration timer; if the data expires mid-block, the block's writes
+ * are rolled back through the parallel undo log and @p handler runs.
+ * Data already stale at entry goes straight to @p handler.
+ * @return whether the body completed before expiry.
+ */
+template <typename T, typename Body, typename Handler>
+bool
+expiresCatch(TicsRuntime &rt, Expiring<T> &var, std::uint64_t instance,
+             Body &&body, Handler &&handler)
+{
+    const TimeNs now = rt.deviceNow();
+    const TimeNs ts = var.timestamp();
+    const TimeNs age = now > ts ? now - ts : 0;
+    if (var.lifetime() != 0 && age > var.lifetime()) {
+        handler();
+        return false;
+    }
+    const TimeNs remaining =
+        var.lifetime() == 0 ? ~TimeNs(0) - rt.board().now()
+                            : var.lifetime() - age;
+    rt.beginExpires(rt.board().now() + remaining);
+    bool completed = true;
+    try {
+        body();
+    } catch (const ExpiredException &) {
+        rt.expiresRollback();
+        completed = false;
+    }
+    rt.endExpires();
+    if (!completed)
+        handler();
+    return completed;
+}
+
+/**
+ * The @timely/else block (paper Section 3.2.1): read the persistent
+ * clock with checkpoints disabled, take the then-branch only before
+ * @p deadline (absolute device time), and checkpoint at the end of the
+ * taken then-branch so re-execution can never take both arms.
+ * @return whether the then-branch ran.
+ */
+template <typename Then, typename Else>
+bool
+timely(TicsRuntime &rt, const char *branchId, std::uint64_t instance,
+       TimeNs deadline, Then &&then, Else &&orElse)
+{
+    rt.beginAtomic();
+    const TimeNs t = rt.deviceNow();
+    const bool taken = t < deadline;
+    if (taken) {
+        // Commit the decision before the branch body: a power failure
+        // inside the body then re-executes the body only — it can
+        // never re-read the clock and flip to the other arm. (A
+        // failure *inside* this commit re-executes the whole block,
+        // where the now-later clock can only yield the else arm; the
+        // taken arm is therefore reported only after its decision is
+        // durable.) A second checkpoint at the end of the branch seals
+        // its effects (paper Section 3.2.1).
+        rt.endAtomic(/*checkpoint=*/true);
+        rt.board().monitor().branchArm(branchId, instance, 0);
+        then();
+        rt.checkpointNow();
+    } else {
+        // Time is monotonic: once missed, a deadline stays missed, so
+        // re-executions can only repeat this arm.
+        rt.board().monitor().branchArm(branchId, instance, 1);
+        rt.endAtomic(/*checkpoint=*/false);
+        orElse();
+    }
+    return taken;
+}
+
+} // namespace ticsim::tics
+
+#endif // TICSIM_TICS_ANNOTATIONS_HPP

@@ -1,0 +1,49 @@
+#include "checkpoint_area.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "board/board.hpp"
+#include "support/logging.hpp"
+
+namespace ticsim::tics {
+
+CheckpointArea::CheckpointArea(mem::NvRam &ram, const std::string &name,
+                               std::uint32_t imageCapacity)
+    : imageCapacity_(imageCapacity)
+{
+    for (int i = 0; i < 2; ++i) {
+        const auto a = ram.allocate(
+            name + ".image" + std::to_string(i), imageCapacity, 16);
+        slots_[i].image = ram.hostPtr(a);
+    }
+}
+
+bool
+captureStackImage(board::Board &b, CheckpointArea::Slot &slot,
+                  std::uint32_t redzoneBytes)
+{
+    auto &ctx = b.ctx();
+    ctx.armResumedCheck();
+    getcontext(&slot.regs.uc);
+    if (ctx.wasResumed())
+        return false;
+
+    const auto base = reinterpret_cast<std::uintptr_t>(ctx.stackBase());
+    std::uintptr_t low = context::ExecContext::probeSp();
+    low = low > redzoneBytes ? low - redzoneBytes : 0;
+    low = std::max(low, base);
+    slot.imgLow = low;
+    slot.imgSize = static_cast<std::uint32_t>(ctx.stackTop() - low);
+    std::memcpy(slot.image, reinterpret_cast<void *>(low), slot.imgSize);
+    return true;
+}
+
+void
+restoreStackImage(const CheckpointArea::Slot &slot)
+{
+    std::memcpy(reinterpret_cast<void *>(slot.imgLow), slot.image,
+                slot.imgSize);
+}
+
+} // namespace ticsim::tics

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Double-buffered checkpoint storage with two-phase commit (paper
+ * Section 4 "Automatic Checkpoints").
+ *
+ * Two slots alternate as write target and valid restore point; a
+ * commit flips the valid index only after the write slot is fully
+ * populated, so a power failure during checkpointing always leaves one
+ * consistent restore point (or none, before the first commit).
+ *
+ * Each slot holds the machine-register snapshot, the stack-
+ * segmentation bookkeeping, and the host stack image. The *modeled*
+ * checkpoint payload is registers + one working segment (that is what
+ * the cost model charges); the host image covers the live stack region
+ * for bit-exact resume mechanics (see DESIGN.md Section 4).
+ */
+
+#ifndef TICSIM_TICS_CHECKPOINT_AREA_HPP
+#define TICSIM_TICS_CHECKPOINT_AREA_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "context/exec_context.hpp"
+#include "mem/nvram.hpp"
+#include "tics/segmentation.hpp"
+
+namespace ticsim::board {
+class Board;
+}
+
+namespace ticsim::tics {
+
+class CheckpointArea
+{
+  public:
+    struct Slot {
+        context::RegSlot regs;
+        Segmentation seg;
+        std::uintptr_t imgLow = 0;
+        std::uint32_t imgSize = 0;
+        std::uint8_t *image = nullptr; ///< NV pool of imageCapacity bytes
+    };
+
+    /**
+     * @param ram Arena for the image pools.
+     * @param name Region-name prefix.
+     * @param imageCapacity Host bytes reserved per slot (the full app
+     *                      stack buffer size; actual images are the
+     *                      live region only).
+     */
+    CheckpointArea(mem::NvRam &ram, const std::string &name,
+                   std::uint32_t imageCapacity);
+
+    /** The slot the next checkpoint writes into (never the valid one). */
+    Slot &writeSlot() { return slots_[validIdx_ == 0 ? 1 : 0]; }
+
+    /** The committed restore point, or nullptr before the first commit. */
+    Slot *valid()
+    {
+        return validIdx_ < 0 ? nullptr : &slots_[validIdx_];
+    }
+
+    /** Flip the commit flag: the write slot becomes the valid one. */
+    void commit() { validIdx_ = (validIdx_ == 0) ? 1 : 0; }
+
+    /** Drop the restore point (fresh-start experiments). */
+    void invalidate() { validIdx_ = -1; }
+
+    /** Index of the slot writeSlot() returns (for parallel buffers). */
+    int writeIndex() const { return validIdx_ == 0 ? 1 : 0; }
+
+    /** Index of the committed slot, or -1 before the first commit. */
+    int validIndex() const { return validIdx_; }
+
+    std::uint32_t imageCapacity() const { return imageCapacity_; }
+
+  private:
+    Slot slots_[2];
+    std::int8_t validIdx_ = -1;
+    std::uint32_t imageCapacity_;
+};
+
+/**
+ * Capture the machine registers and the live host stack image into
+ * @p slot. The getcontext() and the image copy happen in this one
+ * frame, *in that order*, so every stack byte the resume path can read
+ * — including this function's own spill slots — is part of the image.
+ * Callers on the capture path then fill the slot's remaining fields
+ * and commit; on the resume path they must return immediately.
+ *
+ * @return true on the capture path; false when execution re-entered
+ *         the capture point through ExecContext::prepareResume().
+ */
+bool captureStackImage(board::Board &b, CheckpointArea::Slot &slot,
+                       std::uint32_t redzoneBytes);
+
+/** Restore the stack image saved in @p slot (reboot path). */
+void restoreStackImage(const CheckpointArea::Slot &slot);
+
+} // namespace ticsim::tics
+
+#endif // TICSIM_TICS_CHECKPOINT_AREA_HPP

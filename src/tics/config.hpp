@@ -1,0 +1,58 @@
+/**
+ * @file
+ * TICS runtime configuration: working-stack segment size, undo-log
+ * capacity, and the automatic-checkpoint policy (paper Section 4).
+ */
+
+#ifndef TICSIM_TICS_CONFIG_HPP
+#define TICSIM_TICS_CONFIG_HPP
+
+#include <cstdint>
+
+#include "support/units.hpp"
+
+namespace ticsim::tics {
+
+/** When automatic checkpoints are taken. */
+enum class PolicyKind {
+    None,         ///< only grow/shrink-forced and manual checkpoints
+    Timer,        ///< periodic (paper: 10 ms timer in S1*/S2*)
+    Voltage,      ///< hardware-assisted: below a supply-voltage threshold
+    EveryTrigger, ///< checkpoint at every trigger point (stress mode)
+};
+
+struct TicsConfig {
+    /**
+     * Working-stack segment size in modeled bytes. Paper
+     * configurations: S1 = 50 B, S2 = 256 B. Must be at least the
+     * largest declared frame in the program.
+     */
+    std::uint32_t segmentBytes = 256;
+
+    /** Modeled segment-array capacity (segments). */
+    std::uint32_t segmentCount = 16;
+
+    /** Undo-log byte-pool capacity (paper configuration: 2048 B). */
+    std::uint32_t undoLogBytes = 2048;
+
+    /** Undo-log entry-table capacity. */
+    std::uint32_t undoLogEntries = 128;
+
+    PolicyKind policy = PolicyKind::Timer;
+
+    /** Timer policy period (paper: 10 ms). */
+    TimeNs timerPeriod = 10 * kNsPerMs;
+
+    /** Voltage policy threshold. */
+    Volts voltageThreshold = 2.1;
+
+    /**
+     * Host red-zone below the probed stack pointer included in the
+     * checkpoint image (covers the capture function's own frame).
+     */
+    static constexpr std::uint32_t kHostRedzone = 640;
+};
+
+} // namespace ticsim::tics
+
+#endif // TICSIM_TICS_CONFIG_HPP

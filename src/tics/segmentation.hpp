@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The stack-segmentation protocol (paper Sections 3.1.1 and 4, Fig. 7).
+ *
+ * The modeled stack is divided into fixed-size segments chosen at
+ * compile time; the segment the program currently manipulates is the
+ * *working stack*, the only part a checkpoint must save. Function
+ * entries and exits (reported by FrameGuard with the frame sizes the
+ * paper's compiler pass computes) drive grow/shrink transitions:
+ *
+ *  - grow: the entered frame does not fit in the working segment, so
+ *    the working stack advances to the next segment (arguments are
+ *    copied across on real hardware; the cost model charges this).
+ *  - shrink: the returning frame leaves the working segment; if the
+ *    currently checkpointed segment is now outside the live stack,
+ *    an implicit checkpoint of the new working segment is enforced so
+ *    its modifications can still be rolled back after a failure.
+ *
+ * The whole state is trivially copyable: it lives in FRAM and is
+ * snapshotted with each checkpoint.
+ */
+
+#ifndef TICSIM_TICS_SEGMENTATION_HPP
+#define TICSIM_TICS_SEGMENTATION_HPP
+
+#include <cstdint>
+
+#include "board/model_stack.hpp"
+#include "support/logging.hpp"
+
+namespace ticsim::tics {
+
+/** What a frame event asks the runtime to do. */
+struct SegAction {
+    bool grew = false;
+    bool shrunk = false;
+    /** Enforce an implicit checkpoint (shrink past the checkpointed
+     *  segment). */
+    bool forceCheckpoint = false;
+};
+
+/** Trivially-copyable segmentation state (checkpointed with registers). */
+class Segmentation
+{
+  public:
+    static constexpr std::uint32_t kMaxSegs = 64;
+    static constexpr std::int32_t kNoSegment = -1;
+
+    void
+    configure(std::uint32_t segmentBytes, std::uint32_t segmentCount)
+    {
+        TICSIM_ASSERT(segmentBytes > 0);
+        TICSIM_ASSERT(segmentCount >= 1 && segmentCount <= kMaxSegs);
+        segmentBytes_ = segmentBytes;
+        segmentCount_ = segmentCount;
+        reset();
+    }
+
+    void
+    reset()
+    {
+        model_.clear();
+        for (auto &u : segUsed_)
+            u = 0;
+        workingSeg_ = 0;
+        checkpointedSeg_ = kNoSegment;
+    }
+
+    /** @return the grow decision for a frame of @p bytes. */
+    SegAction
+    frameEnter(std::uint16_t bytes)
+    {
+        TICSIM_ASSERT(bytes <= segmentBytes_,
+                      "frame (%u B) larger than a stack segment (%u B); "
+                      "raise TicsConfig::segmentBytes",
+                      bytes, segmentBytes_);
+        SegAction a;
+        if (segUsed_[workingSeg_] + bytes > segmentBytes_) {
+            TICSIM_ASSERT(
+                workingSeg_ + 1 < static_cast<std::int32_t>(segmentCount_),
+                "modeled stack overflow: segment array exhausted");
+            ++workingSeg_;
+            segUsed_[workingSeg_] = bytes;
+            a.grew = true;
+        } else {
+            segUsed_[workingSeg_] += bytes;
+        }
+        frameSeg_[model_.depth] = static_cast<std::uint8_t>(workingSeg_);
+        model_.push(bytes);
+        return a;
+    }
+
+    /** @return the shrink / enforced-checkpoint decision. */
+    SegAction
+    frameExit()
+    {
+        SegAction a;
+        TICSIM_ASSERT(model_.depth > 0, "frame exit on empty stack");
+        const std::uint16_t bytes = model_.top();
+        const std::int32_t seg = frameSeg_[model_.depth - 1];
+        model_.pop();
+        segUsed_[seg] -= bytes;
+        const std::int32_t newSeg =
+            model_.depth > 0 ? frameSeg_[model_.depth - 1] : 0;
+        if (newSeg != seg) {
+            workingSeg_ = newSeg;
+            a.shrunk = true;
+            // Paper rule: if the current working stack was not saved
+            // into the segment checkpoint yet — because the
+            // checkpointed segment is now outside the live stack, or
+            // because nothing was ever checkpointed — the new working
+            // stack must be checkpointed so its modifications remain
+            // undoable.
+            if (checkpointedSeg_ == kNoSegment ||
+                checkpointedSeg_ > newSeg) {
+                a.forceCheckpoint = true;
+            }
+        }
+        return a;
+    }
+
+    /** Record that the working segment was just committed. */
+    void noteCheckpointed() { checkpointedSeg_ = workingSeg_; }
+
+    std::int32_t workingSegment() const { return workingSeg_; }
+    std::int32_t checkpointedSegment() const { return checkpointedSeg_; }
+    std::uint32_t segmentBytes() const { return segmentBytes_; }
+    std::uint32_t depth() const { return model_.depth; }
+    std::uint32_t modeledStackBytes() const { return model_.totalBytes; }
+    std::uint32_t
+    usedInWorking() const
+    {
+        return segUsed_[workingSeg_];
+    }
+
+  private:
+    board::ModelStack model_;
+    std::uint16_t segUsed_[kMaxSegs] = {};
+    std::uint8_t frameSeg_[board::ModelStack::kMaxDepth] = {};
+    std::int32_t workingSeg_ = 0;
+    std::int32_t checkpointedSeg_ = kNoSegment;
+    std::uint32_t segmentBytes_ = 256;
+    std::uint32_t segmentCount_ = 16;
+};
+
+} // namespace ticsim::tics
+
+#endif // TICSIM_TICS_SEGMENTATION_HPP

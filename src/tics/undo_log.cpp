@@ -1,0 +1,80 @@
+#include "undo_log.hpp"
+
+#include <cstring>
+
+#include "support/logging.hpp"
+
+namespace ticsim::tics {
+
+UndoLog::UndoLog(mem::NvRam &ram, const std::string &name,
+                 std::uint32_t poolBytes, std::uint32_t maxEntries)
+    : poolBytes_(poolBytes), maxEntries_(maxEntries)
+{
+    const auto poolAddr = ram.allocate(name + ".pool", poolBytes, 8);
+    const auto tblAddr = ram.allocate(name + ".entries",
+                                      maxEntries *
+                                          sizeof(Entry),
+                                      alignof(Entry));
+    pool_ = ram.hostPtr(poolAddr);
+    entries_ = reinterpret_cast<Entry *>(ram.hostPtr(tblAddr));
+}
+
+bool
+UndoLog::wouldOverflow(std::uint32_t bytes) const
+{
+    return count_ >= maxEntries_ || poolUsed_ + bytes > poolBytes_;
+}
+
+void
+UndoLog::append(void *p, std::uint32_t bytes)
+{
+    TICSIM_ASSERT(!wouldOverflow(bytes), "undo log overflow");
+    Entry &e = entries_[count_];
+    e.target = static_cast<std::uint8_t *>(p);
+    e.bytes = bytes;
+    e.poolOff = poolUsed_;
+    std::memcpy(pool_ + poolUsed_, p, bytes);
+    poolUsed_ += bytes;
+    ++count_;
+}
+
+std::uint32_t
+UndoLog::rollback()
+{
+    return rollbackTo(0);
+}
+
+std::uint32_t
+UndoLog::rollbackTo(std::uint32_t watermark)
+{
+    TICSIM_ASSERT(watermark <= count_);
+    std::uint32_t applied = 0;
+    // Newest first, so overlapping records end with the oldest value.
+    for (std::uint32_t i = count_; i > watermark; --i) {
+        const Entry &e = entries_[i - 1];
+        std::memcpy(e.target, pool_ + e.poolOff, e.bytes);
+        ++applied;
+    }
+    count_ = watermark;
+    poolUsed_ = watermark == 0 ? 0 : entries_[watermark - 1].poolOff +
+                                         entries_[watermark - 1].bytes;
+    return applied;
+}
+
+void
+UndoLog::clear()
+{
+    count_ = 0;
+    poolUsed_ = 0;
+}
+
+std::uint32_t
+UndoLog::bytesSince(std::uint32_t watermark) const
+{
+    std::uint32_t total = 0;
+    for (std::uint32_t i = watermark; i < count_; ++i)
+        total += entries_[i].bytes;
+    return total;
+}
+
+} // namespace ticsim::tics

@@ -1,0 +1,101 @@
+#include "timekeeper.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace ticsim::timekeeper {
+
+RtcCapTimekeeper::RtcCapTimekeeper(TimeNs holdTime, double driftPpm)
+    : holdTime_(holdTime), driftPpm_(driftPpm)
+{
+}
+
+TimeNs
+RtcCapTimekeeper::read(TimeNs trueNow)
+{
+    const TimeNs sinceEpoch = trueNow >= epoch_ ? trueNow - epoch_ : 0;
+    const double drifted =
+        static_cast<double>(sinceEpoch) * (1.0 + driftPpm_ * 1e-6);
+    return static_cast<TimeNs>(drifted);
+}
+
+void
+RtcCapTimekeeper::onPowerFail(TimeNs trueNow)
+{
+    failAt_ = trueNow;
+    inOutage_ = true;
+}
+
+void
+RtcCapTimekeeper::onPowerOn(TimeNs trueNow)
+{
+    if (inOutage_ && trueNow - failAt_ > holdTime_) {
+        // Hold-up capacitor ran dry: the RTC restarts from zero.
+        epoch_ = trueNow;
+    }
+    inOutage_ = false;
+}
+
+void
+RtcCapTimekeeper::reset()
+{
+    failAt_ = 0;
+    inOutage_ = false;
+    epoch_ = 0;
+}
+
+RemanenceTimekeeper::RemanenceTimekeeper(double errorFraction,
+                                         TimeNs horizon, Rng rng)
+    : errorFraction_(errorFraction), horizon_(horizon), rng_(rng),
+      rngInitial_(rng)
+{
+    if (errorFraction < 0.0 || errorFraction >= 1.0)
+        fatal("remanence timekeeper: error fraction %g outside [0, 1)",
+              errorFraction);
+}
+
+TimeNs
+RemanenceTimekeeper::read(TimeNs trueNow)
+{
+    const std::int64_t est = static_cast<std::int64_t>(trueNow) + skewNs_;
+    return est > 0 ? static_cast<TimeNs>(est) : 0;
+}
+
+void
+RemanenceTimekeeper::onPowerFail(TimeNs trueNow)
+{
+    failAt_ = trueNow;
+    inOutage_ = true;
+}
+
+void
+RemanenceTimekeeper::onPowerOn(TimeNs trueNow)
+{
+    if (!inOutage_)
+        return;
+    inOutage_ = false;
+    const TimeNs trueOff = trueNow - failAt_;
+    TimeNs measured;
+    if (trueOff >= horizon_) {
+        // Full decay: the estimator can only report its horizon.
+        measured = horizon_;
+    } else {
+        const double noisy = static_cast<double>(trueOff) *
+            rng_.uniform(1.0 - errorFraction_, 1.0 + errorFraction_);
+        measured = static_cast<TimeNs>(std::max(0.0, noisy));
+    }
+    skewNs_ += static_cast<std::int64_t>(measured) -
+               static_cast<std::int64_t>(trueOff);
+}
+
+void
+RemanenceTimekeeper::reset()
+{
+    rng_ = rngInitial_;
+    failAt_ = 0;
+    inOutage_ = false;
+    skewNs_ = 0;
+}
+
+} // namespace ticsim::timekeeper

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Persistent timekeeping across power failures.
+ *
+ * MCU-internal clocks reset on every power failure, so time-sensitive
+ * intermittent programs need an external notion of elapsed time (paper
+ * Section 4 "Time Annotations"). Three models:
+ *
+ *  - PerfectTimekeeper: oracle, for tests and baselines.
+ *  - RtcCapTimekeeper: a real-time clock kept alive through outages by
+ *    a small dedicated capacitor (Flicker-style); loses track when an
+ *    outage exceeds its hold-up time, and drifts.
+ *  - RemanenceTimekeeper: TARDIS/CusTARD-style SRAM-decay estimator;
+ *    measures each off interval with bounded multiplicative error and
+ *    saturates for long outages.
+ *
+ * read() returns the device's *estimate* of virtual time; the
+ * ViolationMonitor compares against true time to score timing errors.
+ */
+
+#ifndef TICSIM_TIMEKEEPER_TIMEKEEPER_HPP
+#define TICSIM_TIMEKEEPER_TIMEKEEPER_HPP
+
+#include "support/rng.hpp"
+#include "support/units.hpp"
+
+namespace ticsim::timekeeper {
+
+/** Interface: device-visible persistent clock. */
+class Timekeeper
+{
+  public:
+    virtual ~Timekeeper() = default;
+
+    /** Device estimate of elapsed virtual time at true time @p now. */
+    virtual TimeNs read(TimeNs trueNow) = 0;
+
+    /** Power failed at true time @p now. */
+    virtual void onPowerFail(TimeNs trueNow) {}
+
+    /** Power restored at true time @p now. */
+    virtual void onPowerOn(TimeNs trueNow) {}
+
+    /** Restore initial state for a new experiment. */
+    virtual void reset() {}
+};
+
+/** Oracle clock: estimate == truth. */
+class PerfectTimekeeper : public Timekeeper
+{
+  public:
+    TimeNs read(TimeNs trueNow) override { return trueNow; }
+};
+
+/**
+ * RTC backed by a dedicated hold-up capacitor. Keeps counting through
+ * outages shorter than the hold-up time; longer outages reset the RTC
+ * to zero (the device then under-estimates elapsed time, which is what
+ * produces stale-data acceptance in un-annotated code). Constant ppm
+ * drift while powered.
+ */
+class RtcCapTimekeeper : public Timekeeper
+{
+  public:
+    /**
+     * @param holdTime Longest outage the RTC survives.
+     * @param driftPpm Clock drift in parts per million.
+     */
+    RtcCapTimekeeper(TimeNs holdTime, double driftPpm = 20.0);
+
+    TimeNs read(TimeNs trueNow) override;
+    void onPowerFail(TimeNs trueNow) override;
+    void onPowerOn(TimeNs trueNow) override;
+    void reset() override;
+
+  private:
+    TimeNs holdTime_;
+    double driftPpm_;
+    TimeNs failAt_ = 0;
+    bool inOutage_ = false;
+    /** True time corresponding to RTC zero. */
+    TimeNs epoch_ = 0;
+};
+
+/**
+ * Remanence-based off-time estimator: each outage's length is measured
+ * with uniform multiplicative error and saturates at the decay horizon.
+ * On-time is tracked exactly (MCU clock is fine while powered).
+ */
+class RemanenceTimekeeper : public Timekeeper
+{
+  public:
+    /**
+     * @param errorFraction Half-width of the multiplicative error
+     *                      (0.15 = +/-15%).
+     * @param horizon Longest measurable outage (estimator saturates).
+     */
+    RemanenceTimekeeper(double errorFraction, TimeNs horizon, Rng rng);
+
+    TimeNs read(TimeNs trueNow) override;
+    void onPowerFail(TimeNs trueNow) override;
+    void onPowerOn(TimeNs trueNow) override;
+    void reset() override;
+
+  private:
+    double errorFraction_;
+    TimeNs horizon_;
+    Rng rng_;
+    Rng rngInitial_;
+    TimeNs failAt_ = 0;
+    bool inOutage_ = false;
+    /** Estimated time minus true time, accumulated over outages. */
+    std::int64_t skewNs_ = 0;
+};
+
+} // namespace ticsim::timekeeper
+
+#endif // TICSIM_TIMEKEEPER_TIMEKEEPER_HPP

@@ -1,0 +1,102 @@
+#include "kernel.hpp"
+
+namespace ticsim::tinyos {
+
+Kernel::Kernel(board::Board &b, board::Runtime &rt) : b_(b), rt_(rt)
+{
+}
+
+bool
+Kernel::postTask(TaskFn fn, void *arg)
+{
+    if (qCount_ >= kQueueSlots)
+        return false; // TinyOS post() failure semantics
+    const std::uint32_t slot = (qHead_ + qCount_) % kQueueSlots;
+    queue_[slot] = {fn, arg};
+    ++qCount_;
+    b_.charge(6);
+    return true;
+}
+
+int
+Kernel::startTimer(TimeNs period, TaskFn fn, void *arg)
+{
+    for (std::uint32_t i = 0; i < kMaxTimers; ++i) {
+        if (!timers_[i].active) {
+            timers_[i] = {period, b_.now() + period, fn, arg, true};
+            b_.charge(10);
+            return static_cast<int>(i);
+        }
+    }
+    return -1;
+}
+
+void
+Kernel::stopTimer(int id)
+{
+    if (id >= 0 && id < static_cast<int>(kMaxTimers))
+        timers_[id].active = false;
+}
+
+std::uint32_t
+Kernel::pendingTasks() const
+{
+    return qCount_;
+}
+
+void
+Kernel::run()
+{
+    while (!stopped_) {
+        rt_.triggerPoint();
+
+        // Fire due timers (TinyOS virtual-timer dispatch). Missed
+        // periods coalesce into a single fire, as TinyOS virtual
+        // timers do after the MCU was stopped.
+        for (auto &t : timers_) {
+            if (t.active && b_.now() >= t.due) {
+                postTask(t.fn, t.arg);
+                t.due = b_.now() + t.period;
+                b_.charge(12);
+            }
+        }
+
+        if (qCount_ == 0) {
+            // MCU sleeps until the next event; model a coarse idle
+            // tick (low-power mode draws less, but active-equivalent
+            // cycles keep the accounting simple and conservative).
+            b_.charge(60);
+            continue;
+        }
+
+        const QEntry e = queue_[qHead_];
+        qHead_ = (qHead_ + 1) % kQueueSlots;
+        --qCount_;
+        b_.charge(18); // scheduler dequeue + dispatch
+        e.fn(e.arg);
+    }
+}
+
+void
+Kernel::requestMoisture(std::int32_t *out, TaskFn done, void *arg)
+{
+    *out = b_.sampleMoisture();
+    postTask(done, arg);
+}
+
+void
+Kernel::requestTemp(std::int32_t *out, TaskFn done, void *arg)
+{
+    *out = b_.sampleTemp();
+    postTask(done, arg);
+}
+
+void
+Kernel::sendAM(const void *payload, std::uint32_t bytes, TaskFn done,
+               void *arg)
+{
+    b_.radioSend(payload, bytes);
+    postTask(done, arg);
+}
+
+} // namespace ticsim::tinyos

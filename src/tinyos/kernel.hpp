@@ -1,0 +1,98 @@
+/**
+ * @file
+ * A miniature TinyOS-style event kernel: a FIFO run-to-completion task
+ * queue, repeating virtual timers, split-phase sensing and
+ * active-message sends. This is the "legacy software" substrate of the
+ * paper's Table 1: greenhouse monitoring written against an
+ * event-driven OS from the WSN era, ported to intermittent power by
+ * instrumentation alone.
+ *
+ * Deliberate design constraints:
+ *  - No heap, no std::function: everything is plain data + function
+ *    pointers, so a Kernel can live on the *simulated stack*. There it
+ *    behaves exactly like TinyOS state in RAM: lost on an unprotected
+ *    reboot, checkpointed and restored under TICS.
+ *  - Tasks run to completion (TinyOS semantics); timers post tasks.
+ */
+
+#ifndef TICSIM_TINYOS_KERNEL_HPP
+#define TICSIM_TINYOS_KERNEL_HPP
+
+#include "board/board.hpp"
+#include "board/runtime.hpp"
+
+namespace ticsim::tinyos {
+
+/** TinyOS task: a bare function pointer plus context. */
+using TaskFn = void (*)(void *);
+
+class Kernel
+{
+  public:
+    static constexpr std::uint32_t kQueueSlots = 16;
+    static constexpr std::uint32_t kMaxTimers = 4;
+
+    Kernel(board::Board &b, board::Runtime &rt);
+
+    /** Post a task (FIFO). @return false when the queue is full. */
+    bool postTask(TaskFn fn, void *arg);
+
+    /**
+     * Start a repeating virtual timer that posts (@p fn, @p arg) every
+     * @p period. @return timer id, or -1 when out of timer slots.
+     */
+    int startTimer(TimeNs period, TaskFn fn, void *arg);
+
+    void stopTimer(int id);
+
+    /**
+     * The scheduler main loop: fires due timers, drains the task
+     * queue, idles when nothing is pending. Returns when stop() is
+     * called from a task (power failures leave it via the usual
+     * context abandonment).
+     */
+    void run();
+
+    void stop() { stopped_ = true; }
+
+    // ---- split-phase (request/completion-event) peripheral access ----
+
+    /** Sample soil moisture; *out is filled and @p done posted. */
+    void requestMoisture(std::int32_t *out, TaskFn done, void *arg);
+
+    /** Sample ambient temperature; *out is filled, @p done posted. */
+    void requestTemp(std::int32_t *out, TaskFn done, void *arg);
+
+    /** Send an active message; @p done posted after transmission. */
+    void sendAM(const void *payload, std::uint32_t bytes, TaskFn done,
+                void *arg);
+
+    board::Board &board() { return b_; }
+
+    std::uint32_t pendingTasks() const;
+
+  private:
+    struct QEntry {
+        TaskFn fn;
+        void *arg;
+    };
+    struct Timer {
+        TimeNs period;
+        TimeNs due;
+        TaskFn fn;
+        void *arg;
+        bool active;
+    };
+
+    board::Board &b_;
+    board::Runtime &rt_;
+    QEntry queue_[kQueueSlots];
+    std::uint32_t qHead_ = 0;
+    std::uint32_t qCount_ = 0;
+    Timer timers_[kMaxTimers] = {};
+    bool stopped_ = false;
+};
+
+} // namespace ticsim::tinyos
+
+#endif // TICSIM_TINYOS_KERNEL_HPP

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests of the time-sensitivity semantics (paper Section 3.2): the @=
+ * atomic timed assignment, @expires freshness gating and discard,
+ * @expires/catch mid-block expiry with parallel-undo rollback, and
+ * @timely single-arm guarantees.
+ */
+
+#include <gtest/gtest.h>
+
+#include "board/board.hpp"
+#include "tics/annotations.hpp"
+
+using namespace ticsim;
+using namespace ticsim::tics;
+
+namespace {
+
+struct AnnotationFixture : ::testing::Test {
+    std::unique_ptr<board::Board> b;
+    std::unique_ptr<TicsRuntime> rt;
+
+    void
+    SetUp() override
+    {
+        b = std::make_unique<board::Board>(
+            board::BoardConfig{},
+            std::make_unique<energy::ContinuousSupply>(),
+            std::make_unique<timekeeper::PerfectTimekeeper>());
+        TicsConfig cfg;
+        cfg.policy = PolicyKind::None;
+        rt = std::make_unique<TicsRuntime>(cfg);
+    }
+
+    board::RunResult
+    run(std::function<void()> body)
+    {
+        return b->run(*rt, std::move(body), 60 * kNsPerSec);
+    }
+};
+
+} // namespace
+
+TEST_F(AnnotationFixture, AssignTimedStampsValueAndTime)
+{
+    Expiring<int> x(*rt, b->nvram(), "x", 100 * kNsPerMs);
+    run([&] {
+        x.assignTimed(42, 0);
+    });
+    EXPECT_EQ(x.get(), 42);
+    EXPECT_GT(x.timestamp(), 0u);
+    // The mandated checkpoint closed the atomic block.
+    EXPECT_GE(rt->checkpointCount(CkptCause::AtomicEnd), 1u);
+}
+
+TEST_F(AnnotationFixture, FreshnessFollowsLifetime)
+{
+    Expiring<int> x(*rt, b->nvram(), "x", 50 * kNsPerMs);
+    bool freshEarly = false, freshLate = true;
+    run([&] {
+        x.assignTimed(1, 0);
+        freshEarly = x.fresh();
+        b->charge(80000); // 80 ms at 1 MHz
+        freshLate = x.fresh();
+    });
+    EXPECT_TRUE(freshEarly);
+    EXPECT_FALSE(freshLate);
+}
+
+TEST_F(AnnotationFixture, ZeroLifetimeNeverExpires)
+{
+    Expiring<int> x(*rt, b->nvram(), "x", 0);
+    bool fresh = false;
+    run([&] {
+        x.assignTimed(1, 0);
+        b->charge(500000);
+        fresh = x.fresh();
+    });
+    EXPECT_TRUE(fresh);
+}
+
+TEST_F(AnnotationFixture, ExpiresRunsBodyOnlyWhenFresh)
+{
+    Expiring<int> x(*rt, b->nvram(), "x", 50 * kNsPerMs);
+    int bodyRuns = 0;
+    bool first = false, second = false;
+    run([&] {
+        x.assignTimed(5, 0);
+        first = expires(*rt, x, 0, [&] { ++bodyRuns; });
+        b->charge(80000); // let it expire
+        second = expires(*rt, x, 1, [&] { ++bodyRuns; });
+    });
+    EXPECT_TRUE(first);
+    EXPECT_FALSE(second);
+    EXPECT_EQ(bodyRuns, 1);
+}
+
+TEST_F(AnnotationFixture, ExpiresCatchRollsBackAndHandles)
+{
+    Expiring<int> x(*rt, b->nvram(), "x", 20 * kNsPerMs);
+    mem::nv<int> acc(b->nvram(), "acc", 100);
+    bool completed = true;
+    int handled = 0;
+    run([&] {
+        x.assignTimed(5, 0);
+        completed = expiresCatch(
+            *rt, x, 0,
+            [&] {
+                acc = 999; // must be rolled back on expiry
+                // Long work with trigger points: the expiry timer
+                // fires mid-block.
+                for (int i = 0; i < 100; ++i) {
+                    b->charge(1000);
+                    rt->triggerPoint();
+                }
+            },
+            [&] { ++handled; });
+    });
+    EXPECT_FALSE(completed);
+    EXPECT_EQ(handled, 1);
+    EXPECT_EQ(acc.get(), 100); // the block's write was undone
+}
+
+TEST_F(AnnotationFixture, ExpiresCatchCompletesWhenFast)
+{
+    Expiring<int> x(*rt, b->nvram(), "x", 100 * kNsPerMs);
+    mem::nv<int> acc(b->nvram(), "acc");
+    bool completed = false;
+    int handled = 0;
+    run([&] {
+        x.assignTimed(5, 0);
+        completed = expiresCatch(
+            *rt, x, 0,
+            [&] {
+                acc = 7;
+                b->charge(1000);
+                rt->triggerPoint();
+            },
+            [&] { ++handled; });
+    });
+    EXPECT_TRUE(completed);
+    EXPECT_EQ(handled, 0);
+    EXPECT_EQ(acc.get(), 7);
+}
+
+TEST_F(AnnotationFixture, ExpiresCatchStaleAtEntryGoesToHandler)
+{
+    Expiring<int> x(*rt, b->nvram(), "x", 10 * kNsPerMs);
+    int handled = 0;
+    int bodyRuns = 0;
+    run([&] {
+        x.assignTimed(5, 0);
+        b->charge(50000);
+        expiresCatch(*rt, x, 0, [&] { ++bodyRuns; },
+                     [&] { ++handled; });
+    });
+    EXPECT_EQ(bodyRuns, 0);
+    EXPECT_EQ(handled, 1);
+}
+
+TEST_F(AnnotationFixture, TimelyTakesCorrectArm)
+{
+    int thenRuns = 0, elseRuns = 0;
+    run([&] {
+        const TimeNs deadline = b->now() + 100 * kNsPerMs;
+        timely(*rt, "br", 0, deadline, [&] { ++thenRuns; },
+               [&] { ++elseRuns; });
+        b->charge(200000); // blow past the deadline
+        timely(*rt, "br", 1, deadline, [&] { ++thenRuns; },
+               [&] { ++elseRuns; });
+    });
+    EXPECT_EQ(thenRuns, 1);
+    EXPECT_EQ(elseRuns, 1);
+    EXPECT_EQ(b->monitor()
+                  .counts(board::ViolationKind::TimelyBranch)
+                  .observed,
+              0u);
+}
+
+TEST_F(AnnotationFixture, TimelyCommitsDecisionBeforeBody)
+{
+    // A failure inside the taken branch must re-execute the body only
+    // (same arm), never re-read the clock.
+    int bodyRuns = 0;
+    const auto res = run([&] {
+        const TimeNs deadline = b->now() + 50 * kNsPerMs;
+        timely(
+            *rt, "br", 0, deadline,
+            [&] {
+                ++bodyRuns;
+                if (bodyRuns == 1) {
+                    // Push past the deadline, then "fail": the resume
+                    // point is the decision checkpoint.
+                    b->charge(80000);
+                    b->ctx().exitWith(context::ExitReason::PowerFail);
+                }
+            },
+            [] { FAIL() << "else arm must never run"; });
+    });
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(bodyRuns, 2);
+    EXPECT_EQ(b->monitor()
+                  .counts(board::ViolationKind::TimelyBranch)
+                  .observed,
+              0u);
+}
+
+TEST_F(AnnotationFixture, SetDoesNotRefreshTimestamp)
+{
+    Expiring<int> x(*rt, b->nvram(), "x", 30 * kNsPerMs);
+    bool freshAfterSet = true;
+    run([&] {
+        x.assignTimed(1, 0);
+        b->charge(50000);
+        x.set(2); // unit conversion etc.: value changes, age does not
+        freshAfterSet = x.fresh();
+    });
+    EXPECT_EQ(x.get(), 2);
+    EXPECT_FALSE(freshAfterSet);
+}

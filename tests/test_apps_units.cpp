@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit tests of the application substrate: the seven bitcount methods
+ * against each other and against known values, DSP helpers, the cuckoo
+ * filter core (insert/lookup/eviction/partner-bucket involution), and
+ * the AR dataset/golden determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "apps/ar/ar_common.hpp"
+#include "apps/common/cuckoo_core.hpp"
+#include "apps/ar/ar_timed.hpp"
+#include "apps/common/dsp.hpp"
+
+using namespace ticsim;
+using namespace ticsim::apps;
+
+namespace {
+
+int (*const kMethods[7])(std::uint32_t) = {
+    bitcountOptimized, bitcountRecursive, bitcountNibbleLut,
+    bitcountByteLut,   bitcountShift,     bitcountKernighan,
+    bitcountSwar};
+
+} // namespace
+
+TEST(Bitcount, KnownValues)
+{
+    for (auto *m : kMethods) {
+        EXPECT_EQ(m(0u), 0);
+        EXPECT_EQ(m(1u), 1);
+        EXPECT_EQ(m(0x80000000u), 1);
+        EXPECT_EQ(m(0xFFFFFFFFu), 32);
+        EXPECT_EQ(m(0xAAAAAAAAu), 16);
+        EXPECT_EQ(m(0x0F0F0F0Fu), 16);
+        EXPECT_EQ(m(0x12345678u), 13);
+    }
+}
+
+TEST(Bitcount, AllMethodsAgreeOnRandomInputs)
+{
+    Lcg lcg(0xFEED);
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint32_t x = lcg.next();
+        const int reference = bitcountSwar(x);
+        for (auto *m : kMethods)
+            ASSERT_EQ(m(x), reference) << "x=" << x;
+    }
+}
+
+TEST(Dsp, IsqrtExactAndFloor)
+{
+    EXPECT_EQ(isqrt(0), 0u);
+    EXPECT_EQ(isqrt(1), 1u);
+    EXPECT_EQ(isqrt(15), 3u);
+    EXPECT_EQ(isqrt(16), 4u);
+    EXPECT_EQ(isqrt(17), 4u);
+    EXPECT_EQ(isqrt(1'000'000), 1000u);
+    EXPECT_EQ(isqrt(999'999), 999u);
+    for (std::uint64_t v = 0; v < 3000; ++v) {
+        const std::uint64_t r = isqrt(v);
+        ASSERT_LE(r * r, v);
+        ASSERT_GT((r + 1) * (r + 1), v);
+    }
+}
+
+TEST(Dsp, MeanAndStddev)
+{
+    const std::int16_t flat[4] = {5, 5, 5, 5};
+    EXPECT_EQ(meanI16(flat, 4), 5);
+    EXPECT_EQ(stddevI16(flat, 4), 0u);
+
+    const std::int16_t spread[4] = {0, 0, 10, 10};
+    EXPECT_EQ(meanI16(spread, 4), 5);
+    EXPECT_EQ(stddevI16(spread, 4), 5u);
+
+    EXPECT_EQ(meanI16(nullptr, 0), 0);
+    EXPECT_EQ(stddevI16(flat, 1), 0u);
+}
+
+TEST(Dsp, ClassifierPicksNearerCentroid)
+{
+    ArModel m;
+    m.centroid[0] = {1000, 10};
+    m.centroid[1] = {1300, 300};
+    EXPECT_EQ(classify(m, {1010, 20}), 0);
+    EXPECT_EQ(classify(m, {1290, 280}), 1);
+}
+
+TEST(Lcg, DeterministicAndResettable)
+{
+    Lcg a(7), b(7);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    a.reset(7);
+    Lcg c(7);
+    EXPECT_EQ(a.next(), c.next());
+}
+
+TEST(CuckooCore, InsertThenContains)
+{
+    std::vector<std::uint16_t> slots(32 * 4, 0);
+    auto store = [](std::uint16_t *p, std::uint16_t v) { *p = v; };
+    CuckooTable<decltype(store)> t(slots.data(), 32, 16, store);
+    Lcg lcg(0x5EED);
+    std::vector<std::uint32_t> keys;
+    for (int i = 0; i < 40; ++i) {
+        const auto k = lcg.next();
+        keys.push_back(k);
+        EXPECT_TRUE(t.insert(k));
+    }
+    for (const auto k : keys)
+        EXPECT_TRUE(t.contains(k));
+}
+
+TEST(CuckooCore, AbsentKeysMostlyAbsent)
+{
+    std::vector<std::uint16_t> slots(64 * 4, 0);
+    auto store = [](std::uint16_t *p, std::uint16_t v) { *p = v; };
+    CuckooTable<decltype(store)> t(slots.data(), 64, 16, store);
+    Lcg lcg(1);
+    for (int i = 0; i < 60; ++i)
+        t.insert(lcg.next());
+    // Different key universe: false positives must be rare (it is a
+    // filter, not a set — a few fingerprint collisions are expected).
+    Lcg other(0x900D);
+    int falsePositives = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (t.contains(other.next()))
+            ++falsePositives;
+    }
+    EXPECT_LT(falsePositives, 20);
+}
+
+TEST(CuckooCore, EvictionKeepsEarlierKeysFindable)
+{
+    // Overfill one bucket's orbit to force kicks.
+    std::vector<std::uint16_t> slots(8 * 4, 0);
+    auto store = [](std::uint16_t *p, std::uint16_t v) { *p = v; };
+    CuckooTable<decltype(store)> t(slots.data(), 8, 32, store);
+    std::vector<std::uint32_t> inserted;
+    Lcg lcg(3);
+    for (int i = 0; i < 24; ++i) {
+        const auto k = lcg.next();
+        if (t.insert(k))
+            inserted.push_back(k);
+    }
+    EXPECT_GT(inserted.size(), 16u); // evictions happened and worked
+    for (const auto k : inserted)
+        EXPECT_TRUE(t.contains(k));
+}
+
+TEST(CuckooCore, GoldenIsDeterministic)
+{
+    CuckooParams p;
+    const auto a = cuckooGolden(p);
+    const auto b = cuckooGolden(p);
+    EXPECT_EQ(a.inserted, b.inserted);
+    EXPECT_EQ(a.recovered, b.recovered);
+    EXPECT_GT(a.inserted, 0u);
+    EXPECT_GE(a.recovered, a.inserted); // found >= placed (collisions
+                                        // can only add hits)
+}
+
+TEST(ArCommon, DatasetDeterministicPerSeedAndWindow)
+{
+    std::int16_t a[16], b[16];
+    arGenWindow(1, 5, 16, a);
+    arGenWindow(1, 5, 16, b);
+    EXPECT_EQ(std::memcmp(a, b, sizeof(a)), 0);
+    arGenWindow(2, 5, 16, b);
+    EXPECT_NE(std::memcmp(a, b, sizeof(a)), 0);
+}
+
+TEST(ArCommon, MovingWindowsSwingHarder)
+{
+    std::int16_t stationary[16], moving[16];
+    arGenWindow(7, 2, 16, stationary); // even window: stationary
+    arGenWindow(7, 3, 16, moving);     // odd window: moving
+    EXPECT_GT(stddevI16(moving, 16), 4 * stddevI16(stationary, 16));
+}
+
+TEST(ArCommon, GoldenClassifiesPerfectlyOnSyntheticData)
+{
+    ArParams p;
+    const auto e = arGolden(p);
+    // The synthetic regimes are well separated: the NN classifier
+    // should split the windows exactly half and half.
+    EXPECT_EQ(e.stationary, p.windows / 2);
+    EXPECT_EQ(e.moving, p.windows / 2);
+}
+
+TEST(ArTimedHelpers, MagnitudeAndThreshold)
+{
+    device::AccelSample s{-3, 4, -12};
+    EXPECT_EQ(accelMagnitude(s), 19);
+    const std::int32_t calm[6] = {1000, 1010, 990, 1005, 995, 1000};
+    const std::int32_t wild[6] = {600, 1500, 700, 1400, 800, 1600};
+    EXPECT_FALSE(arWindowMoving(calm, 6));
+    EXPECT_TRUE(arWindowMoving(wild, 6));
+}

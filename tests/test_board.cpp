@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Unit tests for the Board: cycle charging and brown-out semantics,
+ * time-budget enforcement, starvation detection, peripheral costs, and
+ * the ViolationMonitor's scoring of all three time-violation classes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "board/board.hpp"
+#include "board/runtime.hpp"
+#include "runtimes/plainc.hpp"
+
+using namespace ticsim;
+using namespace ticsim::board;
+
+namespace {
+
+std::unique_ptr<Board>
+contBoard()
+{
+    return std::make_unique<Board>(
+        BoardConfig{}, std::make_unique<energy::ContinuousSupply>(),
+        std::make_unique<timekeeper::PerfectTimekeeper>());
+}
+
+std::unique_ptr<Board>
+patternBoard(TimeNs period, double duty, BoardConfig cfg = {})
+{
+    return std::make_unique<Board>(
+        cfg, std::make_unique<energy::PatternSupply>(period, duty),
+        std::make_unique<timekeeper::PerfectTimekeeper>());
+}
+
+} // namespace
+
+TEST(Board, ChargeAdvancesTimeAndCycles)
+{
+    auto b = contBoard();
+    runtimes::PlainCRuntime rt;
+    TimeNs seen = 0;
+    Cycles cyc = 0;
+    const auto res = b->run(
+        rt,
+        [&] {
+            b->charge(1000);
+            seen = b->now();
+            cyc = b->mcu().cycles();
+        },
+        kNsPerSec);
+    EXPECT_TRUE(res.completed);
+    // 1000 cycles at 1 MHz = 1 ms (plus the boot cost).
+    EXPECT_GE(seen, 1000 * kNsPerUs);
+    EXPECT_GE(cyc, 1000u);
+}
+
+TEST(Board, TimeBudgetEndsRun)
+{
+    auto b = contBoard();
+    runtimes::PlainCRuntime rt;
+    std::uint64_t loops = 0;
+    const auto res = b->run(
+        rt,
+        [&] {
+            for (;;) {
+                b->charge(100);
+                ++loops;
+            }
+        },
+        50 * kNsPerMs);
+    EXPECT_FALSE(res.completed);
+    EXPECT_FALSE(res.starved);
+    EXPECT_GT(loops, 0u);
+    EXPECT_LE(res.elapsed, 51 * kNsPerMs);
+}
+
+TEST(Board, PowerFailureRebootsAndOffTimeElapses)
+{
+    auto b = patternBoard(20 * kNsPerMs, 0.5);
+    runtimes::PlainCRuntime rt;
+    std::uint64_t boots = 0;
+    const auto res = b->run(
+        rt,
+        [&] {
+            ++boots;
+            for (;;)
+                b->charge(500);
+        },
+        95 * kNsPerMs);
+    EXPECT_FALSE(res.completed);
+    EXPECT_GE(res.reboots, 4u);
+    // One boot per failure (plus the initial boot, unless the budget
+    // expired during the final dark period).
+    EXPECT_GE(boots, res.reboots);
+    EXPECT_LE(boots, res.reboots + 1);
+    // Roughly half the elapsed time was dark.
+    EXPECT_NEAR(static_cast<double>(res.onTime) /
+                    static_cast<double>(res.elapsed),
+                0.5, 0.15);
+}
+
+TEST(Board, StarvationDetected)
+{
+    BoardConfig cfg;
+    cfg.starvationRebootLimit = 20;
+    auto b = patternBoard(10 * kNsPerMs, 0.5, cfg);
+
+    // A runtime that never marks progress.
+    struct NoProgress : Runtime {
+        const char *name() const override { return "noprog"; }
+        bool
+        onPowerOn() override
+        {
+            board_->ctx().prepare([this] {
+                for (;;)
+                    board_->charge(500);
+            });
+            return true;
+        }
+    } rt;
+    const auto res = b->run(rt, {}, 10 * kNsPerSec);
+    EXPECT_TRUE(res.starved);
+    EXPECT_GE(res.reboots, 20u);
+}
+
+TEST(Board, PeripheralsChargeCycles)
+{
+    auto b = contBoard();
+    runtimes::PlainCRuntime rt;
+    Cycles afterSample = 0, afterRadio = 0, before = 0;
+    b->run(
+        rt,
+        [&] {
+            before = b->mcu().cycles();
+            (void)b->sampleAccel();
+            afterSample = b->mcu().cycles();
+            std::uint8_t pl[8] = {};
+            b->radioSend(pl, sizeof(pl));
+            afterRadio = b->mcu().cycles();
+        },
+        kNsPerSec);
+    EXPECT_EQ(afterSample - before, b->costs().sensorSample);
+    EXPECT_EQ(afterRadio - afterSample,
+              device::CostModel::linear(b->costs().radioSend,
+                                        b->costs().radioPerByte, 8));
+    EXPECT_EQ(b->radio().sentCount(), 1u);
+    EXPECT_EQ(b->radio().packets()[0].payload.size(), 8u);
+}
+
+TEST(Board, SensorsAreDeterministicPerSeed)
+{
+    BoardConfig cfg;
+    cfg.seed = 99;
+    auto b1 = std::make_unique<Board>(
+        cfg, std::make_unique<energy::ContinuousSupply>(),
+        std::make_unique<timekeeper::PerfectTimekeeper>());
+    auto b2 = std::make_unique<Board>(
+        cfg, std::make_unique<energy::ContinuousSupply>(),
+        std::make_unique<timekeeper::PerfectTimekeeper>());
+    const auto s1 = b1->accel().sample(5 * kNsPerMs);
+    const auto s2 = b2->accel().sample(5 * kNsPerMs);
+    EXPECT_EQ(s1.x, s2.x);
+    EXPECT_EQ(s1.y, s2.y);
+    EXPECT_EQ(s1.z, s2.z);
+}
+
+TEST(Accelerometer, RegimesDiffer)
+{
+    device::Accelerometer acc(Rng(3), 500 * kNsPerMs);
+    EXPECT_FALSE(acc.movingAt(100 * kNsPerMs));
+    EXPECT_TRUE(acc.movingAt(600 * kNsPerMs));
+    // Moving-regime magnitude swings much harder than stationary.
+    std::int32_t statSpan = 0, movSpan = 0;
+    std::int32_t lo = 30000, hi = -30000;
+    for (int i = 0; i < 50; ++i) {
+        const auto s = acc.sample(100 * kNsPerMs + i * 1000);
+        lo = std::min<std::int32_t>(lo, s.x);
+        hi = std::max<std::int32_t>(hi, s.x);
+    }
+    statSpan = hi - lo;
+    lo = 30000;
+    hi = -30000;
+    for (int i = 0; i < 50; ++i) {
+        const auto s = acc.sample(600 * kNsPerMs + i * 2000000);
+        lo = std::min<std::int32_t>(lo, s.x);
+        hi = std::max<std::int32_t>(hi, s.x);
+    }
+    movSpan = hi - lo;
+    EXPECT_GT(movSpan, statSpan * 3);
+}
+
+// ---- ViolationMonitor ------------------------------------------------------
+
+TEST(ViolationMonitor, TimelyBranchBothArms)
+{
+    ViolationMonitor m;
+    m.branchArm("b", 1, 0);
+    m.branchArm("b", 1, 0); // same arm re-executed: fine
+    EXPECT_EQ(m.counts(ViolationKind::TimelyBranch).observed, 0u);
+    m.branchArm("b", 1, 1); // other arm: violation
+    EXPECT_EQ(m.counts(ViolationKind::TimelyBranch).observed, 1u);
+    m.branchArm("b", 1, 0); // counted once per instance
+    EXPECT_EQ(m.counts(ViolationKind::TimelyBranch).observed, 1u);
+    m.branchArm("b", 2, 1); // new instance, single arm
+    EXPECT_EQ(m.counts(ViolationKind::TimelyBranch).observed, 1u);
+    EXPECT_EQ(m.counts(ViolationKind::TimelyBranch).potential, 5u);
+}
+
+TEST(ViolationMonitor, MisalignmentTolerance)
+{
+    ViolationMonitor m;
+    m.dataSampled("d", 7, 100 * kNsPerMs);
+    m.timestampAssigned("d", 7, 104 * kNsPerMs, 10 * kNsPerMs);
+    EXPECT_EQ(m.counts(ViolationKind::Misalignment).observed, 0u);
+    m.timestampAssigned("d", 7, 300 * kNsPerMs, 10 * kNsPerMs);
+    EXPECT_EQ(m.counts(ViolationKind::Misalignment).observed, 1u);
+    // Timestamp for never-sampled data is always misaligned.
+    m.timestampAssigned("d", 8, 300 * kNsPerMs, 10 * kNsPerMs);
+    EXPECT_EQ(m.counts(ViolationKind::Misalignment).observed, 2u);
+}
+
+TEST(ViolationMonitor, ExpirationAges)
+{
+    ViolationMonitor m;
+    m.dataSampled("d", 1, 0);
+    m.dataConsumed("d", 1, 200 * kNsPerMs, 150 * kNsPerMs);
+    EXPECT_EQ(m.counts(ViolationKind::Expiration).observed, 0u);
+    m.dataConsumed("d", 1, 200 * kNsPerMs, 450 * kNsPerMs);
+    EXPECT_EQ(m.counts(ViolationKind::Expiration).observed, 1u);
+    m.dataConsumed("unknown", 9, 200 * kNsPerMs, kNsPerSec);
+    EXPECT_EQ(m.counts(ViolationKind::Expiration).observed, 1u);
+    EXPECT_EQ(m.counts(ViolationKind::Expiration).potential, 3u);
+}
+
+TEST(ViolationMonitor, ResetClearsEverything)
+{
+    ViolationMonitor m;
+    m.dataSampled("d", 1, 0);
+    m.dataConsumed("d", 1, 1, kNsPerSec);
+    m.branchArm("b", 1, 0);
+    m.branchArm("b", 1, 1);
+    m.reset();
+    EXPECT_EQ(m.counts(ViolationKind::Expiration).observed, 0u);
+    EXPECT_EQ(m.counts(ViolationKind::TimelyBranch).potential, 0u);
+}

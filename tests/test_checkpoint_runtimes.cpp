@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests specific to the checkpointing baselines: MementOS-like
+ * snapshot/restore of tracked globals and trigger gating, and
+ * Chinchilla-like versioning, heuristic spacing and its declared
+ * limitations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "board/board.hpp"
+#include "mem/nv.hpp"
+#include "runtimes/chinchilla.hpp"
+#include "runtimes/mementos.hpp"
+#include "runtimes/plainc.hpp"
+#include "tics/runtime.hpp"
+
+using namespace ticsim;
+using namespace ticsim::runtimes;
+
+namespace {
+
+std::unique_ptr<board::Board>
+contBoard()
+{
+    return std::make_unique<board::Board>(
+        board::BoardConfig{}, std::make_unique<energy::ContinuousSupply>(),
+        std::make_unique<timekeeper::PerfectTimekeeper>());
+}
+
+} // namespace
+
+TEST(Mementos, TrackedGlobalsRollBackOnRestore)
+{
+    auto b = contBoard();
+    MementosConfig cfg;
+    cfg.trigger = MementosConfig::Trigger::Every;
+    MementosRuntime rt(cfg);
+    mem::nv<int> x(b->nvram(), "x", 10);
+    rt.trackGlobals(x.raw(), sizeof(int));
+    int attempt = 0;
+    const auto res = b->run(
+        rt,
+        [&] {
+            rt.triggerPoint(); // checkpoint (Every)
+            x = x.get() + 1;
+            if (++attempt < 3)
+                b->ctx().exitWith(context::ExitReason::PowerFail);
+        },
+        kNsPerSec);
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(x.get(), 11); // snapshot restore undid the replays
+}
+
+TEST(Mementos, UntrackedGlobalsCorruptUnderReplay)
+{
+    // The contrast case: a global the programmer forgot to register
+    // keeps its partial writes and double-applies — MementOS offers no
+    // undo log to save it.
+    auto b = contBoard();
+    MementosConfig cfg;
+    cfg.trigger = MementosConfig::Trigger::Every;
+    MementosRuntime rt(cfg);
+    mem::nv<int> x(b->nvram(), "x", 10);
+    int attempt = 0;
+    const auto res = b->run(
+        rt,
+        [&] {
+            rt.triggerPoint();
+            x = x.get() + 1;
+            if (++attempt < 3)
+                b->ctx().exitWith(context::ExitReason::PowerFail);
+        },
+        kNsPerSec);
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(x.get(), 13); // replayed twice: the Fig. 3a violation
+}
+
+TEST(Mementos, TimerTriggerGatesCheckpoints)
+{
+    auto b = contBoard();
+    MementosConfig cfg;
+    cfg.trigger = MementosConfig::Trigger::Timer;
+    cfg.timerPeriod = 10 * kNsPerMs;
+    MementosRuntime rt(cfg);
+    b->run(
+        rt,
+        [&] {
+            for (int i = 0; i < 100; ++i) {
+                rt.triggerPoint();
+                b->charge(500); // 100 x 0.5 ms = 50 ms total
+            }
+        },
+        kNsPerSec);
+    // ~50 ms / 10 ms period: a handful, not a hundred.
+    EXPECT_GE(rt.checkpointsTotal(), 4u);
+    EXPECT_LE(rt.checkpointsTotal(), 7u);
+}
+
+TEST(Mementos, VoltageTriggerFiresBelowThreshold)
+{
+    energy::HarvestingSupply::Config scfg;
+    auto b = std::make_unique<board::Board>(
+        board::BoardConfig{},
+        std::make_unique<energy::HarvestingSupply>(
+            scfg, std::make_unique<energy::ConstantHarvester>(0.2e-3)),
+        std::make_unique<timekeeper::PerfectTimekeeper>());
+    MementosConfig cfg;
+    cfg.trigger = MementosConfig::Trigger::Voltage;
+    cfg.voltageThreshold = 2.4;
+    MementosRuntime rt(cfg);
+    std::uint64_t earlyCkpts = ~0ULL;
+    b->run(
+        rt,
+        [&] {
+            for (int i = 0; i < 200; ++i) {
+                rt.triggerPoint();
+                b->charge(200);
+                if (i == 10)
+                    earlyCkpts = rt.checkpointsTotal();
+            }
+        },
+        kNsPerSec);
+    // No checkpoints while the capacitor is still above threshold;
+    // checkpoints appear as it sags toward brown-out.
+    EXPECT_EQ(earlyCkpts, 0u);
+    EXPECT_GT(rt.checkpointsTotal(), 0u);
+}
+
+TEST(Chinchilla, VersionedGlobalsRollBack)
+{
+    auto b = contBoard();
+    ChinchillaRuntime rt;
+    mem::nv<int> x(b->nvram(), "x", 5);
+    int attempt = 0;
+    const auto res = b->run(
+        rt,
+        [&] {
+            rt.checkpointNow();
+            x = x.get() + 1; // versioned via the write hook
+            if (++attempt < 4)
+                b->ctx().exitWith(context::ExitReason::PowerFail);
+        },
+        kNsPerSec);
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(x.get(), 6);
+    EXPECT_GE(rt.stats().counterValue("rollbackEntries"), 3u);
+}
+
+TEST(Chinchilla, HeuristicSpacingLimitsCheckpoints)
+{
+    auto b = contBoard();
+    ChinchillaConfig cfg;
+    cfg.minCheckpointSpacing = 20 * kNsPerMs;
+    ChinchillaRuntime rt(cfg);
+    b->run(
+        rt,
+        [&] {
+            for (int i = 0; i < 200; ++i) {
+                rt.triggerPoint(); // over-instrumented sites
+                b->charge(500);
+            }
+        },
+        kNsPerSec);
+    // 100 ms of work / 20 ms spacing.
+    EXPECT_GE(rt.checkpointsTotal(), 4u);
+    EXPECT_LE(rt.checkpointsTotal(), 6u);
+}
+
+TEST(Chinchilla, DeclaresNoRecursionSupport)
+{
+    ChinchillaRuntime rt;
+    EXPECT_FALSE(rt.supportsRecursion());
+    tics::TicsRuntime ticsRt;
+    EXPECT_TRUE(ticsRt.supportsRecursion());
+    PlainCRuntime plain;
+    EXPECT_TRUE(plain.supportsRecursion());
+}
+
+TEST(PlainC, RestartLosesVolatileKeepsNv)
+{
+    auto b = std::make_unique<board::Board>(
+        board::BoardConfig{},
+        std::make_unique<energy::PatternSupply>(10 * kNsPerMs, 0.5),
+        std::make_unique<timekeeper::PerfectTimekeeper>());
+    PlainCRuntime rt;
+    mem::nv<int> nvCounter(b->nvram(), "c");
+    int volatileCounter = 0; // host-side stand-in for a stack var
+    int boots = 0;
+    const auto res = b->run(
+        rt,
+        [&] {
+            ++boots;
+            volatileCounter = 0; // fresh stack every boot
+            for (int i = 0; i < 100; ++i) {
+                ++volatileCounter;
+                nvCounter += 1;
+                b->charge(200);
+            }
+        },
+        48 * kNsPerMs);
+    EXPECT_FALSE(res.completed);
+    EXPECT_GT(boots, 1);
+    // FRAM state accumulated across restarts; stack state did not.
+    EXPECT_GT(nvCounter.get(), volatileCounter);
+}

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unit tests for the execution-context substrate: fresh runs,
+ * abandonment, register capture + stack-image restore cycles, and
+ * address classification. These exercise the ucontext mechanics the
+ * whole intermittent simulation stands on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "context/exec_context.hpp"
+
+using namespace ticsim;
+using namespace ticsim::context;
+
+namespace {
+
+constexpr std::size_t kStack = 64 * 1024;
+
+struct Fixture {
+    std::vector<std::uint8_t> stack;
+    ExecContext ctx;
+
+    Fixture() : stack(kStack, 0), ctx(stack.data(), kStack) {}
+};
+
+} // namespace
+
+TEST(ExecContext, RunsToCompletion)
+{
+    Fixture f;
+    int ran = 0;
+    f.ctx.prepare([&] { ran = 1; });
+    EXPECT_EQ(f.ctx.run(), ExitReason::Completed);
+    EXPECT_EQ(ran, 1);
+    EXPECT_FALSE(f.ctx.inside());
+}
+
+TEST(ExecContext, ExitWithAbandons)
+{
+    Fixture f;
+    int progress = 0;
+    f.ctx.prepare([&] {
+        progress = 1;
+        f.ctx.exitWith(ExitReason::PowerFail);
+        progress = 2; // never reached
+    });
+    EXPECT_EQ(f.ctx.run(), ExitReason::PowerFail);
+    EXPECT_EQ(progress, 1);
+}
+
+TEST(ExecContext, FreshPrepareRestartsFromEntry)
+{
+    Fixture f;
+    int runs = 0;
+    auto entry = [&] {
+        ++runs;
+        f.ctx.exitWith(ExitReason::PowerFail);
+    };
+    f.ctx.prepare(entry);
+    f.ctx.run();
+    f.ctx.prepare(entry);
+    f.ctx.run();
+    EXPECT_EQ(runs, 2);
+}
+
+TEST(ExecContext, OnStackClassifiesAddresses)
+{
+    Fixture f;
+    bool insideOnStack = false;
+    bool heapOnStack = true;
+    int hostLocal = 0;
+    f.ctx.prepare([&] {
+        int simLocal = 0;
+        insideOnStack = f.ctx.onStack(&simLocal);
+        heapOnStack = f.ctx.onStack(&hostLocal);
+    });
+    f.ctx.run();
+    EXPECT_TRUE(insideOnStack);
+    EXPECT_FALSE(heapOnStack);
+    EXPECT_FALSE(f.ctx.onStack(&hostLocal));
+}
+
+TEST(ExecContext, StackBoundsAreConsistent)
+{
+    Fixture f;
+    EXPECT_EQ(f.ctx.stackSize(), kStack);
+    EXPECT_EQ(f.ctx.stackTop(),
+              reinterpret_cast<std::uintptr_t>(f.ctx.stackBase()) +
+                  kStack);
+}
+
+TEST(ExecContext, CaptureAndResumeMidFunction)
+{
+    // The full intermittent cycle, by hand: run, capture registers +
+    // stack image at a checkpoint, "fail", restore bytes, resume, and
+    // observe re-execution of exactly the post-checkpoint suffix.
+    Fixture f;
+    RegSlot slot;
+    std::vector<std::uint8_t> image(kStack);
+    std::uintptr_t imgLow = 0;
+    int preCkpt = 0;
+    int postCkpt = 0;
+    int result = 0;
+
+    f.ctx.prepare([&] {
+        int local = 5;
+        ++preCkpt;
+        f.ctx.armResumedCheck();
+        getcontext(&slot.uc);
+        if (!f.ctx.wasResumed()) {
+            // Capture path: copy the live stack including this frame.
+            const auto low = ExecContext::probeSp() - 512;
+            imgLow = low;
+            std::memcpy(image.data(), reinterpret_cast<void *>(low),
+                        f.ctx.stackTop() - low);
+        }
+        ++postCkpt;
+        local += 10;
+        if (postCkpt == 1) {
+            // First pass: die after the checkpoint.
+            f.ctx.exitWith(ExitReason::PowerFail);
+        }
+        result = local;
+    });
+
+    EXPECT_EQ(f.ctx.run(), ExitReason::PowerFail);
+    EXPECT_EQ(preCkpt, 1);
+    EXPECT_EQ(postCkpt, 1);
+
+    // Reboot: restore the image, re-enter at the capture point.
+    std::memcpy(reinterpret_cast<void *>(imgLow), image.data(),
+                f.ctx.stackTop() - imgLow);
+    f.ctx.prepareResume(slot);
+    EXPECT_EQ(f.ctx.run(), ExitReason::Completed);
+    EXPECT_EQ(preCkpt, 1);  // the prefix did NOT re-execute
+    EXPECT_EQ(postCkpt, 2); // the suffix did
+    EXPECT_EQ(result, 15);  // local was restored to its value (5) + 10
+}
+
+TEST(ExecContext, RepeatedResumeFromOneCheckpoint)
+{
+    Fixture f;
+    RegSlot slot;
+    std::vector<std::uint8_t> image(kStack);
+    std::uintptr_t imgLow = 0;
+    int attempts = 0;
+
+    f.ctx.prepare([&] {
+        f.ctx.armResumedCheck();
+        getcontext(&slot.uc);
+        f.ctx.wasResumed(); // clear either way
+        if (imgLow == 0) {
+            const auto low = ExecContext::probeSp() - 512;
+            imgLow = low;
+            std::memcpy(image.data(), reinterpret_cast<void *>(low),
+                        f.ctx.stackTop() - low);
+        }
+        ++attempts;
+        if (attempts < 4)
+            f.ctx.exitWith(ExitReason::PowerFail);
+    });
+
+    EXPECT_EQ(f.ctx.run(), ExitReason::PowerFail);
+    for (int i = 0; i < 2; ++i) {
+        std::memcpy(reinterpret_cast<void *>(imgLow), image.data(),
+                    f.ctx.stackTop() - imgLow);
+        f.ctx.prepareResume(slot);
+        EXPECT_EQ(f.ctx.run(), ExitReason::PowerFail);
+    }
+    std::memcpy(reinterpret_cast<void *>(imgLow), image.data(),
+                f.ctx.stackTop() - imgLow);
+    f.ctx.prepareResume(slot);
+    EXPECT_EQ(f.ctx.run(), ExitReason::Completed);
+    EXPECT_EQ(attempts, 4);
+}
+
+TEST(ExecContext, ProbeSpPointsIntoCurrentStack)
+{
+    Fixture f;
+    std::uintptr_t probed = 0;
+    f.ctx.prepare([&] { probed = ExecContext::probeSp(); });
+    f.ctx.run();
+    EXPECT_GE(probed, reinterpret_cast<std::uintptr_t>(f.ctx.stackBase()));
+    EXPECT_LT(probed, f.ctx.stackTop());
+}

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Integration tests of the Table 1 / Table 2 applications: GHM
+ * consistency judging in both program shapes, and the timed AR pair's
+ * violation behaviour (manual violates, TICS-annotated does not).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/ar/ar_timed.hpp"
+#include "apps/ghm/ghm.hpp"
+#include "harness/experiment.hpp"
+#include "runtimes/plainc.hpp"
+#include "tics/runtime.hpp"
+
+using namespace ticsim;
+
+namespace {
+
+tics::TicsConfig
+ghmCfg()
+{
+    tics::TicsConfig cfg;
+    cfg.segmentBytes = 128;
+    cfg.policy = tics::PolicyKind::Timer;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Ghm, PlainShapeConsistentOnContinuousPower)
+{
+    harness::SupplySpec spec;
+    auto b = harness::makeBoard(spec);
+    runtimes::PlainCRuntime rt;
+    apps::GhmParams p;
+    p.rounds = 12;
+    apps::GhmPlainApp app(*b, rt, p);
+    const auto res = b->run(rt, [&] { app.main(); }, 10 * kNsPerSec);
+    ASSERT_TRUE(res.completed);
+    const auto o = app.outcome();
+    EXPECT_TRUE(o.consistent);
+    EXPECT_EQ(o.send, 12u);
+    EXPECT_EQ(o.senseMoisture, 12u);
+    EXPECT_EQ(b->radio().sentCount(), 12u);
+}
+
+TEST(Ghm, PlainShapeInconsistentUnderIntermittency)
+{
+    harness::SupplySpec spec;
+    spec.setup = harness::PowerSetup::Pattern;
+    spec.patternPeriod = 100 * kNsPerMs;
+    spec.patternOnFraction = 0.48;
+    auto b = harness::makeBoard(spec, 42);
+    runtimes::PlainCRuntime rt;
+    apps::GhmPlainApp app(*b, rt, {});
+    b->run(rt, [&] { app.main(); }, kNsPerSec);
+    const auto o = app.outcome();
+    EXPECT_FALSE(o.consistent);
+    // Early routines run ahead of later ones (the Table 1 skew).
+    EXPECT_GT(o.senseMoisture, o.send);
+}
+
+TEST(Ghm, TicsKeepsBothShapesConsistentUnderIntermittency)
+{
+    for (int shape = 0; shape < 2; ++shape) {
+        harness::SupplySpec spec;
+        spec.setup = harness::PowerSetup::Pattern;
+        spec.patternPeriod = 100 * kNsPerMs;
+        spec.patternOnFraction = 0.48;
+        auto b = harness::makeBoard(spec, 42);
+        tics::TicsRuntime rt(ghmCfg());
+        apps::GhmOutcome o;
+        if (shape == 0) {
+            apps::GhmPlainApp app(*b, rt, {});
+            b->run(rt, [&] { app.main(); }, kNsPerSec);
+            o = app.outcome();
+        } else {
+            apps::GhmTinyosApp app(*b, rt, {});
+            b->run(rt, [&] { app.main(); }, kNsPerSec);
+            o = app.outcome();
+        }
+        EXPECT_TRUE(o.consistent) << "shape " << shape;
+        EXPECT_GT(o.send, 5u) << "shape " << shape;
+    }
+}
+
+TEST(Ghm, JudgeRejectsReplayedRounds)
+{
+    device::Radio radio;
+    apps::GhmPacket p1{3, 10, 20};
+    apps::GhmPacket p2{2, 10, 20}; // round regression
+    radio.send(0, &p1, sizeof(p1));
+    radio.send(1, &p2, sizeof(p2));
+    const auto o = apps::ghmJudge(2, 2, 2, 2, radio);
+    EXPECT_FALSE(o.consistent);
+}
+
+TEST(Ghm, JudgeToleratesOneRetransmission)
+{
+    device::Radio radio;
+    apps::GhmPacket p{1, 10, 20};
+    radio.send(0, &p, sizeof(p));
+    radio.send(1, &p, sizeof(p)); // one re-send (failure after TX)
+    p.round = 2;
+    radio.send(2, &p, sizeof(p));
+    const auto o = apps::ghmJudge(2, 2, 2, 2, radio);
+    EXPECT_TRUE(o.consistent);
+}
+
+TEST(Ghm, JudgeRejectsCounterSkew)
+{
+    device::Radio radio;
+    const auto o = apps::ghmJudge(9, 9, 9, 0, radio);
+    EXPECT_FALSE(o.consistent);
+}
+
+TEST(ArTimed, ManualVariantViolatesTicsDoesNot)
+{
+    harness::SupplySpec spec;
+    spec.setup = harness::PowerSetup::RfHarvested;
+    spec.rfDistanceM = 2.9;
+    spec.accelRegimePeriod = 120 * kNsPerMs;
+    apps::ArTimedParams p;
+    p.windows = 60;
+
+    std::uint64_t manualTotal = 0;
+    {
+        auto b = harness::makeBoard(spec, 7);
+        runtimes::MementosConfig mc;
+        mc.trigger = runtimes::MementosConfig::Trigger::Timer;
+        runtimes::MementosRuntime rt(mc);
+        apps::ArTimedManualApp app(*b, rt, p);
+        b->run(rt, [&] { app.main(); }, 300 * kNsPerSec);
+        const auto &m = b->monitor();
+        manualTotal =
+            m.counts(board::ViolationKind::TimelyBranch).observed +
+            m.counts(board::ViolationKind::Misalignment).observed +
+            m.counts(board::ViolationKind::Expiration).observed;
+        EXPECT_EQ(app.processed(), p.windows); // no freshness guard
+    }
+    EXPECT_GT(manualTotal, 0u);
+
+    {
+        auto b = harness::makeBoard(spec, 7);
+        tics::TicsRuntime rt(ghmCfg());
+        apps::ArTimedTicsApp app(*b, rt, p);
+        const auto res = b->run(rt, [&] { app.main(); }, 300 * kNsPerSec);
+        ASSERT_TRUE(res.completed);
+        const auto &m = b->monitor();
+        EXPECT_EQ(
+            m.counts(board::ViolationKind::TimelyBranch).observed, 0u);
+        EXPECT_EQ(
+            m.counts(board::ViolationKind::Misalignment).observed, 0u);
+        EXPECT_EQ(
+            m.counts(board::ViolationKind::Expiration).observed, 0u);
+        // Every window was either processed fresh or discarded stale.
+        EXPECT_EQ(app.processed() + app.discarded(), p.windows);
+    }
+}
+
+TEST(ArTimed, TraceRecordsDiscardsAndAlerts)
+{
+    harness::SupplySpec spec;
+    spec.setup = harness::PowerSetup::RfHarvested;
+    spec.rfDistanceM = 2.9;
+    spec.accelRegimePeriod = 120 * kNsPerMs;
+    auto b = harness::makeBoard(spec, 7);
+    tics::TicsRuntime rt(ghmCfg());
+    apps::ArTimedParams p;
+    p.windows = 40;
+    apps::ArTimedTicsApp app(*b, rt, p);
+    b->run(rt, [&] { app.main(); }, 300 * kNsPerSec);
+    ASSERT_FALSE(app.trace().empty());
+    bool sawFresh = false, sawStale = false;
+    for (const auto &ev : app.trace()) {
+        sawFresh |= ev.fresh;
+        sawStale |= !ev.fresh;
+    }
+    EXPECT_TRUE(sawFresh);
+    EXPECT_TRUE(sawStale);
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * End-to-end smoke tests: a small program with recursion, stack
+ * pointers and non-volatile globals must produce the same result under
+ * heavy intermittency (TICS) as under continuous power, while the
+ * unprotected baseline corrupts its state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "board/board.hpp"
+#include "board/runtime.hpp"
+#include "mem/nv.hpp"
+#include "runtimes/plainc.hpp"
+#include "tics/runtime.hpp"
+
+using namespace ticsim;
+
+namespace {
+
+/** Recursion + pointer + NV-global workload. */
+class MiniApp
+{
+  public:
+    MiniApp(board::Board &b, board::Runtime &rt)
+        : b_(b), rt_(rt), result_(b.nvram(), "mini.result"),
+          iterations_(b.nvram(), "mini.iterations")
+    {
+    }
+
+    void
+    main()
+    {
+        board::FrameGuard fg(rt_, 32);
+        for (int i = 0; i < 40; ++i) {
+            rt_.triggerPoint();
+            const int f = fib(10);
+            int local = 7;
+            int *p = &local;
+            rt_.store(p, *p + (f % 3)); // instrumented stack-pointer store
+            result_ = result_.get() + f + local;
+            iterations_ += 1;
+            b_.charge(600); // modeled per-iteration compute
+        }
+    }
+
+    int
+    fib(int n)
+    {
+        board::FrameGuard fg(rt_, 24);
+        rt_.triggerPoint();
+        if (n < 2)
+            return n;
+        return fib(n - 1) + fib(n - 2);
+    }
+
+    int result() const { return result_.get(); }
+    int iterations() const { return iterations_.get(); }
+
+  private:
+    board::Board &b_;
+    board::Runtime &rt_;
+    mem::nv<int> result_;
+    mem::nv<int> iterations_;
+};
+
+board::BoardConfig
+testConfig()
+{
+    board::BoardConfig cfg;
+    cfg.seed = 7;
+    return cfg;
+}
+
+int
+referenceResult()
+{
+    // fib(10) = 55; local = 7 + 55 % 3 = 8; 40 iterations.
+    return 40 * (55 + 8);
+}
+
+} // namespace
+
+TEST(IntegrationSmoke, TicsContinuousPowerMatchesReference)
+{
+    board::Board b(testConfig(),
+                   std::make_unique<energy::ContinuousSupply>(),
+                   std::make_unique<timekeeper::PerfectTimekeeper>());
+    tics::TicsRuntime rt;
+    MiniApp app(b, rt);
+    const auto res = b.run(rt, [&] { app.main(); }, 60 * kNsPerSec);
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(res.reboots, 0u);
+    EXPECT_EQ(app.result(), referenceResult());
+    EXPECT_EQ(app.iterations(), 40);
+}
+
+TEST(IntegrationSmoke, TicsSurvivesHeavyIntermittency)
+{
+    board::Board b(testConfig(),
+                   std::make_unique<energy::PatternSupply>(20 * kNsPerMs,
+                                                           0.5),
+                   std::make_unique<timekeeper::PerfectTimekeeper>());
+    tics::TicsConfig cfg;
+    cfg.policy = tics::PolicyKind::Timer;
+    cfg.timerPeriod = 4 * kNsPerMs;
+    tics::TicsRuntime rt(cfg);
+    MiniApp app(b, rt);
+    const auto res = b.run(rt, [&] { app.main(); }, 60 * kNsPerSec);
+    EXPECT_TRUE(res.completed);
+    EXPECT_GT(res.reboots, 0u);
+    EXPECT_EQ(app.result(), referenceResult());
+    EXPECT_EQ(app.iterations(), 40);
+}
+
+TEST(IntegrationSmoke, PlainCLosesProgressUnderIntermittency)
+{
+    board::Board b(testConfig(),
+                   std::make_unique<energy::PatternSupply>(20 * kNsPerMs,
+                                                           0.5),
+                   std::make_unique<timekeeper::PerfectTimekeeper>());
+    runtimes::PlainCRuntime rt;
+    MiniApp app(b, rt);
+    const auto res = b.run(rt, [&] { app.main(); }, 2 * kNsPerSec);
+    // Each on-window is too short to finish 40 iterations from
+    // scratch, so plain C never completes within the budget ... or if
+    // it does complete, the NV accumulator kept partial sums from the
+    // failed attempts and the result is wrong.
+    if (res.completed)
+        EXPECT_NE(app.result(), referenceResult());
+    else
+        EXPECT_GT(res.reboots, 0u);
+}

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Tests for interrupt handling (paper Section 4: checkpoints disabled
+ * during ISRs, implicit checkpoint after return-from-interrupt, lost
+ * pending bits on power failure) and for the virtualized radio (paper
+ * Section 7 future work: at-least-once, in-order, deduplicable
+ * transmission across power failures).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "board/board.hpp"
+#include "mem/nv.hpp"
+#include "tics/io.hpp"
+#include "tics/runtime.hpp"
+
+using namespace ticsim;
+
+namespace {
+
+std::unique_ptr<board::Board>
+contBoard()
+{
+    return std::make_unique<board::Board>(
+        board::BoardConfig{}, std::make_unique<energy::ContinuousSupply>(),
+        std::make_unique<timekeeper::PerfectTimekeeper>());
+}
+
+tics::TicsConfig
+noPolicy()
+{
+    tics::TicsConfig cfg;
+    cfg.policy = tics::PolicyKind::None;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Interrupts, ServicedAtTriggerWithImplicitCheckpoint)
+{
+    auto b = contBoard();
+    tics::TicsRuntime rt(noPolicy());
+    mem::nv<int> fromIsr(b->nvram(), "fromIsr");
+    b->run(
+        rt,
+        [&] {
+            rt.raiseInterrupt([&] { fromIsr = 7; });
+            EXPECT_EQ(rt.interruptsServiced(), 0u); // not yet
+            rt.triggerPoint();
+            EXPECT_EQ(rt.interruptsServiced(), 1u);
+        },
+        kNsPerSec);
+    EXPECT_EQ(fromIsr.get(), 7);
+    // The mandated return-from-interrupt checkpoint.
+    EXPECT_EQ(rt.checkpointCount(tics::CkptCause::AtomicEnd), 1u);
+}
+
+TEST(Interrupts, NotDeliveredInsideAtomicBlocks)
+{
+    auto b = contBoard();
+    tics::TicsRuntime rt(noPolicy());
+    mem::nv<int> fromIsr(b->nvram(), "fromIsr");
+    b->run(
+        rt,
+        [&] {
+            rt.raiseInterrupt([&] { fromIsr = 1; });
+            rt.beginAtomic();
+            rt.triggerPoint();
+            EXPECT_EQ(rt.interruptsServiced(), 0u);
+            rt.endAtomic(false);
+            rt.triggerPoint();
+            EXPECT_EQ(rt.interruptsServiced(), 1u);
+        },
+        kNsPerSec);
+}
+
+TEST(Interrupts, FailureMidIsrRollsBackAndDropsDelivery)
+{
+    auto b = contBoard();
+    tics::TicsRuntime rt(noPolicy());
+    mem::nv<int> fromIsr(b->nvram(), "fromIsr", 42);
+    int isrRuns = 0; // host-side
+    const auto res = b->run(
+        rt,
+        [&] {
+            rt.checkpointNow();
+            if (rt.interruptsServiced() == 0 && isrRuns == 0) {
+                rt.raiseInterrupt([&] {
+                    ++isrRuns;
+                    fromIsr = 99;
+                    // Power dies inside the handler.
+                    b->ctx().exitWith(context::ExitReason::PowerFail);
+                });
+                rt.triggerPoint();
+            }
+        },
+        kNsPerSec);
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(isrRuns, 1);           // the handler is NOT re-delivered
+    EXPECT_EQ(fromIsr.get(), 42);    // its memory effects were undone
+    EXPECT_EQ(rt.interruptsServiced(), 0u);
+}
+
+TEST(Interrupts, PendingBitsLostOnPowerFailure)
+{
+    auto b = contBoard();
+    tics::TicsRuntime rt(noPolicy());
+    int phase = 0;
+    const auto res = b->run(
+        rt,
+        [&] {
+            if (phase++ == 0) {
+                rt.raiseInterrupt([] {});
+                // Die before any trigger services it.
+                b->ctx().exitWith(context::ExitReason::PowerFail);
+            }
+            rt.triggerPoint();
+        },
+        kNsPerSec);
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(rt.interruptsServiced(), 0u);
+    EXPECT_EQ(rt.interruptsLost(), 1u);
+}
+
+// ---- virtualized radio ------------------------------------------------
+
+TEST(VirtualRadio, TransmitsOnCommitNotOnSend)
+{
+    auto b = contBoard();
+    tics::TicsRuntime rt(noPolicy());
+    tics::VirtualRadio vr(rt, b->nvram(), "vr");
+    b->run(
+        rt,
+        [&] {
+            const std::uint32_t msg = 0xABCD;
+            vr.send(&msg, sizeof(msg));
+            EXPECT_EQ(b->radio().sentCount(), 0u); // staged only
+            rt.checkpointNow();
+            EXPECT_EQ(b->radio().sentCount(), 1u); // flushed at commit
+        },
+        kNsPerSec);
+    ASSERT_EQ(b->radio().sentCount(), 1u);
+    tics::VirtualRadio::Header hdr;
+    std::memcpy(&hdr, b->radio().packets()[0].payload.data(),
+                sizeof(hdr));
+    EXPECT_EQ(hdr.seq, 1u);
+    EXPECT_EQ(vr.sentSeq(), 1u);
+}
+
+TEST(VirtualRadio, UncommittedStageIsRolledBackNotSent)
+{
+    auto b = contBoard();
+    tics::TicsRuntime rt(noPolicy());
+    tics::VirtualRadio vr(rt, b->nvram(), "vr");
+    int attempt = 0;
+    const auto res = b->run(
+        rt,
+        [&] {
+            rt.checkpointNow();
+            if (++attempt == 1) {
+                const std::uint32_t msg = 0xDEAD;
+                vr.send(&msg, sizeof(msg));
+                // Failure before the staging epoch commits: the legacy
+                // pattern would have already transmitted; the virtual
+                // radio has not.
+                b->ctx().exitWith(context::ExitReason::PowerFail);
+            }
+        },
+        kNsPerSec);
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(b->radio().sentCount(), 0u);
+    EXPECT_EQ(vr.sentSeq(), 0u);
+}
+
+TEST(VirtualRadio, ReexecutedSendIsNotDuplicated)
+{
+    auto b = contBoard();
+    tics::TicsRuntime rt(noPolicy());
+    tics::VirtualRadio vr(rt, b->nvram(), "vr");
+    int attempt = 0;
+    const auto res = b->run(
+        rt,
+        [&] {
+            rt.checkpointNow();
+            const std::uint32_t msg = 0xBEEF + 0; // re-executed twice
+            vr.send(&msg, sizeof(msg));
+            rt.checkpointNow(); // commits + flushes
+            if (++attempt == 1)
+                b->ctx().exitWith(context::ExitReason::PowerFail);
+            // After the reboot, execution resumes AFTER the commit:
+            // the send is not re-staged and not re-sent.
+        },
+        kNsPerSec);
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(b->radio().sentCount(), 1u);
+}
+
+TEST(VirtualRadio, BackToBackSendsStayOrderedAndComplete)
+{
+    auto b = contBoard();
+    tics::TicsRuntime rt(noPolicy());
+    tics::VirtualRadio vr(rt, b->nvram(), "vr");
+    b->run(
+        rt,
+        [&] {
+            for (std::uint32_t i = 1; i <= 5; ++i)
+                vr.send(&i, sizeof(i)); // forces intermediate commits
+            rt.checkpointNow();
+        },
+        kNsPerSec);
+    ASSERT_EQ(b->radio().sentCount(), 5u);
+    for (std::uint32_t i = 0; i < 5; ++i) {
+        tics::VirtualRadio::Header hdr;
+        std::memcpy(&hdr, b->radio().packets()[i].payload.data(),
+                    sizeof(hdr));
+        EXPECT_EQ(hdr.seq, i + 1);
+        std::uint32_t body;
+        std::memcpy(&body,
+                    b->radio().packets()[i].payload.data() + sizeof(hdr),
+                    sizeof(body));
+        EXPECT_EQ(body, i + 1);
+    }
+}
+
+TEST(VirtualRadio, SurvivesIntermittentSupplyEndToEnd)
+{
+    auto b = std::make_unique<board::Board>(
+        board::BoardConfig{},
+        std::make_unique<energy::PatternSupply>(12 * kNsPerMs, 0.6),
+        std::make_unique<timekeeper::PerfectTimekeeper>());
+    tics::TicsConfig cfg;
+    cfg.policy = tics::PolicyKind::Timer;
+    cfg.timerPeriod = 3 * kNsPerMs;
+    tics::TicsRuntime rt(cfg);
+    tics::VirtualRadio vr(rt, b->nvram(), "vr");
+    mem::nv<std::uint32_t> i(b->nvram(), "i");
+    const auto res = b->run(
+        rt,
+        [&] {
+            board::FrameGuard fg(rt, 20);
+            while (i.get() < 12) {
+                rt.triggerPoint();
+                const std::uint32_t payload = 100 + i.get();
+                vr.send(&payload, sizeof(payload));
+                i = i.get() + 1;
+                b->charge(1500);
+            }
+            vr.drainAll();
+        },
+        60 * kNsPerSec);
+    ASSERT_TRUE(res.completed);
+    EXPECT_GT(res.reboots, 0u);
+    // Every message delivered at least once; first deliveries are in
+    // order with no gaps; duplicates (cursor-rollback re-transmissions)
+    // only repeat already-seen sequence numbers.
+    ASSERT_GE(b->radio().sentCount(), 12u);
+    std::uint32_t maxSeen = 0;
+    std::uint32_t unique = 0;
+    for (const auto &pkt : b->radio().packets()) {
+        tics::VirtualRadio::Header hdr;
+        std::memcpy(&hdr, pkt.payload.data(), sizeof(hdr));
+        ASSERT_LE(hdr.seq, maxSeen + 1); // no gap can ever appear
+        if (hdr.seq == maxSeen + 1) {
+            maxSeen = hdr.seq;
+            ++unique;
+        }
+    }
+    EXPECT_EQ(unique, 12u);
+}

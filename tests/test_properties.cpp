@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Property-based sweeps (TEST_P): the fundamental intermittent-
+ * computing invariant — a protected program computes exactly what it
+ * would compute on continuous power, for EVERY power schedule, seed,
+ * segment size and policy — plus checkpoint-size boundedness and the
+ * segment-protocol integrity property.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/bc/bc_legacy.hpp"
+#include "apps/cuckoo/cuckoo_legacy.hpp"
+#include "board/board.hpp"
+#include "mem/nv.hpp"
+#include "runtimes/mementos.hpp"
+#include "tics/runtime.hpp"
+
+using namespace ticsim;
+
+namespace {
+
+/** One randomized power schedule + runtime configuration. */
+struct PropCase {
+    std::uint64_t seed;
+    TimeNs period;
+    double duty;
+    std::uint32_t segBytes;
+    tics::PolicyKind policy;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<PropCase> &info)
+{
+    const auto &p = info.param;
+    std::string s = "seed" + std::to_string(p.seed) + "_per" +
+                    std::to_string(p.period / kNsPerMs) + "ms_duty" +
+                    std::to_string(static_cast<int>(p.duty * 100)) +
+                    "_seg" + std::to_string(p.segBytes) + "_";
+    switch (p.policy) {
+      case tics::PolicyKind::Timer:
+        s += "timer";
+        break;
+      case tics::PolicyKind::EveryTrigger:
+        s += "every";
+        break;
+      default:
+        s += "none";
+        break;
+    }
+    return s;
+}
+
+std::vector<PropCase>
+makeCases()
+{
+    std::vector<PropCase> cases;
+    Rng r(0xC0DE);
+    for (int i = 0; i < 12; ++i) {
+        PropCase c;
+        c.seed = r.next();
+        do {
+            c.period = (8 + r.below(40)) * kNsPerMs;
+            c.duty = 0.35 + r.uniform() * 0.45;
+            // Keep each power burst longer than the checkpoint timer,
+            // otherwise timer-policy runs legitimately starve (see
+            // bench/ablation_policy) and the correctness property is
+            // vacuous.
+        } while (static_cast<double>(c.period) * c.duty <
+                 7.0 * kNsPerMs);
+        const std::uint32_t segs[] = {50, 64, 128, 256, 384};
+        c.segBytes = segs[r.below(5)];
+        c.policy = r.chance(0.5) ? tics::PolicyKind::Timer
+                                 : tics::PolicyKind::EveryTrigger;
+        cases.push_back(c);
+    }
+    return cases;
+}
+
+std::unique_ptr<board::Board>
+boardFor(const PropCase &c)
+{
+    board::BoardConfig cfg;
+    cfg.seed = c.seed;
+    return std::make_unique<board::Board>(
+        cfg, std::make_unique<energy::PatternSupply>(c.period, c.duty),
+        std::make_unique<timekeeper::PerfectTimekeeper>());
+}
+
+tics::TicsConfig
+ticsFor(const PropCase &c)
+{
+    tics::TicsConfig cfg;
+    cfg.segmentBytes = c.segBytes;
+    cfg.segmentCount = 48;
+    cfg.policy = c.policy;
+    cfg.timerPeriod = 4 * kNsPerMs;
+    return cfg;
+}
+
+class PowerScheduleProperty : public ::testing::TestWithParam<PropCase>
+{
+};
+
+} // namespace
+
+TEST_P(PowerScheduleProperty, BcMatchesContinuousResult)
+{
+    const auto &c = GetParam();
+    auto b = boardFor(c);
+    tics::TicsRuntime rt(ticsFor(c));
+    apps::BcParams p;
+    p.iterations = 24;
+    apps::BcLegacyApp app(*b, rt, p);
+    const auto res = b->run(rt, [&] { app.main(); }, 600 * kNsPerSec);
+    ASSERT_TRUE(res.completed) << "starved=" << res.starved;
+    EXPECT_TRUE(app.verify())
+        << "total=" << app.totalBits()
+        << " expected=" << apps::BcLegacyApp::expectedTotal(p);
+}
+
+TEST_P(PowerScheduleProperty, CuckooMatchesContinuousResult)
+{
+    const auto &c = GetParam();
+    auto b = boardFor(c);
+    tics::TicsRuntime rt(ticsFor(c));
+    apps::CuckooParams p;
+    p.keys = 40;
+    apps::CuckooLegacyApp app(*b, rt, p);
+    const auto res = b->run(rt, [&] { app.main(); }, 600 * kNsPerSec);
+    ASSERT_TRUE(res.completed) << "starved=" << res.starved;
+    EXPECT_TRUE(app.verify()) << "inserted=" << app.inserted()
+                              << " recovered=" << app.recovered();
+}
+
+TEST_P(PowerScheduleProperty, MementosAlsoPreservesCorrectness)
+{
+    const auto &c = GetParam();
+    auto b = boardFor(c);
+    runtimes::MementosConfig mc;
+    mc.trigger = runtimes::MementosConfig::Trigger::Timer;
+    mc.timerPeriod = 4 * kNsPerMs;
+    runtimes::MementosRuntime rt(mc);
+    apps::BcParams p;
+    p.iterations = 24;
+    apps::BcLegacyApp app(*b, rt, p);
+    const auto res = b->run(rt, [&] { app.main(); }, 600 * kNsPerSec);
+    if (res.completed)
+        EXPECT_TRUE(app.verify());
+    // (The naive checkpointer may legitimately starve on harsh
+    // schedules — correctness is only claimed for completed runs.)
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSchedules, PowerScheduleProperty,
+                         ::testing::ValuesIn(makeCases()), caseName);
+
+// ---- bounded-checkpoint property -------------------------------------------
+
+namespace {
+
+class SegmentSizeProperty
+    : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+} // namespace
+
+TEST_P(SegmentSizeProperty, ModeledCheckpointCostIsBounded)
+{
+    // For every segment size, the modeled checkpoint cost charged by
+    // the runtime must be exactly the configured bound — never a
+    // function of program state size (TICS's headline property).
+    const std::uint32_t seg = GetParam();
+    board::BoardConfig cfg;
+    auto b = std::make_unique<board::Board>(
+        cfg, std::make_unique<energy::ContinuousSupply>(),
+        std::make_unique<timekeeper::PerfectTimekeeper>());
+    tics::TicsConfig tcfg;
+    tcfg.segmentBytes = seg;
+    tcfg.segmentCount = 48;
+    tcfg.policy = tics::PolicyKind::None;
+    tics::TicsRuntime rt(tcfg);
+    mem::nvArray<std::uint32_t, 2000> big(b->nvram(), "big"); // 8 kB
+
+    b->run(
+        rt,
+        [&] {
+            board::FrameGuard fg(rt, 24);
+            rt.checkpointNow();
+            // Grow lots of program state; checkpoint again.
+            for (std::uint32_t i = 0; i < 2000; i += 7)
+                big.set(i, i);
+            rt.checkpointNow();
+        },
+        60 * kNsPerSec);
+
+    const auto &d = rt.stats().distribution("ckptCycles");
+    ASSERT_GE(d.count(), 2u);
+    const double expected = static_cast<double>(
+        device::CostModel::linear(b->costs().ckptLogic,
+                                  b->costs().ckptPerByte, seg));
+    EXPECT_DOUBLE_EQ(d.min(), expected);
+    EXPECT_DOUBLE_EQ(d.max(), expected); // state size is irrelevant
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SegmentSizeProperty,
+                         ::testing::Values(50u, 64u, 128u, 256u, 512u,
+                                           1024u));
+
+// ---- WAR stress property ---------------------------------------------------
+
+namespace {
+
+class WarStressProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+} // namespace
+
+TEST_P(WarStressProperty, AccumulatorExactUnderRandomFailures)
+{
+    // A read-modify-write accumulator bumped 64 times must end at
+    // exactly 64 regardless of where failures land.
+    const std::uint64_t seed = GetParam();
+    board::BoardConfig cfg;
+    cfg.seed = seed;
+    Rng r(seed);
+    TimeNs period;
+    double duty;
+    do {
+        period = (6 + r.below(20)) * kNsPerMs;
+        duty = 0.4 + r.uniform() * 0.4;
+        // Bursts must outlast the 3 ms checkpoint timer or the run
+        // legitimately starves (no new restore point per burst).
+    } while (static_cast<double>(period) * duty < 5.5 * kNsPerMs);
+    auto b = std::make_unique<board::Board>(
+        cfg, std::make_unique<energy::PatternSupply>(period, duty),
+        std::make_unique<timekeeper::PerfectTimekeeper>());
+    tics::TicsConfig tcfg;
+    tcfg.policy = tics::PolicyKind::Timer;
+    tcfg.timerPeriod = 3 * kNsPerMs;
+    tics::TicsRuntime rt(tcfg);
+    mem::nv<std::uint64_t> acc(b->nvram(), "acc");
+
+    const auto res = b->run(
+        rt,
+        [&] {
+            board::FrameGuard fg(rt, 20);
+            for (int i = 0; i < 64; ++i) {
+                rt.triggerPoint();
+                acc = acc.get() + 1;
+                b->charge(900);
+            }
+        },
+        600 * kNsPerSec);
+    ASSERT_TRUE(res.completed);
+    EXPECT_EQ(acc.get(), 64u) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WarStressProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));

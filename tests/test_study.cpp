@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests of the user-study programs (Fig. 10): both styles of each
+ * program must compute identical results, survive intermittency, and
+ * the effort metrics must show the task versions as structurally
+ * larger — the property the study's findings rest on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/study/study.hpp"
+#include "harness/effort.hpp"
+
+using namespace ticsim;
+using namespace ticsim::apps::study;
+
+namespace {
+
+std::unique_ptr<board::Board>
+patternBoard(std::uint64_t seed = 1)
+{
+    board::BoardConfig cfg;
+    cfg.seed = seed;
+    return std::make_unique<board::Board>(
+        cfg, std::make_unique<energy::PatternSupply>(15 * kNsPerMs, 0.6),
+        std::make_unique<timekeeper::PerfectTimekeeper>());
+}
+
+tics::TicsConfig
+studyTics()
+{
+    tics::TicsConfig cfg;
+    cfg.segmentBytes = 128;
+    cfg.policy = tics::PolicyKind::Timer;
+    cfg.timerPeriod = 3 * kNsPerMs;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Study, SwapBothStylesAgree)
+{
+    auto b1 = patternBoard();
+    tics::TicsRuntime rt1(studyTics());
+    SwapTics s1(*b1, rt1, 3, 5);
+    ASSERT_TRUE(b1->run(rt1, [&] { s1.main(); }, kNsPerSec).completed);
+    EXPECT_EQ(s1.a(), 5);
+    EXPECT_EQ(s1.b(), 3);
+
+    auto b2 = patternBoard();
+    taskrt::TaskRuntime rt2;
+    SwapInk s2(*b2, rt2, 3, 5);
+    ASSERT_TRUE(b2->run(rt2, {}, kNsPerSec).completed);
+    EXPECT_EQ(s2.a(), 5);
+    EXPECT_EQ(s2.b(), 3);
+}
+
+TEST(Study, BubbleBothStylesSortCorrectly)
+{
+    const SortArray input = {9, 2, 7, 1, 8, 3, 12, 0, 5, 11, 4, 6};
+    SortArray expected = input;
+    std::sort(expected.begin(), expected.end());
+
+    auto b1 = patternBoard(7);
+    tics::TicsRuntime rt1(studyTics());
+    BubbleTics s1(*b1, rt1, input);
+    ASSERT_TRUE(
+        b1->run(rt1, [&] { s1.main(); }, 10 * kNsPerSec).completed);
+    EXPECT_EQ(s1.result(), expected);
+
+    auto b2 = patternBoard(7);
+    taskrt::TaskRuntime rt2;
+    BubbleInk s2(*b2, rt2, input);
+    ASSERT_TRUE(b2->run(rt2, {}, 10 * kNsPerSec).completed);
+    EXPECT_EQ(s2.result(), expected);
+}
+
+TEST(Study, TimekeepingBothStylesGateOnFreshness)
+{
+    auto b1 = patternBoard(3);
+    tics::TicsRuntime rt1(studyTics());
+    TimekeepTics s1(*b1, rt1, 2 * kNsPerMs); // tight lifetime
+    ASSERT_TRUE(
+        b1->run(rt1, [&] { s1.main(); }, 10 * kNsPerSec).completed);
+    EXPECT_EQ(s1.consumed() + s1.discarded(), 24u);
+    // do_work() takes 4 ms > the 2 ms lifetime: everything expires.
+    EXPECT_EQ(s1.consumed(), 0u);
+
+    auto b2 = patternBoard(3);
+    taskrt::TaskRuntime rt2;
+    TimekeepInk s2(*b2, rt2, 2 * kNsPerMs);
+    ASSERT_TRUE(b2->run(rt2, {}, 10 * kNsPerSec).completed);
+    EXPECT_EQ(s2.consumed() + s2.discarded(), 24u);
+    EXPECT_EQ(s2.consumed(), 0u);
+}
+
+TEST(Study, TimekeepingGenerousLifetimeConsumes)
+{
+    auto b1 = patternBoard(3);
+    tics::TicsRuntime rt1(studyTics());
+    TimekeepTics s1(*b1, rt1, 500 * kNsPerMs);
+    ASSERT_TRUE(
+        b1->run(rt1, [&] { s1.main(); }, 10 * kNsPerSec).completed);
+    EXPECT_GT(s1.consumed(), 20u); // nearly all rounds consume
+}
+
+TEST(Study, TaskStyleIsStructurallyLarger)
+{
+    for (const auto &pt : programTexts()) {
+        const auto tics = harness::analyzeSource(
+            pt.ticsSource, pt.ticsElements, pt.ticsSharedState);
+        const auto ink = harness::analyzeSource(
+            pt.inkSource, pt.inkElements, pt.inkSharedState);
+        EXPECT_GT(ink.loc, tics.loc) << pt.name;
+        EXPECT_GT(ink.elements, tics.elements) << pt.name;
+        EXPECT_GE(ink.sharedState, tics.sharedState) << pt.name;
+    }
+}

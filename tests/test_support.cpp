@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Unit tests for the support substrate: RNG determinism and
+ * distributions, statistics, table/CSV formatting, units, and the
+ * Fig. 10 effort metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/effort.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+using namespace ticsim;
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng r(3);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+    EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.range(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        sawLo |= v == -3;
+        sawHi |= v == 3;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+    EXPECT_EQ(r.range(5, 5), 5);
+    EXPECT_EQ(r.range(5, 4), 5); // degenerate clamps to lo
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(11);
+    double sum = 0, sumSq = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = r.gaussian(10.0, 2.0);
+        sum += v;
+        sumSq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sumSq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.1);
+    EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng r(13);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(5.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.25);
+}
+
+TEST(Rng, ForkIndependentButDeterministic)
+{
+    Rng a(5);
+    Rng fork1 = a.fork();
+    Rng b(5);
+    Rng fork2 = b.fork();
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(fork1.next(), fork2.next());
+}
+
+TEST(Distribution, TracksMoments)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.mean(), 0.0);
+    for (const double v : {2.0, 4.0, 6.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 6.0);
+    EXPECT_NEAR(d.stddev(), 2.0, 1e-9);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+}
+
+TEST(StatGroup, CountersAndLookup)
+{
+    StatGroup g("grp");
+    ++g.counter("a");
+    g.counter("a") += 4;
+    EXPECT_EQ(g.counterValue("a"), 5u);
+    EXPECT_EQ(g.counterValue("missing"), 0u);
+    EXPECT_TRUE(g.hasCounter("a"));
+    EXPECT_FALSE(g.hasCounter("b"));
+    g.setScalar("x", 2.5);
+    EXPECT_DOUBLE_EQ(g.scalarValue("x"), 2.5);
+    g.resetAll();
+    EXPECT_EQ(g.counterValue("a"), 0u);
+    EXPECT_DOUBLE_EQ(g.scalarValue("x"), 0.0);
+}
+
+TEST(StatGroup, DumpContainsNames)
+{
+    StatGroup g("device");
+    ++g.counter("events");
+    g.distribution("lat").sample(3.0);
+    std::ostringstream os;
+    g.dump(os);
+    const auto s = os.str();
+    EXPECT_NE(s.find("device.events"), std::string::npos);
+    EXPECT_NE(s.find("device.lat"), std::string::npos);
+}
+
+TEST(Table, AlignsAndSeparates)
+{
+    Table t("demo");
+    t.header({"col", "value"});
+    t.row().cell("a").cell(std::uint64_t{1});
+    t.separator();
+    t.row().cell("bee").cell(2.5, 1);
+    std::ostringstream os;
+    t.print(os);
+    const auto s = os.str();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("| a   |"), std::string::npos);
+    EXPECT_NE(s.find("2.5"), std::string::npos);
+}
+
+TEST(Csv, QuotesSpecials)
+{
+    std::ostringstream os;
+    CsvWriter w(os);
+    w.row({"plain", "with,comma", "with\"quote"});
+    EXPECT_EQ(os.str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_EQ(nsToUs(1500), 1u);
+    EXPECT_DOUBLE_EQ(nsToSec(kNsPerSec), 1.0);
+    EXPECT_EQ(secToNs(2.0), 2 * kNsPerSec);
+    EXPECT_EQ(secToNs(-1.0), 0u);
+    EXPECT_EQ(msToNs(3), 3 * kNsPerMs);
+    EXPECT_EQ(usToNs(3), 3 * kNsPerUs);
+}
+
+TEST(Effort, CountsLinesAndDecisions)
+{
+    const auto m = harness::analyzeSource(
+        "int main() {\n"
+        "  if (a && b) { }\n"
+        "\n"
+        "  for (;;) { while (x) { } }\n"
+        "}\n",
+        2, 3);
+    EXPECT_EQ(m.loc, 4u);                 // blank line excluded
+    EXPECT_EQ(m.decisionPoints, 4u);      // if, &&, for, while
+    EXPECT_EQ(m.elements, 2u);
+    EXPECT_EQ(m.sharedState, 3u);
+}
+
+TEST(Effort, WordBoundariesRespected)
+{
+    // "iffy" and "forward" must not count as if/for.
+    const auto m = harness::analyzeSource("iffy forward whiled\n", 1, 0);
+    EXPECT_EQ(m.decisionPoints, 0u);
+}

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for the TICS building blocks: the undo log (append,
+ * newest-first rollback, watermarks, overflow) and the stack-
+ * segmentation protocol (grow/shrink transitions, the enforced-
+ * checkpoint rule, frame-to-segment mapping).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/nvram.hpp"
+#include "tics/segmentation.hpp"
+#include "tics/undo_log.hpp"
+
+using namespace ticsim;
+using namespace ticsim::tics;
+
+namespace {
+
+struct UndoFixture : ::testing::Test {
+    mem::NvRam ram{16 * 1024};
+    UndoLog log{ram, "ul", 256, 16};
+};
+
+} // namespace
+
+TEST_F(UndoFixture, RollbackRestoresOldValues)
+{
+    int a = 1, b = 2;
+    log.append(&a, sizeof(a));
+    a = 100;
+    log.append(&b, sizeof(b));
+    b = 200;
+    EXPECT_EQ(log.entryCount(), 2u);
+    EXPECT_EQ(log.rollback(), 2u);
+    EXPECT_EQ(a, 1);
+    EXPECT_EQ(b, 2);
+    EXPECT_EQ(log.entryCount(), 0u);
+}
+
+TEST_F(UndoFixture, NewestFirstWinsOnOverlap)
+{
+    int x = 1;
+    log.append(&x, sizeof(x)); // logs 1
+    x = 2;
+    log.append(&x, sizeof(x)); // logs 2
+    x = 3;
+    log.rollback();
+    // Applying newest-first ends with the OLDEST value.
+    EXPECT_EQ(x, 1);
+}
+
+TEST_F(UndoFixture, WatermarkRollsBackSuffixOnly)
+{
+    int a = 1, b = 2;
+    log.append(&a, sizeof(a));
+    a = 10;
+    const auto mark = log.entryCount();
+    log.append(&b, sizeof(b));
+    b = 20;
+    EXPECT_EQ(log.rollbackTo(mark), 1u);
+    EXPECT_EQ(b, 2);   // suffix undone
+    EXPECT_EQ(a, 10);  // prefix untouched
+    EXPECT_EQ(log.entryCount(), mark);
+    EXPECT_EQ(log.rollback(), 1u);
+    EXPECT_EQ(a, 1);
+}
+
+TEST_F(UndoFixture, OverflowDetection)
+{
+    std::uint8_t buf[300] = {};
+    EXPECT_FALSE(log.wouldOverflow(256));
+    EXPECT_TRUE(log.wouldOverflow(257)); // pool too small
+    log.append(buf, 200);
+    EXPECT_TRUE(log.wouldOverflow(100)); // 200 + 100 > 256
+    EXPECT_FALSE(log.wouldOverflow(56));
+    log.clear();
+    // Entry-table exhaustion.
+    for (int i = 0; i < 16; ++i)
+        log.append(buf + i, 1);
+    EXPECT_TRUE(log.wouldOverflow(1));
+}
+
+TEST_F(UndoFixture, BytesSinceSumsSuffix)
+{
+    std::uint8_t buf[64] = {};
+    log.append(buf, 8);
+    log.append(buf + 8, 16);
+    log.append(buf + 24, 4);
+    EXPECT_EQ(log.bytesSince(0), 28u);
+    EXPECT_EQ(log.bytesSince(1), 20u);
+    EXPECT_EQ(log.bytesSince(3), 0u);
+}
+
+// ---- segmentation protocol -----------------------------------------------
+
+TEST(Segmentation, FitsWithinSegment)
+{
+    Segmentation s;
+    s.configure(100, 8);
+    EXPECT_FALSE(s.frameEnter(40).grew);
+    EXPECT_FALSE(s.frameEnter(40).grew);
+    EXPECT_EQ(s.workingSegment(), 0);
+    EXPECT_EQ(s.usedInWorking(), 80u);
+    EXPECT_FALSE(s.frameExit().shrunk);
+    EXPECT_EQ(s.usedInWorking(), 40u);
+}
+
+TEST(Segmentation, GrowsWhenFrameDoesNotFit)
+{
+    Segmentation s;
+    s.configure(100, 8);
+    s.frameEnter(80);
+    const auto a = s.frameEnter(40); // 80 + 40 > 100
+    EXPECT_TRUE(a.grew);
+    EXPECT_EQ(s.workingSegment(), 1);
+    EXPECT_EQ(s.usedInWorking(), 40u);
+    EXPECT_EQ(s.modeledStackBytes(), 120u);
+}
+
+TEST(Segmentation, FirstShrinkForcesBootstrapCheckpoint)
+{
+    Segmentation s;
+    s.configure(100, 8);
+    s.frameEnter(80);
+    s.frameEnter(40); // grow to segment 1
+    const auto a = s.frameExit();
+    EXPECT_TRUE(a.shrunk);
+    // Nothing was ever checkpointed: the paper's "working stack not
+    // saved yet" rule forces one now.
+    EXPECT_TRUE(a.forceCheckpoint);
+}
+
+TEST(Segmentation, ShrinkPastCheckpointedSegmentForces)
+{
+    Segmentation s;
+    s.configure(100, 8);
+    s.frameEnter(80);       // seg 0
+    s.frameEnter(40);       // seg 1
+    s.noteCheckpointed();   // checkpoint holds seg 1
+    EXPECT_EQ(s.checkpointedSegment(), 1);
+    const auto a = s.frameExit(); // back to seg 0; ckpt out of stack
+    EXPECT_TRUE(a.shrunk);
+    EXPECT_TRUE(a.forceCheckpoint);
+}
+
+TEST(Segmentation, ShrinkBelowCheckpointedSegmentDoesNotForce)
+{
+    Segmentation s;
+    s.configure(100, 8);
+    s.frameEnter(80);     // seg 0
+    s.noteCheckpointed(); // checkpoint holds seg 0
+    s.frameEnter(40);     // grow to seg 1
+    const auto a = s.frameExit(); // back to seg 0 == checkpointed
+    EXPECT_TRUE(a.shrunk);
+    EXPECT_FALSE(a.forceCheckpoint);
+}
+
+TEST(Segmentation, DeepRecursionWalksSegments)
+{
+    Segmentation s;
+    s.configure(50, 16);
+    for (int i = 0; i < 20; ++i)
+        s.frameEnter(12); // 4 frames per segment
+    EXPECT_EQ(s.workingSegment(), 4);
+    EXPECT_EQ(s.depth(), 20u);
+    for (int i = 0; i < 20; ++i)
+        s.frameExit();
+    EXPECT_EQ(s.workingSegment(), 0);
+    EXPECT_EQ(s.depth(), 0u);
+    EXPECT_EQ(s.modeledStackBytes(), 0u);
+}
+
+TEST(Segmentation, StateIsCopyAssignable)
+{
+    Segmentation s;
+    s.configure(100, 8);
+    s.frameEnter(80);
+    s.frameEnter(40);
+    s.noteCheckpointed();
+    Segmentation copy = s; // checkpointed with the register snapshot
+    s.frameExit();
+    s.frameExit();
+    EXPECT_EQ(copy.workingSegment(), 1);
+    EXPECT_EQ(copy.depth(), 2u);
+    EXPECT_EQ(copy.checkpointedSegment(), 1);
+    EXPECT_EQ(s.depth(), 0u);
+}
+
+TEST(SegmentationDeath, FrameLargerThanSegmentPanics)
+{
+    Segmentation s;
+    s.configure(50, 8);
+    EXPECT_DEATH(s.frameEnter(60), "larger than a stack segment");
+}
+
+TEST(SegmentationDeath, SegmentArrayExhaustionPanics)
+{
+    Segmentation s;
+    s.configure(50, 2);
+    s.frameEnter(50);
+    s.frameEnter(50);
+    EXPECT_DEATH(s.frameEnter(50), "segment array exhausted");
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the persistent timekeepers: RTC hold-up/reset
+ * semantics, drift, and the remanence estimator's bounded error and
+ * saturation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "timekeeper/timekeeper.hpp"
+
+using namespace ticsim;
+using namespace ticsim::timekeeper;
+
+TEST(PerfectTimekeeper, IsIdentity)
+{
+    PerfectTimekeeper tk;
+    EXPECT_EQ(tk.read(0), 0u);
+    EXPECT_EQ(tk.read(123 * kNsPerMs), 123 * kNsPerMs);
+}
+
+TEST(RtcCap, SurvivesShortOutage)
+{
+    RtcCapTimekeeper tk(kNsPerSec, /*driftPpm=*/0.0);
+    tk.onPowerFail(100 * kNsPerMs);
+    tk.onPowerOn(400 * kNsPerMs); // 300 ms outage < 1 s holdup
+    EXPECT_EQ(tk.read(400 * kNsPerMs), 400 * kNsPerMs);
+}
+
+TEST(RtcCap, ResetsAfterLongOutage)
+{
+    RtcCapTimekeeper tk(100 * kNsPerMs, 0.0);
+    tk.onPowerFail(kNsPerSec);
+    tk.onPowerOn(3 * kNsPerSec); // 2 s outage > 100 ms holdup
+    // The RTC restarted: the device now *underestimates* elapsed time.
+    EXPECT_EQ(tk.read(3 * kNsPerSec), 0u);
+    EXPECT_EQ(tk.read(3 * kNsPerSec + 50 * kNsPerMs), 50 * kNsPerMs);
+}
+
+TEST(RtcCap, DriftAccumulates)
+{
+    RtcCapTimekeeper tk(kNsPerSec, /*driftPpm=*/100.0);
+    const TimeNs t = 1000 * kNsPerSec;
+    const TimeNs est = tk.read(t);
+    EXPECT_GT(est, t);
+    EXPECT_NEAR(static_cast<double>(est - t), 1e-4 * t, 1e3);
+}
+
+TEST(RtcCap, ResetRestoresEpoch)
+{
+    RtcCapTimekeeper tk(10 * kNsPerMs, 0.0);
+    tk.onPowerFail(kNsPerSec);
+    tk.onPowerOn(2 * kNsPerSec);
+    ASSERT_LT(tk.read(2 * kNsPerSec), kNsPerSec);
+    tk.reset();
+    EXPECT_EQ(tk.read(5 * kNsPerMs), 5 * kNsPerMs);
+}
+
+TEST(Remanence, ErrorIsBounded)
+{
+    const double frac = 0.2;
+    RemanenceTimekeeper tk(frac, 10 * kNsPerSec, Rng(17));
+    TimeNs now = 0;
+    std::int64_t worstSkew = 0;
+    TimeNs totalOff = 0;
+    for (int i = 0; i < 50; ++i) {
+        now += 30 * kNsPerMs; // on period
+        tk.onPowerFail(now);
+        const TimeNs off = 100 * kNsPerMs;
+        now += off;
+        totalOff += off;
+        tk.onPowerOn(now);
+        const std::int64_t skew = static_cast<std::int64_t>(tk.read(now)) -
+                                  static_cast<std::int64_t>(now);
+        worstSkew = std::max<std::int64_t>(worstSkew,
+                                           skew < 0 ? -skew : skew);
+    }
+    // Every outage contributes at most frac * off of skew.
+    EXPECT_LE(worstSkew,
+              static_cast<std::int64_t>(frac * totalOff) + 1000);
+    EXPECT_GT(worstSkew, 0); // it is genuinely noisy
+}
+
+TEST(Remanence, SaturatesAtHorizon)
+{
+    RemanenceTimekeeper tk(0.1, 500 * kNsPerMs, Rng(9));
+    tk.onPowerFail(0);
+    tk.onPowerOn(10 * kNsPerSec); // outage far beyond the horizon
+    // The estimator could only measure 500 ms of a 10 s outage.
+    const TimeNs est = tk.read(10 * kNsPerSec);
+    EXPECT_NEAR(static_cast<double>(est),
+                static_cast<double>(500 * kNsPerMs), 1e6);
+}
+
+TEST(Remanence, ResetReplaysDeterministically)
+{
+    RemanenceTimekeeper tk(0.3, 10 * kNsPerSec, Rng(5));
+    tk.onPowerFail(kNsPerSec);
+    tk.onPowerOn(2 * kNsPerSec);
+    const TimeNs first = tk.read(2 * kNsPerSec);
+    tk.reset();
+    tk.onPowerFail(kNsPerSec);
+    tk.onPowerOn(2 * kNsPerSec);
+    EXPECT_EQ(tk.read(2 * kNsPerSec), first);
+}
