@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_timekeeper.dir/ablation_timekeeper.cpp.o"
+  "CMakeFiles/ablation_timekeeper.dir/ablation_timekeeper.cpp.o.d"
+  "ablation_timekeeper"
+  "ablation_timekeeper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_timekeeper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

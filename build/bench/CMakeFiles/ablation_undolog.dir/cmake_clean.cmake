@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_undolog.dir/ablation_undolog.cpp.o"
+  "CMakeFiles/ablation_undolog.dir/ablation_undolog.cpp.o.d"
+  "ablation_undolog"
+  "ablation_undolog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_undolog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_effort.dir/fig10_effort.cpp.o"
+  "CMakeFiles/fig10_effort.dir/fig10_effort.cpp.o.d"
+  "fig10_effort"
+  "fig10_effort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

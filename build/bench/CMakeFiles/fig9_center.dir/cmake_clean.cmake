@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_center.dir/fig9_center.cpp.o"
+  "CMakeFiles/fig9_center.dir/fig9_center.cpp.o.d"
+  "fig9_center"
+  "fig9_center.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_center.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

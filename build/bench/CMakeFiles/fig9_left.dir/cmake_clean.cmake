@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_left.dir/fig9_left.cpp.o"
+  "CMakeFiles/fig9_left.dir/fig9_left.cpp.o.d"
+  "fig9_left"
+  "fig9_left.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_left.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig9_right.cpp" "bench/CMakeFiles/fig9_right.dir/fig9_right.cpp.o" "gcc" "bench/CMakeFiles/fig9_right.dir/fig9_right.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/ticsim_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ticsim_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtimes/CMakeFiles/ticsim_runtimes.dir/DependInfo.cmake"
+  "/root/repo/build/src/tics/CMakeFiles/ticsim_tics.dir/DependInfo.cmake"
+  "/root/repo/build/src/tinyos/CMakeFiles/ticsim_tinyos.dir/DependInfo.cmake"
+  "/root/repo/build/src/board/CMakeFiles/ticsim_board.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/ticsim_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/timekeeper/CMakeFiles/ticsim_timekeeper.dir/DependInfo.cmake"
+  "/root/repo/build/src/context/CMakeFiles/ticsim_context.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ticsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/ticsim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ticsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_right.dir/fig9_right.cpp.o"
+  "CMakeFiles/fig9_right.dir/fig9_right.cpp.o.d"
+  "fig9_right"
+  "fig9_right.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_right.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_ghm.dir/table1_ghm.cpp.o"
+  "CMakeFiles/table1_ghm.dir/table1_ghm.cpp.o.d"
+  "table1_ghm"
+  "table1_ghm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_ghm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

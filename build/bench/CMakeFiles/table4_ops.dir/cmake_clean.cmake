@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_ops.dir/table4_ops.cpp.o"
+  "CMakeFiles/table4_ops.dir/table4_ops.cpp.o.d"
+  "table4_ops"
+  "table4_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

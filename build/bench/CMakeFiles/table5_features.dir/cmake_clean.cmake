@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_features.dir/table5_features.cpp.o"
+  "CMakeFiles/table5_features.dir/table5_features.cpp.o.d"
+  "table5_features"
+  "table5_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

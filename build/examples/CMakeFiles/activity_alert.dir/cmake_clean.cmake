@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/activity_alert.dir/activity_alert.cpp.o"
+  "CMakeFiles/activity_alert.dir/activity_alert.cpp.o.d"
+  "activity_alert"
+  "activity_alert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/activity_alert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

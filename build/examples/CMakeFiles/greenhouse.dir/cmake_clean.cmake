@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greenhouse.dir/greenhouse.cpp.o"
+  "CMakeFiles/greenhouse.dir/greenhouse.cpp.o.d"
+  "greenhouse"
+  "greenhouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greenhouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legacy_port.dir/legacy_port.cpp.o"
+  "CMakeFiles/legacy_port.dir/legacy_port.cpp.o.d"
+  "legacy_port"
+  "legacy_port.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legacy_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

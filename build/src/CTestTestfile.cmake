@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("energy")
+subdirs("mem")
+subdirs("context")
+subdirs("timekeeper")
+subdirs("device")
+subdirs("board")
+subdirs("tics")
+subdirs("runtimes")
+subdirs("tinyos")
+subdirs("apps")
+subdirs("harness")

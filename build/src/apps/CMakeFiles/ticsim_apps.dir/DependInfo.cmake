@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/ar/ar_chinchilla.cpp" "src/apps/CMakeFiles/ticsim_apps.dir/ar/ar_chinchilla.cpp.o" "gcc" "src/apps/CMakeFiles/ticsim_apps.dir/ar/ar_chinchilla.cpp.o.d"
+  "/root/repo/src/apps/ar/ar_common.cpp" "src/apps/CMakeFiles/ticsim_apps.dir/ar/ar_common.cpp.o" "gcc" "src/apps/CMakeFiles/ticsim_apps.dir/ar/ar_common.cpp.o.d"
+  "/root/repo/src/apps/ar/ar_legacy.cpp" "src/apps/CMakeFiles/ticsim_apps.dir/ar/ar_legacy.cpp.o" "gcc" "src/apps/CMakeFiles/ticsim_apps.dir/ar/ar_legacy.cpp.o.d"
+  "/root/repo/src/apps/ar/ar_task.cpp" "src/apps/CMakeFiles/ticsim_apps.dir/ar/ar_task.cpp.o" "gcc" "src/apps/CMakeFiles/ticsim_apps.dir/ar/ar_task.cpp.o.d"
+  "/root/repo/src/apps/ar/ar_timed.cpp" "src/apps/CMakeFiles/ticsim_apps.dir/ar/ar_timed.cpp.o" "gcc" "src/apps/CMakeFiles/ticsim_apps.dir/ar/ar_timed.cpp.o.d"
+  "/root/repo/src/apps/bc/bc_chinchilla.cpp" "src/apps/CMakeFiles/ticsim_apps.dir/bc/bc_chinchilla.cpp.o" "gcc" "src/apps/CMakeFiles/ticsim_apps.dir/bc/bc_chinchilla.cpp.o.d"
+  "/root/repo/src/apps/bc/bc_legacy.cpp" "src/apps/CMakeFiles/ticsim_apps.dir/bc/bc_legacy.cpp.o" "gcc" "src/apps/CMakeFiles/ticsim_apps.dir/bc/bc_legacy.cpp.o.d"
+  "/root/repo/src/apps/bc/bc_task.cpp" "src/apps/CMakeFiles/ticsim_apps.dir/bc/bc_task.cpp.o" "gcc" "src/apps/CMakeFiles/ticsim_apps.dir/bc/bc_task.cpp.o.d"
+  "/root/repo/src/apps/common/cuckoo_core.cpp" "src/apps/CMakeFiles/ticsim_apps.dir/common/cuckoo_core.cpp.o" "gcc" "src/apps/CMakeFiles/ticsim_apps.dir/common/cuckoo_core.cpp.o.d"
+  "/root/repo/src/apps/common/dsp.cpp" "src/apps/CMakeFiles/ticsim_apps.dir/common/dsp.cpp.o" "gcc" "src/apps/CMakeFiles/ticsim_apps.dir/common/dsp.cpp.o.d"
+  "/root/repo/src/apps/cuckoo/cuckoo_chinchilla.cpp" "src/apps/CMakeFiles/ticsim_apps.dir/cuckoo/cuckoo_chinchilla.cpp.o" "gcc" "src/apps/CMakeFiles/ticsim_apps.dir/cuckoo/cuckoo_chinchilla.cpp.o.d"
+  "/root/repo/src/apps/cuckoo/cuckoo_legacy.cpp" "src/apps/CMakeFiles/ticsim_apps.dir/cuckoo/cuckoo_legacy.cpp.o" "gcc" "src/apps/CMakeFiles/ticsim_apps.dir/cuckoo/cuckoo_legacy.cpp.o.d"
+  "/root/repo/src/apps/cuckoo/cuckoo_task.cpp" "src/apps/CMakeFiles/ticsim_apps.dir/cuckoo/cuckoo_task.cpp.o" "gcc" "src/apps/CMakeFiles/ticsim_apps.dir/cuckoo/cuckoo_task.cpp.o.d"
+  "/root/repo/src/apps/ghm/ghm.cpp" "src/apps/CMakeFiles/ticsim_apps.dir/ghm/ghm.cpp.o" "gcc" "src/apps/CMakeFiles/ticsim_apps.dir/ghm/ghm.cpp.o.d"
+  "/root/repo/src/apps/study/study.cpp" "src/apps/CMakeFiles/ticsim_apps.dir/study/study.cpp.o" "gcc" "src/apps/CMakeFiles/ticsim_apps.dir/study/study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/board/CMakeFiles/ticsim_board.dir/DependInfo.cmake"
+  "/root/repo/build/src/tics/CMakeFiles/ticsim_tics.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtimes/CMakeFiles/ticsim_runtimes.dir/DependInfo.cmake"
+  "/root/repo/build/src/tinyos/CMakeFiles/ticsim_tinyos.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/ticsim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ticsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/context/CMakeFiles/ticsim_context.dir/DependInfo.cmake"
+  "/root/repo/build/src/timekeeper/CMakeFiles/ticsim_timekeeper.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/ticsim_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ticsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

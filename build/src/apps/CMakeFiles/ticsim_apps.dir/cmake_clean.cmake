@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ticsim_apps.dir/ar/ar_chinchilla.cpp.o"
+  "CMakeFiles/ticsim_apps.dir/ar/ar_chinchilla.cpp.o.d"
+  "CMakeFiles/ticsim_apps.dir/ar/ar_common.cpp.o"
+  "CMakeFiles/ticsim_apps.dir/ar/ar_common.cpp.o.d"
+  "CMakeFiles/ticsim_apps.dir/ar/ar_legacy.cpp.o"
+  "CMakeFiles/ticsim_apps.dir/ar/ar_legacy.cpp.o.d"
+  "CMakeFiles/ticsim_apps.dir/ar/ar_task.cpp.o"
+  "CMakeFiles/ticsim_apps.dir/ar/ar_task.cpp.o.d"
+  "CMakeFiles/ticsim_apps.dir/ar/ar_timed.cpp.o"
+  "CMakeFiles/ticsim_apps.dir/ar/ar_timed.cpp.o.d"
+  "CMakeFiles/ticsim_apps.dir/bc/bc_chinchilla.cpp.o"
+  "CMakeFiles/ticsim_apps.dir/bc/bc_chinchilla.cpp.o.d"
+  "CMakeFiles/ticsim_apps.dir/bc/bc_legacy.cpp.o"
+  "CMakeFiles/ticsim_apps.dir/bc/bc_legacy.cpp.o.d"
+  "CMakeFiles/ticsim_apps.dir/bc/bc_task.cpp.o"
+  "CMakeFiles/ticsim_apps.dir/bc/bc_task.cpp.o.d"
+  "CMakeFiles/ticsim_apps.dir/common/cuckoo_core.cpp.o"
+  "CMakeFiles/ticsim_apps.dir/common/cuckoo_core.cpp.o.d"
+  "CMakeFiles/ticsim_apps.dir/common/dsp.cpp.o"
+  "CMakeFiles/ticsim_apps.dir/common/dsp.cpp.o.d"
+  "CMakeFiles/ticsim_apps.dir/cuckoo/cuckoo_chinchilla.cpp.o"
+  "CMakeFiles/ticsim_apps.dir/cuckoo/cuckoo_chinchilla.cpp.o.d"
+  "CMakeFiles/ticsim_apps.dir/cuckoo/cuckoo_legacy.cpp.o"
+  "CMakeFiles/ticsim_apps.dir/cuckoo/cuckoo_legacy.cpp.o.d"
+  "CMakeFiles/ticsim_apps.dir/cuckoo/cuckoo_task.cpp.o"
+  "CMakeFiles/ticsim_apps.dir/cuckoo/cuckoo_task.cpp.o.d"
+  "CMakeFiles/ticsim_apps.dir/ghm/ghm.cpp.o"
+  "CMakeFiles/ticsim_apps.dir/ghm/ghm.cpp.o.d"
+  "CMakeFiles/ticsim_apps.dir/study/study.cpp.o"
+  "CMakeFiles/ticsim_apps.dir/study/study.cpp.o.d"
+  "libticsim_apps.a"
+  "libticsim_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ticsim_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

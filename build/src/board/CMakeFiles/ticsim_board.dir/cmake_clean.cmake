@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ticsim_board.dir/board.cpp.o"
+  "CMakeFiles/ticsim_board.dir/board.cpp.o.d"
+  "CMakeFiles/ticsim_board.dir/violation.cpp.o"
+  "CMakeFiles/ticsim_board.dir/violation.cpp.o.d"
+  "libticsim_board.a"
+  "libticsim_board.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ticsim_board.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

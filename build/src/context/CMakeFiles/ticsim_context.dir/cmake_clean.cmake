@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ticsim_context.dir/exec_context.cpp.o"
+  "CMakeFiles/ticsim_context.dir/exec_context.cpp.o.d"
+  "libticsim_context.a"
+  "libticsim_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ticsim_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

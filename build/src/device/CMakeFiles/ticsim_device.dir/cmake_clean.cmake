@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ticsim_device.dir/radio.cpp.o"
+  "CMakeFiles/ticsim_device.dir/radio.cpp.o.d"
+  "CMakeFiles/ticsim_device.dir/sensors.cpp.o"
+  "CMakeFiles/ticsim_device.dir/sensors.cpp.o.d"
+  "libticsim_device.a"
+  "libticsim_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ticsim_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ticsim_energy.dir/capacitor.cpp.o"
+  "CMakeFiles/ticsim_energy.dir/capacitor.cpp.o.d"
+  "CMakeFiles/ticsim_energy.dir/harvester.cpp.o"
+  "CMakeFiles/ticsim_energy.dir/harvester.cpp.o.d"
+  "CMakeFiles/ticsim_energy.dir/supply.cpp.o"
+  "CMakeFiles/ticsim_energy.dir/supply.cpp.o.d"
+  "libticsim_energy.a"
+  "libticsim_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ticsim_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

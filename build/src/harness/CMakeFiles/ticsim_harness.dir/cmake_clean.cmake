@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ticsim_harness.dir/effort.cpp.o"
+  "CMakeFiles/ticsim_harness.dir/effort.cpp.o.d"
+  "CMakeFiles/ticsim_harness.dir/experiment.cpp.o"
+  "CMakeFiles/ticsim_harness.dir/experiment.cpp.o.d"
+  "libticsim_harness.a"
+  "libticsim_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ticsim_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ticsim_mem.dir/footprint.cpp.o"
+  "CMakeFiles/ticsim_mem.dir/footprint.cpp.o.d"
+  "CMakeFiles/ticsim_mem.dir/nv.cpp.o"
+  "CMakeFiles/ticsim_mem.dir/nv.cpp.o.d"
+  "CMakeFiles/ticsim_mem.dir/nvram.cpp.o"
+  "CMakeFiles/ticsim_mem.dir/nvram.cpp.o.d"
+  "libticsim_mem.a"
+  "libticsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ticsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ticsim_runtimes.dir/chinchilla.cpp.o"
+  "CMakeFiles/ticsim_runtimes.dir/chinchilla.cpp.o.d"
+  "CMakeFiles/ticsim_runtimes.dir/mayfly.cpp.o"
+  "CMakeFiles/ticsim_runtimes.dir/mayfly.cpp.o.d"
+  "CMakeFiles/ticsim_runtimes.dir/mementos.cpp.o"
+  "CMakeFiles/ticsim_runtimes.dir/mementos.cpp.o.d"
+  "CMakeFiles/ticsim_runtimes.dir/task_core.cpp.o"
+  "CMakeFiles/ticsim_runtimes.dir/task_core.cpp.o.d"
+  "libticsim_runtimes.a"
+  "libticsim_runtimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ticsim_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

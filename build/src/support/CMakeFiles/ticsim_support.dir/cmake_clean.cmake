@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ticsim_support.dir/logging.cpp.o"
+  "CMakeFiles/ticsim_support.dir/logging.cpp.o.d"
+  "CMakeFiles/ticsim_support.dir/rng.cpp.o"
+  "CMakeFiles/ticsim_support.dir/rng.cpp.o.d"
+  "CMakeFiles/ticsim_support.dir/stats.cpp.o"
+  "CMakeFiles/ticsim_support.dir/stats.cpp.o.d"
+  "CMakeFiles/ticsim_support.dir/table.cpp.o"
+  "CMakeFiles/ticsim_support.dir/table.cpp.o.d"
+  "libticsim_support.a"
+  "libticsim_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ticsim_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

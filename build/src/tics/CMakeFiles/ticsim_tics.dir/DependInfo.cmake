@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tics/checkpoint_area.cpp" "src/tics/CMakeFiles/ticsim_tics.dir/checkpoint_area.cpp.o" "gcc" "src/tics/CMakeFiles/ticsim_tics.dir/checkpoint_area.cpp.o.d"
+  "/root/repo/src/tics/io.cpp" "src/tics/CMakeFiles/ticsim_tics.dir/io.cpp.o" "gcc" "src/tics/CMakeFiles/ticsim_tics.dir/io.cpp.o.d"
+  "/root/repo/src/tics/runtime.cpp" "src/tics/CMakeFiles/ticsim_tics.dir/runtime.cpp.o" "gcc" "src/tics/CMakeFiles/ticsim_tics.dir/runtime.cpp.o.d"
+  "/root/repo/src/tics/undo_log.cpp" "src/tics/CMakeFiles/ticsim_tics.dir/undo_log.cpp.o" "gcc" "src/tics/CMakeFiles/ticsim_tics.dir/undo_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/board/CMakeFiles/ticsim_board.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/ticsim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ticsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/context/CMakeFiles/ticsim_context.dir/DependInfo.cmake"
+  "/root/repo/build/src/timekeeper/CMakeFiles/ticsim_timekeeper.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/ticsim_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ticsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

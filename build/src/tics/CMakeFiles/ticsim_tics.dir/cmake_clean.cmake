@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ticsim_tics.dir/checkpoint_area.cpp.o"
+  "CMakeFiles/ticsim_tics.dir/checkpoint_area.cpp.o.d"
+  "CMakeFiles/ticsim_tics.dir/io.cpp.o"
+  "CMakeFiles/ticsim_tics.dir/io.cpp.o.d"
+  "CMakeFiles/ticsim_tics.dir/runtime.cpp.o"
+  "CMakeFiles/ticsim_tics.dir/runtime.cpp.o.d"
+  "CMakeFiles/ticsim_tics.dir/undo_log.cpp.o"
+  "CMakeFiles/ticsim_tics.dir/undo_log.cpp.o.d"
+  "libticsim_tics.a"
+  "libticsim_tics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ticsim_tics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ticsim_tics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ticsim_timekeeper.dir/timekeeper.cpp.o"
+  "CMakeFiles/ticsim_timekeeper.dir/timekeeper.cpp.o.d"
+  "libticsim_timekeeper.a"
+  "libticsim_timekeeper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ticsim_timekeeper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ticsim_tinyos.dir/kernel.cpp.o"
+  "CMakeFiles/ticsim_tinyos.dir/kernel.cpp.o.d"
+  "libticsim_tinyos.a"
+  "libticsim_tinyos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ticsim_tinyos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

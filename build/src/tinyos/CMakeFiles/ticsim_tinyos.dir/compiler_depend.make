@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ticsim_tinyos.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_annotations.cpp" "tests/CMakeFiles/ticsim_tests.dir/test_annotations.cpp.o" "gcc" "tests/CMakeFiles/ticsim_tests.dir/test_annotations.cpp.o.d"
+  "/root/repo/tests/test_apps_matrix.cpp" "tests/CMakeFiles/ticsim_tests.dir/test_apps_matrix.cpp.o" "gcc" "tests/CMakeFiles/ticsim_tests.dir/test_apps_matrix.cpp.o.d"
+  "/root/repo/tests/test_apps_units.cpp" "tests/CMakeFiles/ticsim_tests.dir/test_apps_units.cpp.o" "gcc" "tests/CMakeFiles/ticsim_tests.dir/test_apps_units.cpp.o.d"
+  "/root/repo/tests/test_board.cpp" "tests/CMakeFiles/ticsim_tests.dir/test_board.cpp.o" "gcc" "tests/CMakeFiles/ticsim_tests.dir/test_board.cpp.o.d"
+  "/root/repo/tests/test_checkpoint_runtimes.cpp" "tests/CMakeFiles/ticsim_tests.dir/test_checkpoint_runtimes.cpp.o" "gcc" "tests/CMakeFiles/ticsim_tests.dir/test_checkpoint_runtimes.cpp.o.d"
+  "/root/repo/tests/test_context.cpp" "tests/CMakeFiles/ticsim_tests.dir/test_context.cpp.o" "gcc" "tests/CMakeFiles/ticsim_tests.dir/test_context.cpp.o.d"
+  "/root/repo/tests/test_energy.cpp" "tests/CMakeFiles/ticsim_tests.dir/test_energy.cpp.o" "gcc" "tests/CMakeFiles/ticsim_tests.dir/test_energy.cpp.o.d"
+  "/root/repo/tests/test_ghm_timed.cpp" "tests/CMakeFiles/ticsim_tests.dir/test_ghm_timed.cpp.o" "gcc" "tests/CMakeFiles/ticsim_tests.dir/test_ghm_timed.cpp.o.d"
+  "/root/repo/tests/test_hibernus.cpp" "tests/CMakeFiles/ticsim_tests.dir/test_hibernus.cpp.o" "gcc" "tests/CMakeFiles/ticsim_tests.dir/test_hibernus.cpp.o.d"
+  "/root/repo/tests/test_integration_smoke.cpp" "tests/CMakeFiles/ticsim_tests.dir/test_integration_smoke.cpp.o" "gcc" "tests/CMakeFiles/ticsim_tests.dir/test_integration_smoke.cpp.o.d"
+  "/root/repo/tests/test_isr_io.cpp" "tests/CMakeFiles/ticsim_tests.dir/test_isr_io.cpp.o" "gcc" "tests/CMakeFiles/ticsim_tests.dir/test_isr_io.cpp.o.d"
+  "/root/repo/tests/test_mem.cpp" "tests/CMakeFiles/ticsim_tests.dir/test_mem.cpp.o" "gcc" "tests/CMakeFiles/ticsim_tests.dir/test_mem.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/ticsim_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/ticsim_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_study.cpp" "tests/CMakeFiles/ticsim_tests.dir/test_study.cpp.o" "gcc" "tests/CMakeFiles/ticsim_tests.dir/test_study.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/ticsim_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/ticsim_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_task_runtimes.cpp" "tests/CMakeFiles/ticsim_tests.dir/test_task_runtimes.cpp.o" "gcc" "tests/CMakeFiles/ticsim_tests.dir/test_task_runtimes.cpp.o.d"
+  "/root/repo/tests/test_tics_core.cpp" "tests/CMakeFiles/ticsim_tests.dir/test_tics_core.cpp.o" "gcc" "tests/CMakeFiles/ticsim_tests.dir/test_tics_core.cpp.o.d"
+  "/root/repo/tests/test_tics_runtime.cpp" "tests/CMakeFiles/ticsim_tests.dir/test_tics_runtime.cpp.o" "gcc" "tests/CMakeFiles/ticsim_tests.dir/test_tics_runtime.cpp.o.d"
+  "/root/repo/tests/test_time_properties.cpp" "tests/CMakeFiles/ticsim_tests.dir/test_time_properties.cpp.o" "gcc" "tests/CMakeFiles/ticsim_tests.dir/test_time_properties.cpp.o.d"
+  "/root/repo/tests/test_timekeeper.cpp" "tests/CMakeFiles/ticsim_tests.dir/test_timekeeper.cpp.o" "gcc" "tests/CMakeFiles/ticsim_tests.dir/test_timekeeper.cpp.o.d"
+  "/root/repo/tests/test_tinyos.cpp" "tests/CMakeFiles/ticsim_tests.dir/test_tinyos.cpp.o" "gcc" "tests/CMakeFiles/ticsim_tests.dir/test_tinyos.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ticsim_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/ticsim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ticsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/context/CMakeFiles/ticsim_context.dir/DependInfo.cmake"
+  "/root/repo/build/src/timekeeper/CMakeFiles/ticsim_timekeeper.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/ticsim_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/board/CMakeFiles/ticsim_board.dir/DependInfo.cmake"
+  "/root/repo/build/src/tics/CMakeFiles/ticsim_tics.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtimes/CMakeFiles/ticsim_runtimes.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ticsim_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/tinyos/CMakeFiles/ticsim_tinyos.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/ticsim_harness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for ticsim_tests.
+# This may be replaced when dependencies are built.
