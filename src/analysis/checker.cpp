@@ -1,0 +1,240 @@
+#include "checker.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "analysis/access_trace.hpp"
+#include "apps/bc/bc_chinchilla.hpp"
+#include "apps/bc/bc_task.hpp"
+#include "apps/cuckoo/cuckoo_chinchilla.hpp"
+#include "apps/cuckoo/cuckoo_legacy.hpp"
+#include "apps/cuckoo/cuckoo_task.hpp"
+#include "harness/experiment.hpp"
+#include "runtimes/chinchilla.hpp"
+#include "runtimes/mementos.hpp"
+#include "runtimes/plainc.hpp"
+#include "tics/runtime.hpp"
+
+namespace ticsim::analysis {
+
+namespace {
+
+tics::TicsConfig
+ticsMatrixConfig()
+{
+    tics::TicsConfig c;
+    c.segmentBytes = 256;
+    c.policy = tics::PolicyKind::Timer;
+    c.timerPeriod = 5 * kNsPerMs;
+    return c;
+}
+
+/** Everything one traced-or-reference run produces. */
+struct RunOutcome {
+    board::RunResult res;
+    std::string rtName;
+    bool verified = false;
+    ArenaSnapshot snap;
+    WarReport war;
+    std::uint64_t intervals = 0;
+    std::uint64_t readBytes = 0;
+    std::uint64_t writeBytes = 0;
+};
+
+/**
+ * One fresh board + runtime + app, run to completion or budget. The
+ * factories rebuild identical objects for the reference and subject
+ * runs, so the two arenas have the same region layout and the replay
+ * diff is byte-to-byte meaningful.
+ */
+template <typename MakeRt, typename MakeApp>
+RunOutcome
+runOnce(const CheckConfig &cfg, bool continuous, TimeNs budget,
+        const MakeRt &makeRt, const MakeApp &makeApp)
+{
+    harness::SupplySpec spec =
+        continuous ? harness::continuousSpec()
+                   : harness::patternSpec(cfg.patternPeriod,
+                                          cfg.patternOnFraction);
+    auto board = harness::makeBoard(spec, cfg.seed);
+    auto rt = makeRt();
+    auto app = makeApp(*board, *rt);
+
+    std::function<void()> entry;
+    if constexpr (requires { app->main(); })
+        entry = [&app] { app->main(); };
+
+    RunOutcome out;
+    out.rtName = rt->name();
+    if (continuous) {
+        out.res = board->run(*rt, std::move(entry), budget);
+    } else {
+        AccessTracer tracer(*board);
+        out.res = board->run(*rt, std::move(entry), budget);
+        tracer.finalize();
+        out.war = WarHazardDetector(board->nvram())
+                      .analyze(tracer.intervals());
+        out.intervals = tracer.intervals().size();
+        out.readBytes = tracer.readBytes();
+        out.writeBytes = tracer.writeBytes();
+    }
+    out.verified = app->verify();
+    out.snap = ReplayOracle::capture(board->nvram(),
+                                     ReplayOracle::appStateFilter());
+    return out;
+}
+
+template <typename MakeRt, typename MakeApp>
+ScenarioFinding
+checkPair(const CheckConfig &cfg, const std::string &app,
+          bool isProtected, const MakeRt &makeRt, const MakeApp &makeApp)
+{
+    const TimeNs subjectBudget =
+        isProtected ? cfg.budget : cfg.unprotectedBudget;
+    RunOutcome ref =
+        runOnce(cfg, /*continuous=*/true, cfg.budget, makeRt, makeApp);
+    RunOutcome sub = runOnce(cfg, /*continuous=*/false, subjectBudget,
+                             makeRt, makeApp);
+
+    ScenarioFinding f;
+    f.app = app;
+    f.runtime = sub.rtName;
+    f.isProtected = isProtected;
+    f.refCompleted = ref.res.completed;
+    f.subject = sub.res;
+    f.verified = sub.verified;
+    f.intervals = sub.intervals;
+    f.nvReadBytes = sub.readBytes;
+    f.nvWriteBytes = sub.writeBytes;
+    f.war = std::move(sub.war);
+    f.replay = ReplayOracle::diff(ref.snap, sub.snap);
+    return f;
+}
+
+} // namespace
+
+bool
+scenarioOk(const ScenarioFinding &f)
+{
+    if (!f.refCompleted)
+        return false;
+    if (f.isProtected) {
+        return f.subject.completed && f.verified &&
+               f.war.materialized() == 0 && f.replay.clean();
+    }
+    // The unprotected baseline only demonstrates anything if the reset
+    // pattern actually interrupted it mid-interval.
+    return f.subject.reboots > 0 && f.war.materialized() > 0 &&
+           f.replay.divergentBytes > 0;
+}
+
+std::vector<ScenarioFinding>
+checkMatrix(const CheckConfig &cfg)
+{
+    std::vector<ScenarioFinding> out;
+
+    const auto bcLegacy = [&cfg](board::Board &b, auto &rt) {
+        return std::make_unique<apps::BcLegacyApp>(b, rt, cfg.bc);
+    };
+    const auto cuckooLegacy = [&cfg](board::Board &b, auto &rt) {
+        return std::make_unique<apps::CuckooLegacyApp>(b, rt,
+                                                       cfg.cuckoo);
+    };
+
+    const auto makeTics = [] {
+        return std::make_unique<tics::TicsRuntime>(ticsMatrixConfig());
+    };
+    const auto makeMementos = [] {
+        return std::make_unique<runtimes::MementosRuntime>();
+    };
+    const auto makePlain = [] {
+        return std::make_unique<runtimes::PlainCRuntime>();
+    };
+    const auto makeChinchilla = [] {
+        return std::make_unique<runtimes::ChinchillaRuntime>();
+    };
+    const auto makeTask = [] {
+        return std::make_unique<taskrt::TaskRuntime>();
+    };
+
+    out.push_back(checkPair(cfg, "BC", true, makeTics, bcLegacy));
+    out.push_back(checkPair(cfg, "BC", true, makeMementos, bcLegacy));
+    out.push_back(checkPair(
+        cfg, "BC", true, makeChinchilla, [&cfg](board::Board &b, auto &rt) {
+            return std::make_unique<apps::BcChinchillaApp>(b, rt, cfg.bc);
+        }));
+    out.push_back(checkPair(
+        cfg, "BC", true, makeTask, [&cfg](board::Board &b, auto &rt) {
+            return std::make_unique<apps::BcTaskApp>(b, rt, cfg.bc);
+        }));
+    out.push_back(checkPair(cfg, "BC", false, makePlain, bcLegacy));
+
+    out.push_back(checkPair(cfg, "Cuckoo", true, makeTics, cuckooLegacy));
+    out.push_back(
+        checkPair(cfg, "Cuckoo", true, makeMementos, cuckooLegacy));
+    out.push_back(checkPair(cfg, "Cuckoo", true, makeChinchilla,
+                            [&cfg](board::Board &b, auto &rt) {
+                                return std::make_unique<
+                                    apps::CuckooChinchillaApp>(
+                                    b, rt, cfg.cuckoo);
+                            }));
+    out.push_back(checkPair(cfg, "Cuckoo", true, makeTask,
+                            [&cfg](board::Board &b, auto &rt) {
+                                return std::make_unique<
+                                    apps::CuckooTaskApp>(b, rt,
+                                                         cfg.cuckoo);
+                            }));
+    out.push_back(checkPair(cfg, "Cuckoo", false, makePlain,
+                            cuckooLegacy));
+    return out;
+}
+
+Table
+findingsTable(const std::vector<ScenarioFinding> &findings)
+{
+    Table t("ticscheck: WAR hazards and replay divergence per scenario");
+    t.header({"App", "Runtime", "Done", "Reboots", "Intervals",
+              "NV rd B", "NV wr B", "WAR mat", "WAR lat", "Div B",
+              "Verdict"});
+    for (const auto &f : findings) {
+        t.row()
+            .cell(f.app)
+            .cell(f.runtime)
+            .cell(f.subject.completed ? "yes" : "no")
+            .cell(f.subject.reboots)
+            .cell(f.intervals)
+            .cell(f.nvReadBytes)
+            .cell(f.nvWriteBytes)
+            .cell(static_cast<std::uint64_t>(f.war.materialized()))
+            .cell(static_cast<std::uint64_t>(f.war.latent()))
+            .cell(f.replay.divergentBytes)
+            .cell(scenarioOk(f)
+                      ? (f.isProtected ? "consistent" : "unsafe (expected)")
+                      : "FAIL");
+    }
+    return t;
+}
+
+Table
+hazardTable(const std::vector<ScenarioFinding> &findings)
+{
+    Table t("ticscheck: per-hazard detail");
+    t.header({"App", "Runtime", "Region", "Offset", "Bytes", "Boot",
+              "Interval", "Materialized"});
+    for (const auto &f : findings) {
+        for (const auto &h : f.war.hazards) {
+            t.row()
+                .cell(f.app)
+                .cell(f.runtime)
+                .cell(h.region)
+                .cell(static_cast<std::uint64_t>(h.offset))
+                .cell(static_cast<std::uint64_t>(h.bytes))
+                .cell(h.boot)
+                .cell(static_cast<std::uint64_t>(h.interval))
+                .cell(h.materialized ? "yes" : "no");
+        }
+    }
+    return t;
+}
+
+} // namespace ticsim::analysis

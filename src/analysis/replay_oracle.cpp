@@ -1,0 +1,94 @@
+#include "replay_oracle.hpp"
+
+#include <unordered_map>
+
+namespace ticsim::analysis {
+
+namespace {
+
+bool
+hasPrefix(const std::string &s, const char *prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+bool
+hasSuffix(const std::string &s, const char *suffix)
+{
+    const std::size_t n = std::char_traits<char>::length(suffix);
+    return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+} // namespace
+
+ReplayOracle::RegionFilter
+ReplayOracle::appStateFilter()
+{
+    return [](const mem::NvRegion &r) {
+        if (r.name == "app-stack")
+            return false;
+        if (hasPrefix(r.name, "tics.") ||
+            hasPrefix(r.name, "chinchilla.") ||
+            hasPrefix(r.name, "mementos."))
+            return false;
+        if (hasPrefix(r.name, "chan.") &&
+            (hasSuffix(r.name, ".s") || hasSuffix(r.name, ".ts")))
+            return false;
+        return true;
+    };
+}
+
+ArenaSnapshot
+ReplayOracle::capture(const mem::NvRam &ram, const RegionFilter &filter)
+{
+    ArenaSnapshot snap;
+    for (const mem::NvRegion &r : ram.regions()) {
+        if (!filter(r))
+            continue;
+        RegionImage img;
+        img.name = r.name;
+        img.size = r.size;
+        const std::uint8_t *p = ram.hostPtr(r.base);
+        img.bytes.assign(p, p + r.size);
+        snap.regions.push_back(std::move(img));
+    }
+    return snap;
+}
+
+ReplayReport
+ReplayOracle::diff(const ArenaSnapshot &reference,
+                   const ArenaSnapshot &subject)
+{
+    ReplayReport report;
+    std::unordered_map<std::string, const RegionImage *> refByName;
+    for (const RegionImage &r : reference.regions)
+        refByName.emplace(r.name, &r);
+
+    for (const RegionImage &s : subject.regions) {
+        const auto it = refByName.find(s.name);
+        if (it == refByName.end() || it->second->size != s.size) {
+            ++report.regionMismatches;
+            continue;
+        }
+        const RegionImage &ref = *it->second;
+        refByName.erase(it);
+        std::uint32_t i = 0;
+        while (i < s.size) {
+            if (s.bytes[i] == ref.bytes[i]) {
+                ++i;
+                continue;
+            }
+            std::uint32_t j = i + 1;
+            while (j < s.size && s.bytes[j] != ref.bytes[j])
+                ++j;
+            report.divergences.push_back({s.name, i, j - i});
+            report.divergentBytes += j - i;
+            i = j;
+        }
+    }
+    report.regionMismatches +=
+        static_cast<std::uint32_t>(refByName.size());
+    return report;
+}
+
+} // namespace ticsim::analysis

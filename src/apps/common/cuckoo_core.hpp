@@ -48,19 +48,33 @@ cuckooFingerprint(std::uint32_t key)
     return fp ? fp : 1;
 }
 
+/** Default slot-read policy: a direct (uninstrumented) load. */
+struct CuckooDirectLoad {
+    std::uint16_t
+    operator()(const std::uint16_t *slot) const
+    {
+        return *slot;
+    }
+};
+
 /**
  * Table operations over a caller-owned slot array. @p StoreFn is
  * invoked as store(std::uint16_t *slot, std::uint16_t value) for every
- * mutation — the instrumented-pointer-write surface.
+ * mutation — the instrumented-pointer-write surface. @p LoadFn is
+ * invoked as load(const std::uint16_t *slot) for every fingerprint
+ * read, so variants whose table lives in FRAM can expose the read set
+ * to the consistency checker (the host-side golden run and the
+ * task-private-copy variant keep the direct default).
  */
-template <typename StoreFn>
+template <typename StoreFn, typename LoadFn = CuckooDirectLoad>
 class CuckooTable
 {
   public:
     CuckooTable(std::uint16_t *slots, std::uint32_t buckets,
-                std::uint32_t maxKicks, StoreFn store)
+                std::uint32_t maxKicks, StoreFn store,
+                LoadFn load = LoadFn{})
         : slots_(slots), buckets_(buckets), maxKicks_(maxKicks),
-          store_(store)
+          store_(store), load_(load)
     {
         TICSIM_ASSERT((buckets & (buckets - 1)) == 0,
                       "cuckoo bucket count must be a power of two");
@@ -82,7 +96,7 @@ class CuckooTable
         for (std::uint32_t k = 0; k < maxKicks_; ++k) {
             const std::uint32_t victimSlot =
                 bucket * 4 + ((cur + k) & 3u);
-            const std::uint16_t victim = slots_[victimSlot];
+            const std::uint16_t victim = load_(&slots_[victimSlot]);
             store_(&slots_[victimSlot], cur);
             cur = victim;
             bucket = altBucket(bucket, cur);
@@ -113,7 +127,7 @@ class CuckooTable
     {
         for (std::uint32_t s = 0; s < 4; ++s) {
             std::uint16_t *slot = &slots_[bucket * 4 + s];
-            if (*slot == 0) {
+            if (load_(slot) == 0) {
                 store_(slot, fp);
                 return true;
             }
@@ -125,7 +139,7 @@ class CuckooTable
     bucketHas(std::uint32_t bucket, std::uint16_t fp) const
     {
         for (std::uint32_t s = 0; s < 4; ++s) {
-            if (slots_[bucket * 4 + s] == fp)
+            if (load_(&slots_[bucket * 4 + s]) == fp)
                 return true;
         }
         return false;
@@ -135,6 +149,7 @@ class CuckooTable
     std::uint32_t buckets_;
     std::uint32_t maxKicks_;
     StoreFn store_;
+    LoadFn load_;
 };
 
 /** Host-side golden run: expected (inserted, recovered) counts. */

@@ -29,8 +29,11 @@ CuckooChinchillaApp::main()
         b_.charge(static_cast<Cycles>(6 * params_.workScale));
         rt_.store(slot, v);
     };
-    CuckooTable<decltype(store)> table(table_.raw(), params_.buckets,
-                                       params_.maxKicks, store);
+    auto load = [this](const std::uint16_t *slot) {
+        return rt_.load(slot);
+    };
+    CuckooTable<decltype(store), decltype(load)> table(
+        table_.raw(), params_.buckets, params_.maxKicks, store, load);
 
     lcgState_ = params_.seed;
     for (i_ = 0; i_.get() < params_.keys; i_ = i_.get() + 1) {

@@ -32,8 +32,13 @@ CuckooLegacyApp::main()
         b_.charge(static_cast<Cycles>(6 * params_.workScale));
         rt_.store(slot, v);
     };
-    CuckooTable<decltype(store)> table(table_.raw(), params_.buckets,
-                                       params_.maxKicks, store);
+    // Pointer loads from the FRAM table go through the instrumented
+    // load path so the consistency checker sees the read set too.
+    auto load = [this](const std::uint16_t *slot) {
+        return rt_.load(slot);
+    };
+    CuckooTable<decltype(store), decltype(load)> table(
+        table_.raw(), params_.buckets, params_.maxKicks, store, load);
 
     Lcg lcg(params_.seed);
     std::uint32_t keys[256];

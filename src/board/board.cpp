@@ -15,6 +15,7 @@ Runtime::attach(Board &board, std::function<void()> appMain)
 void
 Runtime::storeBytes(void *dst, const void *src, std::uint32_t bytes)
 {
+    mem::traceWrite(dst, bytes);
     std::memcpy(dst, src, bytes);
 }
 
@@ -87,6 +88,7 @@ Board::run(Runtime &rt, std::function<void()> appMain, TimeNs budget)
     std::uint32_t noProgressReboots = 0;
 
     while (now_ < endTime_) {
+        mem::traceBoot();
         sysDied_ = false;
         progressSinceBoot_ = false;
         const bool bootOk = rt.onPowerOn() && !sysDied_;

@@ -22,6 +22,7 @@
 #include "device/sensors.hpp"
 #include "energy/supply.hpp"
 #include "mem/nvram.hpp"
+#include "mem/trace.hpp"
 #include "support/rng.hpp"
 #include "timekeeper/timekeeper.hpp"
 
@@ -107,8 +108,14 @@ class Board
     bool sysDied() const { return sysDied_; }
 
     /** Runtime reports forward progress (a commit); clears the
-     *  starvation counter. */
-    void markProgress() { progressSinceBoot_ = true; }
+     *  starvation counter and closes the consistency interval the
+     *  analysis tracer is accumulating. */
+    void
+    markProgress()
+    {
+        progressSinceBoot_ = true;
+        mem::traceCommit();
+    }
 
     // ---- peripherals (call from the app context; charge internally) ------
     device::AccelSample sampleAccel();

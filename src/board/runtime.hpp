@@ -86,6 +86,31 @@ class Runtime
         storeBytes(dst, &v, sizeof(T));
     }
 
+    /**
+     * Instrumented raw load — the pointer-read half of the paper's
+     * instrumentation surface. Reads need no versioning on any of the
+     * modeled systems, so this never dispatches to the runtime; it
+     * exists to make the read set visible to an installed analysis
+     * sink (mem::AccessSink) at zero modeled cost.
+     */
+    void
+    loadBytes(void *dst, const void *src, std::uint32_t bytes)
+    {
+        mem::traceRead(src, bytes);
+        std::memcpy(dst, src, bytes);
+    }
+
+    /** Typed convenience wrapper over loadBytes(). */
+    template <typename T>
+    T
+    load(const T *src)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T v;
+        loadBytes(&v, src, sizeof(T));
+        return v;
+    }
+
     /** Whether the system can express recursive programs. */
     virtual bool supportsRecursion() const { return true; }
 

@@ -2,9 +2,39 @@
 
 #include "support/logging.hpp"
 
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define TICSIM_ASAN_ACTIVE 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define TICSIM_ASAN_ACTIVE 1
+#endif
+
+#if defined(TICSIM_ASAN_ACTIVE)
+#include <sanitizer/asan_interface.h>
+#endif
+
 namespace ticsim::context {
 
 namespace {
+
+/**
+ * Clears ASan's shadow for the fiber stack before (re-)entering it.
+ * Power failures abandon the stack mid-frame and checkpoint restores
+ * overwrite it with an earlier image, so leftover redzone poison from
+ * the previous incarnation no longer matches the frames about to run
+ * and would be reported as stack-use-after-scope.
+ */
+inline void
+unpoisonFiberStack(std::uint8_t *base, std::size_t size)
+{
+#if defined(TICSIM_ASAN_ACTIVE)
+    __asan_unpoison_memory_region(base, size);
+#else
+    (void)base;
+    (void)size;
+#endif
+}
 
 /** The context whose trampoline should run next (single-threaded). */
 ExecContext *currentCtx = nullptr;
@@ -61,6 +91,7 @@ ExecContext::run()
     reason_ = ExitReason::Completed;
     inside_ = true;
     currentCtx = this;
+    unpoisonFiberStack(stackBase_, stackSize_);
     if (armedFresh_) {
         armedFresh_ = false;
         if (swapcontext(&schedCtx_, &startCtx_) != 0)

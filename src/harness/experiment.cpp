@@ -35,6 +35,24 @@ makeSupply(const SupplySpec &spec)
     return std::make_unique<energy::ContinuousSupply>();
 }
 
+SupplySpec
+continuousSpec()
+{
+    SupplySpec spec;
+    spec.setup = PowerSetup::Continuous;
+    return spec;
+}
+
+SupplySpec
+patternSpec(TimeNs period, double onFraction)
+{
+    SupplySpec spec;
+    spec.setup = PowerSetup::Pattern;
+    spec.patternPeriod = period;
+    spec.patternOnFraction = onFraction;
+    return spec;
+}
+
 std::unique_ptr<board::Board>
 makeBoard(const SupplySpec &spec, std::uint64_t seed,
           device::CostModel costs)

@@ -45,6 +45,12 @@ struct SupplySpec {
 /** Build a supply per spec. */
 std::unique_ptr<energy::Supply> makeSupply(const SupplySpec &spec);
 
+/** Failure-free spec (reference runs of the consistency checker). */
+SupplySpec continuousSpec();
+
+/** Pre-programmed reset-pattern spec (Table 1 setups, ticscheck). */
+SupplySpec patternSpec(TimeNs period, double onFraction);
+
 /** Build a board with a perfect timekeeper (the common case). */
 std::unique_ptr<board::Board>
 makeBoard(const SupplySpec &spec, std::uint64_t seed = 1,

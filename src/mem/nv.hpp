@@ -18,6 +18,7 @@
 #include <type_traits>
 
 #include "mem/nvram.hpp"
+#include "mem/trace.hpp"
 #include "support/logging.hpp"
 
 namespace ticsim::mem {
@@ -75,10 +76,14 @@ class nv
                   "nv<T> holds raw firmware state");
 
   public:
+    /** Slot width as the arena's 32-bit size type. */
+    static constexpr std::uint32_t kBytes =
+        static_cast<std::uint32_t>(sizeof(T));
+
     /** Allocate a slot in @p ram under @p name, default-initialized. */
     nv(NvRam &ram, const std::string &name)
     {
-        const Addr a = ram.allocate(name, sizeof(T), alignof(T));
+        const Addr a = ram.allocate(name, kBytes, alignof(T));
         slot_ = reinterpret_cast<T *>(ram.hostPtr(a));
         std::memset(static_cast<void *>(slot_), 0, sizeof(T));
     }
@@ -95,7 +100,8 @@ class nv
     /** Instrumented read. */
     operator T() const
     {
-        hooks().preRead(slot_, sizeof(T));
+        hooks().preRead(slot_, kBytes);
+        traceRead(slot_, kBytes);
         T v;
         std::memcpy(&v, slot_, sizeof(T));
         return v;
@@ -103,10 +109,12 @@ class nv
 
     T get() const { return static_cast<T>(*this); }
 
-    /** Instrumented write. */
+    /** Instrumented write. The trace event follows preWrite so that a
+     *  runtime's versioning is visible to the sink before the write. */
     nv &operator=(const T &v)
     {
-        hooks().preWrite(slot_, sizeof(T));
+        hooks().preWrite(slot_, kBytes);
+        traceWrite(slot_, kBytes);
         std::memcpy(static_cast<void *>(slot_), &v, sizeof(T));
         return *this;
     }
@@ -138,9 +146,13 @@ class nvArray
                   "nvArray<T> holds raw firmware state");
 
   public:
+    /** Element width as the arena's 32-bit size type. */
+    static constexpr std::uint32_t kElemBytes =
+        static_cast<std::uint32_t>(sizeof(T));
+
     nvArray(NvRam &ram, const std::string &name)
     {
-        const Addr a = ram.allocate(name, sizeof(T) * N, alignof(T));
+        const Addr a = ram.allocate(name, kElemBytes * N, alignof(T));
         slots_ = reinterpret_cast<T *>(ram.hostPtr(a));
         std::memset(static_cast<void *>(slots_), 0, sizeof(T) * N);
     }
@@ -153,14 +165,16 @@ class nvArray
     T get(std::uint32_t i) const
     {
         TICSIM_ASSERT(i < N, "index %u", i);
-        hooks().preRead(slots_ + i, sizeof(T));
+        hooks().preRead(slots_ + i, kElemBytes);
+        traceRead(slots_ + i, kElemBytes);
         return slots_[i];
     }
 
     void set(std::uint32_t i, const T &v)
     {
         TICSIM_ASSERT(i < N, "index %u", i);
-        hooks().preWrite(slots_ + i, sizeof(T));
+        hooks().preWrite(slots_ + i, kElemBytes);
+        traceWrite(slots_ + i, kElemBytes);
         slots_[i] = v;
     }
 

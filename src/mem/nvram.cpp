@@ -54,6 +54,24 @@ NvRam::contains(const void *hostPtr) const
     return p >= data_.data() && p < data_.data() + size_;
 }
 
+const NvRegion *
+NvRam::regionAt(Addr a) const
+{
+    // First region with base > a, then step back one.
+    std::size_t lo = 0, hi = regions_.size();
+    while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (regions_[mid].base <= a)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    if (lo == 0)
+        return nullptr;
+    const NvRegion &r = regions_[lo - 1];
+    return a < r.base + r.size ? &r : nullptr;
+}
+
 void
 NvRam::accountWrite(std::uint32_t bytes)
 {

@@ -66,6 +66,13 @@ class NvRam
 
     const std::vector<NvRegion> &regions() const { return regions_; }
 
+    /**
+     * The named region covering modeled address @p a, or nullptr for
+     * addresses in unallocated arena space. Regions are bump-allocated
+     * in address order, so this is a binary search.
+     */
+    const NvRegion *regionAt(Addr a) const;
+
     /** Traffic accounting (charged by the runtimes that move data). */
     void accountWrite(std::uint32_t bytes);
     void accountRead(std::uint32_t bytes);

@@ -1,0 +1,17 @@
+#include "trace.hpp"
+
+namespace ticsim::mem {
+
+namespace detail {
+AccessSink *g_sink = nullptr;
+} // namespace detail
+
+AccessSink *
+setAccessSink(AccessSink *s)
+{
+    AccessSink *prev = detail::g_sink;
+    detail::g_sink = s;
+    return prev;
+}
+
+} // namespace ticsim::mem

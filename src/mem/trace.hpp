@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Memory-consistency trace channel.
+ *
+ * The analysis subsystem (src/analysis/) observes every instrumented
+ * non-volatile access in the simulator through one installable sink:
+ * the nv<T> accessors and pointer-store paths report reads and writes
+ * at the same sites that call into mem::MemHooks, the versioning
+ * machinery (undo logs, snapshot checkpoints, privatized channels)
+ * reports when the original bytes of a location have been made
+ * recoverable, and the Board reports the interval boundaries (power-on
+ * and commit) between which the Surbatovich consistency condition is
+ * evaluated.
+ *
+ * When no sink is installed (the default, and all normal benchmark /
+ * test runs) every trace call is a null-pointer test and nothing else;
+ * tracing changes no modeled costs and no runtime behaviour.
+ */
+
+#ifndef TICSIM_MEM_TRACE_HPP
+#define TICSIM_MEM_TRACE_HPP
+
+#include <cstdint>
+
+namespace ticsim::mem {
+
+/**
+ * Observer of instrumented NV traffic and consistency-interval
+ * boundaries. All pointers are host addresses; implementations that
+ * care about modeled addresses translate via NvRam::addrOf().
+ */
+class AccessSink
+{
+  public:
+    virtual ~AccessSink() = default;
+
+    /** An instrumented read of @p bytes at @p p is about to happen. */
+    virtual void memRead(const void *p, std::uint32_t bytes) = 0;
+
+    /** An instrumented write of @p bytes at @p p is about to happen. */
+    virtual void memWrite(const void *p, std::uint32_t bytes) = 0;
+
+    /**
+     * The current contents of [p, p+bytes) have been versioned: a
+     * reboot (or rollback) before the next commit restores them. Undo
+     * logs report this per append; snapshot checkpointers report their
+     * whole tracked regions at every commit/restore; task channels
+     * report privatized writes (the committed copy is never at risk).
+     */
+    virtual void memVersioned(const void *p, std::uint32_t bytes) = 0;
+
+    /** Power is back; a new boot (and consistency interval) begins. */
+    virtual void powerOn() = 0;
+
+    /**
+     * A runtime committed forward progress (checkpoint commit, task
+     * transition, restart-from-main); the current interval's writes
+     * can no longer be lost to a reboot.
+     */
+    virtual void commit() = 0;
+};
+
+namespace detail {
+extern AccessSink *g_sink;
+} // namespace detail
+
+/** Install @p s as the trace sink; returns the previous one (may be
+ *  null). Pass nullptr to disable tracing. Single-threaded sim. */
+AccessSink *setAccessSink(AccessSink *s);
+
+/** Currently installed sink, or nullptr when tracing is off. */
+inline AccessSink *
+accessSink()
+{
+    return detail::g_sink;
+}
+
+// ---- forwarding helpers (no-ops while no sink is installed) ------------
+
+inline void
+traceRead(const void *p, std::uint32_t bytes)
+{
+    if (detail::g_sink)
+        detail::g_sink->memRead(p, bytes);
+}
+
+inline void
+traceWrite(const void *p, std::uint32_t bytes)
+{
+    if (detail::g_sink)
+        detail::g_sink->memWrite(p, bytes);
+}
+
+inline void
+traceVersioned(const void *p, std::uint32_t bytes)
+{
+    if (detail::g_sink)
+        detail::g_sink->memVersioned(p, bytes);
+}
+
+inline void
+traceBoot()
+{
+    if (detail::g_sink)
+        detail::g_sink->powerOn();
+}
+
+inline void
+traceCommit()
+{
+    if (detail::g_sink)
+        detail::g_sink->commit();
+}
+
+/** RAII sink installation for the scope of one traced Board::run. */
+class ScopedAccessSink
+{
+  public:
+    explicit ScopedAccessSink(AccessSink *s) : prev_(setAccessSink(s)) {}
+    ~ScopedAccessSink() { setAccessSink(prev_); }
+
+    ScopedAccessSink(const ScopedAccessSink &) = delete;
+    ScopedAccessSink &operator=(const ScopedAccessSink &) = delete;
+
+  private:
+    AccessSink *prev_;
+};
+
+} // namespace ticsim::mem
+
+#endif // TICSIM_MEM_TRACE_HPP

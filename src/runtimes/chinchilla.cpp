@@ -137,6 +137,7 @@ ChinchillaRuntime::storeBytes(void *dst, const void *src,
                               std::uint32_t bytes)
 {
     preWrite(dst, bytes);
+    mem::traceWrite(dst, bytes);
     std::memcpy(dst, src, bytes);
 }
 

@@ -4,6 +4,7 @@
 
 #include <cstring>
 
+#include "mem/trace.hpp"
 #include "support/logging.hpp"
 
 namespace ticsim::runtimes {
@@ -70,10 +71,14 @@ MementosRuntime::onPowerOn()
 
     tics::restoreStackImage(*slot);
     const int idx = area_->validIndex();
-    for (auto &g : globals_)
+    for (auto &g : globals_) {
         std::memcpy(g.base, g.shadow + static_cast<std::size_t>(idx) *
                                 g.bytes,
                     g.bytes);
+        // The surviving snapshot keeps covering writes made in the
+        // interval this boot opens.
+        mem::traceVersioned(g.base, g.bytes);
+    }
     model_ = ckptModel_;
     lastCkptTrue_ = b.now();
     ++stats_.counter("restores");
@@ -107,6 +112,10 @@ MementosRuntime::doCheckpoint()
     ++ckpts_;
     ++stats_.counter("checkpoints");
     b.markProgress();
+    // After markProgress so the coverage lands in the new interval:
+    // every tracked global is now recoverable from this snapshot.
+    for (auto &g : globals_)
+        mem::traceVersioned(g.base, g.bytes);
     return true;
 }
 

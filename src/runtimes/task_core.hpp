@@ -24,6 +24,7 @@
 
 #include "board/board.hpp"
 #include "board/runtime.hpp"
+#include "mem/trace.hpp"
 
 namespace ticsim::taskrt {
 
@@ -234,8 +235,10 @@ Channel<T>::get()
         2, b.costs().framReadPerByte,
         sizeof(T) < kReadCap ? static_cast<std::uint32_t>(sizeof(T))
                              : kReadCap));
+    const T *src = dirty_ ? shadow_ : value_;
+    mem::traceRead(src, sizeof(T));
     T v;
-    std::memcpy(&v, dirty_ ? shadow_ : value_, sizeof(T));
+    std::memcpy(&v, src, sizeof(T));
     return v;
 }
 
@@ -255,6 +258,10 @@ Channel<T>::set(const T &v)
     }
     b.charge(device::CostModel::linear(3, b.costs().framWritePerByte,
                                        changed));
+    // A privatized write is versioned by construction: the committed
+    // copy stays intact until the two-phase transition publishes it.
+    mem::traceVersioned(shadow_, sizeof(T));
+    mem::traceWrite(shadow_, sizeof(T));
     std::memcpy(shadow_, &v, sizeof(T));
     dirty_ = true;
     dirtyBytes_ = changed;

@@ -8,6 +8,40 @@
 
 namespace ticsim::tics {
 
+namespace {
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define TICSIM_ASAN_ACTIVE 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define TICSIM_ASAN_ACTIVE 1
+#endif
+
+#if defined(TICSIM_ASAN_ACTIVE)
+#define TICSIM_NO_ASAN __attribute__((no_sanitize_address))
+#else
+#define TICSIM_NO_ASAN
+#endif
+
+/**
+ * Copies a live stack image without sanitizer interception. The image
+ * spans the fiber's active frames, whose ASan redzones are poisoned by
+ * design — an intercepted memcpy over them reports a false
+ * stack-buffer-underflow. A volatile byte loop keeps the compiler from
+ * lowering this back into a memcpy libcall.
+ */
+TICSIM_NO_ASAN void
+rawCopy(void *dst, const void *src, std::size_t n)
+{
+    auto *d = static_cast<volatile unsigned char *>(dst);
+    auto *s = static_cast<const volatile unsigned char *>(src);
+    for (std::size_t i = 0; i < n; ++i)
+        d[i] = s[i];
+}
+
+} // namespace
+
 CheckpointArea::CheckpointArea(mem::NvRam &ram, const std::string &name,
                                std::uint32_t imageCapacity)
     : imageCapacity_(imageCapacity)
@@ -35,15 +69,15 @@ captureStackImage(board::Board &b, CheckpointArea::Slot &slot,
     low = std::max(low, base);
     slot.imgLow = low;
     slot.imgSize = static_cast<std::uint32_t>(ctx.stackTop() - low);
-    std::memcpy(slot.image, reinterpret_cast<void *>(low), slot.imgSize);
+    rawCopy(slot.image, reinterpret_cast<void *>(low), slot.imgSize);
     return true;
 }
 
 void
 restoreStackImage(const CheckpointArea::Slot &slot)
 {
-    std::memcpy(reinterpret_cast<void *>(slot.imgLow), slot.image,
-                slot.imgSize);
+    rawCopy(reinterpret_cast<void *>(slot.imgLow), slot.image,
+            slot.imgSize);
 }
 
 } // namespace ticsim::tics

@@ -10,20 +10,19 @@ VirtualRadio::VirtualRadio(TicsRuntime &rt, mem::NvRam &ram,
                            const std::string &name)
     : rt_(rt)
 {
-    const auto ringAddr = ram.allocate(name + ".ring",
-                                       sizeof(Slot) * kRingSlots, 8);
+    constexpr auto kRingBytes =
+        static_cast<std::uint32_t>(sizeof(Slot) * kRingSlots);
+    const auto ringAddr = ram.allocate(name + ".ring", kRingBytes, 8);
     const auto stg = ram.allocate(name + ".staged", 4, 4);
     const auto snt = ram.allocate(name + ".sent", 4, 4);
     ring_ = reinterpret_cast<Slot *>(ram.hostPtr(ringAddr));
     stagedSeq_ = reinterpret_cast<std::uint32_t *>(ram.hostPtr(stg));
     sentSeqNv_ = reinterpret_cast<std::uint32_t *>(ram.hostPtr(snt));
-    std::memset(static_cast<void *>(ring_), 0,
-                sizeof(Slot) * kRingSlots);
+    std::memset(static_cast<void *>(ring_), 0, kRingBytes);
     *stagedSeq_ = 0;
     *sentSeqNv_ = 0;
     rt.setPostCommitHook([this] { flush(); });
-    rt.footprint().add("virtual radio " + name, 420,
-                       sizeof(Slot) * kRingSlots + 8);
+    rt.footprint().add("virtual radio " + name, 420, kRingBytes + 8);
 }
 
 void
@@ -41,10 +40,10 @@ VirtualRadio::send(const void *data, std::uint32_t bytes)
     const std::uint32_t seq = *stagedSeq_ + 1;
     Slot *slot = &ring_[seq % kRingSlots];
     Header hdr{seq};
-    rt_.storeBytes(slot->bytes, &hdr, sizeof(hdr));
-    rt_.storeBytes(slot->bytes + sizeof(hdr), data, bytes);
-    rt_.store(&slot->len,
-              static_cast<std::uint32_t>(sizeof(hdr) + bytes));
+    constexpr auto kHdrBytes = static_cast<std::uint32_t>(sizeof(Header));
+    rt_.storeBytes(slot->bytes, &hdr, kHdrBytes);
+    rt_.storeBytes(slot->bytes + kHdrBytes, data, bytes);
+    rt_.store(&slot->len, kHdrBytes + bytes);
     rt_.store(stagedSeq_, seq);
 }
 

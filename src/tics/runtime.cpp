@@ -34,7 +34,8 @@ TicsRuntime::attach(board::Board &board, std::function<void()> appMain)
     footprint_.add("tics runtime code", 4150, 0);
     footprint_.add("segment checkpoint (2x)", 0,
                    2 * (cfg_.segmentBytes + device::Mcu::regFileBytes +
-                        sizeof(std::uint32_t) * 4));
+                        static_cast<std::uint32_t>(
+                            sizeof(std::uint32_t) * 4)));
     footprint_.add("runtime control block", 0, 96);
     footprint_.add("segment array (excluded)", 0,
                    cfg_.segmentBytes * cfg_.segmentCount,
@@ -304,6 +305,7 @@ void
 TicsRuntime::storeBytes(void *dst, const void *src, std::uint32_t bytes)
 {
     preWrite(dst, bytes);
+    mem::traceWrite(dst, bytes);
     std::memcpy(dst, src, bytes);
 }
 

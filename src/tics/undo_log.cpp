@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "mem/trace.hpp"
 #include "support/logging.hpp"
 
 namespace ticsim::tics {
@@ -11,10 +12,10 @@ UndoLog::UndoLog(mem::NvRam &ram, const std::string &name,
     : poolBytes_(poolBytes), maxEntries_(maxEntries)
 {
     const auto poolAddr = ram.allocate(name + ".pool", poolBytes, 8);
-    const auto tblAddr = ram.allocate(name + ".entries",
-                                      maxEntries *
-                                          sizeof(Entry),
-                                      alignof(Entry));
+    const auto tblAddr = ram.allocate(
+        name + ".entries",
+        maxEntries * static_cast<std::uint32_t>(sizeof(Entry)),
+        alignof(Entry));
     pool_ = ram.hostPtr(poolAddr);
     entries_ = reinterpret_cast<Entry *>(ram.hostPtr(tblAddr));
 }
@@ -36,6 +37,7 @@ UndoLog::append(void *p, std::uint32_t bytes)
     std::memcpy(pool_ + poolUsed_, p, bytes);
     poolUsed_ += bytes;
     ++count_;
+    mem::traceVersioned(p, bytes);
 }
 
 std::uint32_t

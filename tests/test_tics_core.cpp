@@ -66,6 +66,54 @@ TEST_F(UndoFixture, WatermarkRollsBackSuffixOnly)
     EXPECT_EQ(a, 1);
 }
 
+// Regression tests for the rollbackTo() watermark path (audited for
+// out-of-order application and inconsistent pool truncation; both
+// behaviors are pinned here).
+
+TEST_F(UndoFixture, WatermarkWithOverlappingEntriesRestoresMarkValue)
+{
+    // Same address logged on both sides of the watermark: rolling back
+    // the suffix must land on the value the location had AT the mark,
+    // not the oldest value.
+    int x = 1;
+    log.append(&x, sizeof(x)); // prefix entry logs 1
+    x = 2;
+    const auto mark = log.entryCount();
+    log.append(&x, sizeof(x)); // suffix entry logs 2
+    x = 3;
+    log.append(&x, sizeof(x)); // suffix entry logs 3
+    x = 4;
+    EXPECT_EQ(log.rollbackTo(mark), 2u);
+    EXPECT_EQ(x, 2); // suffix applied newest-first ends at mark value
+    EXPECT_EQ(log.rollback(), 1u);
+    EXPECT_EQ(x, 1); // prefix still intact and applicable
+}
+
+TEST_F(UndoFixture, WatermarkTruncatesPoolConsistently)
+{
+    std::uint8_t buf[64] = {};
+    log.append(buf, 8);
+    log.append(buf + 8, 16);
+    const auto mark = log.entryCount();
+    const auto usedAtMark = log.usedBytes();
+    log.append(buf + 24, 32);
+    EXPECT_EQ(log.usedBytes(), usedAtMark + 32);
+    log.rollbackTo(mark);
+    // Pool watermark must return to the suffix-free high-water mark;
+    // otherwise repeated append/rollbackTo cycles leak pool space.
+    EXPECT_EQ(log.usedBytes(), usedAtMark);
+    EXPECT_EQ(log.entryCount(), mark);
+    // The reclaimed pool space is reusable without overflowing.
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_FALSE(log.wouldOverflow(32));
+        log.append(buf + 24, 32);
+        log.rollbackTo(mark);
+    }
+    EXPECT_EQ(log.usedBytes(), usedAtMark);
+    EXPECT_EQ(log.rollbackTo(0), 2u);
+    EXPECT_EQ(log.usedBytes(), 0u);
+}
+
 TEST_F(UndoFixture, OverflowDetection)
 {
     std::uint8_t buf[300] = {};
