@@ -14,13 +14,15 @@
 
 #include "apps/bc/bc_legacy.hpp"
 #include "harness/experiment.hpp"
+#include "harness/report.hpp"
 #include "support/table.hpp"
 
 using namespace ticsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    harness::BenchSession session("ablation_policy", argc, argv);
     Table t("Ablation: checkpoint policy (BC, RF-harvested power)");
     t.header({"Policy", "Completed", "Wall time (ms)", "On time (ms)",
               "Reboots", "Checkpoints"});
@@ -42,6 +44,7 @@ main()
         p.iterations = 160;
         apps::BcLegacyApp app(*b, rt, p);
         const auto r = b->run(rt, [&] { app.main(); }, 300 * kNsPerSec);
+        harness::recordRun(std::string("BC/") + name, rt, *b, r);
         t.row()
             .cell(name)
             .cell(r.completed && app.verify() ? "yes" : "NO")

@@ -16,6 +16,7 @@
 #include "apps/ar/ar_legacy.hpp"
 #include "apps/bc/bc_legacy.hpp"
 #include "harness/experiment.hpp"
+#include "harness/report.hpp"
 #include "support/table.hpp"
 
 using namespace ticsim;
@@ -36,8 +37,9 @@ cfgFor(std::uint32_t segBytes)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    harness::BenchSession session("ablation_segment_size", argc, argv);
     Table t("Ablation: segment size sweep (timer policy, 10 ms)");
     t.header({"Benchmark", "Segment (B)", "Time cont. (ms)",
               "Checkpoints", "Stack grows", "Tiny-buffer outcome"});
@@ -53,16 +55,23 @@ main()
             std::uint64_t ckpts = 0;
             std::uint64_t grows = 0;
             bool ok = false;
+            const std::string benchName = which == 0 ? "AR" : "BC";
             if (which == 0) {
                 apps::ArLegacyApp app(*b1, rt1);
                 const auto r =
                     b1->run(rt1, [&] { app.main(); }, 600 * kNsPerSec);
+                harness::recordRun(benchName + "/seg=" +
+                                       std::to_string(seg) + "/cont",
+                                   rt1, *b1, r);
                 ms = harness::simMs(r);
                 ok = r.completed && app.verify();
             } else {
                 apps::BcLegacyApp app(*b1, rt1);
                 const auto r =
                     b1->run(rt1, [&] { app.main(); }, 600 * kNsPerSec);
+                harness::recordRun(benchName + "/seg=" +
+                                       std::to_string(seg) + "/cont",
+                                   rt1, *b1, r);
                 ms = harness::simMs(r);
                 ok = r.completed && app.verify();
             }
@@ -86,6 +95,9 @@ main()
                 apps::ArLegacyApp app(*b2, rt2);
                 const auto r =
                     b2->run(rt2, [&] { app.main(); }, 600 * kNsPerSec);
+                harness::recordRun(benchName + "/seg=" +
+                                       std::to_string(seg) + "/tiny",
+                                   rt2, *b2, r);
                 verdict = r.starved ? "STARVED"
                           : r.completed && app.verify() ? "completes"
                                                         : "DNF";
@@ -93,6 +105,9 @@ main()
                 apps::BcLegacyApp app(*b2, rt2);
                 const auto r =
                     b2->run(rt2, [&] { app.main(); }, 600 * kNsPerSec);
+                harness::recordRun(benchName + "/seg=" +
+                                       std::to_string(seg) + "/tiny",
+                                   rt2, *b2, r);
                 verdict = r.starved ? "STARVED"
                           : r.completed && app.verify() ? "completes"
                                                         : "DNF";

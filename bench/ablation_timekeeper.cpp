@@ -14,6 +14,7 @@
 
 #include "apps/ar/ar_timed.hpp"
 #include "harness/experiment.hpp"
+#include "harness/report.hpp"
 #include "support/table.hpp"
 
 using namespace ticsim;
@@ -28,8 +29,9 @@ struct Row {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    harness::BenchSession session("ablation_timekeeper", argc, argv);
     Table t("Ablation: timekeeper quality (annotated AR, RF power)");
     t.header({"Timekeeper", "Processed", "Discarded", "True-stale "
               "consumed", "Reboots"});
@@ -53,6 +55,7 @@ main()
         p.windows = 80;
         apps::ArTimedTicsApp app(b, rt, p);
         const auto r = b.run(rt, [&] { app.main(); }, 300 * kNsPerSec);
+        harness::recordRun(std::string("AR-timed/") + name, rt, b, r);
         const auto stale =
             b.monitor().counts(board::ViolationKind::Expiration).observed;
         t.row()

@@ -13,13 +13,15 @@
 
 #include "apps/cuckoo/cuckoo_legacy.hpp"
 #include "harness/experiment.hpp"
+#include "harness/report.hpp"
 #include "support/table.hpp"
 
 using namespace ticsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    harness::BenchSession session("ablation_undolog", argc, argv);
     Table t("Ablation: undo-log capacity (cuckoo filter, pointer-heavy)");
     t.header({"Log bytes", "Log entries", "Time (ms)",
               "Forced ckpts (log full)", "Total ckpts", "Undo appends"});
@@ -46,6 +48,9 @@ main()
         p.keys = 176;
         apps::CuckooLegacyApp app(*b, rt, p);
         const auto r = b->run(rt, [&] { app.main(); }, 600 * kNsPerSec);
+        harness::recordRun("CF/log=" + std::to_string(bytes) + "x" +
+                               std::to_string(entries),
+                           rt, *b, r);
         t.row()
             .cell(std::uint64_t{bytes})
             .cell(std::uint64_t{entries})

@@ -16,6 +16,7 @@
 
 #include "board/board.hpp"
 #include "harness/experiment.hpp"
+#include "harness/report.hpp"
 #include "support/table.hpp"
 #include "tics/io.hpp"
 
@@ -95,6 +96,7 @@ runRaw()
             }
         },
         60 * kNsPerSec);
+    harness::recordRun("tx-loop/raw-radio", rt, *b, res);
     return analyze(b->radio(), res.reboots, /*hasHeader=*/false);
 }
 
@@ -119,14 +121,16 @@ runVirtual()
             vr.drainAll();
         },
         60 * kNsPerSec);
+    harness::recordRun("tx-loop/virtual-radio", rt, *b, res);
     return analyze(b->radio(), res.reboots, /*hasHeader=*/true);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    harness::BenchSession session("extension_virtual_io", argc, argv);
     const Outcome raw = runRaw();
     const Outcome vio = runVirtual();
 

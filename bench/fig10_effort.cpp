@@ -19,13 +19,18 @@
 
 #include "apps/study/study.hpp"
 #include "harness/effort.hpp"
+#include "harness/report.hpp"
 #include "support/table.hpp"
 
 using namespace ticsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // No board runs here (static source metrics), but accept the
+    // common report flags so every bench has a uniform CLI; the JSON
+    // report simply carries no runs.
+    harness::BenchSession session("fig10_effort", argc, argv);
     Table t("Fig. 10 (proxy): program-structure metrics, TICS vs InK "
             "styles");
     t.header({"Program", "Style", "LoC", "Decision points",

@@ -13,13 +13,15 @@
 
 #include "apps/ar/ar_timed.hpp"
 #include "harness/experiment.hpp"
+#include "harness/report.hpp"
 #include "support/table.hpp"
 
 using namespace ticsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    harness::BenchSession session("fig8_trace", argc, argv);
     harness::SupplySpec spec;
     spec.setup = harness::PowerSetup::RfHarvested;
     spec.rfDistanceM = 2.9;
@@ -36,6 +38,7 @@ main()
     p.windows = 40;
     apps::ArTimedTicsApp app(*b, rt, p);
     const auto res = b->run(rt, [&] { app.main(); }, 120 * kNsPerSec);
+    harness::recordRun("AR-timed/RF", rt, *b, res);
 
     std::cout << "== Fig. 8: AR execution trace under RF power ==\n"
               << "reboots=" << res.reboots

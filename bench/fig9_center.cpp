@@ -20,6 +20,7 @@
 #include "apps/bc/bc_legacy.hpp"
 #include "apps/cuckoo/cuckoo_legacy.hpp"
 #include "harness/experiment.hpp"
+#include "harness/report.hpp"
 #include "support/table.hpp"
 
 using namespace ticsim;
@@ -37,13 +38,15 @@ struct MicroResult {
 
 template <typename App, typename Params>
 MicroResult
-runMicro(const harness::TicsSetup &setup, Params p)
+runMicro(const char *name, const harness::TicsSetup &setup, Params p)
 {
     harness::SupplySpec spec; // continuous
     auto b = harness::makeBoard(spec);
     tics::TicsRuntime rt(harness::makeTicsConfig(setup));
     App app(*b, rt, p);
     const auto res = b->run(rt, [&] { app.main(); }, 600 * kNsPerSec);
+    harness::recordRun(std::string(name) + "/" + setup.name, rt, *b,
+                       res);
     MicroResult m;
     m.ms = harness::simMs(res);
     m.ok = res.completed && app.verify();
@@ -61,7 +64,7 @@ benchRows(Table &t, const char *name, Params p)
     for (const auto *setup :
          {&harness::kSetupS1, &harness::kSetupS2, &harness::kSetupS1Star,
           &harness::kSetupS2Star}) {
-        const auto m = runMicro<App>(*setup, p);
+        const auto m = runMicro<App>(name, *setup, p);
         t.row()
             .cell(name)
             .cell(setup->name)
@@ -77,8 +80,9 @@ benchRows(Table &t, const char *name, Params p)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    harness::BenchSession session("fig9_center", argc, argv);
     Table t("Fig. 9 (center): TICS micro-benchmark vs working-stack "
             "size (continuous power)");
     t.header({"Benchmark", "Config", "Time (ms)", "Checkpoints",

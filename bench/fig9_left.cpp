@@ -24,6 +24,7 @@
 #include "apps/cuckoo/cuckoo_chinchilla.hpp"
 #include "apps/cuckoo/cuckoo_legacy.hpp"
 #include "harness/experiment.hpp"
+#include "harness/report.hpp"
 #include "runtimes/plainc.hpp"
 #include "support/table.hpp"
 
@@ -35,13 +36,14 @@ constexpr TimeNs kBudget = 600 * kNsPerSec;
 
 template <typename Rt, typename App, typename Params>
 std::string
-timeOne(Rt &&rt, Params p, double workScale)
+timeOne(const std::string &label, Rt &&rt, Params p, double workScale)
 {
     p.workScale = workScale;
     harness::SupplySpec spec; // continuous
     auto b = harness::makeBoard(spec);
     App app(*b, rt, p);
     const auto res = b->run(rt, [&] { app.main(); }, kBudget);
+    harness::recordRun(label, rt, *b, res);
     return harness::msCell(true, res.completed && app.verify(),
                            harness::simMs(res));
 }
@@ -55,8 +57,9 @@ ticsCfg()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    harness::BenchSession session("fig9_left", argc, argv);
     Table t("Fig. 9 (left): TICS vs Chinchilla, execution time (sim ms)");
     t.header({"Benchmark", "Compiler", "plain C", "TICS (S2*)",
               "Chinchilla"});
@@ -72,13 +75,16 @@ main()
                 .cell("AR")
                 .cell(label)
                 .cell(timeOne<runtimes::PlainCRuntime &,
-                              apps::ArLegacyApp>(plain, apps::ArParams{},
-                                                 scale))
+                              apps::ArLegacyApp>(
+                    std::string("AR/") + label, plain, apps::ArParams{},
+                    scale))
                 .cell(timeOne<tics::TicsRuntime &, apps::ArLegacyApp>(
-                    tics, apps::ArParams{}, scale))
+                    std::string("AR/") + label, tics, apps::ArParams{},
+                    scale))
                 .cell(timeOne<runtimes::ChinchillaRuntime &,
                               apps::ArChinchillaApp>(
-                    chin, apps::ArParams{}, scale));
+                    std::string("AR/") + label, chin, apps::ArParams{},
+                    scale));
         }
         {
             runtimes::PlainCRuntime plain;
@@ -87,10 +93,12 @@ main()
                 .cell("BC (recursive)")
                 .cell(label)
                 .cell(timeOne<runtimes::PlainCRuntime &,
-                              apps::BcLegacyApp>(plain, apps::BcParams{},
-                                                 scale))
+                              apps::BcLegacyApp>(
+                    std::string("BC/") + label, plain, apps::BcParams{},
+                    scale))
                 .cell(timeOne<tics::TicsRuntime &, apps::BcLegacyApp>(
-                    tics, apps::BcParams{}, scale))
+                    std::string("BC/") + label, tics, apps::BcParams{},
+                    scale))
                 .cell("x"); // recursion: does not compile in Chinchilla
         }
         {
@@ -102,7 +110,8 @@ main()
                 .cell("-")
                 .cell(timeOne<runtimes::ChinchillaRuntime &,
                               apps::BcChinchillaApp>(
-                    chin, apps::BcParams{}, scale));
+                    std::string("BC-derec/") + label, chin,
+                    apps::BcParams{}, scale));
         }
         {
             runtimes::PlainCRuntime plain;
@@ -113,12 +122,15 @@ main()
                 .cell(label)
                 .cell(timeOne<runtimes::PlainCRuntime &,
                               apps::CuckooLegacyApp>(
-                    plain, apps::CuckooParams{}, scale))
+                    std::string("CF/") + label, plain,
+                    apps::CuckooParams{}, scale))
                 .cell(timeOne<tics::TicsRuntime &, apps::CuckooLegacyApp>(
-                    tics, apps::CuckooParams{}, scale))
+                    std::string("CF/") + label, tics,
+                    apps::CuckooParams{}, scale))
                 .cell(timeOne<runtimes::ChinchillaRuntime &,
                               apps::CuckooChinchillaApp>(
-                    chin, apps::CuckooParams{}, scale));
+                    std::string("CF/") + label, chin,
+                    apps::CuckooParams{}, scale));
         }
         if (scale != 1.0)
             t.separator();

@@ -26,6 +26,7 @@
 #include "apps/cuckoo/cuckoo_legacy.hpp"
 #include "apps/cuckoo/cuckoo_task.hpp"
 #include "harness/experiment.hpp"
+#include "harness/report.hpp"
 #include "runtimes/ink.hpp"
 #include "runtimes/mayfly.hpp"
 #include "runtimes/mementos.hpp"
@@ -40,25 +41,27 @@ constexpr TimeNs kBudget = 600 * kNsPerSec;
 
 template <typename Rt, typename App, typename... CtorArgs>
 std::string
-runLegacy(Rt &rt, CtorArgs &&...args)
+runLegacy(const std::string &label, Rt &rt, CtorArgs &&...args)
 {
     harness::SupplySpec spec;
     auto b = harness::makeBoard(spec);
     App app(*b, rt, std::forward<CtorArgs>(args)...);
     const auto res = b->run(rt, [&] { app.main(); }, kBudget);
+    harness::recordRun(label, rt, *b, res);
     return harness::msCell(true, res.completed && app.verify(),
                            harness::simMs(res));
 }
 
 template <typename Rt, typename App, typename Params>
 std::string
-runTask(Params p, bool graphLoop = true)
+runTask(const std::string &label, Params p, bool graphLoop = true)
 {
     harness::SupplySpec spec;
     auto b = harness::makeBoard(spec);
     Rt rt;
     App app(*b, rt, p, graphLoop);
     const auto res = b->run(rt, {}, kBudget);
+    harness::recordRun(label, rt, *b, res);
     return harness::msCell(true, res.completed && app.verify(),
                            harness::simMs(res));
 }
@@ -66,50 +69,54 @@ runTask(Params p, bool graphLoop = true)
 /** CuckooTaskApp has no graphLoop knob (always a graph loop). */
 template <typename Rt>
 std::string
-runCuckooTask()
+runCuckooTask(const std::string &label)
 {
     harness::SupplySpec spec;
     auto b = harness::makeBoard(spec);
     Rt rt;
     apps::CuckooTaskApp app(*b, rt);
     const auto res = b->run(rt, {}, kBudget);
+    harness::recordRun(label, rt, *b, res);
     return harness::msCell(true, res.completed && app.verify(),
                            harness::simMs(res));
 }
 
 template <typename App, typename Params>
 std::string
-runTics(const harness::TicsSetup &setup, Params p)
+runTics(const std::string &bench, const harness::TicsSetup &setup,
+        Params p)
 {
     tics::TicsRuntime rt(harness::makeTicsConfig(setup));
-    return runLegacy<tics::TicsRuntime, App>(rt, p);
+    return runLegacy<tics::TicsRuntime, App>(bench + "/" + setup.name,
+                                             rt, p);
 }
 
 template <typename App, typename Params>
 std::string
-runNaive(Params p)
+runNaive(const std::string &bench, Params p)
 {
     // The paper's naive comparator checkpoints at the task boundaries,
     // i.e. at every trigger point, saving the full stack and globals.
     runtimes::MementosConfig cfg;
     cfg.trigger = runtimes::MementosConfig::Trigger::Every;
     runtimes::MementosRuntime rt(cfg);
-    return runLegacy<runtimes::MementosRuntime, App>(rt, p);
+    return runLegacy<runtimes::MementosRuntime, App>(bench, rt, p);
 }
 
 template <typename App, typename Params>
 std::string
-runPlain(Params p)
+runPlain(const std::string &bench, Params p)
 {
     runtimes::PlainCRuntime rt;
-    return runLegacy<runtimes::PlainCRuntime, App>(rt, p);
+    return runLegacy<runtimes::PlainCRuntime, App>(bench, rt, p);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    harness::BenchSession session("fig9_right", argc, argv);
     Table t("Fig. 9 (right): TICS vs task-based systems, execution time "
             "(sim ms, continuous power)");
     t.header({"Benchmark", "plain C", "TICS S1*", "TICS S2*", "TICS ST",
@@ -117,51 +124,51 @@ main()
 
     t.row()
         .cell("AR")
-        .cell(runPlain<apps::ArLegacyApp>(apps::ArParams{}))
-        .cell(runTics<apps::ArLegacyApp>(harness::kSetupS1Star,
+        .cell(runPlain<apps::ArLegacyApp>("AR", apps::ArParams{}))
+        .cell(runTics<apps::ArLegacyApp>("AR", harness::kSetupS1Star,
                                          apps::ArParams{}))
-        .cell(runTics<apps::ArLegacyApp>(harness::kSetupS2Star,
+        .cell(runTics<apps::ArLegacyApp>("AR", harness::kSetupS2Star,
                                          apps::ArParams{}))
-        .cell(runTics<apps::ArLegacyApp>(harness::kSetupST,
+        .cell(runTics<apps::ArLegacyApp>("AR", harness::kSetupST,
                                          apps::ArParams{}))
         .cell(runTask<taskrt::TaskRuntime, apps::ArTaskApp>(
-            apps::ArParams{}))
+            "AR", apps::ArParams{}))
         .cell(runTask<taskrt::InkRuntime, apps::ArTaskApp>(
-            apps::ArParams{}))
+            "AR", apps::ArParams{}))
         .cell(runTask<taskrt::MayflyRuntime, apps::ArTaskApp>(
-            apps::ArParams{}, /*graphLoop=*/false))
-        .cell(runNaive<apps::ArLegacyApp>(apps::ArParams{}));
+            "AR", apps::ArParams{}, /*graphLoop=*/false))
+        .cell(runNaive<apps::ArLegacyApp>("AR", apps::ArParams{}));
 
     t.row()
         .cell("BC")
-        .cell(runPlain<apps::BcLegacyApp>(apps::BcParams{}))
-        .cell(runTics<apps::BcLegacyApp>(harness::kSetupS1Star,
+        .cell(runPlain<apps::BcLegacyApp>("BC", apps::BcParams{}))
+        .cell(runTics<apps::BcLegacyApp>("BC", harness::kSetupS1Star,
                                          apps::BcParams{}))
-        .cell(runTics<apps::BcLegacyApp>(harness::kSetupS2Star,
+        .cell(runTics<apps::BcLegacyApp>("BC", harness::kSetupS2Star,
                                          apps::BcParams{}))
-        .cell(runTics<apps::BcLegacyApp>(harness::kSetupST,
+        .cell(runTics<apps::BcLegacyApp>("BC", harness::kSetupST,
                                          apps::BcParams{}))
         .cell(runTask<taskrt::TaskRuntime, apps::BcTaskApp>(
-            apps::BcParams{}))
+            "BC", apps::BcParams{}))
         .cell(runTask<taskrt::InkRuntime, apps::BcTaskApp>(
-            apps::BcParams{}))
+            "BC", apps::BcParams{}))
         .cell(runTask<taskrt::MayflyRuntime, apps::BcTaskApp>(
-            apps::BcParams{}, /*graphLoop=*/false))
-        .cell(runNaive<apps::BcLegacyApp>(apps::BcParams{}));
+            "BC", apps::BcParams{}, /*graphLoop=*/false))
+        .cell(runNaive<apps::BcLegacyApp>("BC", apps::BcParams{}));
 
     t.row()
         .cell("CF")
-        .cell(runPlain<apps::CuckooLegacyApp>(apps::CuckooParams{}))
-        .cell(runTics<apps::CuckooLegacyApp>(harness::kSetupS1Star,
+        .cell(runPlain<apps::CuckooLegacyApp>("CF", apps::CuckooParams{}))
+        .cell(runTics<apps::CuckooLegacyApp>("CF", harness::kSetupS1Star,
                                              apps::CuckooParams{}))
-        .cell(runTics<apps::CuckooLegacyApp>(harness::kSetupS2Star,
+        .cell(runTics<apps::CuckooLegacyApp>("CF", harness::kSetupS2Star,
                                              apps::CuckooParams{}))
-        .cell(runTics<apps::CuckooLegacyApp>(harness::kSetupST,
+        .cell(runTics<apps::CuckooLegacyApp>("CF", harness::kSetupST,
                                              apps::CuckooParams{}))
-        .cell(runCuckooTask<taskrt::TaskRuntime>())
-        .cell(runCuckooTask<taskrt::InkRuntime>())
+        .cell(runCuckooTask<taskrt::TaskRuntime>("CF"))
+        .cell(runCuckooTask<taskrt::InkRuntime>("CF"))
         .cell("x") // loops: inexpressible in MayFly
-        .cell(runNaive<apps::CuckooLegacyApp>(apps::CuckooParams{}));
+        .cell(runNaive<apps::CuckooLegacyApp>("CF", apps::CuckooParams{}));
 
     t.print(std::cout);
     std::cout << "\nNote: task ports use the recursion-free BC (the "

@@ -21,6 +21,7 @@
 
 #include "apps/ghm/ghm.hpp"
 #include "harness/experiment.hpp"
+#include "harness/report.hpp"
 #include "runtimes/plainc.hpp"
 #include "support/table.hpp"
 #include "tics/runtime.hpp"
@@ -36,7 +37,7 @@ struct Row {
 
 template <typename App, typename Rt>
 apps::GhmOutcome
-runOne(double onFraction, Rt &rt)
+runOne(const char *config, double onFraction, Rt &rt)
 {
     harness::SupplySpec spec;
     spec.setup = harness::PowerSetup::Pattern;
@@ -46,7 +47,11 @@ runOne(double onFraction, Rt &rt)
     apps::GhmParams p;
     p.rounds = 0; // run until the budget expires
     App app(*b, rt, p);
-    b->run(rt, [&] { app.main(); }, kNsPerSec);
+    const auto res = b->run(rt, [&] { app.main(); }, kNsPerSec);
+    char label[64];
+    std::snprintf(label, sizeof(label), "GHM/%s/on=%.0f%%", config,
+                  onFraction * 100.0);
+    harness::recordRun(label, rt, *b, res);
     return app.outcome();
 }
 
@@ -63,8 +68,9 @@ ghmTicsConfig()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    harness::BenchSession session("table1_ghm", argc, argv);
     Table t("Table 1: GHM routine completions on intermittent power "
             "(1 s budget, 100 ms reset period)");
     t.header({"Intermit.", "Config", "Sense Moist.", "Sense Temp.",
@@ -74,23 +80,25 @@ main()
         std::vector<Row> rows;
         {
             runtimes::PlainCRuntime rt;
-            rows.push_back(
-                {"plain C", runOne<apps::GhmPlainApp>(duty, rt)});
+            rows.push_back({"plain C", runOne<apps::GhmPlainApp>(
+                                           "plainC", duty, rt)});
         }
         {
             tics::TicsRuntime rt(ghmTicsConfig());
             rows.push_back(
-                {"plain C + TICS", runOne<apps::GhmPlainApp>(duty, rt)});
+                {"plain C + TICS",
+                 runOne<apps::GhmPlainApp>("plainC+TICS", duty, rt)});
         }
         {
             runtimes::PlainCRuntime rt;
-            rows.push_back(
-                {"TinyOS", runOne<apps::GhmTinyosApp>(duty, rt)});
+            rows.push_back({"TinyOS", runOne<apps::GhmTinyosApp>(
+                                          "TinyOS", duty, rt)});
         }
         {
             tics::TicsRuntime rt(ghmTicsConfig());
             rows.push_back(
-                {"TinyOS + TICS", runOne<apps::GhmTinyosApp>(duty, rt)});
+                {"TinyOS + TICS",
+                 runOne<apps::GhmTinyosApp>("TinyOS+TICS", duty, rt)});
         }
 
         char dutyLabel[16];

@@ -19,6 +19,7 @@
 
 #include "apps/ar/ar_timed.hpp"
 #include "harness/experiment.hpp"
+#include "harness/report.hpp"
 #include "support/table.hpp"
 
 using namespace ticsim;
@@ -68,6 +69,7 @@ runManual()
     runtimes::MementosRuntime rt(mc);
     apps::ArTimedManualApp app(*b, rt);
     const auto res = b->run(rt, [&] { app.main(); }, 300 * kNsPerSec);
+    harness::recordRun("AR-timed/manual", rt, *b, res);
     return readCounts(*b, res, app);
 }
 
@@ -82,14 +84,16 @@ runTics()
     tics::TicsRuntime rt(cfg);
     apps::ArTimedTicsApp app(*b, rt);
     const auto res = b->run(rt, [&] { app.main(); }, 300 * kNsPerSec);
+    harness::recordRun("AR-timed/TICS", rt, *b, res);
     return readCounts(*b, res, app);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    harness::BenchSession session("table2_violations", argc, argv);
     const Counts manual = runManual();
     const Counts tics = runTics();
 

@@ -27,6 +27,7 @@
 #include "apps/cuckoo/cuckoo_legacy.hpp"
 #include "apps/cuckoo/cuckoo_task.hpp"
 #include "harness/experiment.hpp"
+#include "harness/report.hpp"
 #include "runtimes/ink.hpp"
 #include "support/table.hpp"
 
@@ -56,8 +57,11 @@ footprintOf(Args &&...args)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Static footprint accounting only — no board runs to record; the
+    // session still gives this bench the uniform report CLI.
+    harness::BenchSession session("table3_memory", argc, argv);
     const Cell arInk = footprintOf<taskrt::InkRuntime, apps::ArTaskApp>();
     const Cell arChin =
         footprintOf<runtimes::ChinchillaRuntime, apps::ArChinchillaApp>();

@@ -15,9 +15,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <set>
+
 #include "apps/common/dsp.hpp"
 #include "board/board.hpp"
 #include "harness/experiment.hpp"
+#include "harness/report.hpp"
 #include "tics/runtime.hpp"
 
 using namespace ticsim;
@@ -29,6 +32,20 @@ bareBoard()
 {
     harness::SupplySpec spec; // continuous
     return harness::makeBoard(spec);
+}
+
+/**
+ * google-benchmark re-invokes each case body thousands of times on a
+ * fresh identical board, so recording every iteration would bloat the
+ * report with duplicates; keep the first run per label only.
+ */
+void
+recordOnce(const std::string &label, board::Runtime &rt,
+           board::Board &b, const board::RunResult &res)
+{
+    static std::set<std::string> recorded;
+    if (recorded.insert(label).second)
+        harness::recordRun(label, rt, b, res);
 }
 
 tics::TicsConfig
@@ -43,14 +60,15 @@ cfgWithSeg(std::uint32_t segBytes)
 
 /** Simulated us of one op, measured as a cycle delta inside the app. */
 double
-measure(std::unique_ptr<board::Board> b, tics::TicsRuntime &rt,
+measure(const char *label, std::unique_ptr<board::Board> b,
+        tics::TicsRuntime &rt,
         const std::function<void(board::Board &, tics::TicsRuntime &,
                                  int)> &op,
         int reps)
 {
     std::uint64_t totalCycles = 0;
     auto *bp = b.get();
-    b->run(
+    const auto res = b->run(
         rt,
         [&] {
             for (int i = 0; i < reps; ++i) {
@@ -60,6 +78,7 @@ measure(std::unique_ptr<board::Board> b, tics::TicsRuntime &rt,
             }
         },
         3600 * kNsPerSec);
+    recordOnce(label, rt, *b, res);
     return static_cast<double>(totalCycles) / reps; // 1 cycle == 1 us
 }
 
@@ -70,7 +89,7 @@ BM_StackGrowShrink(benchmark::State &state)
     for (auto _ : state) {
         auto b = bareBoard();
         tics::TicsRuntime rt(cfgWithSeg(64));
-        us = measure(std::move(b), rt,
+        us = measure("grow_shrink", std::move(b), rt,
                      [](board::Board &bd, tics::TicsRuntime &r, int) {
                          // The inner frame cannot share the outer
                          // frame's segment: one grow + one shrink.
@@ -94,7 +113,9 @@ BM_CheckpointLogic(benchmark::State &state)
     for (auto _ : state) {
         auto b = bareBoard();
         tics::TicsRuntime rt(cfgWithSeg(segBytes == 0 ? 1 : segBytes));
-        us = measure(std::move(b), rt,
+        us = measure(("checkpoint/seg=" + std::to_string(segBytes))
+                         .c_str(),
+                     std::move(b), rt,
                      [](board::Board &, tics::TicsRuntime &r, int) {
                          r.checkpointNow();
                      },
@@ -118,7 +139,7 @@ BM_RestoreLogic(benchmark::State &state)
         auto b = harness::makeBoard(spec);
         tics::TicsRuntime rt(cfgWithSeg(segBytes == 0 ? 1 : segBytes));
         auto *bp = b.get();
-        b->run(
+        const auto res = b->run(
             rt,
             [&] {
                 rt.checkpointNow();
@@ -126,6 +147,8 @@ BM_RestoreLogic(benchmark::State &state)
                     bp->charge(500); // burn until the brown-out
             },
             200 * kNsPerMs);
+        recordOnce("restore/seg=" + std::to_string(segBytes), rt, *b,
+                   res);
         us = rt.stats().distribution("restoreCycles").mean();
     }
     state.counters["sim_us"] = us;
@@ -145,7 +168,7 @@ BM_PointerAccess(benchmark::State &state)
         auto *bp = b.get();
         if (logBytes == 0) {
             // Stack-targeted store: classification only, no logging.
-            us = measure(std::move(b), rt,
+            us = measure("ptr_access/stack", std::move(b), rt,
                          [](board::Board &, tics::TicsRuntime &r, int) {
                              int local = 1;
                              r.store(&local, 2);
@@ -157,7 +180,9 @@ BM_PointerAccess(benchmark::State &state)
             const auto addr = bp->nvram().allocate("t4.targets",
                                                    200 * logBytes, 8);
             auto *base = bp->nvram().hostPtr(addr);
-            us = measure(std::move(b), rt,
+            us = measure(("ptr_access/log=" + std::to_string(logBytes))
+                             .c_str(),
+                         std::move(b), rt,
                          [base, logBytes](board::Board &,
                                           tics::TicsRuntime &r, int i) {
                              auto *p = base +
@@ -186,7 +211,7 @@ BM_UndoRollback(benchmark::State &state)
         auto *bp = b.get();
         const auto addr = bp->nvram().allocate("t4.rb", entryBytes, 8);
         auto *p = bp->nvram().hostPtr(addr);
-        b->run(
+        const auto res = b->run(
             rt,
             [&] {
                 rt.checkpointNow();
@@ -195,6 +220,8 @@ BM_UndoRollback(benchmark::State &state)
                     bp->charge(500);
             },
             200 * kNsPerMs);
+        recordOnce("rollback/entry=" + std::to_string(entryBytes), rt,
+                   *b, res);
         us = rt.stats().distribution("rollbackCyclesPerEntry").mean();
     }
     state.counters["sim_us"] = us;
@@ -208,4 +235,16 @@ BENCHMARK(BM_UndoRollback)->Arg(4)->Arg(64);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() expanded by hand so the common report flags are
+// stripped before google-benchmark sees (and rejects) them.
+int
+main(int argc, char **argv)
+{
+    harness::BenchSession session("table4_ops", argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -14,6 +14,7 @@
 
 #include <iostream>
 
+#include "harness/report.hpp"
 #include "runtimes/chinchilla.hpp"
 #include "runtimes/hibernus.hpp"
 #include "runtimes/ink.hpp"
@@ -44,8 +45,10 @@ mark(bool b)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Qualitative matrix, no board runs; uniform report CLI only.
+    harness::BenchSession session("table5_features", argc, argv);
     taskrt::MayflyRuntime mayfly;
     taskrt::TaskRuntime alpaca;
     taskrt::InkRuntime ink;

@@ -17,6 +17,7 @@
 #include <iostream>
 
 #include "analysis/checker.hpp"
+#include "harness/report.hpp"
 
 using namespace ticsim;
 
@@ -28,6 +29,7 @@ usage(const char *argv0)
     std::printf(
         "usage: %s [--period-ms N] [--on-fraction F] [--seed N]\n"
         "          [--budget-s N] [--verbose]\n"
+        "          [--json PATH] [--trace PATH]\n"
         "Runs the app x runtime matrix under a reset pattern and\n"
         "reports WAR hazards and replay divergence per scenario.\n",
         argv0);
@@ -38,6 +40,8 @@ usage(const char *argv0)
 int
 main(int argc, char **argv)
 {
+    // Strips --json/--trace before the checker's own argument loop.
+    harness::BenchSession session("ticscheck", argc, argv);
     analysis::CheckConfig cfg;
     bool verbose = false;
 

@@ -10,6 +10,7 @@
 #include "apps/cuckoo/cuckoo_legacy.hpp"
 #include "apps/cuckoo/cuckoo_task.hpp"
 #include "harness/experiment.hpp"
+#include "harness/report.hpp"
 #include "runtimes/chinchilla.hpp"
 #include "runtimes/mementos.hpp"
 #include "runtimes/plainc.hpp"
@@ -49,8 +50,9 @@ struct RunOutcome {
  */
 template <typename MakeRt, typename MakeApp>
 RunOutcome
-runOnce(const CheckConfig &cfg, bool continuous, TimeNs budget,
-        const MakeRt &makeRt, const MakeApp &makeApp)
+runOnce(const CheckConfig &cfg, const std::string &appName,
+        bool continuous, TimeNs budget, const MakeRt &makeRt,
+        const MakeApp &makeApp)
 {
     harness::SupplySpec spec =
         continuous ? harness::continuousSpec()
@@ -78,6 +80,9 @@ runOnce(const CheckConfig &cfg, bool continuous, TimeNs budget,
         out.readBytes = tracer.readBytes();
         out.writeBytes = tracer.writeBytes();
     }
+    harness::recordRun(appName +
+                           (continuous ? "/reference" : "/pattern"),
+                       *rt, *board, out.res);
     out.verified = app->verify();
     out.snap = ReplayOracle::capture(board->nvram(),
                                      ReplayOracle::appStateFilter());
@@ -91,10 +96,10 @@ checkPair(const CheckConfig &cfg, const std::string &app,
 {
     const TimeNs subjectBudget =
         isProtected ? cfg.budget : cfg.unprotectedBudget;
-    RunOutcome ref =
-        runOnce(cfg, /*continuous=*/true, cfg.budget, makeRt, makeApp);
-    RunOutcome sub = runOnce(cfg, /*continuous=*/false, subjectBudget,
+    RunOutcome ref = runOnce(cfg, app, /*continuous=*/true, cfg.budget,
                              makeRt, makeApp);
+    RunOutcome sub = runOnce(cfg, app, /*continuous=*/false,
+                             subjectBudget, makeRt, makeApp);
 
     ScenarioFinding f;
     f.app = app;

@@ -26,12 +26,19 @@ Board::Board(BoardConfig cfg, std::unique_ptr<energy::Supply> supply,
       accel_(Rng(cfg.seed ^ 0xACCE1ULL), cfg.accelRegimePeriod),
       temp_(Rng(cfg.seed ^ 0x7E3Full), 22.0, 6.0, 60 * kNsPerSec, 0.5),
       moisture_(Rng(cfg.seed ^ 0x5011ULL), 400.0, 120.0, 120 * kNsPerSec,
-                8.0)
+                8.0),
+      events_(cfg.eventRingCapacity)
 {
     if (!supply_)
         fatal("board: null supply");
     if (!tk_)
         fatal("board: null timekeeper");
+    mcu_.setPhaseProfiler(&profiler_);
+    profiler_.bindTimeline(&now_, &events_);
+    monitor_.setEventHook([this](ViolationKind k) {
+        events_.emit(telemetry::EventKind::Violation, now_,
+                     static_cast<std::uint64_t>(k));
+    });
     const Addr stackAddr =
         nvram_.allocate("app-stack", cfg.stackHostBytes, 64);
     ctx_ = std::make_unique<context::ExecContext>(nvram_.hostPtr(stackAddr),
@@ -78,6 +85,22 @@ Board::chargeSys(Cycles c)
     return true;
 }
 
+/** Scoped binding of the board's virtual clock to the log prefix. */
+class LogClockScope
+{
+  public:
+    explicit LogClockScope(const TimeNs *now)
+        : prev_(Logger::get().setClock(now))
+    {
+    }
+    ~LogClockScope() { Logger::get().setClock(prev_); }
+    LogClockScope(const LogClockScope &) = delete;
+    LogClockScope &operator=(const LogClockScope &) = delete;
+
+  private:
+    const std::uint64_t *prev_;
+};
+
 RunResult
 Board::run(Runtime &rt, std::function<void()> appMain, TimeNs budget)
 {
@@ -86,11 +109,16 @@ Board::run(Runtime &rt, std::function<void()> appMain, TimeNs budget)
     RunResult res;
     const TimeNs start = now_;
     std::uint32_t noProgressReboots = 0;
+    LogClockScope logClock(&now_);
 
     while (now_ < endTime_) {
         mem::traceBoot();
         sysDied_ = false;
         progressSinceBoot_ = false;
+        // Scopes opened on a stack a brown-out abandoned never closed;
+        // attribution restarts from App on every boot.
+        profiler_.resetScopes();
+        events_.emit(telemetry::EventKind::Boot, now_);
         const bool bootOk = rt.onPowerOn() && !sysDied_;
         if (bootOk) {
             mem::ScopedHooks sh(rt.memHooks());
@@ -115,7 +143,9 @@ Board::run(Runtime &rt, std::function<void()> appMain, TimeNs budget)
             break;
         }
         tk_->onPowerFail(now_);
+        events_.emit(telemetry::EventKind::BrownOut, now_);
         const TimeNs off = supply_->offTimeAfterDeath(now_);
+        events_.emit(telemetry::EventKind::Outage, now_, 0, off);
         now_ += off;
         tk_->onPowerOn(now_);
     }
@@ -129,6 +159,7 @@ Board::run(Runtime &rt, std::function<void()> appMain, TimeNs budget)
 device::AccelSample
 Board::sampleAccel()
 {
+    telemetry::PhaseScope ps(profiler_, telemetry::Phase::Peripheral);
     charge(costs().sensorSample);
     return accel_.sample(now_);
 }
@@ -136,6 +167,7 @@ Board::sampleAccel()
 std::int32_t
 Board::sampleTemp()
 {
+    telemetry::PhaseScope ps(profiler_, telemetry::Phase::Peripheral);
     charge(costs().sensorSample);
     return temp_.sample(now_);
 }
@@ -143,6 +175,7 @@ Board::sampleTemp()
 std::int32_t
 Board::sampleMoisture()
 {
+    telemetry::PhaseScope ps(profiler_, telemetry::Phase::Peripheral);
     charge(costs().sensorSample);
     return moisture_.sample(now_);
 }
@@ -150,14 +183,17 @@ Board::sampleMoisture()
 void
 Board::radioSend(const void *data, std::uint32_t bytes)
 {
+    telemetry::PhaseScope ps(profiler_, telemetry::Phase::Peripheral);
     charge(device::CostModel::linear(costs().radioSend,
                                      costs().radioPerByte, bytes));
     radio_.send(now_, data, bytes);
+    events_.emit(telemetry::EventKind::RadioSend, now_, bytes);
 }
 
 TimeNs
 Board::deviceNow()
 {
+    telemetry::PhaseScope ps(profiler_, telemetry::Phase::Timekeeper);
     charge(costs().timeRead);
     return tk_->read(now_);
 }

@@ -24,6 +24,8 @@
 #include "mem/nvram.hpp"
 #include "mem/trace.hpp"
 #include "support/rng.hpp"
+#include "telemetry/events.hpp"
+#include "telemetry/phase.hpp"
 #include "timekeeper/timekeeper.hpp"
 
 namespace ticsim::board {
@@ -44,6 +46,8 @@ struct BoardConfig {
     std::uint32_t starvationRebootLimit = 300;
     /** Accelerometer activity-regime switching period. */
     TimeNs accelRegimePeriod = 500 * kNsPerMs;
+    /** Telemetry event-timeline capacity (drop-oldest beyond this). */
+    std::uint32_t eventRingCapacity = 1 << 16;
 };
 
 /** Outcome of one Board::run(). */
@@ -79,6 +83,15 @@ class Board
     device::Radio &radio() { return radio_; }
     device::Accelerometer &accel() { return accel_; }
     Rng &rng() { return rng_; }
+
+    /** Phase-attributed cycle profile of everything this board ran. */
+    telemetry::PhaseProfiler &profiler() { return profiler_; }
+    const telemetry::PhaseProfiler &profiler() const { return profiler_; }
+
+    /** Virtual-time event timeline (bounded; see BoardConfig). */
+    telemetry::EventRing &events() { return events_; }
+    const telemetry::EventRing &events() const { return events_; }
+
     const device::CostModel &costs() const { return mcu_.costs(); }
     const BoardConfig &config() const { return cfg_; }
 
@@ -139,6 +152,8 @@ class Board
     device::Accelerometer accel_;
     device::ScalarSensor temp_;
     device::ScalarSensor moisture_;
+    telemetry::PhaseProfiler profiler_;
+    telemetry::EventRing events_;
 
     TimeNs now_ = 0;
     TimeNs onTime_ = 0;

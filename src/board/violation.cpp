@@ -5,6 +5,14 @@
 namespace ticsim::board {
 
 void
+ViolationMonitor::noteObserved(ViolationKind k, ViolationCounts &c)
+{
+    ++c.observed;
+    if (eventHook_)
+        eventHook_(k);
+}
+
+void
 ViolationMonitor::branchArm(const std::string &branchId,
                             std::uint64_t instance, int arm)
 {
@@ -18,7 +26,7 @@ ViolationMonitor::branchArm(const std::string &branchId,
     if (it->second.first != arm && !it->second.second) {
         // Both arms executed for one logical evaluation.
         it->second.second = true;
-        ++timelyBranch_.observed;
+        noteObserved(ViolationKind::TimelyBranch, timelyBranch_);
     }
 }
 
@@ -38,13 +46,13 @@ ViolationMonitor::timestampAssigned(const std::string &dataId,
     auto it = sampledAt_.find(std::make_pair(dataId, instance));
     if (it == sampledAt_.end()) {
         // Timestamp for data never acquired: count as misaligned.
-        ++misalignment_.observed;
+        noteObserved(ViolationKind::Misalignment, misalignment_);
         return;
     }
     const TimeNs truth = it->second;
     const TimeNs diff = tsValue > truth ? tsValue - truth : truth - tsValue;
     if (diff > tolerance)
-        ++misalignment_.observed;
+        noteObserved(ViolationKind::Misalignment, misalignment_);
 }
 
 void
@@ -58,7 +66,7 @@ ViolationMonitor::dataConsumed(const std::string &dataId,
         return; // nothing known about this datum
     const TimeNs age = trueNow >= it->second ? trueNow - it->second : 0;
     if (age > lifetime)
-        ++expiration_.observed;
+        noteObserved(ViolationKind::Expiration, expiration_);
 }
 
 const ViolationCounts &

@@ -27,6 +27,7 @@
 #define TICSIM_BOARD_VIOLATION_HPP
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <utility>
@@ -82,6 +83,13 @@ class ViolationMonitor
 
     const ViolationCounts &counts(ViolationKind k) const;
 
+    /** Observer notified once per *observed* violation (the Board
+     *  forwards these onto the telemetry timeline). Host-side only. */
+    void setEventHook(std::function<void(ViolationKind)> hook)
+    {
+        eventHook_ = std::move(hook);
+    }
+
     void reset();
 
   private:
@@ -94,6 +102,10 @@ class ViolationMonitor
         branchArms_;
     /** (dataId, instance) -> true acquisition time. */
     std::map<std::pair<std::string, std::uint64_t>, TimeNs> sampledAt_;
+
+    std::function<void(ViolationKind)> eventHook_;
+
+    void noteObserved(ViolationKind k, ViolationCounts &c);
 };
 
 } // namespace ticsim::board

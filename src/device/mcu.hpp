@@ -11,6 +11,7 @@
 #include "device/costs.hpp"
 #include "support/stats.hpp"
 #include "support/units.hpp"
+#include "telemetry/phase.hpp"
 
 namespace ticsim::device {
 
@@ -34,8 +35,19 @@ class Mcu
     /** Total cycles executed since reset(). */
     Cycles cycles() const { return cycles_; }
 
-    /** Account @p c executed cycles. */
-    void addCycles(Cycles c) { cycles_ += c; }
+    /** Account @p c executed cycles, attributing them to the active
+     *  telemetry phase. Attribution here (rather than in the Board)
+     *  makes sum-over-phases == cycles() hold by construction. */
+    void
+    addCycles(Cycles c)
+    {
+        cycles_ += c;
+        if (profiler_ != nullptr)
+            profiler_->attribute(c);
+    }
+
+    /** Attach the phase profiler every charge is attributed through. */
+    void setPhaseProfiler(telemetry::PhaseProfiler *p) { profiler_ = p; }
 
     /** Duration of @p c cycles at the configured clock. */
     TimeNs cyclesToNs(Cycles c) const { return costs_.cyclesToNs(c); }
@@ -46,7 +58,13 @@ class Mcu
         return costs_.cyclesToJoules(c);
     }
 
-    void reset() { cycles_ = 0; }
+    void
+    reset()
+    {
+        cycles_ = 0;
+        if (profiler_ != nullptr)
+            profiler_->resetCycles();
+    }
 
     StatGroup &stats() { return stats_; }
 
@@ -54,6 +72,7 @@ class Mcu
     CostModel costs_;
     Cycles cycles_ = 0;
     StatGroup stats_;
+    telemetry::PhaseProfiler *profiler_ = nullptr;
 };
 
 } // namespace ticsim::device

@@ -1,0 +1,225 @@
+#include "report.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "support/json.hpp"
+#include "support/logging.hpp"
+
+namespace ticsim::harness {
+
+namespace {
+
+BenchSession *gSession = nullptr;
+
+/** Match "--flag <v>" / "--flag=<v>"; returns true when consumed. */
+bool
+takeFlag(const char *flag, int &i, int argc, char **argv,
+         std::string &out, int &removed)
+{
+    const std::size_t flagLen = std::strlen(flag);
+    const char *arg = argv[i];
+    if (std::strncmp(arg, flag, flagLen) != 0)
+        return false;
+    if (arg[flagLen] == '=') {
+        out = arg + flagLen + 1;
+        removed = 1;
+        return true;
+    }
+    if (arg[flagLen] != '\0')
+        return false; // e.g. --jsonx
+    if (i + 1 >= argc)
+        fatal("%s requires a path argument", flag);
+    out = argv[i + 1];
+    removed = 2;
+    return true;
+}
+
+void
+writeStatGroup(JsonWriter &w, const StatGroup &g)
+{
+    w.beginObject();
+    w.member("group", g.name());
+    w.key("counters").beginObject();
+    for (const auto &[name, c] : g.counters())
+        w.member(name, c.value());
+    w.endObject();
+    w.key("scalars").beginObject();
+    for (const auto &[name, v] : g.scalars())
+        w.member(name, v);
+    w.endObject();
+    w.key("distributions").beginObject();
+    for (const auto &[name, d] : g.distributions()) {
+        w.key(name)
+            .beginObject()
+            .member("count", d.count())
+            .member("mean", d.mean())
+            .member("min", d.min())
+            .member("max", d.max())
+            .member("stddev", d.stddev())
+            .member("p50", d.p50())
+            .member("p95", d.p95())
+            .member("p99", d.p99())
+            .endObject();
+    }
+    w.endObject();
+    w.endObject();
+}
+
+} // namespace
+
+ReportOptions
+parseReportArgs(int &argc, char **argv)
+{
+    ReportOptions opts;
+    int out = 1;
+    for (int i = 1; i < argc;) {
+        int removed = 0;
+        if (takeFlag("--json", i, argc, argv, opts.jsonPath, removed) ||
+            takeFlag("--trace", i, argc, argv, opts.tracePath, removed)) {
+            i += removed;
+            continue;
+        }
+        argv[out++] = argv[i++];
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    return opts;
+}
+
+BenchSession::BenchSession(std::string bench, ReportOptions opts)
+    : bench_(std::move(bench)), opts_(std::move(opts))
+{
+    gSession = this;
+}
+
+BenchSession::BenchSession(std::string bench, int &argc, char **argv)
+    : BenchSession(std::move(bench), parseReportArgs(argc, argv))
+{
+}
+
+BenchSession::~BenchSession()
+{
+    finish();
+    if (gSession == this)
+        gSession = nullptr;
+}
+
+BenchSession *
+BenchSession::current()
+{
+    return gSession;
+}
+
+void
+BenchSession::record(const std::string &label, board::Runtime &rt,
+                     board::Board &b, const board::RunResult &res)
+{
+    if (!opts_.enabled())
+        return;
+    RunRecord r;
+    r.label = label;
+    r.runtime = rt.name();
+    r.result = res;
+    for (int p = 0; p < telemetry::kPhaseCount; ++p)
+        r.phases[p] =
+            b.profiler().phaseCycles(static_cast<telemetry::Phase>(p));
+    r.stats.push_back(rt.stats());
+    r.stats.push_back(b.supply().stats());
+    r.eventsRecorded = b.events().size();
+    r.eventsDropped = b.events().dropped();
+    if (!opts_.tracePath.empty())
+        r.events = b.events().snapshot();
+    runs_.push_back(std::move(r));
+}
+
+void
+BenchSession::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    if (!opts_.jsonPath.empty())
+        writeJson();
+    if (!opts_.tracePath.empty())
+        writeTrace();
+}
+
+void
+BenchSession::writeJson() const
+{
+    std::ofstream os(opts_.jsonPath);
+    if (!os)
+        fatal("cannot open report file '%s'", opts_.jsonPath.c_str());
+
+    JsonWriter w(os);
+    w.beginObject();
+    w.member("schema", "ticsim.run_report");
+    w.member("version", kReportVersion);
+    w.member("bench", bench_);
+    w.key("runs").beginArray();
+    for (const RunRecord &r : runs_) {
+        w.beginObject();
+        w.member("label", r.label);
+        w.member("runtime", r.runtime);
+        w.key("result")
+            .beginObject()
+            .member("completed", r.result.completed)
+            .member("starved", r.result.starved)
+            .member("reboots", r.result.reboots)
+            .member("cycles", r.result.cycles)
+            .member("elapsed_ns", r.result.elapsed)
+            .member("on_time_ns", r.result.onTime)
+            .endObject();
+        w.key("phases").beginObject();
+        Cycles total = 0;
+        for (int p = 0; p < telemetry::kPhaseCount; ++p) {
+            w.member(telemetry::phaseName(
+                         static_cast<telemetry::Phase>(p)),
+                     r.phases[p]);
+            total += r.phases[p];
+        }
+        w.member("total", total);
+        w.endObject();
+        w.key("stats").beginArray();
+        for (const StatGroup &g : r.stats)
+            writeStatGroup(w, g);
+        w.endArray();
+        w.key("events")
+            .beginObject()
+            .member("recorded", r.eventsRecorded)
+            .member("dropped", r.eventsDropped)
+            .endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+void
+BenchSession::writeTrace() const
+{
+    std::ofstream os(opts_.tracePath);
+    if (!os)
+        fatal("cannot open trace file '%s'", opts_.tracePath.c_str());
+
+    std::vector<telemetry::TraceProcess> procs;
+    for (const RunRecord &r : runs_) {
+        if (r.events.empty())
+            continue;
+        procs.push_back(telemetry::TraceProcess{
+            r.label + " [" + r.runtime + "]", r.events, r.eventsDropped});
+    }
+    writeChromeTrace(os, procs);
+}
+
+void
+recordRun(const std::string &label, board::Runtime &rt, board::Board &b,
+          const board::RunResult &res)
+{
+    if (BenchSession *s = BenchSession::current())
+        s->record(label, rt, b, res);
+}
+
+} // namespace ticsim::harness

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Machine-readable run reports for the benchmark binaries.
+ *
+ * Every bench accepts two common flags on top of whatever it already
+ * parses:
+ *
+ *     --json <path>    write a ticsim.run_report JSON document
+ *     --trace <path>   write a Chrome trace_event timeline (Perfetto)
+ *
+ * A BenchSession collects one record per board run — the RunResult,
+ * the phase-attributed cycle breakdown, the runtime's and supply's
+ * StatGroups, and (when tracing) the event-ring snapshot — and
+ * serializes everything on finish(). The human-readable tables on
+ * stdout are untouched; reports go to the named files only, so a
+ * bench's printed output is byte-identical with and without the flags.
+ *
+ * The JSON document layout is pinned by tools/run_report.schema.json;
+ * bump kReportVersion when changing it.
+ */
+
+#ifndef TICSIM_HARNESS_REPORT_HPP
+#define TICSIM_HARNESS_REPORT_HPP
+
+#include <string>
+#include <vector>
+
+#include "board/board.hpp"
+#include "board/runtime.hpp"
+#include "telemetry/trace_export.hpp"
+
+namespace ticsim::harness {
+
+/** Schema version of the JSON run report. */
+constexpr int kReportVersion = 1;
+
+struct ReportOptions {
+    std::string jsonPath;  ///< empty = no JSON report
+    std::string tracePath; ///< empty = no timeline trace
+
+    bool enabled() const { return !jsonPath.empty() || !tracePath.empty(); }
+};
+
+/**
+ * Strip the common report flags (--json <path>, --json=<path>,
+ * --trace <path>, --trace=<path>) out of argv, compacting it in
+ * place and updating @p argc, so benches with their own argument
+ * parsing never see them. Unknown arguments are left alone.
+ */
+ReportOptions parseReportArgs(int &argc, char **argv);
+
+/**
+ * One bench binary's report collector. Construct it first thing in
+ * main(); record every board run; reports are written on finish() (or
+ * from the destructor). The constructor registers the session as the
+ * process-wide current one so deeply nested run helpers can report
+ * through recordRun() without plumbing a pointer.
+ */
+class BenchSession
+{
+  public:
+    BenchSession(std::string bench, ReportOptions opts);
+    /** Convenience: parse + strip the report flags from argv. */
+    BenchSession(std::string bench, int &argc, char **argv);
+    ~BenchSession();
+
+    BenchSession(const BenchSession &) = delete;
+    BenchSession &operator=(const BenchSession &) = delete;
+
+    const ReportOptions &options() const { return opts_; }
+
+    /** Snapshot one finished board run under @p label. */
+    void record(const std::string &label, board::Runtime &rt,
+                board::Board &b, const board::RunResult &res);
+
+    /** Write the JSON report and trace now (idempotent). */
+    void finish();
+
+    /** The live session, or nullptr outside main()'s scope. */
+    static BenchSession *current();
+
+  private:
+    struct RunRecord {
+        std::string label;
+        std::string runtime;
+        board::RunResult result;
+        Cycles phases[telemetry::kPhaseCount] = {};
+        std::vector<StatGroup> stats;
+        std::uint64_t eventsRecorded = 0;
+        std::uint64_t eventsDropped = 0;
+        std::vector<telemetry::Event> events; ///< tracing only
+    };
+
+    void writeJson() const;
+    void writeTrace() const;
+
+    std::string bench_;
+    ReportOptions opts_;
+    std::vector<RunRecord> runs_;
+    bool finished_ = false;
+};
+
+/**
+ * Record a run against the current session; no-op when reporting is
+ * disabled or no session exists. This is what the bench run helpers
+ * call right after Board::run().
+ */
+void recordRun(const std::string &label, board::Runtime &rt,
+               board::Board &b, const board::RunResult &res);
+
+} // namespace ticsim::harness
+
+#endif // TICSIM_HARNESS_REPORT_HPP

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "support/logging.hpp"
+#include "telemetry/phase.hpp"
 
 namespace ticsim::runtimes {
 
@@ -31,8 +32,11 @@ ChinchillaRuntime::onPowerOn()
 {
     auto &b = *board_;
     const auto &costs = b.costs();
-    if (!b.chargeSys(costs.bootInit))
-        return false;
+    {
+        telemetry::PhaseScope boot(b.profiler(), telemetry::Phase::Boot);
+        if (!b.chargeSys(costs.bootInit))
+            return false;
+    }
 
     // Roll dirty promoted globals back to their committed versions on
     // every boot (pre-first-checkpoint writes must be undone too).
@@ -42,9 +46,16 @@ ChinchillaRuntime::onPowerOn()
     rollbackCost += static_cast<Cycles>(
         costs.rollbackPerByte *
         static_cast<double>(versions_->bytesSince(0)));
-    if (!b.chargeSys(rollbackCost))
-        return false;
-    stats_.counter("rollbackEntries") += versions_->rollback();
+    {
+        telemetry::PhaseScope rb(b.profiler(),
+                                 telemetry::Phase::Rollback);
+        if (!b.chargeSys(rollbackCost))
+            return false;
+    }
+    const auto applied = versions_->rollback();
+    if (applied > 0)
+        b.events().emit(telemetry::EventKind::Rollback, b.now(), applied);
+    stats_.counter("rollbackEntries") += applied;
     versions_->clear();
     epochLogged_.clear();
 
@@ -56,11 +67,14 @@ ChinchillaRuntime::onPowerOn()
     }
 
     // Registers-only restore (locals live in promoted globals).
+    telemetry::PhaseScope restore(b.profiler(),
+                                  telemetry::Phase::Restore);
     if (!b.chargeSys(costs.restoreLogic))
         return false;
     tics::restoreStackImage(*slot);
     lastCkptTrue_ = b.now();
     ++stats_.counter("restores");
+    b.events().emit(telemetry::EventKind::Restore, b.now());
     b.ctx().prepareResume(slot->regs);
     return true;
 }
@@ -70,6 +84,7 @@ ChinchillaRuntime::doCheckpoint()
 {
     auto &b = *board_;
     const auto &costs = b.costs();
+    telemetry::PhaseScope ps(b.profiler(), telemetry::Phase::Checkpoint);
 
     // Registers-only checkpoint (the Chinchilla selling point) plus
     // committing the dirty-version set.
@@ -87,6 +102,7 @@ ChinchillaRuntime::doCheckpoint()
     lastCkptTrue_ = b.now();
     ++ckpts_;
     ++stats_.counter("checkpoints");
+    b.events().emit(telemetry::EventKind::CheckpointCommit, b.now());
     b.markProgress();
     return true;
 }
@@ -114,6 +130,7 @@ ChinchillaRuntime::preWrite(void *hostAddr, std::uint32_t bytes)
     if (!b.ctx().inside())
         return;
     const auto &costs = b.costs();
+    telemetry::PhaseScope ps(b.profiler(), telemetry::Phase::UndoLog);
     b.charge(costs.ptrCheck);
     if (b.ctx().onStack(hostAddr))
         return; // host-local bookkeeping; promoted state is in nv<T>

@@ -6,6 +6,7 @@
 
 #include "mem/trace.hpp"
 #include "support/logging.hpp"
+#include "telemetry/phase.hpp"
 
 namespace ticsim::runtimes {
 
@@ -48,8 +49,11 @@ MementosRuntime::onPowerOn()
 {
     auto &b = *board_;
     const auto &costs = b.costs();
-    if (!b.chargeSys(costs.bootInit))
-        return false;
+    {
+        telemetry::PhaseScope boot(b.profiler(), telemetry::Phase::Boot);
+        if (!b.chargeSys(costs.bootInit))
+            return false;
+    }
 
     tics::CheckpointArea::Slot *slot = area_->valid();
     if (!slot) {
@@ -64,6 +68,8 @@ MementosRuntime::onPowerOn()
 
     // Restore cost scales with the whole saved state: this is the
     // unbounded-restore path that can starve small energy buffers.
+    telemetry::PhaseScope restore(b.profiler(),
+                                  telemetry::Phase::Restore);
     const std::uint32_t stateBytes = committedStackBytes_ + globalsBytes_;
     if (!b.chargeSys(device::CostModel::linear(
             costs.restoreLogic, costs.restorePerByte, stateBytes)))
@@ -82,6 +88,7 @@ MementosRuntime::onPowerOn()
     model_ = ckptModel_;
     lastCkptTrue_ = b.now();
     ++stats_.counter("restores");
+    b.events().emit(telemetry::EventKind::Restore, b.now());
     b.ctx().prepareResume(slot->regs);
     return true;
 }
@@ -91,6 +98,7 @@ MementosRuntime::doCheckpoint()
 {
     auto &b = *board_;
     const auto &costs = b.costs();
+    telemetry::PhaseScope ps(b.profiler(), telemetry::Phase::Checkpoint);
     const std::uint32_t stateBytes = model_.totalBytes + globalsBytes_;
 
     // Whole cost up front: death here leaves the old commit valid.
@@ -111,6 +119,7 @@ MementosRuntime::doCheckpoint()
     lastCkptTrue_ = b.now();
     ++ckpts_;
     ++stats_.counter("checkpoints");
+    b.events().emit(telemetry::EventKind::CheckpointCommit, b.now());
     b.markProgress();
     // After markProgress so the coverage lands in the new interval:
     // every tracked global is now recoverable from this snapshot.

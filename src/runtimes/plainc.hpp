@@ -14,6 +14,7 @@
 
 #include "board/board.hpp"
 #include "board/runtime.hpp"
+#include "telemetry/phase.hpp"
 
 namespace ticsim::runtimes {
 
@@ -32,8 +33,12 @@ class PlainCRuntime : public board::Runtime
     bool
     onPowerOn() override
     {
-        if (!board_->chargeSys(board_->costs().bootInit))
-            return false;
+        {
+            telemetry::PhaseScope boot(board_->profiler(),
+                                       telemetry::Phase::Boot);
+            if (!board_->chargeSys(board_->costs().bootInit))
+                return false;
+        }
         board_->ctx().prepare([this] {
             // Restart-from-main is this system's notion of progress.
             board_->markProgress();

@@ -1,6 +1,7 @@
 #include "task_core.hpp"
 
 #include "support/logging.hpp"
+#include "telemetry/phase.hpp"
 
 namespace ticsim::taskrt {
 
@@ -28,8 +29,11 @@ bool
 TaskRuntime::onPowerOn()
 {
     auto &b = *board_;
-    if (!b.chargeSys(b.costs().bootInit))
-        return false;
+    {
+        telemetry::PhaseScope boot(b.profiler(), telemetry::Phase::Boot);
+        if (!b.chargeSys(b.costs().bootInit))
+            return false;
+    }
     // The current-task pointer is non-volatile; everything privatized
     // since the last transition is discarded, making the interrupted
     // task restart idempotent.
@@ -68,11 +72,16 @@ TaskRuntime::taskLoop()
         std::uint32_t bytes = 0;
         for (auto *c : channels_)
             bytes += c->dirtyBytes();
-        b.charge(device::CostModel::linear(
-            costs.taskTransition + cfg_.extraTransitionCost,
-            costs.taskCommitPerByte, bytes));
+        {
+            telemetry::PhaseScope commit(b.profiler(),
+                                         telemetry::Phase::Checkpoint);
+            b.charge(device::CostModel::linear(
+                costs.taskTransition + cfg_.extraTransitionCost,
+                costs.taskCommitPerByte, bytes));
+        }
         for (auto *c : channels_)
             c->commit();
+        b.events().emit(telemetry::EventKind::CheckpointCommit, b.now());
         const TaskId from = current_;
         current_ = next;
         ++transitions_;

@@ -1,0 +1,158 @@
+#include "json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "logging.hpp"
+
+namespace ticsim {
+
+void
+JsonWriter::sep()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return; // the key already placed the comma
+    }
+    if (hasElem_.back())
+        os_ << ',';
+    hasElem_.back() = true;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    sep();
+    os_ << '{';
+    hasElem_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    TICSIM_ASSERT(hasElem_.size() > 1, "json: endObject at top level");
+    hasElem_.pop_back();
+    os_ << '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    sep();
+    os_ << '[';
+    hasElem_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    TICSIM_ASSERT(hasElem_.size() > 1, "json: endArray at top level");
+    hasElem_.pop_back();
+    os_ << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    sep();
+    os_ << escape(k) << ':';
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    sep();
+    os_ << escape(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    sep();
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    sep();
+    if (!std::isfinite(v)) {
+        os_ << "null"; // JSON has no NaN/Inf
+        return *this;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    sep();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    sep();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    sep();
+    os_ << "null";
+    return *this;
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace ticsim

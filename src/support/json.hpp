@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal streaming JSON writer (no external dependencies).
+ *
+ * Emits syntactically valid JSON to an ostream with automatic comma
+ * placement and string escaping. Used by the telemetry trace exporter
+ * and the benchmark run-report exporter; deliberately write-only — the
+ * simulator never needs to parse JSON.
+ */
+
+#ifndef TICSIM_SUPPORT_JSON_HPP
+#define TICSIM_SUPPORT_JSON_HPP
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ticsim {
+
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    // ---- containers ------------------------------------------------------
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Object member key; follow with a value or container call. */
+    JsonWriter &key(const std::string &k);
+
+    // ---- values ----------------------------------------------------------
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(bool v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(std::uint32_t v) { return value(std::uint64_t{v}); }
+    JsonWriter &value(int v) { return value(std::int64_t{v}); }
+    JsonWriter &null();
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    member(const std::string &k, const T &v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    /** Escape and quote @p s per RFC 8259. */
+    static std::string escape(const std::string &s);
+
+  private:
+    /** Comma separation before a value/key at the current nesting. */
+    void sep();
+
+    std::ostream &os_;
+    /** Per-nesting-level "a first element was emitted" flags. */
+    std::vector<bool> hasElem_{false};
+    bool pendingKey_ = false;
+};
+
+} // namespace ticsim
+
+#endif // TICSIM_SUPPORT_JSON_HPP

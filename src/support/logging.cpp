@@ -2,8 +2,28 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace ticsim {
+
+Logger::Logger()
+{
+    const char *env = std::getenv("TICSIM_LOG");
+    if (env == nullptr)
+        return;
+    if (std::strcmp(env, "quiet") == 0) {
+        level_ = LogLevel::Quiet;
+    } else if (std::strcmp(env, "normal") == 0) {
+        level_ = LogLevel::Normal;
+    } else if (std::strcmp(env, "debug") == 0) {
+        level_ = LogLevel::Debug;
+    } else {
+        std::fprintf(stderr,
+                     "warn: TICSIM_LOG=%s not one of quiet/normal/debug; "
+                     "keeping default\n",
+                     env);
+    }
+}
 
 Logger &
 Logger::get()
@@ -18,6 +38,10 @@ Logger::vlog(LogLevel level, const char *prefix, const char *fmt,
 {
     if (level > level_)
         return;
+    if (clockNs_ != nullptr) {
+        std::fprintf(stderr, "[%12.3f ms] ",
+                     static_cast<double>(*clockNs_) / 1e6);
+    }
     std::fprintf(stderr, "%s", prefix);
     std::vfprintf(stderr, fmt, ap);
     std::fputc('\n', stderr);

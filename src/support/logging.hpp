@@ -25,6 +25,12 @@ enum class LogLevel {
  * Minimal global logger. All simulator diagnostics funnel through here
  * so benchmark binaries can silence the simulator while printing their
  * own tables.
+ *
+ * The initial level honors the TICSIM_LOG environment variable
+ * ("quiet", "normal" or "debug"), so bench binaries and CI can raise
+ * or silence verbosity without recompiling; setLevel() still wins
+ * afterwards. While a Board is running it binds its virtual clock
+ * here, and every line is prefixed with the current virtual time.
  */
 class Logger
 {
@@ -34,12 +40,28 @@ class Logger
     void setLevel(LogLevel level) { level_ = level; }
     LogLevel level() const { return level_; }
 
+    /**
+     * Bind the virtual-time source used for the log-line prefix
+     * (nullptr unbinds). @return the previous binding, so scoped users
+     * (Board::run) can restore it.
+     */
+    const std::uint64_t *
+    setClock(const std::uint64_t *nowNs)
+    {
+        const std::uint64_t *prev = clockNs_;
+        clockNs_ = nowNs;
+        return prev;
+    }
+
     /** printf-style message at the given level (no newline appended). */
     void vlog(LogLevel level, const char *prefix, const char *fmt,
               std::va_list ap);
 
   private:
+    Logger();
+
     LogLevel level_ = LogLevel::Normal;
+    const std::uint64_t *clockNs_ = nullptr;
 };
 
 /**

@@ -1,11 +1,42 @@
 #include "stats.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <iomanip>
 
 #include "logging.hpp"
 
 namespace ticsim {
+
+Distribution::Distribution() : hist_(kBuckets, 0) {}
+
+int
+Distribution::bucketIndex(double v)
+{
+    if (!(v > 0.0))
+        return 0; // zero, negative and NaN share the underflow bucket
+    int exp = 0;
+    const double m = std::frexp(v, &exp); // m in [0.5, 1)
+    exp = std::clamp(exp, kMinExp, kMaxExp);
+    int sub = static_cast<int>((m - 0.5) * 2.0 * kSubBuckets);
+    sub = std::clamp(sub, 0, kSubBuckets - 1);
+    return 1 + (exp - kMinExp) * kSubBuckets + sub;
+}
+
+double
+Distribution::bucketMid(int idx)
+{
+    if (idx <= 0)
+        return 0.0;
+    const int rel = idx - 1;
+    const int exp = kMinExp + rel / kSubBuckets;
+    const int sub = rel % kSubBuckets;
+    const double lo =
+        std::ldexp(0.5 + sub / (2.0 * kSubBuckets), exp);
+    const double hi =
+        std::ldexp(0.5 + (sub + 1) / (2.0 * kSubBuckets), exp);
+    return 0.5 * (lo + hi);
+}
 
 void
 Distribution::sample(double v)
@@ -18,7 +49,10 @@ Distribution::sample(double v)
     }
     ++count_;
     sum_ += v;
-    sumSq_ += v * v;
+    const double delta = v - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (v - mean_);
+    ++hist_[static_cast<std::size_t>(bucketIndex(v))];
 }
 
 void
@@ -32,9 +66,26 @@ Distribution::stddev() const
 {
     if (count_ < 2)
         return 0.0;
-    const double n = static_cast<double>(count_);
-    const double var = (sumSq_ - sum_ * sum_ / n) / (n - 1.0);
+    const double var = m2_ / static_cast<double>(count_ - 1);
     return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double
+Distribution::percentile(double fraction) const
+{
+    if (count_ == 0)
+        return 0.0;
+    fraction = std::clamp(fraction, 0.0, 1.0);
+    // Nearest-rank over the bucket counts.
+    const auto rank = static_cast<std::uint64_t>(std::max(
+        1.0, std::ceil(fraction * static_cast<double>(count_))));
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        seen += hist_[static_cast<std::size_t>(i)];
+        if (seen >= rank)
+            return std::clamp(bucketMid(i), min_, max_);
+    }
+    return max_;
 }
 
 Counter &
@@ -96,7 +147,9 @@ StatGroup::dump(std::ostream &os) const
         const auto &d = kv.second;
         os << name_ << '.' << kv.first << "  n=" << d.count()
            << " mean=" << d.mean() << " min=" << d.min()
-           << " max=" << d.max() << " sd=" << d.stddev() << '\n';
+           << " max=" << d.max() << " sd=" << d.stddev()
+           << " p50=" << d.p50() << " p95=" << d.p95()
+           << " p99=" << d.p99() << '\n';
     }
 }
 

@@ -3,7 +3,8 @@
  * Lightweight statistics package in the spirit of gem5's stats: named
  * counters, scalars and histograms grouped per component, dumpable in a
  * human-readable listing. Benchmark harnesses read stats by name to
- * build the paper's tables.
+ * build the paper's tables, and the run-report exporter serializes
+ * whole groups to JSON.
  */
 
 #ifndef TICSIM_SUPPORT_STATS_HPP
@@ -30,27 +31,64 @@ class Counter
     std::uint64_t value_ = 0;
 };
 
-/** Running scalar statistic (min/max/mean over samples). */
+/**
+ * Running scalar statistic: min/max/mean, a numerically stable
+ * standard deviation (Welford's online recurrence — the naive
+ * sum-of-squares form cancels catastrophically for tight clusters of
+ * large samples, e.g. nanosecond timestamps), and a log-bucketed
+ * histogram for percentile queries.
+ *
+ * The histogram has a fixed bucket layout: one bucket for values
+ * <= 0 plus kSubBuckets buckets per power of two across a wide
+ * exponent range, giving a bounded relative error of about
+ * 1/(2*kSubBuckets) per query with a few KiB of fixed storage.
+ */
 class Distribution
 {
   public:
+    Distribution();
+
     void sample(double v);
     void reset();
 
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
-    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double mean() const { return count_ ? mean_ : 0.0; }
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
     /** Sample standard deviation (0 for < 2 samples). */
     double stddev() const;
 
+    /**
+     * Approximate quantile for @p fraction in [0, 1] from the bucketed
+     * histogram, clamped to the exact [min, max] envelope. 0 with no
+     * samples.
+     */
+    double percentile(double fraction) const;
+
+    double p50() const { return percentile(0.50); }
+    double p95() const { return percentile(0.95); }
+    double p99() const { return percentile(0.99); }
+
+    /** Histogram bucket resolution (buckets per power of two). */
+    static constexpr int kSubBuckets = 8;
+
   private:
+    static constexpr int kMinExp = -20; ///< ~1e-6 lower edge
+    static constexpr int kMaxExp = 49;  ///< ~5.6e14 upper edge
+    static constexpr int kBuckets =
+        1 + (kMaxExp - kMinExp + 1) * kSubBuckets;
+
+    static int bucketIndex(double v);
+    static double bucketMid(int idx);
+
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
-    double sumSq_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0; ///< Welford's sum of squared deviations
     double min_ = 0.0;
     double max_ = 0.0;
+    std::vector<std::uint64_t> hist_;
 };
 
 /**
@@ -74,6 +112,20 @@ class StatGroup
     double scalarValue(const std::string &name) const;
 
     const std::string &name() const { return name_; }
+
+    // Read-only iteration for exporters (JSON run reports).
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Distribution> &distributions() const
+    {
+        return distributions_;
+    }
+    const std::map<std::string, double> &scalars() const
+    {
+        return scalars_;
+    }
 
     /** Zero every statistic in the group. */
     void resetAll();

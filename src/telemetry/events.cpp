@@ -1,0 +1,64 @@
+#include "events.hpp"
+
+namespace ticsim::telemetry {
+
+const char *
+eventName(EventKind k)
+{
+    switch (k) {
+      case EventKind::Boot:             return "boot";
+      case EventKind::BrownOut:         return "brown_out";
+      case EventKind::Outage:           return "outage";
+      case EventKind::CheckpointCommit: return "checkpoint_commit";
+      case EventKind::Restore:          return "restore";
+      case EventKind::Rollback:         return "rollback";
+      case EventKind::Violation:        return "violation";
+      case EventKind::RadioSend:        return "radio_send";
+      case EventKind::SupplyState:      return "supply_state";
+      case EventKind::PhaseSlice:       return "phase";
+    }
+    return "?";
+}
+
+EventRing::EventRing(std::uint32_t capacity)
+    : buf_(capacity > 0 ? capacity : 1)
+{
+}
+
+void
+EventRing::emit(EventKind kind, TimeNs at, std::uint64_t arg0,
+                std::uint64_t arg1)
+{
+    const auto cap = static_cast<std::uint32_t>(buf_.size());
+    std::uint32_t slot;
+    if (count_ < cap) {
+        slot = (head_ + count_) % cap;
+        ++count_;
+    } else {
+        slot = head_;  // overwrite the oldest
+        head_ = (head_ + 1) % cap;
+        ++dropped_;
+    }
+    buf_[slot] = Event{at, arg0, arg1, kind};
+}
+
+std::vector<Event>
+EventRing::snapshot() const
+{
+    std::vector<Event> out;
+    out.reserve(count_);
+    const auto cap = static_cast<std::uint32_t>(buf_.size());
+    for (std::uint32_t i = 0; i < count_; ++i)
+        out.push_back(buf_[(head_ + i) % cap]);
+    return out;
+}
+
+void
+EventRing::clear()
+{
+    head_ = 0;
+    count_ = 0;
+    dropped_ = 0;
+}
+
+} // namespace ticsim::telemetry

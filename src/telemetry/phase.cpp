@@ -1,0 +1,98 @@
+#include "phase.hpp"
+
+#include "support/logging.hpp"
+#include "telemetry/events.hpp"
+
+namespace ticsim::telemetry {
+
+const char *
+phaseName(Phase p)
+{
+    switch (p) {
+      case Phase::App:        return "app";
+      case Phase::Checkpoint: return "checkpoint";
+      case Phase::Restore:    return "restore";
+      case Phase::UndoLog:    return "undo_log";
+      case Phase::Rollback:   return "rollback";
+      case Phase::Timekeeper: return "timekeeper";
+      case Phase::Peripheral: return "peripheral";
+      case Phase::Boot:       return "boot";
+    }
+    return "?";
+}
+
+Cycles
+PhaseProfiler::totalCycles() const
+{
+    Cycles total = 0;
+    for (const Cycles c : cycles_)
+        total += c;
+    return total;
+}
+
+void
+PhaseProfiler::resetCycles()
+{
+    for (Cycles &c : cycles_)
+        c = 0;
+}
+
+std::uint32_t
+PhaseProfiler::push(Phase p)
+{
+    TICSIM_ASSERT(depth_ < kMaxDepth, "phase scope stack overflow");
+    const std::uint32_t before = depth_;
+    stack_[depth_++] = p;
+    return before;
+}
+
+void
+PhaseProfiler::closeTo(std::uint32_t depth)
+{
+    if (depth_ > depth)
+        depth_ = depth;
+}
+
+namespace {
+
+/** Phases rare enough to trace as individual timeline slices. */
+bool
+sliceWorthy(Phase p)
+{
+    switch (p) {
+      case Phase::Checkpoint:
+      case Phase::Restore:
+      case Phase::Rollback:
+      case Phase::Boot:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+PhaseScope::PhaseScope(PhaseProfiler &p, Phase phase)
+    : p_(p), phase_(phase), openDepth_(p.push(phase))
+{
+    if (p_.now_ != nullptr)
+        startNs_ = *p_.now_;
+}
+
+PhaseScope::~PhaseScope()
+{
+    // A scope restored from a checkpointed stack image destructs in a
+    // later power life with the profiler stack already unwound; closeTo
+    // detects that (depth <= openDepth_) and the slice is suppressed.
+    if (p_.depth_ <= openDepth_)
+        return;
+    p_.closeTo(openDepth_);
+    if (p_.ring_ != nullptr && p_.now_ != nullptr && sliceWorthy(phase_)) {
+        const TimeNs end = *p_.now_;
+        p_.ring_->emit(EventKind::PhaseSlice, startNs_,
+                       static_cast<std::uint64_t>(phase_),
+                       end >= startNs_ ? end - startNs_ : 0);
+    }
+}
+
+} // namespace ticsim::telemetry

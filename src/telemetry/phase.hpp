@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Phase-attributed cycle profiling.
+ *
+ * Every cycle the MCU executes is attributed to exactly one runtime
+ * phase — application work, checkpointing, restore, undo logging,
+ * rollback, timekeeper reads, peripheral I/O or boot — so the paper's
+ * overhead breakdowns (Fig. 9/10, Table 4) can be read off any run
+ * instead of being re-derived per bench.
+ *
+ * The attribution path is sampling-free and allocation-free: the
+ * profiler is a fixed array of per-phase counters plus a small
+ * fixed-depth scope stack, and attribute() is one index plus one add.
+ * Runtimes declare phases with RAII PhaseScope guards around the code
+ * that charges cycles; whatever phase is on top of the stack when a
+ * charge drains receives the cycles. The invariant
+ *
+ *     sum over phases == Mcu::cycles()
+ *
+ * holds by construction because attribution happens inside
+ * Mcu::addCycles() itself.
+ *
+ * Power-failure safety: a brown-out abandons the application context
+ * without running destructors, so scopes opened on the app stack leak.
+ * The Board calls resetScopes() on every boot, and ~PhaseScope() only
+ * ever *lowers* the stack depth (never raises it), so a scope object
+ * restored as part of a checkpointed stack image — whose destructor
+ * runs in a later power life — is a no-op instead of corrupting the
+ * stack.
+ */
+
+#ifndef TICSIM_TELEMETRY_PHASE_HPP
+#define TICSIM_TELEMETRY_PHASE_HPP
+
+#include <cstdint>
+
+#include "support/units.hpp"
+
+namespace ticsim::telemetry {
+
+class EventRing;
+
+/** The execution phases cycles are attributed to. */
+enum class Phase : std::uint8_t {
+    App = 0,     ///< application work (default when no scope is open)
+    Checkpoint,  ///< checkpoint capture + two-phase commit
+    Restore,     ///< post-reboot state restore
+    UndoLog,     ///< write interception + undo-log appends
+    Rollback,    ///< undo-log / version rollback on boot
+    Timekeeper,  ///< persistent-clock reads
+    Peripheral,  ///< sensor sampling and radio I/O
+    Boot,        ///< boot-time runtime initialization
+};
+
+constexpr int kPhaseCount = 8;
+
+/** Stable lower-case name ("checkpoint", "undo_log", ...). */
+const char *phaseName(Phase p);
+
+class PhaseProfiler
+{
+  public:
+    /** Cycles attributed to @p p since the last reset. */
+    Cycles phaseCycles(Phase p) const
+    {
+        return cycles_[static_cast<int>(p)];
+    }
+
+    /** Sum over all phases (== Mcu::cycles() by construction). */
+    Cycles totalCycles() const;
+
+    /** The phase currently receiving cycles. */
+    Phase current() const
+    {
+        return depth_ > 0 ? stack_[depth_ - 1] : Phase::App;
+    }
+
+    /** Attribute @p c executed cycles to the current phase. */
+    void attribute(Cycles c) { cycles_[static_cast<int>(current())] += c; }
+
+    /** Zero all per-phase counters (scope stack untouched). */
+    void resetCycles();
+
+    /** Drop all open scopes (called by the Board on every boot: a
+     *  power failure abandons the app stack without unwinding). */
+    void resetScopes() { depth_ = 0; }
+
+    /**
+     * Bind the profiler to the board's virtual clock and event ring so
+     * coarse scopes (checkpoint/restore/rollback/boot) are emitted as
+     * timeline slices. Fine-grained scopes (undo-log, timekeeper,
+     * peripheral) fire far too often to trace per-instance and are
+     * reported as aggregate cycle counts only.
+     */
+    void bindTimeline(const TimeNs *now, EventRing *ring)
+    {
+        now_ = now;
+        ring_ = ring;
+    }
+
+    std::uint32_t depth() const { return depth_; }
+
+  private:
+    friend class PhaseScope;
+
+    static constexpr std::uint32_t kMaxDepth = 16;
+
+    /** Push @p p; returns the depth before the push (scope token). */
+    std::uint32_t push(Phase p);
+
+    /** Close scopes down to @p depth; no-op when already at or below
+     *  (the restored-stack-image destructor case). */
+    void closeTo(std::uint32_t depth);
+
+    Cycles cycles_[kPhaseCount] = {};
+    Phase stack_[kMaxDepth] = {};
+    std::uint32_t depth_ = 0;
+    const TimeNs *now_ = nullptr;
+    EventRing *ring_ = nullptr;
+};
+
+/**
+ * RAII phase declaration. Open one around any code that charges
+ * cycles belonging to a non-App phase; nesting is fine (the innermost
+ * scope wins, e.g. a forced checkpoint inside the undo-log barrier is
+ * attributed to Checkpoint).
+ */
+class PhaseScope
+{
+  public:
+    PhaseScope(PhaseProfiler &p, Phase phase);
+    ~PhaseScope();
+
+    PhaseScope(const PhaseScope &) = delete;
+    PhaseScope &operator=(const PhaseScope &) = delete;
+
+  private:
+    PhaseProfiler &p_;
+    Phase phase_;
+    std::uint32_t openDepth_; ///< depth before this scope pushed
+    TimeNs startNs_ = 0;      ///< slice start (coarse phases only)
+};
+
+} // namespace ticsim::telemetry
+
+#endif // TICSIM_TELEMETRY_PHASE_HPP

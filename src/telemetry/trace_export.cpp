@@ -1,0 +1,129 @@
+#include "trace_export.hpp"
+
+#include "support/json.hpp"
+#include "telemetry/phase.hpp"
+
+namespace ticsim::telemetry {
+
+namespace {
+
+constexpr int kTidExec = 1;
+constexpr int kTidPower = 2;
+
+double
+toUs(TimeNs ns)
+{
+    return static_cast<double>(ns) / 1e3;
+}
+
+void
+metaEvent(JsonWriter &w, const char *name, int pid, int tid,
+          const std::string &label)
+{
+    w.beginObject()
+        .member("name", name)
+        .member("ph", "M")
+        .member("pid", pid)
+        .member("tid", tid)
+        .key("args")
+        .beginObject()
+        .member("name", label)
+        .endObject()
+        .endObject();
+}
+
+void
+instant(JsonWriter &w, const std::string &name, int pid, int tid,
+        TimeNs at)
+{
+    w.beginObject()
+        .member("name", name)
+        .member("ph", "i")
+        .member("s", "t")
+        .member("ts", toUs(at))
+        .member("pid", pid)
+        .member("tid", tid)
+        .endObject();
+}
+
+void
+slice(JsonWriter &w, const std::string &name, int pid, int tid,
+      TimeNs at, TimeNs durNs)
+{
+    w.beginObject()
+        .member("name", name)
+        .member("ph", "X")
+        .member("ts", toUs(at))
+        .member("dur", toUs(durNs))
+        .member("pid", pid)
+        .member("tid", tid)
+        .endObject();
+}
+
+void
+writeProcess(JsonWriter &w, const TraceProcess &proc, int pid)
+{
+    metaEvent(w, "process_name", pid, kTidExec, "ticsim: " + proc.name);
+    metaEvent(w, "thread_name", pid, kTidExec, "execution");
+    metaEvent(w, "thread_name", pid, kTidPower, "power");
+
+    for (const Event &ev : proc.events) {
+        switch (ev.kind) {
+          case EventKind::PhaseSlice:
+            slice(w, phaseName(static_cast<Phase>(ev.arg0)), pid,
+                  kTidExec, ev.at, ev.arg1);
+            break;
+          case EventKind::Outage:
+            slice(w, "power off", pid, kTidPower, ev.at, ev.arg1);
+            break;
+          case EventKind::BrownOut:
+          case EventKind::SupplyState:
+            instant(w, eventName(ev.kind), pid, kTidPower, ev.at);
+            break;
+          case EventKind::RadioSend:
+            instant(w, std::string(eventName(ev.kind)) + " " +
+                           std::to_string(ev.arg0) + "B",
+                    pid, kTidExec, ev.at);
+            break;
+          default:
+            instant(w, eventName(ev.kind), pid, kTidExec, ev.at);
+            break;
+        }
+    }
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os,
+                 const std::vector<TraceProcess> &processes)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.member("displayTimeUnit", "ms");
+    std::uint64_t dropped = 0;
+    for (const TraceProcess &p : processes)
+        dropped += p.dropped;
+    if (dropped > 0) {
+        w.key("otherData")
+            .beginObject()
+            .member("dropped_events", dropped)
+            .endObject();
+    }
+    w.key("traceEvents").beginArray();
+    int pid = 1;
+    for (const TraceProcess &p : processes)
+        writeProcess(w, p, pid++);
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+void
+writeChromeTrace(std::ostream &os, const std::vector<Event> &events,
+                 const std::string &processName, std::uint64_t dropped)
+{
+    writeChromeTrace(os, {TraceProcess{processName, events, dropped}});
+}
+
+} // namespace ticsim::telemetry

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Chrome trace_event export of the telemetry timeline.
+ *
+ * Serializes an EventRing snapshot into the Chrome Trace Event JSON
+ * format (the JSON Array Format with a "traceEvents" wrapper), so any
+ * run opens directly in Perfetto (ui.perfetto.dev) or
+ * chrome://tracing as a power/execution timeline:
+ *
+ *  - tid 1 "execution": coarse phase slices (checkpoint / restore /
+ *    rollback / boot) as complete ("X") events, plus instantaneous
+ *    markers for checkpoint commits, violations and radio sends;
+ *  - tid 2 "power": off intervals as "power off" slices — the gaps
+ *    between them are exactly the device's powered lifetimes.
+ *
+ * Timestamps are virtual time (ts in microseconds, as the format
+ * requires); trimming the event list never breaks rendering because
+ * only self-contained "X"/"i" events are emitted (no B/E pairing).
+ */
+
+#ifndef TICSIM_TELEMETRY_TRACE_EXPORT_HPP
+#define TICSIM_TELEMETRY_TRACE_EXPORT_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "telemetry/events.hpp"
+
+namespace ticsim::telemetry {
+
+/**
+ * Write @p events as Chrome trace_event JSON. @p processName labels
+ * the trace's process row (typically the bench + run label);
+ * @p dropped is reported as trace metadata when nonzero.
+ */
+void writeChromeTrace(std::ostream &os, const std::vector<Event> &events,
+                      const std::string &processName,
+                      std::uint64_t dropped = 0);
+
+/** One board's timeline in a multi-run trace. */
+struct TraceProcess {
+    std::string name;          ///< run label (becomes the process row)
+    std::vector<Event> events; ///< oldest first (EventRing::snapshot)
+    std::uint64_t dropped = 0; ///< ring overwrites (EventRing::dropped)
+};
+
+/**
+ * Write several runs into one trace, each as its own process row so a
+ * whole bench binary's runs land side by side in Perfetto.
+ */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<TraceProcess> &processes);
+
+} // namespace ticsim::telemetry
+
+#endif // TICSIM_TELEMETRY_TRACE_EXPORT_HPP

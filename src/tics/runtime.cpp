@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "support/logging.hpp"
+#include "telemetry/phase.hpp"
 
 namespace ticsim::tics {
 
@@ -50,8 +51,11 @@ TicsRuntime::onPowerOn()
 {
     auto &b = *board_;
     const auto &costs = b.costs();
-    if (!b.chargeSys(costs.bootInit))
-        return false;
+    {
+        telemetry::PhaseScope boot(b.profiler(), telemetry::Phase::Boot);
+        if (!b.chargeSys(costs.bootInit))
+            return false;
+    }
 
     // Volatile runtime state is rebuilt from scratch on every boot.
     atomicDepth_ = 0;
@@ -75,12 +79,17 @@ TicsRuntime::onPowerOn()
     rollbackCost += static_cast<Cycles>(
         costs.rollbackPerByte *
         static_cast<double>(undoLog_->bytesSince(0)));
-    if (!b.chargeSys(rollbackCost))
-        return false; // died mid-rollback; the log survives for retry
+    {
+        telemetry::PhaseScope rb(b.profiler(),
+                                 telemetry::Phase::Rollback);
+        if (!b.chargeSys(rollbackCost))
+            return false; // died mid-rollback; the log survives for retry
+    }
     const auto applied = undoLog_->rollback();
     if (applied > 0) {
         stats_.distribution("rollbackCyclesPerEntry")
             .sample(static_cast<double>(rollbackCost) / applied);
+        b.events().emit(telemetry::EventKind::Rollback, b.now(), applied);
     }
     stats_.counter("rollbackEntries") += applied;
     undoLog_->clear();
@@ -97,6 +106,8 @@ TicsRuntime::onPowerOn()
 
     // 2. Restore the working-stack segment (modeled cost) via the host
     //    live-stack image (exact mechanics).
+    telemetry::PhaseScope restore(b.profiler(),
+                                  telemetry::Phase::Restore);
     const Cycles restoreCost = device::CostModel::linear(
         costs.restoreLogic, costs.restorePerByte, cfg_.segmentBytes);
     stats_.distribution("restoreCycles")
@@ -107,6 +118,7 @@ TicsRuntime::onPowerOn()
     seg_ = slot->seg;
     lastCkptTrue_ = b.now();
     ++stats_.counter("restores");
+    b.events().emit(telemetry::EventKind::Restore, b.now());
     b.ctx().prepareResume(slot->regs);
     return true;
 }
@@ -124,6 +136,7 @@ TicsRuntime::doCheckpoint(CkptCause cause)
 {
     auto &b = *board_;
     const auto &costs = b.costs();
+    telemetry::PhaseScope ps(b.profiler(), telemetry::Phase::Checkpoint);
 
     // Charge before mutating anything: if the supply dies here, the
     // context is abandoned and the previously committed slot remains
@@ -152,6 +165,8 @@ TicsRuntime::doCheckpoint(CkptCause cause)
     lastCkptTrue_ = b.now();
     deferredCheckpoint_ = false;
     noteCheckpoint(cause);
+    b.events().emit(telemetry::EventKind::CheckpointCommit, b.now(),
+                    static_cast<std::uint64_t>(cause));
     b.markProgress();
     if (postCommitHook_ && !inPostCommitHook_) {
         inPostCommitHook_ = true;
@@ -266,7 +281,10 @@ TicsRuntime::preWrite(void *hostAddr, std::uint32_t bytes)
     const auto &costs = b.costs();
 
     // Classify the target: working-stack writes need no versioning
-    // (the segment checkpoint covers them).
+    // (the segment checkpoint covers them). The whole write barrier —
+    // classification, dedup lookup and the log append — is undo-log
+    // machinery for attribution purposes.
+    telemetry::PhaseScope ps(b.profiler(), telemetry::Phase::UndoLog);
     b.charge(costs.ptrCheck);
     if (b.ctx().onStack(hostAddr))
         return;
@@ -343,6 +361,8 @@ void
 TicsRuntime::expiresRollback()
 {
     const auto &costs = board_->costs();
+    telemetry::PhaseScope ps(board_->profiler(),
+                             telemetry::Phase::Rollback);
     Cycles cost = 0;
     for (std::uint32_t i = 0; i < expiresLog_->entryCount(); ++i)
         cost += costs.rollbackBase;
@@ -365,6 +385,8 @@ TicsRuntime::endExpires()
 void
 TicsRuntime::chargeTimestampWrite()
 {
+    telemetry::PhaseScope ps(board_->profiler(),
+                             telemetry::Phase::Timekeeper);
     board_->charge(board_->costs().timestampWrite);
 }
 

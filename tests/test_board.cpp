@@ -232,6 +232,57 @@ TEST(ViolationMonitor, ExpirationAges)
     EXPECT_EQ(m.counts(ViolationKind::Expiration).potential, 3u);
 }
 
+TEST(ViolationMonitor, PoisonedBranchNeverRecounts)
+{
+    // Once both arms of one logical evaluation have been observed the
+    // instance is poisoned: any further arm reports — same arm, other
+    // arm, repeated flips — must not add observations.
+    ViolationMonitor m;
+    m.branchArm("b", 1, 0);
+    m.branchArm("b", 1, 1);
+    EXPECT_EQ(m.counts(ViolationKind::TimelyBranch).observed, 1u);
+    m.branchArm("b", 1, 1);
+    m.branchArm("b", 1, 0);
+    m.branchArm("b", 1, 1);
+    EXPECT_EQ(m.counts(ViolationKind::TimelyBranch).observed, 1u);
+    // A different branch id with the same instance number is distinct.
+    m.branchArm("c", 1, 0);
+    m.branchArm("c", 1, 1);
+    EXPECT_EQ(m.counts(ViolationKind::TimelyBranch).observed, 2u);
+    EXPECT_EQ(m.counts(ViolationKind::TimelyBranch).potential, 7u);
+}
+
+TEST(ViolationMonitor, MisalignmentExactlyAtToleranceIsFine)
+{
+    // The boundary is strict: |ts - truth| > tolerance violates,
+    // equality does not (in either direction).
+    ViolationMonitor m;
+    m.dataSampled("d", 1, 1000);
+    m.timestampAssigned("d", 1, 1010, 10); // late by exactly tolerance
+    m.timestampAssigned("d", 1, 990, 10);  // early by exactly tolerance
+    EXPECT_EQ(m.counts(ViolationKind::Misalignment).observed, 0u);
+    m.timestampAssigned("d", 1, 1011, 10); // one ns over
+    EXPECT_EQ(m.counts(ViolationKind::Misalignment).observed, 1u);
+    m.timestampAssigned("d", 1, 989, 10); // one ns under
+    EXPECT_EQ(m.counts(ViolationKind::Misalignment).observed, 2u);
+    EXPECT_EQ(m.counts(ViolationKind::Misalignment).potential, 4u);
+}
+
+TEST(ViolationMonitor, ExpirationExactlyAtLifetimeIsFine)
+{
+    ViolationMonitor m;
+    m.dataSampled("d", 1, 500);
+    m.dataConsumed("d", 1, 100, 600); // age == lifetime: still fresh
+    EXPECT_EQ(m.counts(ViolationKind::Expiration).observed, 0u);
+    m.dataConsumed("d", 1, 100, 601); // one ns past
+    EXPECT_EQ(m.counts(ViolationKind::Expiration).observed, 1u);
+    // Consumption timestamped before acquisition (clock skew after a
+    // reboot) clamps age to zero rather than underflowing.
+    m.dataConsumed("d", 1, 100, 400);
+    EXPECT_EQ(m.counts(ViolationKind::Expiration).observed, 1u);
+    EXPECT_EQ(m.counts(ViolationKind::Expiration).potential, 3u);
+}
+
 TEST(ViolationMonitor, ResetClearsEverything)
 {
     ViolationMonitor m;

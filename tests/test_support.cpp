@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "harness/effort.hpp"
@@ -123,6 +124,76 @@ TEST(Distribution, TracksMoments)
     EXPECT_NEAR(d.stddev(), 2.0, 1e-9);
     d.reset();
     EXPECT_EQ(d.count(), 0u);
+}
+
+TEST(Distribution, StddevStableAtNsScale)
+{
+    // Regression: virtual-time samples sit near 1e15 ns with a small
+    // spread. The naive (sumSq - sum^2/n)/(n-1) formulation cancels
+    // catastrophically there (sumSq ~ 1e31 vs spread^2 ~ 1e6) and
+    // returned 0 or NaN; Welford's update keeps full precision.
+    Distribution d;
+    const double base = 1.0e15; // ~11.5 days in ns
+    for (const double off : {-300.0, -100.0, 100.0, 300.0})
+        d.sample(base + off);
+    EXPECT_DOUBLE_EQ(d.mean(), base);
+    // Exact sample stddev of {-300,-100,100,300} is sqrt(200000/3)*... :
+    // variance = (90000+10000+10000+90000)/3 = 200000/3.
+    EXPECT_NEAR(d.stddev(), std::sqrt(200000.0 / 3.0), 1e-3);
+}
+
+TEST(Distribution, StddevLargeCountNsScale)
+{
+    Distribution d;
+    const double base = 5.0e14;
+    for (int i = 0; i < 10000; ++i)
+        d.sample(base + (i % 2 ? 1000.0 : -1000.0));
+    EXPECT_NEAR(d.mean(), base, 1.0);
+    EXPECT_NEAR(d.stddev(), 1000.0, 1.0);
+}
+
+TEST(Distribution, PercentilesOnKnownData)
+{
+    Distribution d;
+    for (int i = 1; i <= 100; ++i)
+        d.sample(static_cast<double>(i));
+    // Log-bucketed histogram: nearest-rank within a few % of exact.
+    EXPECT_NEAR(d.p50(), 50.0, 4.0);
+    EXPECT_NEAR(d.p95(), 95.0, 6.0);
+    EXPECT_NEAR(d.p99(), 99.0, 6.0);
+    // Percentiles are clamped into the observed range.
+    EXPECT_GE(d.p50(), d.min());
+    EXPECT_LE(d.p99(), d.max());
+    EXPECT_LE(d.p50(), d.p95());
+    EXPECT_LE(d.p95(), d.p99());
+}
+
+TEST(Distribution, PercentilesHeavyTail)
+{
+    // 99 fast samples and one huge outlier: p50/p95 must ignore the
+    // tail, p99 (nearest-rank over 100 samples) lands on rank 99.
+    Distribution d;
+    for (int i = 0; i < 99; ++i)
+        d.sample(10.0);
+    d.sample(1.0e9);
+    EXPECT_NEAR(d.p50(), 10.0, 1.0);
+    EXPECT_NEAR(d.p95(), 10.0, 1.0);
+    EXPECT_NEAR(d.p99(), 10.0, 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 1.0e9);
+}
+
+TEST(Distribution, PercentileEdgeCases)
+{
+    Distribution empty;
+    EXPECT_EQ(empty.p50(), 0.0); // no samples: defined as zero
+    Distribution one;
+    one.sample(42.0);
+    EXPECT_DOUBLE_EQ(one.p50(), 42.0);
+    EXPECT_DOUBLE_EQ(one.p99(), 42.0);
+    Distribution zeros; // non-positive samples land in bucket 0
+    zeros.sample(0.0);
+    zeros.sample(-5.0);
+    EXPECT_LE(zeros.p50(), 0.0);
 }
 
 TEST(StatGroup, CountersAndLookup)

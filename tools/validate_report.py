@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Validate a TICSim --json run report against run_report.schema.json.
+
+Usage: validate_report.py REPORT.json [REPORT2.json ...]
+
+Uses the `jsonschema` package when importable; otherwise falls back to
+a small structural validator covering the subset of JSON Schema the
+run-report schema actually uses (type, const, required,
+additionalProperties, items, $ref into #/definitions, minimum,
+minLength). Either way it also checks the one semantic invariant the
+schema cannot express: phases.total == result.cycles == sum of the
+per-phase counts, for every run.
+
+Exit status: 0 when every report validates, 1 otherwise.
+"""
+
+import json
+import os
+import sys
+
+SCHEMA_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "run_report.schema.json")
+
+PHASES = ("app", "checkpoint", "restore", "undo_log", "rollback",
+          "timekeeper", "peripheral", "boot")
+
+
+def _resolve(schema, root):
+    while "$ref" in schema:
+        ref = schema["$ref"]
+        assert ref.startswith("#/"), f"only local refs supported: {ref}"
+        node = root
+        for part in ref[2:].split("/"):
+            node = node[part]
+        schema = node
+    return schema
+
+
+def _structural_validate(value, schema, root, path):
+    """Minimal draft-07 subset validator; raises ValueError on mismatch."""
+    schema = _resolve(schema, root)
+
+    if "const" in schema:
+        if value != schema["const"]:
+            raise ValueError(f"{path}: expected {schema['const']!r}, "
+                             f"got {value!r}")
+        return
+
+    t = schema.get("type")
+    if t == "object":
+        if not isinstance(value, dict):
+            raise ValueError(f"{path}: expected object, got {type(value).__name__}")
+        for req in schema.get("required", []):
+            if req not in value:
+                raise ValueError(f"{path}: missing required key '{req}'")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties", True)
+        for k, v in value.items():
+            if k in props:
+                _structural_validate(v, props[k], root, f"{path}.{k}")
+            elif isinstance(extra, dict):
+                _structural_validate(v, extra, root, f"{path}.{k}")
+            elif extra is False:
+                raise ValueError(f"{path}: unexpected key '{k}'")
+    elif t == "array":
+        if not isinstance(value, list):
+            raise ValueError(f"{path}: expected array, got {type(value).__name__}")
+        items = schema.get("items")
+        if items:
+            for i, v in enumerate(value):
+                _structural_validate(v, items, root, f"{path}[{i}]")
+    elif t == "string":
+        if not isinstance(value, str):
+            raise ValueError(f"{path}: expected string, got {type(value).__name__}")
+        if len(value) < schema.get("minLength", 0):
+            raise ValueError(f"{path}: string shorter than minLength")
+    elif t == "integer":
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ValueError(f"{path}: expected integer, got {type(value).__name__}")
+        if value < schema.get("minimum", float("-inf")):
+            raise ValueError(f"{path}: {value} below minimum")
+    elif t == "number":
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(f"{path}: expected number, got {type(value).__name__}")
+    elif t == "boolean":
+        if not isinstance(value, bool):
+            raise ValueError(f"{path}: expected boolean, got {type(value).__name__}")
+    elif t is not None:
+        raise ValueError(f"{path}: unhandled schema type {t!r}")
+
+
+def validate_schema(report, schema):
+    try:
+        import jsonschema
+        jsonschema.validate(report, schema)
+    except ImportError:
+        _structural_validate(report, schema, schema, "$")
+
+
+def validate_invariants(report):
+    """Cross-field checks the schema language cannot state."""
+    for i, run in enumerate(report.get("runs", [])):
+        phases = run["phases"]
+        total = phases["total"]
+        summed = sum(phases[p] for p in PHASES)
+        cycles = run["result"]["cycles"]
+        if summed != total:
+            raise ValueError(
+                f"runs[{i}] ({run['label']}): phase sum {summed} != "
+                f"phases.total {total}")
+        if total != cycles:
+            raise ValueError(
+                f"runs[{i}] ({run['label']}): phases.total {total} != "
+                f"result.cycles {cycles}")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(SCHEMA_PATH) as f:
+        schema = json.load(f)
+    ok = True
+    for path in argv[1:]:
+        try:
+            with open(path) as f:
+                report = json.load(f)
+            validate_schema(report, schema)
+            validate_invariants(report)
+            nruns = len(report["runs"])
+            print(f"{path}: OK ({report['bench']}, {nruns} runs)")
+        except Exception as e:  # noqa: BLE001 — report and keep going
+            print(f"{path}: FAIL: {e}", file=sys.stderr)
+            ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
