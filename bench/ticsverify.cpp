@@ -1,0 +1,280 @@
+/**
+ * @file
+ * ticsverify: the static verification CLI. Recovers a program model
+ * per (app, runtime) pair from one failure-free calibration run and
+ * statically checks energy progress, timeliness reachability, and I/O
+ * idempotency against the deployment supply — no intermittent
+ * execution required.
+ *
+ * Modes:
+ *   (default)              verify the app matrix, gate on the expected
+ *                          verdict split
+ *   --scenario nonterminating
+ *                          verify against an undersized capacitor and
+ *                          require at least one energy-progress finding
+ *   --crossval             additionally run the dynamic checker and
+ *                          require 100% coverage of its detections
+ *   --baseline PATH        fail when findings appear that the committed
+ *                          baseline does not list
+ *   --write-baseline PATH  regenerate the baseline from this run
+ *
+ * Exit status is 0 when the active gates hold, 1 otherwise — so CI can
+ * gate on it like ticscheck.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "harness/report.hpp"
+#include "support/json.hpp"
+#include "verify/crossval.hpp"
+#include "verify/verifier.hpp"
+
+using namespace ticsim;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [--period-ms N] [--on-fraction F] [--seed N]\n"
+        "          [--capacitance-uf F] [--scenario nonterminating]\n"
+        "          [--crossval] [--verbose]\n"
+        "          [--baseline PATH] [--write-baseline PATH]\n"
+        "          [--json PATH] [--trace PATH]\n"
+        "Statically verifies energy progress, timeliness, and I/O\n"
+        "idempotency over program models recovered from calibration\n"
+        "runs of the app x runtime matrix.\n",
+        argv0);
+}
+
+/** Stable identity of a finding for baseline comparison. */
+std::string
+findingKey(const verify::Finding &f)
+{
+    return f.app + "|" + f.runtime + "|" + f.analysis + "|" + f.subject;
+}
+
+/**
+ * Read the baseline's "keys" array. The baseline is machine-written
+ * JSON whose strings carry no escapes, so collecting the quoted
+ * strings between the "keys" marker and the closing bracket is exact.
+ */
+std::set<std::string>
+readBaseline(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is) {
+        std::fprintf(stderr, "ticsverify: cannot open baseline '%s'\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    std::stringstream ss;
+    ss << is.rdbuf();
+    const std::string text = ss.str();
+
+    std::set<std::string> keys;
+    const std::size_t marker = text.find("\"keys\"");
+    if (marker == std::string::npos)
+        return keys;
+    std::size_t pos = text.find('[', marker);
+    const std::size_t end = text.find(']', marker);
+    if (pos == std::string::npos || end == std::string::npos)
+        return keys;
+    while (true) {
+        const std::size_t open = text.find('"', pos);
+        if (open == std::string::npos || open > end)
+            break;
+        const std::size_t close = text.find('"', open + 1);
+        if (close == std::string::npos || close > end)
+            break;
+        keys.insert(text.substr(open + 1, close - open - 1));
+        pos = close + 1;
+    }
+    return keys;
+}
+
+void
+writeBaseline(const std::string &path,
+              const std::vector<verify::Finding> &findings)
+{
+    std::set<std::string> keys;
+    for (const auto &f : findings)
+        keys.insert(findingKey(f));
+
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "ticsverify: cannot write baseline '%s'\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    JsonWriter w(os);
+    w.beginObject();
+    w.member("schema", "ticsim.verify_baseline");
+    w.member("version", 1);
+    w.key("keys").beginArray();
+    for (const auto &k : keys)
+        w.value(k);
+    w.endArray();
+    w.endObject();
+    os << '\n';
+    std::printf("ticsverify: wrote baseline (%zu findings) to %s\n",
+                keys.size(), path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Strips --json/--trace before our own argument loop.
+    harness::BenchSession session("ticsverify", argc, argv);
+    verify::VerifyConfig cfg;
+    bool verbose = false;
+    bool crossval = false;
+    bool nonterminating = false;
+    std::string baselinePath;
+    std::string writeBaselinePath;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--period-ms") == 0) {
+            cfg.patternPeriod =
+                static_cast<TimeNs>(std::atoll(next())) * kNsPerMs;
+        } else if (std::strcmp(arg, "--on-fraction") == 0) {
+            cfg.patternOnFraction = std::atof(next());
+        } else if (std::strcmp(arg, "--seed") == 0) {
+            cfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
+        } else if (std::strcmp(arg, "--capacitance-uf") == 0) {
+            cfg.capacitanceF = std::atof(next()) * 1e-6;
+        } else if (std::strcmp(arg, "--scenario") == 0) {
+            const char *s = next();
+            if (std::strcmp(s, "nonterminating") != 0) {
+                usage(argv[0]);
+                return 2;
+            }
+            nonterminating = true;
+        } else if (std::strcmp(arg, "--crossval") == 0) {
+            crossval = true;
+        } else if (std::strcmp(arg, "--verbose") == 0) {
+            verbose = true;
+        } else if (std::strcmp(arg, "--baseline") == 0) {
+            baselinePath = next();
+        } else if (std::strcmp(arg, "--write-baseline") == 0) {
+            writeBaselinePath = next();
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    // The demo scenario: a capacitor too small for any checkpoint
+    // region, which must be flagged as statically non-terminating.
+    if (nonterminating && cfg.capacitanceF <= 0.0)
+        cfg.capacitanceF = 1e-6;
+
+    const auto verdicts = verify::verifyMatrix(cfg);
+    verify::verdictTable(verdicts).print(std::cout);
+    if (verbose)
+        verify::findingTable(verdicts).print(std::cout);
+
+    const auto findings = verify::allFindings(verdicts);
+    for (const auto &f : findings) {
+        harness::ReportFinding rf;
+        rf.analysis = f.analysis;
+        rf.app = f.app;
+        rf.runtime = f.runtime;
+        rf.subject = f.subject;
+        rf.regionIndex = f.regionIndex;
+        rf.anchor = f.anchor;
+        rf.offset = f.offset;
+        rf.bytes = f.bytes;
+        rf.detail = f.detail;
+        session.addFinding(std::move(rf));
+    }
+
+    int rc = 0;
+
+    if (nonterminating) {
+        std::size_t energy = 0;
+        for (const auto &f : findings) {
+            if (f.analysis == "energy-progress")
+                ++energy;
+        }
+        if (energy == 0) {
+            std::printf("UNEXPECTED: non-terminating scenario produced "
+                        "no energy-progress finding\n");
+            rc = 1;
+        } else {
+            std::printf("ticsverify: %zu region(s) statically "
+                        "non-terminating under the %.1f uF supply\n",
+                        energy, cfg.capacitanceF * 1e6);
+        }
+    } else {
+        for (const auto &v : verdicts) {
+            if (!verify::verdictOk(v)) {
+                std::printf("UNEXPECTED: %s under %s\n", v.app.c_str(),
+                            v.runtime.c_str());
+                rc = 1;
+            }
+        }
+        if (rc == 0)
+            std::printf("ticsverify: matrix matches the expected "
+                        "verification split\n");
+    }
+
+    if (!writeBaselinePath.empty())
+        writeBaseline(writeBaselinePath, findings);
+
+    if (!baselinePath.empty()) {
+        const auto known = readBaseline(baselinePath);
+        std::size_t fresh = 0;
+        for (const auto &f : findings) {
+            if (!known.count(findingKey(f))) {
+                std::printf("NEW FINDING (not in baseline): %s\n",
+                            findingKey(f).c_str());
+                ++fresh;
+            }
+        }
+        if (fresh > 0) {
+            std::printf("ticsverify: %zu finding(s) not in baseline "
+                        "%s\n",
+                        fresh, baselinePath.c_str());
+            rc = 1;
+        } else {
+            std::printf("ticsverify: all %zu findings covered by "
+                        "baseline\n",
+                        findings.size());
+        }
+    }
+
+    if (crossval) {
+        const auto report = verify::crossValidate(cfg);
+        verify::crossValTable(report).print(std::cout);
+        std::printf("ticsverify: coverage %zu/%zu dynamic detections, "
+                    "%zu/%zu static findings confirmed\n",
+                    report.totalMatched, report.totalDynamic,
+                    report.totalConfirmed, report.totalStatic);
+        if (!report.fullCoverage()) {
+            std::printf("UNEXPECTED: dynamic detections escaped the "
+                        "static analyses\n");
+            rc = 1;
+        }
+    }
+
+    return rc;
+}

@@ -66,9 +66,15 @@ WarHazardDetector::analyze(
         const bool materialized = iv.end == IntervalEnd::PowerFailed;
         std::size_t i = 0;
         while (i < hazardBytes.size()) {
+            // Merge a contiguous run, but never across an NV-region
+            // boundary: a range straddling two regions must yield one
+            // correctly-attributed hazard per region.
+            const mem::NvRegion *runRegion =
+                ram_.regionAt(hazardBytes[i]);
             std::size_t j = i + 1;
             while (j < hazardBytes.size() &&
-                   hazardBytes[j] == hazardBytes[j - 1] + 1)
+                   hazardBytes[j] == hazardBytes[j - 1] + 1 &&
+                   ram_.regionAt(hazardBytes[j]) == runRegion)
                 ++j;
             WarHazard h;
             h.addr = hazardBytes[i];

@@ -188,6 +188,7 @@ Board::radioSend(const void *data, std::uint32_t bytes)
                                      costs().radioPerByte, bytes));
     radio_.send(now_, data, bytes);
     events_.emit(telemetry::EventKind::RadioSend, now_, bytes);
+    mem::traceSideEvent(mem::SideEventKind::PeripheralSend, "radio", bytes);
 }
 
 TimeNs
@@ -195,7 +196,10 @@ Board::deviceNow()
 {
     telemetry::PhaseScope ps(profiler_, telemetry::Phase::Timekeeper);
     charge(costs().timeRead);
-    return tk_->read(now_);
+    const TimeNs t = tk_->read(now_);
+    mem::traceSideEvent(mem::SideEventKind::TimeRead, nullptr,
+                        static_cast<std::uint64_t>(t));
+    return t;
 }
 
 } // namespace ticsim::board

@@ -134,6 +134,12 @@ BenchSession::record(const std::string &label, board::Runtime &rt,
 }
 
 void
+BenchSession::addFinding(ReportFinding finding)
+{
+    findings_.push_back(std::move(finding));
+}
+
+void
 BenchSession::finish()
 {
     if (finished_)
@@ -155,7 +161,10 @@ BenchSession::writeJson() const
     JsonWriter w(os);
     w.beginObject();
     w.member("schema", "ticsim.run_report");
-    w.member("version", kReportVersion);
+    // Documents without findings keep emitting version 1 byte-for-byte;
+    // the findings section is the only version-2 addition.
+    w.member("version", findings_.empty() ? kReportVersion
+                                          : kReportVersionFindings);
     w.member("bench", bench_);
     w.key("runs").beginArray();
     for (const RunRecord &r : runs_) {
@@ -193,6 +202,23 @@ BenchSession::writeJson() const
         w.endObject();
     }
     w.endArray();
+    if (!findings_.empty()) {
+        w.key("findings").beginArray();
+        for (const ReportFinding &f : findings_) {
+            w.beginObject();
+            w.member("analysis", f.analysis);
+            w.member("app", f.app);
+            w.member("runtime", f.runtime);
+            w.member("subject", f.subject);
+            w.member("region_index", f.regionIndex);
+            w.member("anchor", f.anchor);
+            w.member("offset", f.offset);
+            w.member("bytes", f.bytes);
+            w.member("detail", f.detail);
+            w.endObject();
+        }
+        w.endArray();
+    }
     w.endObject();
     os << '\n';
 }

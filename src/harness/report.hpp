@@ -34,6 +34,27 @@ namespace ticsim::harness {
 /** Schema version of the JSON run report. */
 constexpr int kReportVersion = 1;
 
+/** Version emitted when the report carries a `findings` section. */
+constexpr int kReportVersionFindings = 2;
+
+/**
+ * One analysis finding in the report's optional `findings` section
+ * (written by static-analysis benches like ticsverify; plain benches
+ * never emit the section, so their documents stay at version 1 and
+ * are byte-identical to before the section existed).
+ */
+struct ReportFinding {
+    std::string analysis; ///< e.g. war-possibility, energy-progress
+    std::string app;
+    std::string runtime;
+    std::string subject;  ///< NV region / timed variable / peripheral
+    std::uint64_t regionIndex = 0;
+    std::string anchor;   ///< checkpoint-region anchor
+    std::uint64_t offset = 0;
+    std::uint64_t bytes = 0;
+    std::string detail;
+};
+
 struct ReportOptions {
     std::string jsonPath;  ///< empty = no JSON report
     std::string tracePath; ///< empty = no timeline trace
@@ -73,6 +94,9 @@ class BenchSession
     void record(const std::string &label, board::Runtime &rt,
                 board::Board &b, const board::RunResult &res);
 
+    /** Attach an analysis finding; bumps the report to version 2. */
+    void addFinding(ReportFinding finding);
+
     /** Write the JSON report and trace now (idempotent). */
     void finish();
 
@@ -97,6 +121,7 @@ class BenchSession
     std::string bench_;
     ReportOptions opts_;
     std::vector<RunRecord> runs_;
+    std::vector<ReportFinding> findings_;
     bool finished_ = false;
 };
 

@@ -25,6 +25,37 @@
 namespace ticsim::mem {
 
 /**
+ * Non-memory observation points the static verifier cares about:
+ * timestamp traffic, peripheral effects, and scheduling anchors.
+ * These ride on the same sink as the NV access stream so one observer
+ * sees both in program order.
+ */
+enum class SideEventKind : std::uint8_t {
+    TimeRead,        ///< persistent-clock read (Board::deviceNow)
+    TimedAssign,     ///< timed assignment committed; id = variable
+    TimedUse,        ///< timed datum consumed; id = variable
+    TimedCheck,      ///< freshness check evaluated; id = variable
+    PeripheralSend,  ///< physical (externally visible) transmission
+    PeripheralStage, ///< message staged in NV for a guarded drain
+    IoGuardEnter,    ///< post-commit guarded-drain window opens
+    IoGuardExit,     ///< post-commit guarded-drain window closes
+    TaskDispatch,    ///< task runtime dispatching task `id`
+};
+
+/**
+ * One side event. @p id (may be null) names the subject — a timed
+ * variable, a peripheral, a task — and must outlive the sink call;
+ * sinks that keep it copy the string. u0/u1 carry kind-specific
+ * payloads (lifetime ns, payload bytes, ...).
+ */
+struct SideEvent {
+    SideEventKind kind;
+    const char *id = nullptr;
+    std::uint64_t u0 = 0;
+    std::uint64_t u1 = 0;
+};
+
+/**
  * Observer of instrumented NV traffic and consistency-interval
  * boundaries. All pointers are host addresses; implementations that
  * care about modeled addresses translate via NvRam::addrOf().
@@ -58,6 +89,13 @@ class AccessSink
      * can no longer be lost to a reboot.
      */
     virtual void commit() = 0;
+
+    /**
+     * A non-memory observation (time read, peripheral effect, task
+     * dispatch, ...). Default no-op so sinks that only care about the
+     * NV stream — the dynamic checker — ignore it for free.
+     */
+    virtual void sideEvent(const SideEvent & /*ev*/) {}
 };
 
 namespace detail {
@@ -110,6 +148,14 @@ traceCommit()
 {
     if (detail::g_sink)
         detail::g_sink->commit();
+}
+
+inline void
+traceSideEvent(SideEventKind kind, const char *id = nullptr,
+               std::uint64_t u0 = 0, std::uint64_t u1 = 0)
+{
+    if (detail::g_sink)
+        detail::g_sink->sideEvent(SideEvent{kind, id, u0, u1});
 }
 
 /** RAII sink installation for the scope of one traced Board::run. */

@@ -55,6 +55,9 @@ TaskRuntime::taskLoop()
         TICSIM_ASSERT(current_ >= 0 &&
                       current_ < static_cast<TaskId>(tasks_.size()),
                       "bad task id %d", current_);
+        mem::traceSideEvent(mem::SideEventKind::TaskDispatch,
+                            tasks_[current_].name.c_str(),
+                            static_cast<std::uint64_t>(current_));
         const TaskId dispatched = preDispatch(current_);
         if (dispatched != current_) {
             // MayFly rerouted the dispatch (e.g. expired input data);

@@ -72,6 +72,8 @@ class Expiring
         ts_ = t;
         rt_.board().monitor().timestampAssigned(id_, instance, t,
                                                 misalignTolerance);
+        mem::traceSideEvent(mem::SideEventKind::TimedAssign, id_.c_str(),
+                            static_cast<std::uint64_t>(lifetime_));
         rt_.endAtomic(/*checkpoint=*/true);
     }
 
@@ -92,6 +94,8 @@ class Expiring
     {
         rt_.board().monitor().dataConsumed(id_, instance, lifetime_,
                                            rt_.board().now());
+        mem::traceSideEvent(mem::SideEventKind::TimedUse, id_.c_str(),
+                            static_cast<std::uint64_t>(lifetime_));
         return value_.get();
     }
 
@@ -99,6 +103,8 @@ class Expiring
     bool
     fresh()
     {
+        mem::traceSideEvent(mem::SideEventKind::TimedCheck, id_.c_str(),
+                            static_cast<std::uint64_t>(lifetime_));
         if (lifetime_ == 0)
             return true;
         const TimeNs now = rt_.deviceNow();
@@ -149,6 +155,8 @@ bool
 expiresCatch(TicsRuntime &rt, Expiring<T> &var, std::uint64_t instance,
              Body &&body, Handler &&handler)
 {
+    mem::traceSideEvent(mem::SideEventKind::TimedCheck, var.id().c_str(),
+                        static_cast<std::uint64_t>(var.lifetime()));
     const TimeNs now = rt.deviceNow();
     const TimeNs ts = var.timestamp();
     const TimeNs age = now > ts ? now - ts : 0;

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "mem/trace.hpp"
 #include "support/logging.hpp"
 
 namespace ticsim::tics {
@@ -45,6 +46,8 @@ VirtualRadio::send(const void *data, std::uint32_t bytes)
     rt_.storeBytes(slot->bytes + kHdrBytes, data, bytes);
     rt_.store(&slot->len, kHdrBytes + bytes);
     rt_.store(stagedSeq_, seq);
+    mem::traceSideEvent(mem::SideEventKind::PeripheralStage, "radio",
+                        bytes, seq);
 }
 
 void
@@ -69,8 +72,12 @@ VirtualRadio::flush()
     while (*sentSeqNv_ < *stagedSeq_) {
         const std::uint32_t seq = *sentSeqNv_ + 1;
         const Slot *slot = &ring_[seq % kRingSlots];
+        mem::traceSideEvent(mem::SideEventKind::IoGuardEnter, "radio",
+                            seq);
         rt_.board().radioSend(slot->bytes, slot->len);
         rt_.store(sentSeqNv_, seq);
+        mem::traceSideEvent(mem::SideEventKind::IoGuardExit, "radio",
+                            seq);
         // Make the cursor advance durable immediately (the runtime's
         // guard keeps this checkpoint from re-entering the hook).
         // Without this, a fixed-length power window that always dies

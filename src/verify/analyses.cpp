@@ -1,0 +1,332 @@
+#include "analyses.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <set>
+
+namespace ticsim::verify {
+
+namespace {
+
+std::string
+fmt(const char *f, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, f);
+    std::vsnprintf(buf, sizeof(buf), f, ap);
+    va_end(ap);
+    return buf;
+}
+
+/** "a, b, c" of the NV regions @p r touches most, by bytes. */
+std::string
+touchedPath(const ProgramModel &m, const RegionNode &r, std::size_t k)
+{
+    std::map<std::string, std::uint64_t> bytesPer;
+    for (const auto &e : r.events) {
+        if (e.kind == analysis::AccessKind::Versioned)
+            continue;
+        bytesPer[m.regionNameAt(e.addr)] += e.bytes;
+    }
+    std::vector<std::pair<std::uint64_t, std::string>> ranked;
+    ranked.reserve(bytesPer.size());
+    for (const auto &[name, bytes] : bytesPer)
+        ranked.emplace_back(bytes, name);
+    std::sort(ranked.rbegin(), ranked.rend());
+    std::string out;
+    for (std::size_t i = 0; i < ranked.size() && i < k; ++i) {
+        if (!out.empty())
+            out += ", ";
+        out += ranked[i].second;
+    }
+    return out.empty() ? std::string("(no NV traffic)") : out;
+}
+
+} // namespace
+
+EnergyBudget
+unboundedBudget()
+{
+    EnergyBudget b;
+    b.bounded = false;
+    b.source = "continuous";
+    return b;
+}
+
+EnergyBudget
+patternBudget(TimeNs period, double onFraction,
+              const device::CostModel &costs,
+              std::uint64_t rebootLimit)
+{
+    EnergyBudget b;
+    b.bounded = true;
+    const auto onNs = static_cast<TimeNs>(
+        static_cast<double>(period) * onFraction);
+    b.windowCycles = static_cast<Cycles>(
+        onNs / std::max<TimeNs>(1, costs.cycleTimeNs()));
+    b.maxOutageNs = period - onNs;
+    b.maxOutages = rebootLimit;
+    b.source = fmt("pattern %llu ms @ %.2f",
+                   static_cast<unsigned long long>(period / kNsPerMs),
+                   onFraction);
+    return b;
+}
+
+EnergyBudget
+capacitorBudget(double capacitanceF, double vOn, double vOff,
+                TimeNs maxOffTime, const device::CostModel &costs,
+                std::uint64_t rebootLimit)
+{
+    EnergyBudget b;
+    b.bounded = true;
+    // Usable charge of one window: E = C/2 * (Von^2 - Voff^2); each
+    // active cycle costs activePower / clockHz joules.
+    const double usable =
+        0.5 * capacitanceF * (vOn * vOn - vOff * vOff);
+    const double perCycle = costs.activePower / costs.clockHz;
+    b.windowCycles = static_cast<Cycles>(usable / perCycle);
+    b.maxOutageNs = maxOffTime;
+    b.maxOutages = rebootLimit;
+    b.source = fmt("capacitor %.2f uF (%.2fV..%.2fV)",
+                   capacitanceF * 1e6, vOff, vOn);
+    return b;
+}
+
+Cycles
+reentryCycles(const ProgramModel &m, const RegionNode &r,
+              const device::CostModel &costs)
+{
+    // Re-entering an interrupted region: boot, restore the execution
+    // image (the TICS working segment, or the region's versioned set
+    // for snapshot/shadow runtimes), and undo the region's versioning
+    // traffic — the worst case is dying right before the commit, with
+    // the full calibrated log populated.
+    const std::uint32_t image =
+        m.segmentBytes > 0
+            ? m.segmentBytes
+            : static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                  r.versionedBytes, 0xFFFFFFFFull));
+    Cycles c = costs.bootInit;
+    c += device::CostModel::linear(costs.restoreLogic,
+                                   costs.restorePerByte, image);
+    c += static_cast<Cycles>(r.versionedEntries) * costs.rollbackBase;
+    c += static_cast<Cycles>(costs.rollbackPerByte *
+                             static_cast<double>(r.versionedBytes));
+    return c;
+}
+
+std::vector<Finding>
+analyzeEnergyProgress(const ProgramModel &m, const EnergyBudget &budget,
+                      const device::CostModel &costs)
+{
+    std::vector<Finding> out;
+    if (!budget.bounded)
+        return out;
+    for (const auto &r : m.regions) {
+        const Cycles reentry = reentryCycles(m, r, costs);
+        const Cycles need = reentry + r.cycles;
+        if (need <= budget.windowCycles)
+            continue;
+        Finding f;
+        f.analysis = "energy-progress";
+        f.app = m.app;
+        f.runtime = m.runtime;
+        f.subject = r.anchor;
+        f.regionIndex = r.index;
+        f.anchor = r.anchor;
+        f.detail = fmt(
+            "region needs %llu cycles (%llu work + %llu re-entry) but "
+            "one charge of %s executes only %llu; it can never "
+            "commit. Path: %s",
+            static_cast<unsigned long long>(need),
+            static_cast<unsigned long long>(r.cycles),
+            static_cast<unsigned long long>(reentry),
+            budget.source.c_str(),
+            static_cast<unsigned long long>(budget.windowCycles),
+            touchedPath(m, r, 3).c_str());
+        out.push_back(std::move(f));
+    }
+    return out;
+}
+
+std::vector<Finding>
+analyzeTimeliness(const ProgramModel &m, const EnergyBudget &budget,
+                  const device::CostModel &costs)
+{
+    std::vector<Finding> out;
+    if (!budget.bounded)
+        return out;
+
+    struct Taint {
+        std::size_t region = 0;
+        Cycles atCycle = 0;
+        bool seen = false;
+    };
+    std::map<std::string, Taint> taint; // id -> last timed assignment
+    struct Worst {
+        std::size_t sites = 0;
+        TimeNs worstAge = 0;
+        std::size_t regionIndex = 0;
+        std::string anchor;
+        TimeNs lifetime = 0;
+    };
+    std::map<std::string, Worst> flagged;
+
+    for (const auto &r : m.regions) {
+        std::set<std::string> checkedHere;
+        for (const auto &s : r.sites) {
+            switch (s.kind) {
+              case mem::SideEventKind::TimedAssign:
+                taint[s.id] = {r.index, s.atCycle, true};
+                break;
+              case mem::SideEventKind::TimedCheck:
+                checkedHere.insert(s.id);
+                break;
+              case mem::SideEventKind::TimedUse: {
+                const auto lifetime = static_cast<TimeNs>(s.u0);
+                if (lifetime == 0)
+                    break; // timestamped but never expires
+                if (checkedHere.count(s.id))
+                    break; // guarded: re-execution re-runs the check
+                const Taint &t = taint[s.id];
+                if (t.seen && t.region == r.index)
+                    break; // re-execution re-assigns fresh data
+                const TimeNs onPath = costs.cyclesToNs(
+                    t.seen ? s.atCycle - t.atCycle : s.atCycle);
+                const TimeNs worstAge =
+                    onPath + budget.worstOutageAccumulationNs();
+                if (worstAge <= lifetime)
+                    break;
+                auto &w = flagged[s.id];
+                ++w.sites;
+                if (worstAge > w.worstAge) {
+                    w.worstAge = worstAge;
+                    w.regionIndex = r.index;
+                    w.anchor = r.anchor;
+                    w.lifetime = lifetime;
+                }
+                break;
+              }
+              default:
+                break;
+            }
+        }
+    }
+
+    for (const auto &[id, w] : flagged) {
+        Finding f;
+        f.analysis = "timeliness";
+        f.app = m.app;
+        f.runtime = m.runtime;
+        f.subject = id;
+        f.regionIndex = w.regionIndex;
+        f.anchor = w.anchor;
+        f.detail = fmt(
+            "%zu unguarded use(s) of '%s': worst-case age %.1f ms "
+            "(on-path + outages under %s) exceeds the %.1f ms "
+            "expiration window with no freshness check in the "
+            "re-executable region",
+            w.sites, id.c_str(),
+            static_cast<double>(w.worstAge) / kNsPerMs,
+            budget.source.c_str(),
+            static_cast<double>(w.lifetime) / kNsPerMs);
+        out.push_back(std::move(f));
+    }
+    return out;
+}
+
+std::vector<Finding>
+analyzeIoIdempotency(const ProgramModel &m, const EnergyBudget &budget)
+{
+    std::vector<Finding> out;
+    if (!budget.bounded)
+        return out;
+
+    struct Worst {
+        std::size_t sites = 0;
+        std::size_t regionIndex = 0;
+        std::string anchor;
+    };
+    std::map<std::string, Worst> flagged;
+
+    for (const auto &r : m.regions) {
+        for (const auto &s : r.sites) {
+            if (s.kind != mem::SideEventKind::PeripheralSend)
+                continue;
+            if (s.inIoGuard)
+                continue; // staged + sequence-guarded drain: at-most-
+                          // once per committed stage
+            auto &w = flagged[s.id.empty() ? "peripheral" : s.id];
+            if (w.sites == 0) {
+                w.regionIndex = r.index;
+                w.anchor = r.anchor;
+            }
+            ++w.sites;
+        }
+    }
+
+    for (const auto &[id, w] : flagged) {
+        Finding f;
+        f.analysis = "io-idempotency";
+        f.app = m.app;
+        f.runtime = m.runtime;
+        f.subject = id;
+        f.regionIndex = w.regionIndex;
+        f.anchor = w.anchor;
+        f.detail = fmt(
+            "%zu direct %s transmission(s) inside re-executable "
+            "regions (first: %s): a rollback after the send "
+            "re-transmits with no undo-log or stage/sequence guard",
+            w.sites, id.c_str(), w.anchor.c_str());
+        out.push_back(std::move(f));
+    }
+    return out;
+}
+
+std::vector<Finding>
+analyzeWarPossibility(const ProgramModel &m, const EnergyBudget &budget)
+{
+    std::vector<Finding> out;
+    if (!budget.bounded)
+        return out;
+    for (const auto &w : m.warLatent) {
+        Finding f;
+        f.analysis = "war-possibility";
+        f.app = m.app;
+        f.runtime = m.runtime;
+        f.subject = w.region;
+        f.offset = w.offset;
+        f.bytes = w.bytes;
+        f.regionIndex = w.regionIndex;
+        f.anchor = w.regionIndex < m.regions.size()
+                       ? m.regions[w.regionIndex].anchor
+                       : "?";
+        f.detail = fmt(
+            "bytes [%u, %u) of '%s' are read then overwritten without "
+            "versioning in %s: a power failure inside the region "
+            "re-reads the new value (Surbatovich WAR condition)",
+            w.offset, w.offset + w.bytes, w.region.c_str(),
+            f.anchor.c_str());
+        out.push_back(std::move(f));
+    }
+    return out;
+}
+
+std::vector<Finding>
+analyzeAll(const ProgramModel &m, const EnergyBudget &budget,
+           const device::CostModel &costs)
+{
+    std::vector<Finding> out = analyzeEnergyProgress(m, budget, costs);
+    auto timed = analyzeTimeliness(m, budget, costs);
+    out.insert(out.end(), timed.begin(), timed.end());
+    auto io = analyzeIoIdempotency(m, budget);
+    out.insert(out.end(), io.begin(), io.end());
+    auto war = analyzeWarPossibility(m, budget);
+    out.insert(out.end(), war.begin(), war.end());
+    return out;
+}
+
+} // namespace ticsim::verify

@@ -1,0 +1,315 @@
+#include "crossval.hpp"
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "analysis/access_trace.hpp"
+#include "analysis/war_detector.hpp"
+#include "apps/ar/ar_legacy.hpp"
+#include "apps/ghm/ghm.hpp"
+#include "apps/study/study.hpp"
+#include "harness/experiment.hpp"
+#include "runtimes/plainc.hpp"
+#include "verify/demo_app.hpp"
+
+namespace ticsim::verify {
+
+namespace {
+
+/** Dynamic evidence of one (app, runtime) pattern-supply probe. */
+struct DynamicEvidence {
+    std::string app;
+    std::string runtime;
+    analysis::WarReport war;
+    std::uint64_t expirationsObserved = 0;
+    std::size_t duplicateSends = 0;
+    bool completed = false;
+};
+
+/** Count payloads the radio log carries more than once. */
+std::size_t
+countDuplicateSends(board::Board &b)
+{
+    std::map<std::vector<std::uint8_t>, std::size_t> seen;
+    for (const auto &p : b.radio().packets())
+        ++seen[p.payload];
+    std::size_t dups = 0;
+    for (const auto &[payload, n] : seen) {
+        if (n > 1)
+            dups += n - 1;
+    }
+    return dups;
+}
+
+tics::TicsConfig
+probeTicsConfig()
+{
+    tics::TicsConfig c;
+    c.segmentBytes = 256;
+    c.policy = tics::PolicyKind::Timer;
+    c.timerPeriod = 5 * kNsPerMs;
+    return c;
+}
+
+/**
+ * One intermittent probe run under the deployment reset pattern,
+ * traced with the dynamic checker's own pipeline.
+ */
+template <typename MakeRt, typename MakeApp>
+DynamicEvidence
+runProbe(const VerifyConfig &cfg, const std::string &appName,
+         TimeNs budget, const MakeRt &makeRt, const MakeApp &makeApp)
+{
+    const auto spec = harness::patternSpec(cfg.patternPeriod,
+                                           cfg.patternOnFraction);
+    auto board = harness::makeBoard(spec, cfg.seed);
+    auto rt = makeRt();
+    auto app = makeApp(*board, *rt);
+
+    std::function<void()> entry;
+    if constexpr (requires { app->main(); })
+        entry = [&app] { app->main(); };
+
+    analysis::AccessTracer tracer(*board);
+    const auto res = board->run(*rt, std::move(entry), budget);
+    tracer.finalize();
+
+    DynamicEvidence ev;
+    ev.app = appName;
+    ev.runtime = rt->name();
+    ev.war = analysis::WarHazardDetector(board->nvram())
+                 .analyze(tracer.intervals());
+    ev.expirationsObserved =
+        board->monitor()
+            .counts(board::ViolationKind::Expiration)
+            .observed;
+    ev.duplicateSends = countDuplicateSends(*board);
+    ev.completed = res.completed;
+    return ev;
+}
+
+/** [offset, offset+bytes) overlap on the same NV region. */
+bool
+rangesOverlap(const Finding &f, const std::string &region,
+              std::uint32_t offset, std::uint32_t bytes)
+{
+    return f.subject == region && offset < f.offset + f.bytes &&
+           f.offset < offset + bytes;
+}
+
+struct PairKey {
+    std::string app;
+    std::string runtime;
+    bool operator<(const PairKey &o) const
+    {
+        return app != o.app ? app < o.app : runtime < o.runtime;
+    }
+};
+
+} // namespace
+
+CrossValReport
+crossValidate(const VerifyConfig &cfg)
+{
+    // --- static side -----------------------------------------------------
+    const auto verdicts = verifyMatrix(cfg);
+    std::map<PairKey, const AppVerdict *> staticByPair;
+    for (const auto &v : verdicts)
+        staticByPair[{v.app, v.runtime}] = &v;
+
+    // --- dynamic side ----------------------------------------------------
+    analysis::CheckConfig dyn;
+    dyn.patternPeriod = cfg.patternPeriod;
+    dyn.patternOnFraction = cfg.patternOnFraction;
+    dyn.seed = cfg.seed;
+    dyn.bc = cfg.bc;
+    dyn.cuckoo = cfg.cuckoo;
+    const auto scenarios = analysis::checkMatrix(dyn);
+
+    std::vector<DynamicEvidence> probes;
+    const auto makeTics = [] {
+        return std::make_unique<tics::TicsRuntime>(probeTicsConfig());
+    };
+    const auto makePlain = [] {
+        return std::make_unique<runtimes::PlainCRuntime>();
+    };
+    const TimeNs protectedBudget = cfg.calibrationBudget;
+    const TimeNs unprotectedBudget = 3 * kNsPerSec;
+
+    const auto arLegacy = [&cfg](board::Board &b, auto &rt) {
+        return std::make_unique<apps::ArLegacyApp>(b, rt, cfg.ar);
+    };
+    const auto ghmPlain = [](board::Board &b, auto &rt) {
+        apps::GhmParams p;
+        p.rounds = 8;
+        return std::make_unique<apps::GhmPlainApp>(b, rt, p);
+    };
+
+    probes.push_back(runProbe(cfg, "AR", protectedBudget, makeTics,
+                              arLegacy));
+    probes.push_back(runProbe(cfg, "AR", unprotectedBudget, makePlain,
+                              arLegacy));
+    probes.push_back(runProbe(cfg, "GHM", protectedBudget, makeTics,
+                              ghmPlain));
+    probes.push_back(runProbe(cfg, "GHM", unprotectedBudget, makePlain,
+                              ghmPlain));
+    probes.push_back(runProbe(
+        cfg, "Study", protectedBudget, makeTics,
+        [](board::Board &b, tics::TicsRuntime &rt) {
+            return std::make_unique<apps::study::TimekeepTics>(
+                b, rt, 40 * kNsPerMs);
+        }));
+    probes.push_back(runProbe(
+        cfg, "Relay+guard", protectedBudget, makeTics,
+        [](board::Board &b, tics::TicsRuntime &rt) {
+            SensorRelayOptions o;
+            return std::make_unique<SensorRelayApp>(b, rt, o);
+        }));
+    probes.push_back(runProbe(
+        cfg, "Relay-unguard", protectedBudget, makeTics,
+        [](board::Board &b, tics::TicsRuntime &rt) {
+            SensorRelayOptions o;
+            o.checkFreshness = false;
+            o.useVirtualRadio = false;
+            return std::make_unique<SensorRelayApp>(b, rt, o);
+        }));
+
+    // --- matching --------------------------------------------------------
+    std::map<PairKey, CrossValRow> rows;
+    const auto rowFor = [&](const std::string &app,
+                            const std::string &runtime)
+        -> CrossValRow & {
+        auto &r = rows[{app, runtime}];
+        r.app = app;
+        r.runtime = runtime;
+        return r;
+    };
+    // Static findings that gathered dynamic proof, by address.
+    std::map<const Finding *, bool> confirmedMap;
+    for (const auto &[key, v] : staticByPair) {
+        for (const auto &f : v->findings)
+            confirmedMap[&f] = false;
+    }
+
+    const auto matchWar = [&](const std::string &app,
+                              const std::string &runtime,
+                              const analysis::WarReport &war) {
+        auto &row = rowFor(app, runtime);
+        const auto *v = staticByPair.count({app, runtime})
+                            ? staticByPair[{app, runtime}]
+                            : nullptr;
+        for (const auto &h : war.hazards) {
+            ++row.dynamicDetections;
+            if (!v)
+                continue;
+            const Finding *regionMatch = nullptr;
+            const Finding *exactMatch = nullptr;
+            for (const auto &f : v->findings) {
+                if (f.analysis != "war-possibility")
+                    continue;
+                if (f.subject == h.region) {
+                    regionMatch = &f;
+                    if (rangesOverlap(f, h.region, h.offset, h.bytes))
+                        exactMatch = &f;
+                }
+            }
+            if (exactMatch) {
+                ++row.matchedExact;
+                ++row.matched;
+                confirmedMap[exactMatch] = true;
+            } else if (regionMatch) {
+                ++row.matched;
+                confirmedMap[regionMatch] = true;
+            }
+        }
+    };
+
+    const auto matchKind = [&](const std::string &app,
+                               const std::string &runtime,
+                               const char *analysisKind,
+                               std::size_t detections) {
+        if (detections == 0)
+            return;
+        auto &row = rowFor(app, runtime);
+        row.dynamicDetections += detections;
+        const auto *v = staticByPair.count({app, runtime})
+                            ? staticByPair[{app, runtime}]
+                            : nullptr;
+        if (!v)
+            return;
+        for (const auto &f : v->findings) {
+            if (f.analysis == analysisKind) {
+                row.matched += detections;
+                row.matchedExact += detections;
+                confirmedMap[&f] = true;
+                return;
+            }
+        }
+    };
+
+    for (const auto &s : scenarios) {
+        matchWar(s.app, s.runtime, s.war);
+        // A plain-C subject that demonstrably cannot finish under the
+        // pattern is the dynamic face of the energy-progress finding.
+        if (!s.isProtected && !s.subject.completed)
+            matchKind(s.app, s.runtime, "energy-progress", 1);
+    }
+    for (const auto &p : probes) {
+        matchWar(p.app, p.runtime, p.war);
+        matchKind(p.app, p.runtime, "timeliness",
+                  p.expirationsObserved > 0 ? 1 : 0);
+        matchKind(p.app, p.runtime, "io-idempotency",
+                  p.duplicateSends > 0 ? 1 : 0);
+        if (p.runtime == "plain-C" && !p.completed)
+            matchKind(p.app, p.runtime, "energy-progress", 1);
+    }
+
+    // --- reduce ----------------------------------------------------------
+    CrossValReport report;
+    for (const auto &[key, v] : staticByPair) {
+        auto &row = rowFor(key.app, key.runtime);
+        row.staticFindings = v->findings.size();
+        for (const auto &f : v->findings) {
+            if (confirmedMap[&f])
+                ++row.confirmed;
+        }
+    }
+    for (auto &[key, row] : rows) {
+        report.totalDynamic += row.dynamicDetections;
+        report.totalMatched += row.matched;
+        report.totalStatic += row.staticFindings;
+        report.totalConfirmed += row.confirmed;
+        report.rows.push_back(row);
+    }
+    return report;
+}
+
+Table
+crossValTable(const CrossValReport &report)
+{
+    Table t("ticsverify: cross-validation vs dynamic ticscheck");
+    t.header({"App", "Runtime", "Dynamic", "Matched", "Exact",
+              "Static", "Confirmed", "Coverage", "FP rate"});
+    char cov[32];
+    char fp[32];
+    for (const auto &r : report.rows) {
+        std::snprintf(cov, sizeof(cov), "%.0f%%", r.coverage() * 100.0);
+        std::snprintf(fp, sizeof(fp), "%.0f%%",
+                      r.falsePositiveRate() * 100.0);
+        t.row()
+            .cell(r.app)
+            .cell(r.runtime)
+            .cell(static_cast<std::uint64_t>(r.dynamicDetections))
+            .cell(static_cast<std::uint64_t>(r.matched))
+            .cell(static_cast<std::uint64_t>(r.matchedExact))
+            .cell(static_cast<std::uint64_t>(r.staticFindings))
+            .cell(static_cast<std::uint64_t>(r.confirmed))
+            .cell(cov)
+            .cell(fp);
+    }
+    return t;
+}
+
+} // namespace ticsim::verify

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * SensorRelay: the verifier's self-test workload. A sample-process-
+ * transmit loop with two independently guardable hazards, so the
+ * cross-validation harness has ground truth in both directions:
+ *
+ *  - timeliness: the sampled reading carries an expiration window; the
+ *    guarded variant consumes it through an @expires freshness check,
+ *    the unguarded variant reads it cold after the processing delay —
+ *    statically flaggable, and dynamically observable as Expiration
+ *    violations under an intermittent supply;
+ *  - I/O idempotency: the guarded variant transmits through the
+ *    virtualized radio (NV staging + post-commit drain), the unguarded
+ *    variant calls the radio directly from mid-region code — statically
+ *    flaggable, and dynamically observable as duplicate payloads.
+ *
+ * Both variants complete and verify under a continuous calibration
+ * run, so every finding against the unguarded variant is a genuine
+ * "possible under failures", never a "broken program".
+ */
+
+#ifndef TICSIM_VERIFY_DEMO_APP_HPP
+#define TICSIM_VERIFY_DEMO_APP_HPP
+
+#include <memory>
+
+#include "board/board.hpp"
+#include "tics/annotations.hpp"
+#include "tics/io.hpp"
+#include "tics/runtime.hpp"
+
+namespace ticsim::verify {
+
+struct SensorRelayOptions {
+    bool checkFreshness = true;  ///< guard timed uses with @expires
+    bool useVirtualRadio = true; ///< guard transmissions via staging
+    std::uint32_t rounds = 12;
+    TimeNs lifetime = 15 * kNsPerMs; ///< reading expiration window
+    Cycles workCycles = 8000;        ///< processing between sample+use
+};
+
+class SensorRelayApp
+{
+  public:
+    SensorRelayApp(board::Board &b, tics::TicsRuntime &rt,
+                   SensorRelayOptions opt = {});
+
+    void main();
+    bool verify() const;
+
+    std::uint32_t used() const { return used_.get(); }
+    std::uint32_t stale() const { return stale_.get(); }
+
+  private:
+    struct Packet {
+        std::uint32_t round;
+        std::int32_t value;
+    };
+
+    board::Board &b_;
+    tics::TicsRuntime &rt_;
+    SensorRelayOptions opt_;
+    tics::Expiring<std::int32_t> reading_;
+    mem::nv<std::uint32_t> rounds_;
+    mem::nv<std::uint32_t> used_;
+    mem::nv<std::uint32_t> stale_;
+    std::unique_ptr<tics::VirtualRadio> radio_;
+};
+
+} // namespace ticsim::verify
+
+#endif // TICSIM_VERIFY_DEMO_APP_HPP

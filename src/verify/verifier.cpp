@@ -1,0 +1,372 @@
+#include "verifier.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "analysis/war_detector.hpp"
+#include "apps/ar/ar_legacy.hpp"
+#include "apps/bc/bc_chinchilla.hpp"
+#include "apps/bc/bc_task.hpp"
+#include "apps/cuckoo/cuckoo_chinchilla.hpp"
+#include "apps/cuckoo/cuckoo_legacy.hpp"
+#include "apps/cuckoo/cuckoo_task.hpp"
+#include "apps/ghm/ghm.hpp"
+#include "apps/study/study.hpp"
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "runtimes/chinchilla.hpp"
+#include "runtimes/mementos.hpp"
+#include "runtimes/plainc.hpp"
+#include "verify/demo_app.hpp"
+
+namespace ticsim::verify {
+
+namespace {
+
+tics::TicsConfig
+ticsMatrixConfig()
+{
+    // Matches the dynamic checker's matrix configuration so the
+    // cross-validation compares the same programs.
+    tics::TicsConfig c;
+    c.segmentBytes = 256;
+    c.policy = tics::PolicyKind::Timer;
+    c.timerPeriod = 5 * kNsPerMs;
+    return c;
+}
+
+/** Collapse detector hazards to deduplicated model WAR ranges. */
+void
+fillWarRanges(ProgramModel &model, const analysis::WarReport &war)
+{
+    for (const auto &h : war.hazards) {
+        bool dup = false;
+        for (const auto &w : model.warLatent) {
+            if (w.region == h.region && w.offset == h.offset &&
+                w.bytes == h.bytes) {
+                dup = true;
+                break;
+            }
+        }
+        if (!dup)
+            model.warLatent.push_back(
+                {h.region, h.offset, h.bytes, h.interval});
+    }
+}
+
+/** Count task dispatches out of the recorded side events. */
+void
+fillTaskDispatches(ProgramModel &model)
+{
+    for (const auto &r : model.regions) {
+        for (const auto &s : r.sites) {
+            if (s.kind != mem::SideEventKind::TaskDispatch)
+                continue;
+            for (auto &t : model.tasks) {
+                if (t.name == s.id) {
+                    ++t.dispatches;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/**
+ * One failure-free calibration run: fresh board + runtime + app under
+ * a continuous supply, recorded through the ModelRecorder, WAR-
+ * analyzed while the arena is still alive. @p extras lets a pair
+ * harvest runtime-specific structure (task graph, segment size).
+ */
+template <typename MakeRt, typename MakeApp, typename Extras>
+ProgramModel
+recoverModel(const VerifyConfig &cfg, const std::string &appName,
+             const MakeRt &makeRt, const MakeApp &makeApp,
+             const Extras &extras)
+{
+    auto board = harness::makeBoard(harness::continuousSpec(), cfg.seed);
+    auto rt = makeRt();
+    auto app = makeApp(*board, *rt);
+
+    std::function<void()> entry;
+    if constexpr (requires { app->main(); })
+        entry = [&app] { app->main(); };
+
+    ModelRecorder rec(*board);
+    const auto res =
+        board->run(*rt, std::move(entry), cfg.calibrationBudget);
+    rec.finalize();
+
+    // Interval view before the move below empties the recorder.
+    const auto war = analysis::WarHazardDetector(board->nvram())
+                         .analyze(rec.intervalView());
+
+    ProgramModel model = std::move(rec.model());
+    model.app = appName;
+    model.runtime = rt->name();
+    bool verified = true;
+    if constexpr (requires { app->verify(); })
+        verified = app->verify();
+    else if constexpr (requires { app->outcome(); })
+        verified = app->outcome().consistent;
+    model.calibrated = res.completed && verified;
+
+    fillWarRanges(model, war);
+    extras(*rt, model);
+    fillTaskDispatches(model);
+
+    harness::recordRun(appName + "/calibration", *rt, *board, res);
+    return model;
+}
+
+const auto kNoExtras = [](auto & /*rt*/, ProgramModel & /*m*/) {};
+
+const auto kTicsExtras = [](tics::TicsRuntime &rt, ProgramModel &m) {
+    m.segmentBytes = rt.config().segmentBytes;
+};
+
+const auto kTaskExtras = [](taskrt::TaskRuntime &rt, ProgramModel &m) {
+    for (std::size_t i = 0; i < rt.taskCount(); ++i)
+        m.tasks.push_back(
+            {rt.task(static_cast<taskrt::TaskId>(i)).name, 0});
+    m.channelCount = rt.channelCount();
+};
+
+} // namespace
+
+EnergyBudget
+deploymentBudget(const VerifyConfig &cfg,
+                 const device::CostModel &costs)
+{
+    if (cfg.capacitanceF > 0.0)
+        return capacitorBudget(cfg.capacitanceF, cfg.capVOn,
+                               cfg.capVOff, cfg.capMaxOffTime, costs,
+                               cfg.rebootLimit);
+    return patternBudget(cfg.patternPeriod, cfg.patternOnFraction,
+                         costs, cfg.rebootLimit);
+}
+
+std::vector<AppVerdict>
+verifyMatrix(const VerifyConfig &cfg)
+{
+    const device::CostModel costs{};
+    const EnergyBudget budget = deploymentBudget(cfg, costs);
+
+    const auto makeTics = [] {
+        return std::make_unique<tics::TicsRuntime>(ticsMatrixConfig());
+    };
+    const auto makeMementos = [] {
+        return std::make_unique<runtimes::MementosRuntime>();
+    };
+    const auto makeChinchilla = [] {
+        return std::make_unique<runtimes::ChinchillaRuntime>();
+    };
+    const auto makeTask = [] {
+        return std::make_unique<taskrt::TaskRuntime>();
+    };
+    const auto makePlain = [] {
+        return std::make_unique<runtimes::PlainCRuntime>();
+    };
+
+    const auto bcLegacy = [&cfg](board::Board &b, auto &rt) {
+        return std::make_unique<apps::BcLegacyApp>(b, rt, cfg.bc);
+    };
+    const auto cuckooLegacy = [&cfg](board::Board &b, auto &rt) {
+        return std::make_unique<apps::CuckooLegacyApp>(b, rt,
+                                                       cfg.cuckoo);
+    };
+    const auto arLegacy = [&cfg](board::Board &b, auto &rt) {
+        return std::make_unique<apps::ArLegacyApp>(b, rt, cfg.ar);
+    };
+    const auto ghmPlain = [](board::Board &b, auto &rt) {
+        apps::GhmParams p;
+        p.rounds = 8;
+        return std::make_unique<apps::GhmPlainApp>(b, rt, p);
+    };
+
+    std::vector<AppVerdict> out;
+    const auto add = [&](const std::string &app, bool isProtected,
+                         ProgramModel model) {
+        AppVerdict v;
+        v.app = app;
+        v.runtime = model.runtime;
+        v.isProtected = isProtected;
+        // MementOS-like has no undo log: everything written before the
+        // first checkpoint of a boot is unrecoverable, so its models
+        // legitimately carry WAR possibilities (ticscheck sees the
+        // same window as latent hazards).
+        v.expectWar = !isProtected || v.runtime == "MementOS-like";
+        v.findings = analyzeAll(model, budget, costs);
+        v.model = std::move(model);
+        out.push_back(std::move(v));
+    };
+
+    // BC and Cuckoo under every runtime (the ticscheck matrix).
+    add("BC", true,
+        recoverModel(cfg, "BC", makeTics, bcLegacy, kTicsExtras));
+    add("BC", true,
+        recoverModel(cfg, "BC", makeMementos, bcLegacy, kNoExtras));
+    add("BC", true,
+        recoverModel(
+            cfg, "BC", makeChinchilla,
+            [&cfg](board::Board &b, auto &rt) {
+                return std::make_unique<apps::BcChinchillaApp>(b, rt,
+                                                               cfg.bc);
+            },
+            kNoExtras));
+    add("BC", true,
+        recoverModel(
+            cfg, "BC", makeTask,
+            [&cfg](board::Board &b, auto &rt) {
+                return std::make_unique<apps::BcTaskApp>(b, rt, cfg.bc);
+            },
+            kTaskExtras));
+    add("BC", false,
+        recoverModel(cfg, "BC", makePlain, bcLegacy, kNoExtras));
+
+    add("Cuckoo", true,
+        recoverModel(cfg, "Cuckoo", makeTics, cuckooLegacy,
+                     kTicsExtras));
+    add("Cuckoo", true,
+        recoverModel(cfg, "Cuckoo", makeMementos, cuckooLegacy,
+                     kNoExtras));
+    add("Cuckoo", true,
+        recoverModel(
+            cfg, "Cuckoo", makeChinchilla,
+            [&cfg](board::Board &b, auto &rt) {
+                return std::make_unique<apps::CuckooChinchillaApp>(
+                    b, rt, cfg.cuckoo);
+            },
+            kNoExtras));
+    add("Cuckoo", true,
+        recoverModel(
+            cfg, "Cuckoo", makeTask,
+            [&cfg](board::Board &b, auto &rt) {
+                return std::make_unique<apps::CuckooTaskApp>(
+                    b, rt, cfg.cuckoo);
+            },
+            kTaskExtras));
+    add("Cuckoo", false,
+        recoverModel(cfg, "Cuckoo", makePlain, cuckooLegacy,
+                     kNoExtras));
+
+    // AR and GHM: the legacy apps under TICS and unprotected.
+    add("AR", true,
+        recoverModel(cfg, "AR", makeTics, arLegacy, kTicsExtras));
+    add("AR", false,
+        recoverModel(cfg, "AR", makePlain, arLegacy, kNoExtras));
+    add("GHM", true,
+        recoverModel(cfg, "GHM", makeTics, ghmPlain, kTicsExtras));
+    add("GHM", false,
+        recoverModel(cfg, "GHM", makePlain, ghmPlain, kNoExtras));
+
+    // Study: the timekeeping workload, @expires-guarded.
+    add("Study", true,
+        recoverModel(
+            cfg, "Study", makeTics,
+            [](board::Board &b, tics::TicsRuntime &rt) {
+                return std::make_unique<apps::study::TimekeepTics>(
+                    b, rt, 40 * kNsPerMs);
+            },
+            kTicsExtras));
+
+    // SensorRelay self-test: guarded twin must verify clean, the
+    // unguarded twin must earn timeliness + io findings.
+    add("Relay+guard", true,
+        recoverModel(
+            cfg, "Relay+guard", makeTics,
+            [](board::Board &b, tics::TicsRuntime &rt) {
+                SensorRelayOptions o;
+                return std::make_unique<SensorRelayApp>(b, rt, o);
+            },
+            kTicsExtras));
+    add("Relay-unguard", true,
+        recoverModel(
+            cfg, "Relay-unguard", makeTics,
+            [](board::Board &b, tics::TicsRuntime &rt) {
+                SensorRelayOptions o;
+                o.checkFreshness = false;
+                o.useVirtualRadio = false;
+                return std::make_unique<SensorRelayApp>(b, rt, o);
+            },
+            kTicsExtras));
+
+    return out;
+}
+
+bool
+verdictOk(const AppVerdict &v)
+{
+    if (!v.model.calibrated)
+        return false;
+    // Pairs without full versioning coverage (plain C, MementOS-like)
+    // must come out WAR-flagged; everything else must be WAR-clean.
+    // The energy verdict is size-dependent — a whole program that fits
+    // one charge window (AR under plain C) legitimately passes it —
+    // and guard-bypassing app findings (io/timeliness) are reported
+    // but are the app's problem, not the runtime's.
+    if (v.expectWar)
+        return v.count("war-possibility") > 0;
+    return v.count("war-possibility") == 0;
+}
+
+Table
+verdictTable(const std::vector<AppVerdict> &verdicts)
+{
+    Table t("ticsverify: static verification per (app, runtime)");
+    t.header({"App", "Runtime", "Calib", "Regions", "WorstCyc",
+              "Energy", "Timely", "IO", "WAR", "Verdict"});
+    for (const auto &v : verdicts) {
+        t.row()
+            .cell(v.app)
+            .cell(v.runtime)
+            .cell(v.model.calibrated ? "yes" : "NO")
+            .cell(static_cast<std::uint64_t>(v.model.regions.size()))
+            .cell(v.model.worstRegionCycles())
+            .cell(static_cast<std::uint64_t>(v.count("energy-progress")))
+            .cell(static_cast<std::uint64_t>(v.count("timeliness")))
+            .cell(static_cast<std::uint64_t>(v.count("io-idempotency")))
+            .cell(static_cast<std::uint64_t>(
+                v.count("war-possibility")))
+            .cell(!verdictOk(v)          ? "FAIL"
+                  : !v.isProtected       ? "unsafe (expected)"
+                  : v.expectWar          ? "flagged (known)"
+                                         : "verified");
+    }
+    return t;
+}
+
+Table
+findingTable(const std::vector<AppVerdict> &verdicts)
+{
+    Table t("ticsverify: per-finding detail");
+    t.header({"Analysis", "App", "Runtime", "Subject", "Region",
+              "Anchor", "Detail"});
+    for (const auto &v : verdicts) {
+        for (const auto &f : v.findings) {
+            std::string detail = f.detail;
+            if (detail.size() > 72)
+                detail = detail.substr(0, 69) + "...";
+            t.row()
+                .cell(f.analysis)
+                .cell(f.app)
+                .cell(f.runtime)
+                .cell(f.subject)
+                .cell(static_cast<std::uint64_t>(f.regionIndex))
+                .cell(f.anchor)
+                .cell(detail);
+        }
+    }
+    return t;
+}
+
+std::vector<Finding>
+allFindings(const std::vector<AppVerdict> &verdicts)
+{
+    std::vector<Finding> out;
+    for (const auto &v : verdicts)
+        out.insert(out.end(), v.findings.begin(), v.findings.end());
+    return out;
+}
+
+} // namespace ticsim::verify

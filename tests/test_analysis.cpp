@@ -128,6 +128,60 @@ TEST_F(DetectorFixture, PartialCoverageFlagsOnlyUncoveredBytes)
     EXPECT_EQ(report.hazards[0].bytes, 4u);
 }
 
+TEST_F(DetectorFixture, OverlappingNonIdenticalRangesFlagOverlapOnly)
+{
+    // The read and the write are different, overlapping ranges; only
+    // the intersection was read-then-written. Per-byte evaluation must
+    // flag exactly those bytes, not either access's full extent.
+    const auto report = det.analyze({interval(
+        1, IntervalEnd::PowerFailed,
+        {{AccessKind::Read, g, 4},        // [0, 4)
+         {AccessKind::Write, g + 2, 4}}   // [2, 6) -> overlap [2, 4)
+        )});
+    ASSERT_EQ(report.hazards.size(), 1u);
+    EXPECT_EQ(report.hazards[0].offset, 2u);
+    EXPECT_EQ(report.hazards[0].bytes, 2u);
+}
+
+TEST_F(DetectorFixture, StraddlingVersioningSplitsHazardRanges)
+{
+    // A wide read-then-write whose versioning covers a slice in the
+    // middle: the hazard must split into the two uncovered flanks.
+    const auto report = det.analyze({interval(
+        1, IntervalEnd::PowerFailed,
+        {{AccessKind::Read, g, 8},
+         {AccessKind::Versioned, g + 3, 2}, // [3, 5) covered
+         {AccessKind::Write, g, 8}})});
+    ASSERT_EQ(report.hazards.size(), 2u);
+    EXPECT_EQ(report.hazards[0].offset, 0u);
+    EXPECT_EQ(report.hazards[0].bytes, 3u);
+    EXPECT_EQ(report.hazards[1].offset, 5u);
+    EXPECT_EQ(report.hazards[1].bytes, 3u);
+}
+
+TEST_F(DetectorFixture, StraddlingRegionBoundarySplitsAttribution)
+{
+    // One access straddling two adjacent NV regions: the contiguous
+    // hazardous range must become one hazard per region, each with
+    // in-region offsets, instead of a single range mis-attributed to
+    // whichever region holds the first byte.
+    mem::NvRam ram2{4096};
+    const Addr a = ram2.allocate("left", 8, 8);
+    const Addr b = ram2.allocate("right", 8, 8);
+    ASSERT_EQ(b, a + 8); // adjacent by construction
+    const auto report = WarHazardDetector(ram2).analyze({interval(
+        1, IntervalEnd::PowerFailed,
+        {{AccessKind::Read, a + 6, 4},   // left[6..8) + right[0..2)
+         {AccessKind::Write, a + 6, 4}})});
+    ASSERT_EQ(report.hazards.size(), 2u);
+    EXPECT_EQ(report.hazards[0].region, "left");
+    EXPECT_EQ(report.hazards[0].offset, 6u);
+    EXPECT_EQ(report.hazards[0].bytes, 2u);
+    EXPECT_EQ(report.hazards[1].region, "right");
+    EXPECT_EQ(report.hazards[1].offset, 0u);
+    EXPECT_EQ(report.hazards[1].bytes, 2u);
+}
+
 TEST_F(DetectorFixture, CommittedIntervalHazardIsLatent)
 {
     const auto report = det.analyze(

@@ -150,6 +150,49 @@ TEST(EventRing, BoundedDropOldest)
     }
 }
 
+TEST(EventRing, MultiWrapDropAccountingStaysExact)
+{
+    // Drive the ring through several full wraps plus a remainder and
+    // check the drop counter accounts for every evicted event, not
+    // just the last wrap's worth.
+    constexpr std::size_t kCap = 3;
+    constexpr std::uint64_t kWraps = 5;
+    constexpr std::uint64_t kRemainder = 2;
+    constexpr std::uint64_t kTotal = kWraps * kCap + kRemainder; // 17
+    EventRing ring(kCap);
+    for (std::uint64_t i = 0; i < kTotal; ++i)
+        ring.emit(EventKind::Boot, i * 10, i);
+    EXPECT_EQ(ring.size(), kCap);
+    EXPECT_EQ(ring.dropped(), kTotal - kCap);
+    const auto events = ring.snapshot();
+    ASSERT_EQ(events.size(), kCap);
+    // The survivors are exactly the newest kCap, oldest-first.
+    for (std::size_t i = 0; i < kCap; ++i) {
+        EXPECT_EQ(events[i].arg0, kTotal - kCap + i);
+        EXPECT_EQ(events[i].at, (kTotal - kCap + i) * 10);
+    }
+}
+
+TEST(EventRing, DropCounterSurvivesSnapshotAndKeepsCounting)
+{
+    // snapshot() must not disturb the accounting; subsequent overflow
+    // keeps accumulating on top of the earlier drops.
+    EventRing ring(2);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        ring.emit(EventKind::Boot, i, i);
+    EXPECT_EQ(ring.dropped(), 3u);
+    (void)ring.snapshot();
+    EXPECT_EQ(ring.dropped(), 3u);
+    for (std::uint64_t i = 5; i < 9; ++i)
+        ring.emit(EventKind::Boot, i, i);
+    EXPECT_EQ(ring.size(), 2u);
+    EXPECT_EQ(ring.dropped(), 7u);
+    const auto events = ring.snapshot();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].arg0, 7u);
+    EXPECT_EQ(events[1].arg0, 8u);
+}
+
 TEST(EventRing, ClearResets)
 {
     EventRing ring(8);

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Tests for the static verification subsystem (ticsverify): energy
+ * budget arithmetic, the three analyses on hand-built models, program
+ * model recovery from calibration runs, the full-matrix verdict split,
+ * and the cross-validation soundness gate against the dynamic checker.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/war_detector.hpp"
+#include "apps/bc/bc_legacy.hpp"
+#include "harness/experiment.hpp"
+#include "runtimes/plainc.hpp"
+#include "tics/runtime.hpp"
+#include "verify/crossval.hpp"
+#include "verify/demo_app.hpp"
+#include "verify/model.hpp"
+#include "verify/verifier.hpp"
+
+using namespace ticsim;
+using namespace ticsim::verify;
+
+namespace {
+
+const device::CostModel kCosts{};
+
+tics::TicsConfig
+testTicsConfig()
+{
+    tics::TicsConfig c;
+    c.segmentBytes = 256;
+    c.policy = tics::PolicyKind::Timer;
+    c.timerPeriod = 5 * kNsPerMs;
+    return c;
+}
+
+/** A minimal one-region model for the synthetic analysis tests. */
+ProgramModel
+syntheticModel(Cycles regionCycles)
+{
+    ProgramModel m;
+    m.app = "synthetic";
+    m.runtime = "test";
+    m.calibrated = true;
+    RegionNode r;
+    r.index = 0;
+    r.anchor = "region#0";
+    r.cycles = regionCycles;
+    m.regions.push_back(std::move(r));
+    return m;
+}
+
+} // namespace
+
+// ---- energy budgets --------------------------------------------------------
+
+TEST(EnergyBudget, PatternBudgetCycleArithmetic)
+{
+    const auto b = patternBudget(30 * kNsPerMs, 0.6, kCosts, 300);
+    EXPECT_TRUE(b.bounded);
+    // 18 ms on at 1 MHz.
+    EXPECT_EQ(b.windowCycles, 18000u);
+    EXPECT_EQ(b.maxOutageNs, 12 * kNsPerMs);
+    EXPECT_EQ(b.maxOutages, 300u);
+    EXPECT_EQ(b.worstOutageAccumulationNs(), 300 * 12 * kNsPerMs);
+}
+
+TEST(EnergyBudget, CapacitorBudgetFromUsableCharge)
+{
+    // E = C/2 (3.0^2 - 1.8^2) = C/2 * 5.76; per-cycle 0.75 nJ @ 1 MHz.
+    const auto big = capacitorBudget(10e-6, 3.0, 1.8,
+                                     3600 * kNsPerSec, kCosts, 300);
+    EXPECT_EQ(big.windowCycles, 38400u);
+    const auto small = capacitorBudget(1e-6, 3.0, 1.8,
+                                       3600 * kNsPerSec, kCosts, 300);
+    EXPECT_EQ(small.windowCycles, 3840u);
+}
+
+TEST(EnergyBudget, UnboundedBudgetDisablesAllAnalyses)
+{
+    auto m = syntheticModel(1'000'000'000);
+    m.warLatent.push_back({"glob", 0, 4, 0});
+    const auto findings = analyzeAll(m, unboundedBudget(), kCosts);
+    EXPECT_TRUE(findings.empty());
+}
+
+// ---- energy-progress on synthetic models -----------------------------------
+
+TEST(EnergyProgress, RegionWithinOneChargeIsClean)
+{
+    const auto m = syntheticModel(10000);
+    const auto b = patternBudget(30 * kNsPerMs, 0.6, kCosts, 300);
+    // re-entry = boot 150 + restore 273 (+0 image, no versioning).
+    EXPECT_EQ(reentryCycles(m, m.regions[0], kCosts), 423u);
+    EXPECT_TRUE(analyzeEnergyProgress(m, b, kCosts).empty());
+}
+
+TEST(EnergyProgress, OversizedRegionIsStaticallyNonTerminating)
+{
+    const auto m = syntheticModel(20000); // 20423 > 18000
+    const auto b = patternBudget(30 * kNsPerMs, 0.6, kCosts, 300);
+    const auto findings = analyzeEnergyProgress(m, b, kCosts);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].analysis, "energy-progress");
+    EXPECT_EQ(findings[0].anchor, "region#0");
+    EXPECT_NE(findings[0].detail.find("never"), std::string::npos);
+}
+
+TEST(EnergyProgress, ReentryCountsRollbackOfVersionedTraffic)
+{
+    auto m = syntheticModel(10000);
+    m.regions[0].versionedEntries = 10;
+    m.regions[0].versionedBytes = 100;
+    // + 10*230 rollback + 100*1.0 per-byte + restore image of the
+    // versioned set (273 + 1.53*100 = 426).
+    EXPECT_EQ(reentryCycles(m, m.regions[0], kCosts),
+              150u + 426u + 2300u + 100u);
+}
+
+// ---- timeliness on synthetic models ----------------------------------------
+
+namespace {
+
+SiteEvent
+site(mem::SideEventKind kind, const char *id, std::uint64_t u0,
+     Cycles at)
+{
+    SiteEvent s;
+    s.kind = kind;
+    s.id = id;
+    s.u0 = u0;
+    s.atCycle = at;
+    return s;
+}
+
+} // namespace
+
+TEST(Timeliness, CrossRegionUnguardedUseIsFlagged)
+{
+    auto m = syntheticModel(1000);
+    RegionNode r2;
+    r2.index = 1;
+    r2.anchor = "region#1";
+    m.regions.push_back(std::move(r2));
+    const TimeNs life = 15 * kNsPerMs;
+    m.regions[0].sites.push_back(
+        site(mem::SideEventKind::TimedAssign, "x", life, 100));
+    m.regions[1].sites.push_back(
+        site(mem::SideEventKind::TimedUse, "x", life, 9000));
+    const auto b = patternBudget(30 * kNsPerMs, 0.6, kCosts, 300);
+    const auto findings = analyzeTimeliness(m, b, kCosts);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].subject, "x");
+    EXPECT_EQ(findings[0].regionIndex, 1u);
+}
+
+TEST(Timeliness, FreshnessCheckInSameRegionGuardsTheUse)
+{
+    auto m = syntheticModel(1000);
+    RegionNode r2;
+    r2.index = 1;
+    r2.anchor = "region#1";
+    m.regions.push_back(std::move(r2));
+    const TimeNs life = 15 * kNsPerMs;
+    m.regions[0].sites.push_back(
+        site(mem::SideEventKind::TimedAssign, "x", life, 100));
+    m.regions[1].sites.push_back(
+        site(mem::SideEventKind::TimedCheck, "x", life, 8000));
+    m.regions[1].sites.push_back(
+        site(mem::SideEventKind::TimedUse, "x", life, 9000));
+    const auto b = patternBudget(30 * kNsPerMs, 0.6, kCosts, 300);
+    EXPECT_TRUE(analyzeTimeliness(m, b, kCosts).empty());
+}
+
+TEST(Timeliness, SameRegionAssignAndUseCannotGoStale)
+{
+    // Re-execution of the region re-assigns before the use, so the
+    // pair is not flaggable no matter how long the outages are.
+    auto m = syntheticModel(1000);
+    const TimeNs life = 1 * kNsPerMs;
+    m.regions[0].sites.push_back(
+        site(mem::SideEventKind::TimedAssign, "x", life, 100));
+    m.regions[0].sites.push_back(
+        site(mem::SideEventKind::TimedUse, "x", life, 900));
+    const auto b = patternBudget(30 * kNsPerMs, 0.6, kCosts, 300);
+    EXPECT_TRUE(analyzeTimeliness(m, b, kCosts).empty());
+}
+
+// ---- io-idempotency on synthetic models ------------------------------------
+
+TEST(IoIdempotency, UnguardedSendIsFlaggedGuardedDrainIsNot)
+{
+    auto m = syntheticModel(1000);
+    auto unguarded =
+        site(mem::SideEventKind::PeripheralSend, "radio", 8, 500);
+    auto guarded =
+        site(mem::SideEventKind::PeripheralSend, "radio2", 8, 600);
+    guarded.inIoGuard = true;
+    m.regions[0].sites.push_back(unguarded);
+    m.regions[0].sites.push_back(guarded);
+    const auto b = patternBudget(30 * kNsPerMs, 0.6, kCosts, 300);
+    const auto findings = analyzeIoIdempotency(m, b);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].subject, "radio");
+}
+
+// ---- model recovery --------------------------------------------------------
+
+TEST(ModelRecovery, BcUnderTicsYieldsSegmentedCleanModel)
+{
+    auto board = harness::makeBoard(harness::continuousSpec(), 11);
+    auto rt = std::make_unique<tics::TicsRuntime>(testTicsConfig());
+    apps::BcParams p;
+    auto app = std::make_unique<apps::BcLegacyApp>(*board, *rt, p);
+    ModelRecorder rec(*board);
+    const auto res =
+        board->run(*rt, [&] { app->main(); }, 600 * kNsPerSec);
+    rec.finalize();
+
+    EXPECT_TRUE(res.completed);
+    EXPECT_TRUE(app->verify());
+    const auto &m = rec.model();
+    EXPECT_GT(m.regions.size(), 2u); // periodic checkpoints cut regions
+    EXPECT_GT(m.totalCycles, 0u);
+    // TICS versions writes through its undo log: no latent WAR ranges.
+    const auto war = analysis::WarHazardDetector(board->nvram())
+                         .analyze(rec.intervalView());
+    EXPECT_TRUE(war.clean());
+}
+
+TEST(ModelRecovery, BcUnderPlainCExposesLatentWar)
+{
+    // Regression for the verifier pipeline: the interval view of a
+    // recovered plain-C model must carry the NV access stream, and the
+    // WAR detector must find the unversioned read-modify-write of the
+    // accumulator in it.
+    auto board = harness::makeBoard(harness::continuousSpec(), 11);
+    auto rt = std::make_unique<runtimes::PlainCRuntime>();
+    apps::BcParams p;
+    auto app = std::make_unique<apps::BcLegacyApp>(*board, *rt, p);
+    ModelRecorder rec(*board);
+    const auto res =
+        board->run(*rt, [&] { app->main(); }, 600 * kNsPerSec);
+    rec.finalize();
+
+    EXPECT_TRUE(res.completed);
+    const auto view = rec.intervalView();
+    ASSERT_FALSE(view.empty());
+    std::size_t events = 0;
+    for (const auto &iv : view)
+        events += iv.events.size();
+    EXPECT_GT(events, 0u);
+    const auto war =
+        analysis::WarHazardDetector(board->nvram()).analyze(view);
+    ASSERT_FALSE(war.hazards.empty());
+    EXPECT_EQ(war.hazards[0].region, "bc.totalBits");
+}
+
+TEST(ModelRecovery, SensorRelayCalibratesBothVariants)
+{
+    for (const bool guard : {true, false}) {
+        auto board = harness::makeBoard(harness::continuousSpec(), 11);
+        auto rt =
+            std::make_unique<tics::TicsRuntime>(testTicsConfig());
+        SensorRelayOptions opt;
+        opt.checkFreshness = guard;
+        opt.useVirtualRadio = guard;
+        auto app =
+            std::make_unique<SensorRelayApp>(*board, *rt, opt);
+        ModelRecorder rec(*board);
+        const auto res =
+            board->run(*rt, [&] { app->main(); }, 600 * kNsPerSec);
+        rec.finalize();
+        EXPECT_TRUE(res.completed);
+        EXPECT_TRUE(app->verify());
+    }
+}
+
+// ---- full-matrix verdicts --------------------------------------------------
+
+TEST(VerifyMatrix, DefaultConfigurationMatchesExpectedSplit)
+{
+    const auto verdicts = verifyMatrix();
+    ASSERT_FALSE(verdicts.empty());
+    for (const auto &v : verdicts)
+        EXPECT_TRUE(verdictOk(v)) << v.app << " / " << v.runtime;
+
+    const auto find = [&](const std::string &app,
+                          const std::string &rt) -> const AppVerdict & {
+        for (const auto &v : verdicts) {
+            if (v.app == app && v.runtime == rt)
+                return v;
+        }
+        ADD_FAILURE() << "missing pair " << app << "/" << rt;
+        return verdicts.front();
+    };
+
+    // Protected checkpointing runtimes come out WAR-clean.
+    EXPECT_EQ(find("BC", "TICS").count("war-possibility"), 0u);
+    EXPECT_EQ(find("Cuckoo", "Alpaca-like").count("war-possibility"),
+              0u);
+    // Plain C is WAR-flagged everywhere, energy-flagged when its one
+    // region outgrows a charge window.
+    EXPECT_GT(find("BC", "plain-C").count("war-possibility"), 0u);
+    EXPECT_GT(find("BC", "plain-C").count("energy-progress"), 0u);
+    EXPECT_GT(find("Cuckoo", "plain-C").count("energy-progress"), 0u);
+    EXPECT_GT(find("GHM", "plain-C").count("energy-progress"), 0u);
+    // MementOS-like: the pre-first-checkpoint window has no undo log.
+    EXPECT_GT(find("BC", "MementOS-like").count("war-possibility"), 0u);
+    // GHM transmits directly from mid-region code.
+    EXPECT_GT(find("GHM", "TICS").count("io-idempotency"), 0u);
+    // The self-test twins: guarded clean, unguarded flagged both ways.
+    EXPECT_EQ(find("Relay+guard", "TICS").findings.size(), 0u);
+    EXPECT_GT(find("Relay-unguard", "TICS").count("timeliness"), 0u);
+    EXPECT_GT(find("Relay-unguard", "TICS").count("io-idempotency"),
+              0u);
+}
+
+TEST(VerifyMatrix, UndersizedCapacitorFlagsNonTermination)
+{
+    VerifyConfig cfg;
+    cfg.capacitanceF = 1e-6; // 3840-cycle windows: nothing fits
+    const auto verdicts = verifyMatrix(cfg);
+    std::size_t energy = 0;
+    for (const auto &v : verdicts)
+        energy += v.count("energy-progress");
+    EXPECT_GT(energy, 0u);
+    // The verdict split itself is energy-independent and still holds.
+    for (const auto &v : verdicts)
+        EXPECT_TRUE(verdictOk(v)) << v.app << " / " << v.runtime;
+}
+
+// ---- cross-validation soundness --------------------------------------------
+
+TEST(CrossValidation, EveryDynamicDetectionIsCoveredStatically)
+{
+    const auto report = crossValidate();
+    ASSERT_FALSE(report.rows.empty());
+    EXPECT_GT(report.totalDynamic, 0u);
+    EXPECT_TRUE(report.fullCoverage())
+        << report.totalMatched << "/" << report.totalDynamic
+        << " dynamic detections matched";
+    for (const auto &row : report.rows) {
+        EXPECT_DOUBLE_EQ(row.coverage(), 1.0)
+            << row.app << " / " << row.runtime;
+    }
+    // The reverse gap exists (static over-approximates) and is
+    // reported, not failed.
+    EXPECT_GE(report.totalStatic, report.totalConfirmed);
+}

@@ -5,7 +5,7 @@ Usage: validate_report.py REPORT.json [REPORT2.json ...]
 
 Uses the `jsonschema` package when importable; otherwise falls back to
 a small structural validator covering the subset of JSON Schema the
-run-report schema actually uses (type, const, required,
+run-report schema actually uses (type, const, enum, required,
 additionalProperties, items, $ref into #/definitions, minimum,
 minLength). Either way it also checks the one semantic invariant the
 schema cannot express: phases.total == result.cycles == sum of the
@@ -44,6 +44,12 @@ def _structural_validate(value, schema, root, path):
         if value != schema["const"]:
             raise ValueError(f"{path}: expected {schema['const']!r}, "
                              f"got {value!r}")
+        return
+
+    if "enum" in schema:
+        if value not in schema["enum"]:
+            raise ValueError(f"{path}: {value!r} not one of "
+                             f"{schema['enum']!r}")
         return
 
     t = schema.get("type")
