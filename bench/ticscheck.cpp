@@ -72,6 +72,7 @@ main(int argc, char **argv)
         }
     }
 
+    session.setSeed(cfg.seed);
     const auto findings = analysis::checkMatrix(cfg);
     analysis::findingsTable(findings).print(std::cout);
     if (verbose)

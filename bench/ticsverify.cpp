@@ -187,6 +187,7 @@ main(int argc, char **argv)
     if (nonterminating && cfg.capacitanceF <= 0.0)
         cfg.capacitanceF = 1e-6;
 
+    session.setSeed(cfg.seed);
     const auto verdicts = verify::verifyMatrix(cfg);
     verify::verdictTable(verdicts).print(std::cout);
     if (verbose)

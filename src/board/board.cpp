@@ -16,7 +16,7 @@ void
 Runtime::storeBytes(void *dst, const void *src, std::uint32_t bytes)
 {
     mem::traceWrite(dst, bytes);
-    std::memcpy(dst, src, bytes);
+    mem::gatedStore(mem::StoreSite::AppGlobal, dst, src, bytes);
 }
 
 Board::Board(BoardConfig cfg, std::unique_ptr<energy::Supply> supply,
@@ -71,6 +71,14 @@ Board::charge(Cycles c)
         ctx_->exitWith(context::ExitReason::PowerFail);
     if (now_ >= endTime_)
         ctx_->exitWith(context::ExitReason::TimeLimit);
+}
+
+void
+Board::forcePowerFail()
+{
+    if (ctx_->inside())
+        ctx_->exitWith(context::ExitReason::PowerFail);
+    sysDied_ = true;
 }
 
 bool

@@ -120,6 +120,16 @@ class Board
     /** Whether a scheduler-side charge browned out this boot. */
     bool sysDied() const { return sysDied_; }
 
+    /**
+     * Kill the device right now, independent of the supply (fault
+     * injection: a torn NV store is the last thing that happens before
+     * the lights go out). From inside the app context this abandons
+     * the context and does not return; from the scheduler side it
+     * marks the boot dead for the run loop to observe. The caller's
+     * supply decides the off time, as for any other death.
+     */
+    void forcePowerFail();
+
     /** Runtime reports forward progress (a commit); clears the
      *  starvation counter and closes the consistency interval the
      *  analysis tracer is accumulating. */

@@ -42,10 +42,16 @@ PatternSupply::drain(TimeNs now, TimeNs dur, Watts)
     if (phase >= onTime_) {
         // Called while inside an off window (can happen when the board
         // probes right at a boundary): die immediately.
+        ++stats_.counter("deaths");
         return {true, 0};
     }
     const TimeNs remainingOn = onTime_ - phase;
-    if (dur < remainingOn)
+    // Half-open windows: a charge occupying [now, now + dur) with
+    // dur == remainingOn ends exactly on the window boundary and
+    // completes; the death lands on the next drain, which starts at
+    // the boundary. (Killing it here would lose the boundary cycle
+    // twice — once as unfinished work, once as off time.)
+    if (dur <= remainingOn)
         return {false, dur};
     ++stats_.counter("deaths");
     return {true, remainingOn};
@@ -59,6 +65,42 @@ PatternSupply::offTimeAfterDeath(TimeNs deathTime)
     const TimeNs phase = deathTime % period_;
     // Next on window begins at the next period boundary.
     return period_ - phase;
+}
+
+ScheduledSupply::ScheduledSupply(ResetPattern pattern)
+    : pattern_(std::move(pattern))
+{
+    for (std::size_t i = 1; i < pattern_.cutsAt.size(); ++i) {
+        if (pattern_.cutsAt[i] < pattern_.cutsAt[i - 1])
+            fatal("scheduled supply: cut times must be ascending");
+    }
+}
+
+DrainResult
+ScheduledSupply::drain(TimeNs now, TimeNs dur, Watts)
+{
+    if (next_ >= pattern_.cutsAt.size())
+        return {false, dur};
+    const TimeNs cut = pattern_.cutsAt[next_];
+    if (cut <= now) {
+        // The cut instant has arrived (or passed, when a previous
+        // reboot's boot/restore charges straddled it): re-entrant
+        // death, before any of this charge runs.
+        ++next_;
+        ++stats_.counter("deaths");
+        return {true, 0};
+    }
+    if (now + dur <= cut)
+        return {false, dur}; // ends at or before the cut: completes
+    ++next_;
+    ++stats_.counter("deaths");
+    return {true, cut - now};
+}
+
+TimeNs
+ScheduledSupply::offTimeAfterDeath(TimeNs)
+{
+    return pattern_.offTime;
 }
 
 HarvestingSupply::HarvestingSupply(Config cfg,

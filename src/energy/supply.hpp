@@ -15,6 +15,7 @@
 #define TICSIM_ENERGY_SUPPLY_HPP
 
 #include <memory>
+#include <vector>
 
 #include "energy/capacitor.hpp"
 #include "energy/harvester.hpp"
@@ -103,6 +104,48 @@ class PatternSupply : public Supply
   private:
     TimeNs period_;
     TimeNs onTime_;
+};
+
+/**
+ * An explicit list of power-cut instants: the exact-schedule
+ * counterpart of PatternSupply's periodic resets. Fault-injection
+ * campaigns express every minimized failure schedule as one of these,
+ * and ScheduledSupply replays it deterministically.
+ */
+struct ResetPattern {
+    /** Absolute virtual times at which power is cut, ascending. Each
+     *  cut fires once; after the last one the supply is continuous. */
+    std::vector<TimeNs> cutsAt;
+    /** Off time after every cut (power returns immediately at 0). */
+    TimeNs offTime = kNsPerMs;
+};
+
+/**
+ * Replays a ResetPattern: power fails exactly at each listed instant
+ * and returns offTime later. Interval semantics are half-open like
+ * PatternSupply's — a charge ending exactly at a cut completes, and
+ * the death lands on the next drain (ranFor 0). Cuts that are already
+ * in the past when probed (e.g. a second cut arriving while boot /
+ * restore work of the previous reboot is still charging — re-entrant
+ * death) also kill immediately.
+ */
+class ScheduledSupply : public Supply
+{
+  public:
+    explicit ScheduledSupply(ResetPattern pattern);
+
+    DrainResult drain(TimeNs now, TimeNs dur, Watts load) override;
+    TimeNs offTimeAfterDeath(TimeNs deathTime) override;
+    void reset() override { next_ = 0; }
+    bool intermittent() const override { return !pattern_.cutsAt.empty(); }
+
+    /** Cuts consumed so far (== deaths this supply forced). */
+    std::size_t cutsFired() const { return next_; }
+    const ResetPattern &pattern() const { return pattern_; }
+
+  private:
+    ResetPattern pattern_;
+    std::size_t next_ = 0; ///< index of the first unconsumed cut
 };
 
 /**

@@ -1,0 +1,666 @@
+#include "campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "apps/bc/bc_chinchilla.hpp"
+#include "apps/bc/bc_task.hpp"
+#include "apps/cuckoo/cuckoo_chinchilla.hpp"
+#include "apps/cuckoo/cuckoo_legacy.hpp"
+#include "apps/cuckoo/cuckoo_task.hpp"
+#include "runtimes/chinchilla.hpp"
+#include "runtimes/mementos.hpp"
+#include "runtimes/plainc.hpp"
+#include "support/rng.hpp"
+#include "tics/runtime.hpp"
+#include "timekeeper/timekeeper.hpp"
+
+namespace ticsim::fault {
+
+namespace {
+
+tics::TicsConfig
+ticsCampaignConfig()
+{
+    // Same configuration ticscheck sweeps: short timer-policy epochs so
+    // a commit boundary exists every few milliseconds of virtual time.
+    tics::TicsConfig c;
+    c.segmentBytes = 256;
+    c.policy = tics::PolicyKind::Timer;
+    c.timerPeriod = 5 * kNsPerMs;
+    return c;
+}
+
+/**
+ * One subject (or reference) execution: fresh board, fresh runtime and
+ * app from the pair's factories, a FaultedSupply over a continuous
+ * inner supply, and the injector installed as access sink + store gate
+ * for the whole run. The factories rebuild identical objects each
+ * time, so arena layouts match and the replay diff is byte-meaningful.
+ */
+PairRunOutcome
+runWithPlan(const CampaignConfig &cfg, const PairSpec &spec,
+            const FaultPlan &plan, bool observe)
+{
+    board::BoardConfig bcfg;
+    bcfg.seed = cfg.seed;
+
+    auto supply = std::make_unique<FaultedSupply>(
+        std::make_unique<energy::ContinuousSupply>(), plan.offNs);
+    if (!observe) {
+        std::vector<TimeNs> abs;
+        for (const auto &c : plan.cuts)
+            if (c.absolute)
+                abs.push_back(c.atNs);
+        std::sort(abs.begin(), abs.end());
+        supply->scheduleAbsolute(std::move(abs));
+    }
+    FaultedSupply *sup = supply.get();
+
+    board::Board board(bcfg, std::move(supply),
+                       std::make_unique<timekeeper::PerfectTimekeeper>());
+    FaultInjector inj(board, *sup, plan, observe);
+    mem::ScopedAccessSink sink(&inj);
+    mem::ScopedStoreGate gate(&inj);
+
+    PairRunOutcome out = spec.run(board, cfg.budget);
+    out.census = inj.census();
+    out.firedCuts = sup->firedAt();
+    out.injectedDeaths = sup->injectedDeaths();
+    out.tearsApplied = inj.tearsApplied();
+    out.flipsApplied = inj.flipsApplied();
+    return out;
+}
+
+struct Classification {
+    std::string kind; ///< empty = consistent
+    std::uint64_t divergentBytes = 0;
+};
+
+Classification
+classify(const PairRunOutcome &ref, const PairRunOutcome &sub)
+{
+    Classification c;
+    const auto diff = analysis::ReplayOracle::diff(ref.snap, sub.snap);
+    c.divergentBytes = diff.divergentBytes;
+    if (diff.regionMismatches > 0)
+        c.kind = "layout";
+    else if (sub.res.starved)
+        c.kind = "starved";
+    else if (!sub.res.completed)
+        c.kind = "not-completed";
+    else if (!sub.verified)
+        c.kind = "verify-failed";
+    else if (diff.divergentBytes > 0)
+        c.kind = "diverged";
+    return c;
+}
+
+/** {first, middle, last} occurrences of a counted event, deduplicated. */
+std::vector<std::uint64_t>
+probePoints(std::uint64_t count)
+{
+    std::vector<std::uint64_t> out;
+    if (count == 0)
+        return out;
+    for (std::uint64_t occ : {std::uint64_t{1}, (count + 1) / 2, count}) {
+        if (std::find(out.begin(), out.end(), occ) == out.end())
+            out.push_back(occ);
+    }
+    return out;
+}
+
+/**
+ * The systematic schedule set for one pair, derived from the reference
+ * census: single cuts at and shortly after every boundary kind's
+ * first/middle/last occurrence, a few recovery-of-recovery double
+ * cuts, torn writes at each store site's probe points in all three
+ * tear modes, and — when the runtime owns a checkpoint area — bit
+ * flips into the stale slot right after a commit. Flips are restricted
+ * to checkpoint metadata on purpose: no runtime here claims to survive
+ * spontaneous retention corruption of raw application state, so a flip
+ * into an app region would be an unfair (and uninformative) fault.
+ */
+std::vector<FaultPlan>
+systematicSchedules(const CampaignConfig &cfg, const PairSpec &spec,
+                    const EventCensus &census)
+{
+    std::vector<FaultPlan> out;
+    const TimeNs kShortDelay = 200 * kNsPerUs;
+
+    const auto blank = [&cfg] {
+        FaultPlan p;
+        p.offNs = cfg.offNs;
+        return p;
+    };
+    const auto relCut = [](Boundary b, std::uint64_t occ, TimeNs delay) {
+        PowerCut c;
+        c.absolute = false;
+        c.boundary = b;
+        c.occurrence = occ;
+        c.delayNs = delay;
+        return c;
+    };
+
+    // Single cuts around every observed boundary.
+    for (int bi = 0; bi < kBoundaryCount; ++bi) {
+        const auto b = static_cast<Boundary>(bi);
+        for (std::uint64_t occ : probePoints(census.boundary[bi])) {
+            for (TimeNs delay : {TimeNs{0}, kShortDelay}) {
+                FaultPlan p = blank();
+                p.cuts.push_back(relCut(b, occ, delay));
+                out.push_back(std::move(p));
+            }
+        }
+    }
+
+    // Recovery-of-recovery: the first cut forces a reboot; the second
+    // kills that reboot mid-restore (or right at power-on).
+    for (std::uint64_t occ :
+         probePoints(census.boundary[static_cast<int>(Boundary::CommitEnd)])) {
+        {
+            FaultPlan p = blank();
+            p.cuts.push_back(relCut(Boundary::CommitEnd, occ, 0));
+            p.cuts.push_back(relCut(Boundary::BootRestore,
+                                    census.boundary[static_cast<int>(
+                                        Boundary::BootRestore)] +
+                                        1,
+                                    0));
+            out.push_back(std::move(p));
+        }
+        {
+            FaultPlan p = blank();
+            p.cuts.push_back(relCut(Boundary::CommitEnd, occ, 0));
+            p.cuts.push_back(relCut(Boundary::Boot, 2, 0));
+            out.push_back(std::move(p));
+        }
+    }
+
+    // Torn stores at each site's probe points, all three modes.
+    for (int si = 0; si < mem::kStoreSiteCount; ++si) {
+        const auto site = static_cast<mem::StoreSite>(si);
+        const std::uint32_t maxB = census.maxStoreBytes[si];
+        for (std::uint64_t occ : probePoints(census.stores[si])) {
+            for (int m = 0; m < 3; ++m) {
+                TornWrite t;
+                t.site = site;
+                t.occurrence = occ;
+                t.mode = static_cast<TearMode>(m);
+                t.keepBytes = t.mode == TearMode::GarbageTail
+                                  ? std::min<std::uint32_t>(4, maxB / 2)
+                                  : maxB / 2;
+                FaultPlan p = blank();
+                p.tears.push_back(t);
+                out.push_back(std::move(p));
+            }
+        }
+    }
+
+    // Stale-slot retention flips: commit #occ writes generation occ
+    // into slot (occ-1)%2, so the slot left stale afterwards is occ%2.
+    // Recovery must keep preferring the fresh slot whatever happens to
+    // the stale header (generation bit, CRC bit) or stale image.
+    if (!spec.ckptPrefix.empty()) {
+        const std::uint64_t commits =
+            census.boundary[static_cast<int>(Boundary::CommitEnd)];
+        for (std::uint64_t occ : probePoints(commits)) {
+            const int stale = static_cast<int>(occ % 2);
+            const std::string hdr =
+                spec.ckptPrefix + ".hdr" + std::to_string(stale);
+            const std::string img =
+                spec.ckptPrefix + ".image" + std::to_string(stale);
+            const auto flipPlan = [&](const std::string &region,
+                                      std::uint32_t offset,
+                                      std::uint8_t mask) {
+                FaultPlan p = blank();
+                p.cuts.push_back(relCut(Boundary::CommitEnd, occ, 0));
+                BitFlip f;
+                f.outageIndex = 1;
+                f.region = region;
+                f.offset = offset;
+                f.mask = mask;
+                p.flips.push_back(std::move(f));
+                return p;
+            };
+            out.push_back(flipPlan(hdr, 4, 0x40));   // generation
+            out.push_back(flipPlan(hdr, 20, 0x10));  // stored CRC
+            out.push_back(flipPlan(img, 16, 0x01));  // stale image byte
+        }
+    }
+
+    return out;
+}
+
+/** The seeded-random band: 1-2 boundary cuts with random delays, plus
+ *  an occasional torn store. Same seed → same schedules. */
+std::vector<FaultPlan>
+randomSchedules(const CampaignConfig &cfg, const EventCensus &census,
+                Rng &rng)
+{
+    std::vector<int> liveBoundaries;
+    for (int bi = 0; bi < kBoundaryCount; ++bi)
+        if (census.boundary[bi] > 0)
+            liveBoundaries.push_back(bi);
+    std::vector<int> liveSites;
+    for (int si = 0; si < mem::kStoreSiteCount; ++si)
+        if (census.stores[si] > 0)
+            liveSites.push_back(si);
+
+    std::vector<FaultPlan> out;
+    for (std::uint32_t i = 0; i < cfg.randomSchedules; ++i) {
+        FaultPlan p;
+        p.offNs = cfg.offNs;
+        if (!liveBoundaries.empty()) {
+            const std::uint64_t nCuts = 1 + rng.below(2);
+            for (std::uint64_t j = 0; j < nCuts; ++j) {
+                const int bi = liveBoundaries[static_cast<std::size_t>(
+                    rng.below(liveBoundaries.size()))];
+                PowerCut c;
+                c.absolute = false;
+                c.boundary = static_cast<Boundary>(bi);
+                c.occurrence = 1 + rng.below(census.boundary[bi]);
+                c.delayNs =
+                    static_cast<TimeNs>(rng.below(2 * kNsPerMs + 1));
+                p.cuts.push_back(c);
+            }
+        }
+        if (!liveSites.empty() && rng.chance(0.35)) {
+            const int si = liveSites[static_cast<std::size_t>(
+                rng.below(liveSites.size()))];
+            TornWrite t;
+            t.site = static_cast<mem::StoreSite>(si);
+            t.occurrence = 1 + rng.below(census.stores[si]);
+            t.mode = static_cast<TearMode>(rng.below(3));
+            t.keepBytes = static_cast<std::uint32_t>(
+                rng.below(census.maxStoreBytes[si] + 1));
+            p.tears.push_back(t);
+        }
+        if (!p.empty())
+            out.push_back(std::move(p));
+    }
+    return out;
+}
+
+/** Rebuild a plan from a subset of its atoms (shrinker granularity:
+ *  one cut, tear, or flip per atom; offNs always carried over). */
+FaultPlan
+planFromAtoms(const FaultPlan &full, const std::vector<std::size_t> &keep)
+{
+    FaultPlan p;
+    p.offNs = full.offNs;
+    for (const std::size_t idx : keep) {
+        if (idx < full.cuts.size()) {
+            p.cuts.push_back(full.cuts[idx]);
+        } else if (idx < full.cuts.size() + full.tears.size()) {
+            p.tears.push_back(full.tears[idx - full.cuts.size()]);
+        } else {
+            p.flips.push_back(
+                full.flips[idx - full.cuts.size() - full.tears.size()]);
+        }
+    }
+    return p;
+}
+
+/**
+ * ddmin over the plan's atoms, then — for cuts-only survivors — an
+ * absolutization pass: re-run the minimized plan, take the instants at
+ * which its cuts actually fired, and prefer the equivalent explicit
+ * `cut@t:` ResetPattern when it still reproduces. The result replays
+ * without any event counting.
+ */
+Violation
+shrinkViolation(const CampaignConfig &cfg, const PairSpec &spec,
+                const PairRunOutcome &ref, const FaultPlan &original,
+                const Classification &firstSeen)
+{
+    Violation v;
+    v.app = spec.app;
+    v.runtime = spec.runtime;
+    v.originalPlan = original.format();
+    v.kind = firstSeen.kind;
+    v.divergentBytes = firstSeen.divergentBytes;
+
+    const auto violates = [&](const FaultPlan &p,
+                              Classification *out = nullptr) {
+        const PairRunOutcome sub = runWithPlan(cfg, spec, p, false);
+        ++v.shrinkRuns;
+        const Classification c = classify(ref, sub);
+        if (out)
+            *out = c;
+        return !c.kind.empty();
+    };
+
+    std::vector<std::size_t> atoms(original.atomCount());
+    for (std::size_t i = 0; i < atoms.size(); ++i)
+        atoms[i] = i;
+
+    std::size_t n = 2;
+    while (atoms.size() >= 2) {
+        const std::size_t chunk = (atoms.size() + n - 1) / n;
+        bool reduced = false;
+        for (std::size_t start = 0;
+             start < atoms.size() && !reduced; start += chunk) {
+            const std::size_t end =
+                std::min(start + chunk, atoms.size());
+            std::vector<std::size_t> subset(atoms.begin() + start,
+                                            atoms.begin() + end);
+            std::vector<std::size_t> complement;
+            complement.insert(complement.end(), atoms.begin(),
+                              atoms.begin() + start);
+            complement.insert(complement.end(), atoms.begin() + end,
+                              atoms.end());
+            if (subset.size() < atoms.size() &&
+                violates(planFromAtoms(original, subset))) {
+                atoms = std::move(subset);
+                n = 2;
+                reduced = true;
+            } else if (!complement.empty() &&
+                       complement.size() < atoms.size() &&
+                       violates(planFromAtoms(original, complement))) {
+                atoms = std::move(complement);
+                n = n > 2 ? n - 1 : 2;
+                reduced = true;
+            }
+        }
+        if (!reduced) {
+            if (n >= atoms.size())
+                break;
+            n = std::min(atoms.size(), n * 2);
+        }
+    }
+
+    FaultPlan minimized = planFromAtoms(original, atoms);
+
+    if (!minimized.cuts.empty() && minimized.tears.empty() &&
+        minimized.flips.empty()) {
+        const PairRunOutcome probe =
+            runWithPlan(cfg, spec, minimized, false);
+        ++v.shrinkRuns;
+        if (!classify(ref, probe).kind.empty() &&
+            !probe.firedCuts.empty()) {
+            FaultPlan absolute;
+            absolute.offNs = minimized.offNs;
+            for (const TimeNs t : probe.firedCuts) {
+                PowerCut c;
+                c.absolute = true;
+                c.atNs = t;
+                absolute.cuts.push_back(c);
+            }
+            if (violates(absolute))
+                minimized = std::move(absolute);
+        }
+    }
+
+    // Final confirmation replay of whatever we are about to report.
+    Classification fin;
+    v.replayVerified = violates(minimized, &fin);
+    if (v.replayVerified) {
+        v.kind = fin.kind;
+        v.divergentBytes = fin.divergentBytes;
+    }
+    v.plan = minimized.format();
+    return v;
+}
+
+template <typename MakeRt, typename MakeApp>
+PairSpec
+makePairSpec(std::string app, std::string runtime, bool isProtected,
+             std::string ckptPrefix, MakeRt makeRt, MakeApp makeApp)
+{
+    PairSpec s;
+    s.app = std::move(app);
+    s.runtime = std::move(runtime);
+    s.isProtected = isProtected;
+    s.ckptPrefix = std::move(ckptPrefix);
+    s.run = [makeRt, makeApp](board::Board &b, TimeNs budget) {
+        auto rt = makeRt();
+        auto appInst = makeApp(b, *rt);
+        // Task-model apps register their entry with the runtime; the
+        // others expose a legacy main().
+        std::function<void()> entry;
+        if constexpr (requires { appInst->main(); })
+            entry = [&appInst] { appInst->main(); };
+        PairRunOutcome out;
+        out.res = b.run(*rt, std::move(entry), budget);
+        out.verified = appInst->verify();
+        out.snap = analysis::ReplayOracle::capture(
+            b.nvram(), analysis::ReplayOracle::appStateFilter());
+        return out;
+    };
+    return s;
+}
+
+} // namespace
+
+std::vector<PairSpec>
+campaignPairs(const CampaignConfig &cfg)
+{
+    const apps::BcParams bcParams = cfg.bc;
+    const apps::CuckooParams cuckooParams = cfg.cuckoo;
+
+    const auto bcLegacy = [bcParams](board::Board &b, auto &rt) {
+        return std::make_unique<apps::BcLegacyApp>(b, rt, bcParams);
+    };
+    const auto cuckooLegacy = [cuckooParams](board::Board &b, auto &rt) {
+        return std::make_unique<apps::CuckooLegacyApp>(b, rt,
+                                                       cuckooParams);
+    };
+    const auto makeTics = [] {
+        return std::make_unique<tics::TicsRuntime>(ticsCampaignConfig());
+    };
+    const auto makeMementos = [] {
+        return std::make_unique<runtimes::MementosRuntime>();
+    };
+    const auto makeChinchilla = [] {
+        return std::make_unique<runtimes::ChinchillaRuntime>();
+    };
+    const auto makeTask = [] {
+        return std::make_unique<taskrt::TaskRuntime>();
+    };
+    const auto makePlain = [] {
+        return std::make_unique<runtimes::PlainCRuntime>();
+    };
+
+    std::vector<PairSpec> out;
+    out.push_back(makePairSpec("BC", "TICS", true, "tics.ckpt",
+                               makeTics, bcLegacy));
+    out.push_back(makePairSpec("BC", "MementOS-like", true,
+                               "mementos.ckpt", makeMementos, bcLegacy));
+    out.push_back(makePairSpec(
+        "BC", "Chinchilla-like", true, "chinchilla.ckpt", makeChinchilla,
+        [bcParams](board::Board &b, auto &rt) {
+            return std::make_unique<apps::BcChinchillaApp>(b, rt,
+                                                           bcParams);
+        }));
+    out.push_back(makePairSpec(
+        "BC", "Alpaca-like", true, "", makeTask,
+        [bcParams](board::Board &b, auto &rt) {
+            return std::make_unique<apps::BcTaskApp>(b, rt, bcParams);
+        }));
+    out.push_back(makePairSpec("BC", "plain-C", false, "", makePlain,
+                               bcLegacy));
+
+    out.push_back(makePairSpec("Cuckoo", "TICS", true, "tics.ckpt",
+                               makeTics, cuckooLegacy));
+    out.push_back(makePairSpec("Cuckoo", "MementOS-like", true,
+                               "mementos.ckpt", makeMementos,
+                               cuckooLegacy));
+    out.push_back(makePairSpec(
+        "Cuckoo", "Chinchilla-like", true, "chinchilla.ckpt",
+        makeChinchilla, [cuckooParams](board::Board &b, auto &rt) {
+            return std::make_unique<apps::CuckooChinchillaApp>(
+                b, rt, cuckooParams);
+        }));
+    out.push_back(makePairSpec(
+        "Cuckoo", "Alpaca-like", true, "", makeTask,
+        [cuckooParams](board::Board &b, auto &rt) {
+            return std::make_unique<apps::CuckooTaskApp>(b, rt,
+                                                         cuckooParams);
+        }));
+    out.push_back(makePairSpec("Cuckoo", "plain-C", false, "",
+                               makePlain, cuckooLegacy));
+    return out;
+}
+
+bool
+CampaignReport::ok() const
+{
+    if (pairs.empty())
+        return false;
+    bool unprotectedExposed = false;
+    for (const auto &p : pairs) {
+        if (!p.refCompleted)
+            return false;
+        if (p.isProtected && p.violations > 0)
+            return false;
+        if (!p.isProtected && p.violations > 0)
+            unprotectedExposed = true;
+        for (const auto &v : p.found)
+            if (!v.replayVerified)
+                return false;
+    }
+    return unprotectedExposed;
+}
+
+CampaignReport
+runCampaign(const CampaignConfig &cfg)
+{
+    CampaignReport rep;
+    const auto wallStart = std::chrono::steady_clock::now();
+    const auto timeUp = [&] {
+        if (cfg.maxSeconds <= 0)
+            return false;
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - wallStart;
+        return elapsed.count() >= cfg.maxSeconds;
+    };
+
+    const auto pairs = campaignPairs(cfg);
+    for (std::size_t pi = 0; pi < pairs.size(); ++pi) {
+        const PairSpec &spec = pairs[pi];
+        PairReport pr;
+        pr.app = spec.app;
+        pr.runtime = spec.runtime;
+        pr.isProtected = spec.isProtected;
+
+        const PairRunOutcome ref =
+            runWithPlan(cfg, spec, FaultPlan{}, /*observe=*/true);
+        pr.refCompleted = ref.res.completed;
+        if (!pr.refCompleted) {
+            rep.pairs.push_back(std::move(pr));
+            continue;
+        }
+
+        Rng rng(cfg.seed ^ (0x5FA017ULL + pi * 0x9E3779B97F4A7C15ULL));
+        std::vector<FaultPlan> schedules =
+            systematicSchedules(cfg, spec, ref.census);
+        for (auto &p : randomSchedules(cfg, ref.census, rng))
+            schedules.push_back(std::move(p));
+
+        std::set<std::string> minimizedSeen;
+        for (const auto &plan : schedules) {
+            if (timeUp()) {
+                rep.truncated = true;
+                break;
+            }
+            const PairRunOutcome sub =
+                runWithPlan(cfg, spec, plan, false);
+            ++pr.schedules;
+            pr.injectedDeaths += sub.injectedDeaths;
+            pr.tearsApplied += sub.tearsApplied;
+            pr.flipsApplied += sub.flipsApplied;
+            const Classification c = classify(ref, sub);
+            if (c.kind.empty())
+                continue;
+            ++pr.violations;
+            Violation v = shrinkViolation(cfg, spec, ref, plan, c);
+            // Distinct failing schedules often shrink to the same
+            // minimal reproducer; report each reproducer once.
+            if (minimizedSeen.insert(v.plan).second)
+                pr.found.push_back(std::move(v));
+        }
+
+        rep.totalSchedules += pr.schedules;
+        rep.totalViolations += pr.violations;
+        rep.pairs.push_back(std::move(pr));
+        if (rep.truncated)
+            break;
+    }
+    return rep;
+}
+
+bool
+replayPlan(const CampaignConfig &cfg, const std::string &pairName,
+           const FaultPlan &plan, std::string &verdictOut)
+{
+    for (const auto &spec : campaignPairs(cfg)) {
+        if (spec.app + "/" + spec.runtime != pairName)
+            continue;
+        const PairRunOutcome ref =
+            runWithPlan(cfg, spec, FaultPlan{}, /*observe=*/true);
+        if (!ref.res.completed) {
+            verdictOut = "reference-incomplete";
+            return true;
+        }
+        const PairRunOutcome sub = runWithPlan(cfg, spec, plan, false);
+        const Classification c = classify(ref, sub);
+        verdictOut = c.kind.empty() ? "consistent" : c.kind;
+        return true;
+    }
+    return false;
+}
+
+Table
+campaignTable(const CampaignReport &report)
+{
+    Table t("ticsfault: fault-injection campaign per scenario");
+    t.header({"App", "Runtime", "Ref", "Schedules", "Deaths", "Tears",
+              "Flips", "Violations", "Verdict"});
+    for (const auto &p : report.pairs) {
+        const char *verdict;
+        if (!p.refCompleted)
+            verdict = "FAIL (reference)";
+        else if (p.isProtected)
+            verdict = p.violations == 0 ? "survives" : "FAIL";
+        else
+            verdict =
+                p.violations > 0 ? "unsafe (expected)" : "FAIL (no expo)";
+        t.row()
+            .cell(p.app)
+            .cell(p.runtime)
+            .cell(p.refCompleted ? "done" : "FAIL")
+            .cell(p.schedules)
+            .cell(p.injectedDeaths)
+            .cell(p.tearsApplied)
+            .cell(p.flipsApplied)
+            .cell(p.violations)
+            .cell(verdict);
+    }
+    return t;
+}
+
+Table
+violationTable(const CampaignReport &report)
+{
+    Table t("ticsfault: minimized violations");
+    t.header({"App", "Runtime", "Kind", "Div B", "Runs", "Replays",
+              "Minimized schedule"});
+    for (const auto &p : report.pairs) {
+        for (const auto &v : p.found) {
+            t.row()
+                .cell(v.app)
+                .cell(v.runtime)
+                .cell(v.kind)
+                .cell(v.divergentBytes)
+                .cell(static_cast<std::uint64_t>(v.shrinkRuns))
+                .cell(v.replayVerified ? "yes" : "NO")
+                .cell(v.plan);
+        }
+    }
+    return t;
+}
+
+} // namespace ticsim::fault

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Adversarial fault-injection campaigns over the (app, runtime) matrix
+ * (DESIGN.md Section 8).
+ *
+ * For every pair the driver first performs a failure-free reference
+ * run with the injector in observe mode, which yields both the golden
+ * final state (via the replay oracle) and a census of boundary events
+ * and gated stores. From the census it enumerates systematic schedules
+ * — cuts at and just after every commit/restore/send/boot boundary,
+ * torn writes at first/middle/last store of each site, stale-slot
+ * retention flips — plus a band of seeded-random schedules, and runs
+ * each as a subject. A violation is any subject run that fails to
+ * complete, fails the app's own verify(), or whose final application
+ * state diverges from the reference.
+ *
+ * Every violation is delta-debugged (ddmin over the plan's atoms) to a
+ * minimal reproducing schedule, re-verified by replay, and — when the
+ * minimized schedule is cuts-only — absolutized into an explicit
+ * ResetPattern of cut instants so it replays independently of event
+ * counting. The whole campaign is a pure function of its seed.
+ */
+
+#ifndef TICSIM_FAULT_CAMPAIGN_HPP
+#define TICSIM_FAULT_CAMPAIGN_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/replay_oracle.hpp"
+#include "apps/bc/bc_legacy.hpp"
+#include "apps/common/cuckoo_core.hpp"
+#include "board/board.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "support/table.hpp"
+
+namespace ticsim::fault {
+
+struct CampaignConfig {
+    std::uint64_t seed = 11;
+    /** Seeded-random schedules per pair on top of the systematic set. */
+    std::uint32_t randomSchedules = 8;
+    /** Virtual-time budget per run. Faults are finite, so every run —
+     *  including plain C restarting from scratch — eventually
+     *  completes on the continuous tail; no separate unprotected
+     *  budget is needed. */
+    TimeNs budget = 600 * kNsPerSec;
+    /** Off window after every injected death. */
+    TimeNs offNs = 12 * kNsPerMs;
+    /** Wall-clock cap in seconds; 0 = unlimited. A capped campaign
+     *  marks itself truncated (and is then not seed-reproducible). */
+    double maxSeconds = 0;
+    apps::BcParams bc{};
+    apps::CuckooParams cuckoo{};
+
+    CampaignConfig()
+    {
+        // Same scaling as ticscheck: one Cuckoo pass must span several
+        // injected outages for the unprotected split to show anything.
+        cuckoo.workScale = 16.0;
+    }
+};
+
+/** Outcome of one subject (or reference) run of a pair. */
+struct PairRunOutcome {
+    board::RunResult res;
+    bool verified = false;
+    analysis::ArenaSnapshot snap;
+    EventCensus census;
+    std::vector<TimeNs> firedCuts;
+    std::uint64_t injectedDeaths = 0;
+    std::uint64_t tearsApplied = 0;
+    std::uint64_t flipsApplied = 0;
+};
+
+/** One (app, runtime) campaign target. */
+struct PairSpec {
+    std::string app;
+    std::string runtime;
+    bool isProtected = true;
+    /** CheckpointArea region prefix ("tics.ckpt", ...) for stale-slot
+     *  flip schedules; empty when the runtime has no checkpoint area. */
+    std::string ckptPrefix;
+    /** Build runtime + app on @p board and run to completion/budget. */
+    std::function<PairRunOutcome(board::Board &, TimeNs budget)> run;
+};
+
+/** The campaign matrix: BC and Cuckoo under TICS, MementOS-like,
+ *  Chinchilla-like, Alpaca-like tasks, and plain C (10 pairs,
+ *  mirroring ticscheck). */
+std::vector<PairSpec> campaignPairs(const CampaignConfig &cfg);
+
+/** A minimized, replay-verified consistency violation. */
+struct Violation {
+    std::string app;
+    std::string runtime;
+    std::string plan;        ///< minimized schedule (FaultPlan::format)
+    std::string originalPlan;///< schedule that first exposed it
+    std::string kind;        ///< not-completed | starved | verify-failed
+                             ///< | diverged | layout
+    std::uint64_t divergentBytes = 0;
+    std::uint32_t shrinkRuns = 0;  ///< subject runs the shrinker spent
+    bool replayVerified = false;   ///< minimized plan still violates
+};
+
+struct PairReport {
+    std::string app;
+    std::string runtime;
+    bool isProtected = true;
+    bool refCompleted = false;
+    std::uint64_t schedules = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t injectedDeaths = 0;
+    std::uint64_t tearsApplied = 0;
+    std::uint64_t flipsApplied = 0;
+    std::vector<Violation> found;
+};
+
+struct CampaignReport {
+    std::vector<PairReport> pairs;
+    std::uint64_t totalSchedules = 0;
+    std::uint64_t totalViolations = 0;
+    /** True when the wall-clock cap truncated the sweep. */
+    bool truncated = false;
+
+    /**
+     * The acceptance verdict: every reference completed, protected
+     * pairs show zero violations, the unprotected baseline shows at
+     * least one, and every reported violation replays from its
+     * minimized schedule.
+     */
+    bool ok() const;
+};
+
+/** Run the full campaign. Deterministic for a given config when
+ *  maxSeconds is 0. */
+CampaignReport runCampaign(const CampaignConfig &cfg);
+
+/**
+ * Re-execute one plan against one pair ("App/Runtime"), reporting the
+ * violation kind ("consistent" when the run is clean). Returns false
+ * when the pair name matches nothing.
+ */
+bool replayPlan(const CampaignConfig &cfg, const std::string &pairName,
+                const FaultPlan &plan, std::string &verdictOut);
+
+/** Per-pair summary in the repo's standard table format. */
+Table campaignTable(const CampaignReport &report);
+
+/** Per-violation detail (minimized schedules). */
+Table violationTable(const CampaignReport &report);
+
+} // namespace ticsim::fault
+
+#endif // TICSIM_FAULT_CAMPAIGN_HPP

@@ -1,0 +1,238 @@
+#include "injector.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "support/logging.hpp"
+
+namespace ticsim::fault {
+
+// ---- FaultedSupply ---------------------------------------------------------
+
+FaultedSupply::FaultedSupply(std::unique_ptr<energy::Supply> inner,
+                             TimeNs offNs)
+    : inner_(std::move(inner)), offNs_(offNs)
+{
+    if (!inner_)
+        fatal("fault: null inner supply");
+}
+
+void
+FaultedSupply::scheduleAbsolute(std::vector<TimeNs> cutsAt)
+{
+    for (std::size_t i = 1; i < cutsAt.size(); ++i) {
+        if (cutsAt[i] < cutsAt[i - 1])
+            fatal("fault: absolute cuts must be ascending");
+    }
+    abs_ = std::move(cutsAt);
+    nextAbs_ = 0;
+}
+
+void
+FaultedSupply::armCutAfter(TimeNs delay)
+{
+    if (havePending_ || haveArmed_)
+        return; // first armed boundary wins
+    havePending_ = true;
+    pendingDelay_ = delay;
+}
+
+energy::DrainResult
+FaultedSupply::drain(TimeNs now, TimeNs dur, Watts load)
+{
+    if (havePending_) {
+        haveArmed_ = true;
+        armedAt_ = now + pendingDelay_;
+        havePending_ = false;
+    }
+    constexpr TimeNs kNever = std::numeric_limits<TimeNs>::max();
+    const TimeNs absCut = nextAbs_ < abs_.size() ? abs_[nextAbs_] : kNever;
+    const TimeNs armCut = haveArmed_ ? armedAt_ : kNever;
+    const TimeNs cut = std::min(absCut, armCut);
+    if (cut == kNever || now + dur <= cut) {
+        if (cut != kNever && cut <= now) {
+            // Past-due cut (armed during off/boot work): re-entrant
+            // death before any of this charge runs.
+        } else {
+            return inner_->drain(now, dur, load);
+        }
+    }
+    const TimeNs ranFor = cut > now ? cut - now : 0;
+    if (ranFor > 0)
+        inner_->drain(now, ranFor, load); // keep the inner model in step
+    if (cut == armCut)
+        haveArmed_ = false;
+    else
+        ++nextAbs_;
+    forced_ = true;
+    ++injected_;
+    fired_.push_back(cut > now ? cut : now);
+    ++stats_.counter("injectedCuts");
+    return {true, ranFor};
+}
+
+TimeNs
+FaultedSupply::offTimeAfterDeath(TimeNs deathTime)
+{
+    if (forced_) {
+        forced_ = false;
+        return offNs_;
+    }
+    return inner_->offTimeAfterDeath(deathTime);
+}
+
+void
+FaultedSupply::reset()
+{
+    inner_->reset();
+    nextAbs_ = 0;
+    havePending_ = false;
+    haveArmed_ = false;
+    forced_ = false;
+    injected_ = 0;
+    fired_.clear();
+}
+
+// ---- FaultInjector ---------------------------------------------------------
+
+FaultInjector::FaultInjector(board::Board &board, FaultedSupply &supply,
+                             const FaultPlan &plan, bool observeOnly)
+    : board_(board), supply_(supply), plan_(plan), observe_(observeOnly)
+{
+}
+
+void
+FaultInjector::note(Boundary b)
+{
+    const std::uint64_t occ = ++census_.boundary[static_cast<int>(b)];
+    if (observe_)
+        return;
+    for (const auto &c : plan_.cuts) {
+        if (!c.absolute && c.boundary == b && c.occurrence == occ)
+            supply_.armCutAfter(c.delayNs);
+    }
+}
+
+void
+FaultInjector::powerOn()
+{
+    started_ = true;
+    ++boots_;
+    if (!observe_ && boots_ >= 2) {
+        // Off window N separates powerOn N from powerOn N+1.
+        for (const auto &f : plan_.flips) {
+            if (f.outageIndex + 1 == boots_)
+                applyFlip(f);
+        }
+    }
+    note(Boundary::Boot);
+}
+
+void
+FaultInjector::commit()
+{
+    note(Boundary::CommitEnd);
+}
+
+void
+FaultInjector::sideEvent(const mem::SideEvent &ev)
+{
+    switch (ev.kind) {
+      case mem::SideEventKind::CkptCommitStart:
+        note(Boundary::CommitStart);
+        break;
+      case mem::SideEventKind::BootRestore:
+        note(Boundary::BootRestore);
+        break;
+      case mem::SideEventKind::PeripheralSend:
+        note(Boundary::PeripheralSend);
+        break;
+      case mem::SideEventKind::TimeRead:
+        note(Boundary::TimeRead);
+        break;
+      default:
+        break;
+    }
+}
+
+void
+FaultInjector::store(mem::StoreSite site, void *dst, const void *src,
+                     std::uint32_t bytes)
+{
+    if (!started_) {
+        // Construction-time stores happen at "programming time", before
+        // the first power-on; they are not part of the fault universe.
+        std::memcpy(dst, src, bytes);
+        return;
+    }
+    const int s = static_cast<int>(site);
+    const std::uint64_t occ = ++census_.stores[s];
+    census_.maxStoreBytes[s] =
+        std::max(census_.maxStoreBytes[s], bytes);
+    if (!observe_) {
+        for (const auto &t : plan_.tears) {
+            if (t.site == site && t.occurrence == occ) {
+                applyTear(t, dst, src, bytes);
+                ++tears_;
+                supply_.noteForcedDeath();
+                // In-context this abandons execution and never returns
+                // — the torn bytes are the last thing before lights
+                // out. Outside a context it marks the boot dead.
+                board_.forcePowerFail();
+                return;
+            }
+        }
+    }
+    std::memcpy(dst, src, bytes);
+}
+
+void
+FaultInjector::applyTear(const TornWrite &t, void *dst, const void *src,
+                         std::uint32_t bytes)
+{
+    auto *d = static_cast<std::uint8_t *>(dst);
+    const auto *sp = static_cast<const std::uint8_t *>(src);
+    const std::uint32_t keep = std::min(t.keepBytes, bytes);
+    switch (t.mode) {
+      case TearMode::Prefix:
+        std::memcpy(d, sp, keep);
+        break;
+      case TearMode::GarbageTail:
+        std::memcpy(d, sp, keep);
+        // Deterministic garbage: FRAM rails collapsing mid-write leave
+        // neither old nor new data in the tail.
+        for (std::uint32_t i = keep; i < bytes; ++i)
+            d[i] = static_cast<std::uint8_t>(0xA5u ^ (i * 29u));
+        break;
+      case TearMode::Interleaved:
+        // Word-granular out-of-order commit: even 4-byte words carry
+        // the new value, odd words keep the old.
+        for (std::uint32_t w = 0; w * 4 < bytes; w += 2) {
+            const std::uint32_t off = w * 4;
+            std::memcpy(d + off, sp + off,
+                        std::min<std::uint32_t>(4, bytes - off));
+        }
+        break;
+    }
+}
+
+void
+FaultInjector::applyFlip(const BitFlip &f)
+{
+    auto &ram = board_.nvram();
+    for (const auto &r : ram.regions()) {
+        if (r.name == f.region) {
+            if (f.offset >= r.size) {
+                ++flipsUnmatched_;
+                return;
+            }
+            ram.hostPtr(r.base)[f.offset] ^= f.mask;
+            ++flips_;
+            return;
+        }
+    }
+    ++flipsUnmatched_;
+}
+
+} // namespace ticsim::fault

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Fault execution machinery: a Supply decorator that fires scheduled
+ * power cuts, and a combined AccessSink + StoreGate that counts
+ * boundary events, arms boundary-anchored cuts, tears gated NV stores,
+ * and flips retention bits between charge windows.
+ *
+ * The same FaultInjector runs in two modes. In observe mode it only
+ * counts — the campaign's reference run uses this to learn how many
+ * commits, sends, stores, ... a failure-free execution performs, which
+ * is the universe the systematic schedules are drawn from. In inject
+ * mode it additionally executes a FaultPlan. Occurrence counting is
+ * identical in both modes (and excludes pre-run construction stores),
+ * so "the 3rd commit" means the same instant in both.
+ */
+
+#ifndef TICSIM_FAULT_INJECTOR_HPP
+#define TICSIM_FAULT_INJECTOR_HPP
+
+#include <memory>
+
+#include "board/board.hpp"
+#include "energy/supply.hpp"
+#include "fault/plan.hpp"
+#include "mem/store_gate.hpp"
+#include "mem/trace.hpp"
+
+namespace ticsim::fault {
+
+/**
+ * Wraps an inner supply and overlays injected deaths: a sorted list of
+ * absolute cut instants plus at most one armed boundary-relative cut
+ * (converted to an absolute deadline at the next drain). Injected
+ * deaths use the plan's off time; organic deaths of the inner supply
+ * keep its own. Cut semantics are half-open like ScheduledSupply's: a
+ * charge ending exactly at a cut completes and the death lands on the
+ * next drain.
+ */
+class FaultedSupply : public energy::Supply
+{
+  public:
+    FaultedSupply(std::unique_ptr<energy::Supply> inner, TimeNs offNs);
+
+    energy::DrainResult drain(TimeNs now, TimeNs dur,
+                              Watts load) override;
+    TimeNs offTimeAfterDeath(TimeNs deathTime) override;
+    void reset() override;
+    bool intermittent() const override { return true; }
+    Volts voltageNow() const override { return inner_->voltageNow(); }
+
+    /** Pre-program absolute cut instants (must be ascending). */
+    void scheduleAbsolute(std::vector<TimeNs> cutsAt);
+
+    /**
+     * Arm one cut @p delay after the next drain's start. No-op while a
+     * previously armed cut is still pending (first boundary wins —
+     * overlapping schedules stay deterministic).
+     */
+    void armCutAfter(TimeNs delay);
+
+    /** A tear killed the system; bill the next off window to the plan. */
+    void noteForcedDeath() { forced_ = true; }
+
+    /** Deaths this decorator injected (not the inner supply's). */
+    std::uint64_t injectedDeaths() const { return injected_; }
+
+    /** Absolute instants at which injected cuts actually fired, in
+     *  order — the raw material for absolutized ResetPatterns. */
+    const std::vector<TimeNs> &firedAt() const { return fired_; }
+
+  private:
+    std::unique_ptr<energy::Supply> inner_;
+    TimeNs offNs_;
+    std::vector<TimeNs> abs_;
+    std::size_t nextAbs_ = 0;
+    bool havePending_ = false; ///< armCutAfter awaiting a drain
+    TimeNs pendingDelay_ = 0;
+    bool haveArmed_ = false;   ///< absolute deadline from armCutAfter
+    TimeNs armedAt_ = 0;
+    bool forced_ = false;
+    std::uint64_t injected_ = 0;
+    std::vector<TimeNs> fired_;
+};
+
+/** Per-boundary and per-store-site occurrence totals of one run. */
+struct EventCensus {
+    std::uint64_t boundary[kBoundaryCount] = {};
+    std::uint64_t stores[mem::kStoreSiteCount] = {};
+    std::uint32_t maxStoreBytes[mem::kStoreSiteCount] = {};
+};
+
+/**
+ * The in-run fault executor. Install as both the access sink and the
+ * store gate (ScopedAccessSink + ScopedStoreGate) around one
+ * Board::run.
+ */
+class FaultInjector : public mem::AccessSink, public mem::StoreGate
+{
+  public:
+    /**
+     * @param observeOnly Count events but inject nothing (the plan's
+     *        cuts/tears/flips are ignored; its offNs still applies to
+     *        deaths injected by other means — i.e. none).
+     */
+    FaultInjector(board::Board &board, FaultedSupply &supply,
+                  const FaultPlan &plan, bool observeOnly);
+
+    // AccessSink
+    void memRead(const void *, std::uint32_t) override {}
+    void memWrite(const void *, std::uint32_t) override {}
+    void memVersioned(const void *, std::uint32_t) override {}
+    void powerOn() override;
+    void commit() override;
+    void sideEvent(const mem::SideEvent &ev) override;
+
+    // StoreGate
+    void store(mem::StoreSite site, void *dst, const void *src,
+               std::uint32_t bytes) override;
+
+    const EventCensus &census() const { return census_; }
+    std::uint64_t tearsApplied() const { return tears_; }
+    std::uint64_t flipsApplied() const { return flips_; }
+    /** Flips whose region name matched no NV region (plan bugs). */
+    std::uint64_t flipsUnmatched() const { return flipsUnmatched_; }
+
+  private:
+    void note(Boundary b);
+    void applyTear(const TornWrite &t, void *dst, const void *src,
+                   std::uint32_t bytes);
+    void applyFlip(const BitFlip &f);
+
+    board::Board &board_;
+    FaultedSupply &supply_;
+    const FaultPlan &plan_;
+    bool observe_;
+    bool started_ = false; ///< first powerOn seen; stores count from here
+    std::uint64_t boots_ = 0;
+    EventCensus census_;
+    std::uint64_t tears_ = 0;
+    std::uint64_t flips_ = 0;
+    std::uint64_t flipsUnmatched_ = 0;
+};
+
+} // namespace ticsim::fault
+
+#endif // TICSIM_FAULT_INJECTOR_HPP

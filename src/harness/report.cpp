@@ -134,6 +134,13 @@ BenchSession::record(const std::string &label, board::Runtime &rt,
 }
 
 void
+BenchSession::setSeed(std::uint64_t seed)
+{
+    seed_ = seed;
+    haveSeed_ = true;
+}
+
+void
 BenchSession::addFinding(ReportFinding finding)
 {
     findings_.push_back(std::move(finding));
@@ -166,6 +173,10 @@ BenchSession::writeJson() const
     w.member("version", findings_.empty() ? kReportVersion
                                           : kReportVersionFindings);
     w.member("bench", bench_);
+    // Optional: absent from documents whose bench never set a seed, so
+    // their output stays byte-identical.
+    if (haveSeed_)
+        w.member("seed", seed_);
     w.key("runs").beginArray();
     for (const RunRecord &r : runs_) {
         w.beginObject();

@@ -90,6 +90,12 @@ class BenchSession
 
     const ReportOptions &options() const { return opts_; }
 
+    /**
+     * Record the bench's master seed. Reported as an optional `seed`
+     * member so a run report is reproducible from the document alone.
+     */
+    void setSeed(std::uint64_t seed);
+
     /** Snapshot one finished board run under @p label. */
     void record(const std::string &label, board::Runtime &rt,
                 board::Board &b, const board::RunResult &res);
@@ -120,6 +126,8 @@ class BenchSession
 
     std::string bench_;
     ReportOptions opts_;
+    std::uint64_t seed_ = 0;
+    bool haveSeed_ = false;
     std::vector<RunRecord> runs_;
     std::vector<ReportFinding> findings_;
     bool finished_ = false;

@@ -18,6 +18,7 @@
 #include <type_traits>
 
 #include "mem/nvram.hpp"
+#include "mem/store_gate.hpp"
 #include "mem/trace.hpp"
 #include "support/logging.hpp"
 
@@ -115,7 +116,7 @@ class nv
     {
         hooks().preWrite(slot_, kBytes);
         traceWrite(slot_, kBytes);
-        std::memcpy(static_cast<void *>(slot_), &v, sizeof(T));
+        gatedStore(StoreSite::AppGlobal, slot_, &v, kBytes);
         return *this;
     }
 
@@ -175,7 +176,7 @@ class nvArray
         TICSIM_ASSERT(i < N, "index %u", i);
         hooks().preWrite(slots_ + i, kElemBytes);
         traceWrite(slots_ + i, kElemBytes);
-        slots_[i] = v;
+        gatedStore(StoreSite::AppGlobal, slots_ + i, &v, kElemBytes);
     }
 
     T *raw() { return slots_; }

@@ -40,6 +40,8 @@ enum class SideEventKind : std::uint8_t {
     IoGuardEnter,    ///< post-commit guarded-drain window opens
     IoGuardExit,     ///< post-commit guarded-drain window closes
     TaskDispatch,    ///< task runtime dispatching task `id`
+    CkptCommitStart, ///< checkpoint commit protocol begins; id = runtime
+    BootRestore,     ///< boot-time restore from a checkpoint begins
 };
 
 /**

@@ -4,6 +4,8 @@
 
 #include <cstring>
 
+#include "mem/store_gate.hpp"
+#include "mem/trace.hpp"
 #include "support/logging.hpp"
 #include "telemetry/phase.hpp"
 
@@ -69,6 +71,7 @@ ChinchillaRuntime::onPowerOn()
     // Registers-only restore (locals live in promoted globals).
     telemetry::PhaseScope restore(b.profiler(),
                                   telemetry::Phase::Restore);
+    mem::traceSideEvent(mem::SideEventKind::BootRestore, "chinchilla");
     if (!b.chargeSys(costs.restoreLogic))
         return false;
     tics::restoreStackImage(*slot);
@@ -87,15 +90,19 @@ ChinchillaRuntime::doCheckpoint()
     telemetry::PhaseScope ps(b.profiler(), telemetry::Phase::Checkpoint);
 
     // Registers-only checkpoint (the Chinchilla selling point) plus
-    // committing the dirty-version set.
-    b.charge(device::CostModel::linear(
+    // committing the dirty-version set. Cost split around the capture
+    // (total unchanged) so a cut can land between capture and commit.
+    mem::traceSideEvent(mem::SideEventKind::CkptCommitStart, "chinchilla");
+    const Cycles ckptCost = device::CostModel::linear(
         costs.ckptLogic, costs.framWritePerByte,
-        versions_->usedBytes()));
+        versions_->usedBytes());
+    b.charge(ckptCost - ckptCost / 2);
 
     tics::CheckpointArea::Slot &slot = area_->writeSlot();
     if (!tics::captureStackImage(b, slot, tics::TicsConfig::kHostRedzone))
         return false;
 
+    b.charge(ckptCost / 2);
     area_->commit();
     versions_->clear();
     epochLogged_.clear();
@@ -155,7 +162,7 @@ ChinchillaRuntime::storeBytes(void *dst, const void *src,
 {
     preWrite(dst, bytes);
     mem::traceWrite(dst, bytes);
-    std::memcpy(dst, src, bytes);
+    mem::gatedStore(mem::StoreSite::AppGlobal, dst, src, bytes);
 }
 
 } // namespace ticsim::runtimes

@@ -39,6 +39,14 @@ MementosRuntime::trackGlobals(void *base, std::uint32_t bytes)
     const auto addr = board_->nvram().allocate(
         "mementos.globals" + std::to_string(globals_.size()), 2 * bytes, 8);
     r.shadow = board_->nvram().hostPtr(addr);
+    // Genesis snapshot: the values the region holds at registration,
+    // i.e. the program's initial .data image. Fresh boots restore it,
+    // closing the window where globals dirtied before the first
+    // checkpoint would survive an outage that re-executes main().
+    const auto gaddr = board_->nvram().allocate(
+        "mementos.genesis" + std::to_string(globals_.size()), bytes, 8);
+    r.genesis = board_->nvram().hostPtr(gaddr);
+    std::memcpy(r.genesis, base, bytes);
     globals_.push_back(r);
     globalsBytes_ += bytes;
     footprint_.add("double-buffered globals", 0, 2 * bytes);
@@ -58,6 +66,16 @@ MementosRuntime::onPowerOn()
     tics::CheckpointArea::Slot *slot = area_->valid();
     if (!slot) {
         model_.clear();
+        // Fresh start: rewrite every tracked global from its genesis
+        // snapshot. Real firmware gets this for free — crt0 re-copies
+        // .data from flash/FRAM on every reset — so its cycles are
+        // part of the bootInit charge above, not an extra charge.
+        // Without it, globals dirtied before the first-ever checkpoint
+        // would survive an outage that restarts main() from scratch.
+        for (auto &g : globals_) {
+            std::memcpy(g.base, g.genesis, g.bytes);
+            mem::traceVersioned(g.base, g.bytes);
+        }
         // Force an early checkpoint at the first trigger: MementOS has
         // no undo log, so pre-checkpoint global writes are only safe
         // once a restore point exists.
@@ -65,6 +83,7 @@ MementosRuntime::onPowerOn()
         b.ctx().prepare([this] { appMain_(); });
         return true;
     }
+    mem::traceSideEvent(mem::SideEventKind::BootRestore, "mementos");
 
     // Restore cost scales with the whole saved state: this is the
     // unbounded-restore path that can starve small energy buffers.
@@ -101,9 +120,12 @@ MementosRuntime::doCheckpoint()
     telemetry::PhaseScope ps(b.profiler(), telemetry::Phase::Checkpoint);
     const std::uint32_t stateBytes = model_.totalBytes + globalsBytes_;
 
-    // Whole cost up front: death here leaves the old commit valid.
-    b.charge(device::CostModel::linear(costs.ckptLogic, costs.ckptPerByte,
-                                       stateBytes));
+    // Cost split around the capture (total unchanged): death during
+    // either half leaves the old commit valid.
+    mem::traceSideEvent(mem::SideEventKind::CkptCommitStart, "mementos");
+    const Cycles ckptCost = device::CostModel::linear(
+        costs.ckptLogic, costs.ckptPerByte, stateBytes);
+    b.charge(ckptCost - ckptCost / 2);
 
     tics::CheckpointArea::Slot &slot = area_->writeSlot();
     const int idx = area_->writeIndex();
@@ -113,6 +135,7 @@ MementosRuntime::doCheckpoint()
     for (auto &g : globals_)
         std::memcpy(g.shadow + static_cast<std::size_t>(idx) * g.bytes,
                     g.base, g.bytes);
+    b.charge(ckptCost / 2);
     area_->commit();
     ckptModel_ = model_;
     committedStackBytes_ = model_.totalBytes;

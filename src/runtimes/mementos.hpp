@@ -69,7 +69,8 @@ class MementosRuntime : public board::Runtime
     struct GlobalRegion {
         void *base;
         std::uint32_t bytes;
-        std::uint8_t *shadow; ///< snapshot area inside the FRAM arena
+        std::uint8_t *shadow;  ///< snapshot area inside the FRAM arena
+        std::uint8_t *genesis; ///< initial values, restored on fresh boots
     };
     std::vector<GlobalRegion> globals_;
     /** Regions registered before attach() (no arena yet). */

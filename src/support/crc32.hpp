@@ -1,0 +1,25 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) over byte
+ * ranges. Used by the crash-consistency machinery to validate
+ * checkpoint slot headers and undo-log records after torn writes or
+ * retention bit flips; a table-driven implementation keeps the host
+ * cost negligible even when every boot revalidates both checkpoint
+ * images.
+ */
+
+#ifndef TICSIM_SUPPORT_CRC32_HPP
+#define TICSIM_SUPPORT_CRC32_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ticsim {
+
+/** CRC-32 of [p, p+n), continuing from @p seed (pass the previous
+ *  result to chain discontiguous ranges; 0 starts a fresh sum). */
+std::uint32_t crc32(const void *p, std::size_t n, std::uint32_t seed = 0);
+
+} // namespace ticsim
+
+#endif // TICSIM_SUPPORT_CRC32_HPP

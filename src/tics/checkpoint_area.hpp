@@ -1,18 +1,31 @@
 /**
  * @file
- * Double-buffered checkpoint storage with two-phase commit (paper
- * Section 4 "Automatic Checkpoints").
+ * Double-buffered checkpoint storage with a failure-atomic,
+ * NV-validated commit (paper Section 4 "Automatic Checkpoints",
+ * hardened per DESIGN.md Section 8).
  *
- * Two slots alternate as write target and valid restore point; a
- * commit flips the valid index only after the write slot is fully
- * populated, so a power failure during checkpointing always leaves one
- * consistent restore point (or none, before the first commit).
+ * Two slots alternate as write target and valid restore point. Commit
+ * persists a small NV header — magic, generation counter, image
+ * geometry, CRC-32 over the header fields and the live image bytes —
+ * as the *last* store of the protocol, so the header is the commit
+ * point: a power failure at any instant before or during the header
+ * store (including a torn multi-byte header write) leaves the previous
+ * generation's header intact and recovery falls back to it.
  *
- * Each slot holds the machine-register snapshot, the stack-
- * segmentation bookkeeping, and the host stack image. The *modeled*
- * checkpoint payload is registers + one working segment (that is what
- * the cost model charges); the host image covers the live stack region
- * for bit-exact resume mechanics (see DESIGN.md Section 4).
+ * Validity is derived from the NV headers on every boot, not from host
+ * bookkeeping: valid() revalidates both headers (magic, geometry
+ * bounds, CRC over the current image bytes) and restores from the
+ * highest surviving generation. Retention bit flips in a header or an
+ * image therefore demote that slot instead of restoring garbage.
+ *
+ * Each slot additionally holds the machine-register snapshot and the
+ * stack-segmentation bookkeeping. The *modeled* checkpoint payload is
+ * registers + one working segment (what the cost model charges); the
+ * host image covers the live stack region for bit-exact resume
+ * mechanics (see DESIGN.md Section 4). The CRC computation is modeled
+ * at zero extra cycles — on FRAM hardware it rides along the
+ * sequential image write/read the checkpoint and restore costs
+ * already charge.
  */
 
 #ifndef TICSIM_TICS_CHECKPOINT_AREA_HPP
@@ -43,7 +56,23 @@ class CheckpointArea
     };
 
     /**
-     * @param ram Arena for the image pools.
+     * NV-resident per-slot commit record. The layout is part of the
+     * fault model: tears and bit flips land on these exact bytes.
+     * No padding (4+4+8+4+4 = 24 bytes); crc is last so a prefix-torn
+     * header always fails validation.
+     */
+    struct SlotHeader {
+        std::uint32_t magic = 0;
+        std::uint32_t generation = 0; ///< 1-based, monotonic across slots
+        std::uint64_t imgLow = 0;
+        std::uint32_t imgSize = 0;
+        std::uint32_t crc = 0; ///< over the fields above + image bytes
+    };
+
+    static constexpr std::uint32_t kMagic = 0x54434B31u; // "TCK1"
+
+    /**
+     * @param ram Arena for the image pools and headers.
      * @param name Region-name prefix.
      * @param imageCapacity Host bytes reserved per slot (the full app
      *                      stack buffer size; actual images are the
@@ -53,32 +82,61 @@ class CheckpointArea
                    std::uint32_t imageCapacity);
 
     /** The slot the next checkpoint writes into (never the valid one). */
-    Slot &writeSlot() { return slots_[validIdx_ == 0 ? 1 : 0]; }
+    Slot &writeSlot() { return slots_[writeIndex()]; }
 
-    /** The committed restore point, or nullptr before the first commit. */
-    Slot *valid()
-    {
-        return validIdx_ < 0 ? nullptr : &slots_[validIdx_];
-    }
+    /**
+     * The committed restore point, or nullptr before the first commit
+     * or after every header failed validation. Revalidates both NV
+     * headers (magic, bounds, CRC against the current image bytes),
+     * picks the highest valid generation, and refreshes the slot's
+     * image geometry from the committed header.
+     */
+    Slot *valid();
 
-    /** Flip the commit flag: the write slot becomes the valid one. */
-    void commit() { validIdx_ = (validIdx_ == 0) ? 1 : 0; }
+    /**
+     * Commit the write slot: derive the next generation from the NV
+     * headers and persist the slot's header (a gated NV store — the
+     * single commit point) with a CRC sealing the image bytes.
+     */
+    void commit();
 
-    /** Drop the restore point (fresh-start experiments). */
-    void invalidate() { validIdx_ = -1; }
+    /** Drop both restore points (fresh-start experiments). */
+    void invalidate();
 
     /** Index of the slot writeSlot() returns (for parallel buffers). */
     int writeIndex() const { return validIdx_ == 0 ? 1 : 0; }
 
-    /** Index of the committed slot, or -1 before the first commit. */
+    /** Index of the committed slot as of the last valid()/commit(),
+     *  or -1. NV headers are the ground truth; this is a cache. */
     int validIndex() const { return validIdx_; }
 
     std::uint32_t imageCapacity() const { return imageCapacity_; }
 
+    // ---- fault-injection / test surface ----------------------------------
+
+    /** Committed generation recorded in slot @p i's header, or 0 when
+     *  the header fails validation. */
+    std::uint32_t generation(int i);
+
+    /** Raw NV bytes of slot @p i's header (tests corrupt these). */
+    std::uint8_t *headerHostPtr(int i);
+
+    /** Headers that carried the magic but failed CRC/bounds validation
+     *  (torn commits and retention flips detected and demoted). */
+    std::uint64_t rejectedHeaders() const { return rejected_; }
+
   private:
+    /** Parse + validate header @p i; true iff restorable. */
+    bool headerValid(int i, SlotHeader &out);
+
+    std::uint32_t headerCrc(const SlotHeader &h,
+                            const std::uint8_t *image) const;
+
     Slot slots_[2];
+    SlotHeader *hdr_[2] = {nullptr, nullptr}; ///< in NvRam
     std::int8_t validIdx_ = -1;
     std::uint32_t imageCapacity_;
+    std::uint64_t rejected_ = 0;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "mem/store_gate.hpp"
 #include "support/logging.hpp"
 #include "telemetry/phase.hpp"
 
@@ -108,6 +109,7 @@ TicsRuntime::onPowerOn()
     //    live-stack image (exact mechanics).
     telemetry::PhaseScope restore(b.profiler(),
                                   telemetry::Phase::Restore);
+    mem::traceSideEvent(mem::SideEventKind::BootRestore, "tics");
     const Cycles restoreCost = device::CostModel::linear(
         costs.restoreLogic, costs.restorePerByte, cfg_.segmentBytes);
     stats_.distribution("restoreCycles")
@@ -140,12 +142,16 @@ TicsRuntime::doCheckpoint(CkptCause cause)
 
     // Charge before mutating anything: if the supply dies here, the
     // context is abandoned and the previously committed slot remains
-    // the restore point (two-phase commit semantics).
+    // the restore point (two-phase commit semantics). The cost is
+    // split around the capture so the fault injector can land a cut
+    // between capture and commit; the total is unchanged, so cycle
+    // counts and death times match the unsplit model exactly.
     const Cycles ckptCost = device::CostModel::linear(
         costs.ckptLogic, costs.ckptPerByte, cfg_.segmentBytes);
     stats_.distribution("ckptCycles").sample(
         static_cast<double>(ckptCost));
-    b.charge(ckptCost);
+    mem::traceSideEvent(mem::SideEventKind::CkptCommitStart, "tics");
+    b.charge(ckptCost - ckptCost / 2);
 
     CheckpointArea::Slot &slot = area_->writeSlot();
     if (!captureStackImage(b, slot, TicsConfig::kHostRedzone)) {
@@ -158,7 +164,8 @@ TicsRuntime::doCheckpoint(CkptCause cause)
     seg_.noteCheckpointed();
     slot.seg = seg_;
 
-    // Phase two: flip the commit flag, then release the undo log.
+    // Phase two: persist the commit header, then release the undo log.
+    b.charge(ckptCost / 2);
     area_->commit();
     undoLog_->clear();
     epochLogged_.clear();
@@ -324,7 +331,7 @@ TicsRuntime::storeBytes(void *dst, const void *src, std::uint32_t bytes)
 {
     preWrite(dst, bytes);
     mem::traceWrite(dst, bytes);
-    std::memcpy(dst, src, bytes);
+    mem::gatedStore(mem::StoreSite::AppGlobal, dst, src, bytes);
 }
 
 TimeNs

@@ -1,8 +1,11 @@
 #include "undo_log.hpp"
 
+#include <cstddef>
 #include <cstring>
 
+#include "mem/store_gate.hpp"
 #include "mem/trace.hpp"
+#include "support/crc32.hpp"
 #include "support/logging.hpp"
 
 namespace ticsim::tics {
@@ -26,16 +29,30 @@ UndoLog::wouldOverflow(std::uint32_t bytes) const
     return count_ >= maxEntries_ || poolUsed_ + bytes > poolBytes_;
 }
 
+std::uint32_t
+UndoLog::entryCrc(const Entry &e, const std::uint8_t *saved)
+{
+    return crc32(saved, e.bytes, crc32(&e, offsetof(Entry, crc)));
+}
+
 void
 UndoLog::append(void *p, std::uint32_t bytes)
 {
     TICSIM_ASSERT(!wouldOverflow(bytes), "undo log overflow");
-    Entry &e = entries_[count_];
+    Entry e;
     e.target = static_cast<std::uint8_t *>(p);
     e.bytes = bytes;
     e.poolOff = poolUsed_;
-    std::memcpy(pool_ + poolUsed_, p, bytes);
+    // Seal over the *source* bytes before the (tearable) pool store:
+    // a tear leaves a record whose pool contents no longer match.
+    e.crc = crc32(p, bytes, crc32(&e, offsetof(Entry, crc)));
+    mem::gatedStore(mem::StoreSite::UndoPool, pool_ + poolUsed_, p,
+                    bytes);
+    mem::gatedStore(mem::StoreSite::UndoPool, &entries_[count_], &e,
+                    static_cast<std::uint32_t>(sizeof(Entry)));
     poolUsed_ += bytes;
+    // Publishing the entry is the final, host-side bump: a tear in
+    // either store above dies before it and the log stays unchanged.
     ++count_;
     mem::traceVersioned(p, bytes);
 }
@@ -53,7 +70,19 @@ UndoLog::rollbackTo(std::uint32_t watermark)
     std::uint32_t applied = 0;
     // Newest first, so overlapping records end with the oldest value.
     for (std::uint32_t i = count_; i > watermark; --i) {
-        const Entry &e = entries_[i - 1];
+        Entry e;
+        std::memcpy(&e, &entries_[i - 1], sizeof(Entry));
+        // Bounds before CRC (a torn entry may carry a garbage length),
+        // CRC before applying (a flipped pool byte must not reach the
+        // target).
+        if (e.poolOff > poolBytes_ || e.bytes > poolBytes_ - e.poolOff ||
+            entryCrc(e, pool_ + e.poolOff) != e.crc) {
+            ++corrupt_;
+            warn("undo log: record %u fails validation "
+                 "(torn append or NV corruption); skipped",
+                 i - 1);
+            continue;
+        }
         std::memcpy(e.target, pool_ + e.poolOff, e.bytes);
         ++applied;
     }

@@ -9,6 +9,14 @@
  * is fixed-size, so a full log forces a checkpoint — this is what
  * bounds TICS's memory overhead and eliminates whole-memory
  * checkpointing for pointer programs.
+ *
+ * Every record carries a CRC-32 sealing its entry fields and saved
+ * bytes, and the record stores themselves are gated NV stores (see
+ * mem/store_gate.hpp): a record torn by a power failure mid-append or
+ * corrupted by a retention bit flip fails validation at rollback and
+ * is skipped (and counted) instead of spraying garbage over the
+ * target. The entry-table bump that publishes a record is the last
+ * step of append, so a tear before it leaves the log unchanged.
  */
 
 #ifndef TICSIM_TICS_UNDO_LOG_HPP
@@ -66,6 +74,10 @@ class UndoLog
     std::uint32_t usedBytes() const { return poolUsed_; }
     std::uint32_t poolCapacity() const { return poolBytes_; }
 
+    /** Records that failed CRC validation during rollback and were
+     *  skipped (torn appends / retention bit flips), cumulative. */
+    std::uint32_t corruptSkipped() const { return corrupt_; }
+
     /** Sum of record sizes in [watermark, end) (for cost charging). */
     std::uint32_t bytesSince(std::uint32_t watermark) const;
 
@@ -74,7 +86,12 @@ class UndoLog
         std::uint8_t *target;
         std::uint32_t bytes;
         std::uint32_t poolOff;
+        std::uint32_t crc; ///< over the fields above + saved bytes
     };
+
+    /** CRC sealing @p e's fields and the @p saved byte range. */
+    static std::uint32_t entryCrc(const Entry &e,
+                                  const std::uint8_t *saved);
 
     std::uint32_t poolBytes_;
     std::uint32_t maxEntries_;
@@ -82,6 +99,7 @@ class UndoLog
     Entry *entries_;        // in NvRam
     std::uint32_t count_ = 0;
     std::uint32_t poolUsed_ = 0;
+    std::uint32_t corrupt_ = 0;
 };
 
 } // namespace ticsim::tics

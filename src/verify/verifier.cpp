@@ -191,11 +191,13 @@ verifyMatrix(const VerifyConfig &cfg)
         v.app = app;
         v.runtime = model.runtime;
         v.isProtected = isProtected;
-        // MementOS-like has no undo log: everything written before the
-        // first checkpoint of a boot is unrecoverable, so its models
-        // legitimately carry WAR possibilities (ticscheck sees the
-        // same window as latent hazards).
-        v.expectWar = !isProtected || v.runtime == "MementOS-like";
+        // MementOS-like used to carry expected WAR possibilities here:
+        // with no undo log, globals written before a boot's first
+        // checkpoint were unrecoverable. The genesis-snapshot
+        // hardening (DESIGN.md Section 8) closed that window — fresh
+        // boots rewrite tracked globals from their initial .data image
+        // — so every protected runtime must now verify WAR-clean.
+        v.expectWar = !isProtected;
         v.findings = analyzeAll(model, budget, costs);
         v.model = std::move(model);
         out.push_back(std::move(v));

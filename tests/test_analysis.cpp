@@ -275,12 +275,12 @@ TEST(TicscheckMatrix, ProtectedRuntimesConsistentPlainCNot)
         EXPECT_EQ(f.war.materialized(), 0u);
         EXPECT_EQ(f.replay.divergentBytes, 0u);
         EXPECT_EQ(f.replay.regionMismatches, 0u);
-        // Log- and task-based systems version eagerly, so even latent
-        // hazards are structurally impossible for them. (MementOS-like
-        // snapshotting legitimately leaves the pre-first-checkpoint
-        // writes of a fresh start uncovered — latent-only findings.)
-        if (f.runtime != "MementOS-like")
-            EXPECT_TRUE(f.war.clean());
+        // Log- and task-based systems version eagerly; MementOS-like
+        // used to carry latent-only findings from the uncovered
+        // pre-first-checkpoint window, but the genesis-snapshot
+        // hardening covers that window too, so every protected
+        // runtime is now fully clean.
+        EXPECT_TRUE(f.war.clean());
         // The subject must actually have been exercised: reboots
         // happened and intervals were traced.
         EXPECT_GT(f.subject.reboots, 0u);

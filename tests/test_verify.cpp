@@ -308,8 +308,10 @@ TEST(VerifyMatrix, DefaultConfigurationMatchesExpectedSplit)
     EXPECT_GT(find("BC", "plain-C").count("energy-progress"), 0u);
     EXPECT_GT(find("Cuckoo", "plain-C").count("energy-progress"), 0u);
     EXPECT_GT(find("GHM", "plain-C").count("energy-progress"), 0u);
-    // MementOS-like: the pre-first-checkpoint window has no undo log.
-    EXPECT_GT(find("BC", "MementOS-like").count("war-possibility"), 0u);
+    // MementOS-like: the genesis-snapshot hardening rewrites tracked
+    // globals from their initial .data image on fresh boots, closing
+    // the pre-first-checkpoint window that used to be WAR-flagged.
+    EXPECT_EQ(find("BC", "MementOS-like").count("war-possibility"), 0u);
     // GHM transmits directly from mid-region code.
     EXPECT_GT(find("GHM", "TICS").count("io-idempotency"), 0u);
     // The self-test twins: guarded clean, unguarded flagged both ways.
