@@ -59,8 +59,16 @@ FaultedSupply::drain(TimeNs now, TimeNs dur, Watts load)
         }
     }
     const TimeNs ranFor = cut > now ? cut - now : 0;
-    if (ranFor > 0)
-        inner_->drain(now, ranFor, load); // keep the inner model in step
+    if (ranFor > 0) {
+        const energy::DrainResult pre = inner_->drain(now, ranFor, load);
+        if (pre.died) {
+            // The inner supply browned out organically before the cut
+            // instant: that death wins and keeps the inner off time.
+            // The cut stays scheduled and fires past-due on the next
+            // drain, like any cut landing in an off window.
+            return pre;
+        }
+    }
     if (cut == armCut)
         haveArmed_ = false;
     else
@@ -173,7 +181,7 @@ FaultInjector::store(mem::StoreSite site, void *dst, const void *src,
     if (!observe_) {
         for (const auto &t : plan_.tears) {
             if (t.site == site && t.occurrence == occ) {
-                applyTear(t, dst, src, bytes);
+                applyTornStore(t, dst, src, bytes);
                 ++tears_;
                 supply_.noteForcedDeath();
                 // In-context this abandons execution and never returns
@@ -188,8 +196,8 @@ FaultInjector::store(mem::StoreSite site, void *dst, const void *src,
 }
 
 void
-FaultInjector::applyTear(const TornWrite &t, void *dst, const void *src,
-                         std::uint32_t bytes)
+applyTornStore(const TornWrite &t, void *dst, const void *src,
+               std::uint32_t bytes)
 {
     auto *d = static_cast<std::uint8_t *>(dst);
     const auto *sp = static_cast<const std::uint8_t *>(src);
@@ -206,6 +214,17 @@ FaultInjector::applyTear(const TornWrite &t, void *dst, const void *src,
             d[i] = static_cast<std::uint8_t>(0xA5u ^ (i * 29u));
         break;
       case TearMode::Interleaved:
+        if (bytes <= 4) {
+            // A single aligned word commits atomically, so word-granular
+            // interleaving cannot tear it. Garble the tail instead so
+            // small scalar stores still land in a genuinely torn state.
+            const std::uint32_t k =
+                bytes > 0 ? std::min(keep, bytes - 1) : 0;
+            std::memcpy(d, sp, k);
+            for (std::uint32_t i = k; i < bytes; ++i)
+                d[i] = static_cast<std::uint8_t>(0xA5u ^ (i * 29u));
+            break;
+        }
         // Word-granular out-of-order commit: even 4-byte words carry
         // the new value, odd words keep the old.
         for (std::uint32_t w = 0; w * 4 < bytes; w += 2) {

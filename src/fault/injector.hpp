@@ -28,6 +28,16 @@
 namespace ticsim::fault {
 
 /**
+ * Apply @p t's torn-write effect of storing @p src over @p dst: the
+ * NV cell ends in the state a power failure mid-store would leave.
+ * For Interleaved tears of 4 bytes or fewer (one aligned word commits
+ * atomically) this falls back to a garbage-tail tear so the store is
+ * still genuinely torn.
+ */
+void applyTornStore(const TornWrite &t, void *dst, const void *src,
+                    std::uint32_t bytes);
+
+/**
  * Wraps an inner supply and overlays injected deaths: a sorted list of
  * absolute cut instants plus at most one armed boundary-relative cut
  * (converted to an absolute deadline at the next drain). Injected
@@ -125,8 +135,6 @@ class FaultInjector : public mem::AccessSink, public mem::StoreGate
 
   private:
     void note(Boundary b);
-    void applyTear(const TornWrite &t, void *dst, const void *src,
-                   std::uint32_t bytes);
     void applyFlip(const BitFlip &f);
 
     board::Board &board_;

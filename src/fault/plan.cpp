@@ -1,5 +1,6 @@
 #include "plan.hpp"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 
@@ -34,6 +35,11 @@ bool
 parseU64(const std::string &s, std::uint64_t &out, int base = 10)
 {
     if (s.empty())
+        return false;
+    // strtoull tolerates leading whitespace and '-' (which wraps to a
+    // huge value); a plan number must start with a digit of its base.
+    const auto first = static_cast<unsigned char>(s[0]);
+    if (base == 16 ? !std::isxdigit(first) : !std::isdigit(first))
         return false;
     char *end = nullptr;
     const unsigned long long v = std::strtoull(s.c_str(), &end, base);

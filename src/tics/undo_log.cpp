@@ -39,7 +39,10 @@ void
 UndoLog::append(void *p, std::uint32_t bytes)
 {
     TICSIM_ASSERT(!wouldOverflow(bytes), "undo log overflow");
+    // memset, not just field assignment: Entry has tail padding, and
+    // gatedStore copies sizeof(Entry) raw bytes into the NV arena.
     Entry e;
+    std::memset(&e, 0, sizeof e);
     e.target = static_cast<std::uint8_t *>(p);
     e.bytes = bytes;
     e.poolOff = poolUsed_;

@@ -106,6 +106,24 @@ TEST(FaultedSupplyEdges, FirstArmedBoundaryWins)
     EXPECT_EQ(s.firedAt()[0], 110);
 }
 
+TEST(FaultedSupplyEdges, OrganicInnerDeathBeforeCutWins)
+{
+    // The wrapped supply browns out at 100, before the injected cut at
+    // 150: the organic death must be propagated with the inner supply's
+    // own off time, not masked by the injected cut.
+    fault::FaultedSupply s(
+        std::make_unique<energy::ScheduledSupply>(
+            energy::ResetPattern{{100}, 5}),
+        777);
+    s.scheduleAbsolute({150});
+    const auto r = s.drain(0, 200, 1e-3);
+    EXPECT_TRUE(r.died);
+    EXPECT_EQ(r.ranFor, 100);
+    EXPECT_EQ(s.offTimeAfterDeath(100), 5); // inner off time, not 777
+    EXPECT_EQ(s.injectedDeaths(), 0u);
+    EXPECT_TRUE(s.firedAt().empty());
+}
+
 TEST(FaultedSupplyEdges, AbsoluteCutExactlyOnBoundaryIsHalfOpen)
 {
     fault::FaultedSupply s(std::make_unique<energy::ContinuousSupply>(),
@@ -240,6 +258,37 @@ TEST(UndoLogFaults, CorruptPoolRecordIsSkippedNotApplied)
     EXPECT_EQ(b[0], 0xBB); // intact record rolled back
 }
 
+// ---- Torn stores -----------------------------------------------------------
+
+TEST(TornStore, InterleavedSmallStoreFallsBackToTornTail)
+{
+    fault::TornWrite t;
+    t.mode = fault::TearMode::Interleaved;
+    t.keepBytes = 2;
+    // A 4-byte store is one atomic word: interleaving degenerates to a
+    // complete write, so the fallback must garble the tail instead.
+    std::uint8_t dst[4] = {0x10, 0x11, 0x12, 0x13};
+    const std::uint8_t src[4] = {0x20, 0x21, 0x22, 0x23};
+    fault::applyTornStore(t, dst, src, sizeof dst);
+    EXPECT_EQ(dst[0], 0x20);
+    EXPECT_EQ(dst[1], 0x21);
+    EXPECT_NE(std::memcmp(dst, src, sizeof dst), 0); // genuinely torn
+}
+
+TEST(TornStore, InterleavedWideStoreKeepsOddWordsOld)
+{
+    fault::TornWrite t;
+    t.mode = fault::TearMode::Interleaved;
+    t.keepBytes = 0;
+    std::uint8_t dst[8] = {0, 1, 2, 3, 4, 5, 6, 7};
+    const std::uint8_t src[8] = {0xF0, 0xF1, 0xF2, 0xF3,
+                                 0xF4, 0xF5, 0xF6, 0xF7};
+    fault::applyTornStore(t, dst, src, sizeof dst);
+    EXPECT_EQ(std::memcmp(dst, src, 4), 0); // word 0 committed
+    EXPECT_EQ(dst[4], 4);                   // word 1 still old
+    EXPECT_EQ(dst[7], 7);
+}
+
 // ---- FaultPlan parsing -----------------------------------------------------
 
 TEST(FaultPlan, FormatParseRoundTrip)
@@ -280,6 +329,21 @@ TEST(FaultPlan, RejectsMalformedAtoms)
     EXPECT_FALSE(fault::FaultPlan::parse("zap@x:1", p, &err));
     EXPECT_FALSE(err.empty());
     // Failed parses leave the output untouched.
+    EXPECT_TRUE(p.empty());
+}
+
+TEST(FaultPlan, RejectsNonDigitNumbers)
+{
+    // strtoull would silently accept these (leading whitespace, sign
+    // wrap-around); the plan grammar must not.
+    fault::FaultPlan p;
+    std::string err;
+    EXPECT_FALSE(fault::FaultPlan::parse("cut@t:-5", p, &err));
+    EXPECT_FALSE(fault::FaultPlan::parse("cut@t: 5", p, &err));
+    EXPECT_FALSE(fault::FaultPlan::parse("cut@commit:+3", p, &err));
+    EXPECT_FALSE(fault::FaultPlan::parse("off:-1", p, &err));
+    EXPECT_FALSE(
+        fault::FaultPlan::parse("flip@1:r+0&-0x40", p, &err));
     EXPECT_TRUE(p.empty());
 }
 
@@ -339,6 +403,15 @@ TEST(FaultReplay, MementosGenesisSurvivesPreCheckpointCut)
               "consistent");
     EXPECT_EQ(replayVerdict("Cuckoo/MementOS-like",
                             "cut@boot:1+200000;off:12000000"),
+              "consistent");
+}
+
+TEST(FaultReplay, TicsSurvivesInterleavedTearOnScalarStore)
+{
+    // With the small-store fallback the interleave schedule now tears
+    // scalar app globals for real; TICS must still recover.
+    EXPECT_EQ(replayVerdict("BC/TICS",
+                            "tear@store:1/interleave:0;off:12000000"),
               "consistent");
 }
 
