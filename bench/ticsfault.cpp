@@ -30,7 +30,7 @@ void
 usage(const char *argv0)
 {
     std::printf(
-        "usage: %s [--campaign] [--seed N] [--random N]\n"
+        "usage: %s [--campaign] [--seed N] [--random N] [--jobs N]\n"
         "          [--budget-s N] [--max-seconds S] [--json PATH]\n"
         "          [--patterns PATH] [--verbose]\n"
         "       %s --replay \"App/Runtime:plan\" [--seed N]\n"
@@ -123,6 +123,8 @@ main(int argc, char **argv)
                 static_cast<TimeNs>(std::atoll(next())) * kNsPerSec;
         } else if (std::strcmp(arg, "--max-seconds") == 0) {
             cfg.maxSeconds = std::atof(next());
+        } else if (std::strcmp(arg, "--jobs") == 0) {
+            cfg.jobs = static_cast<unsigned>(std::atoi(next()));
         } else if (std::strcmp(arg, "--replay") == 0) {
             replaySpec = next();
         } else if (std::strcmp(arg, "--patterns") == 0) {

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * ticssweep: the parallel experiment-orchestration CLI. Enumerates a
+ * grid of (app, runtime, supply, capacitor, segment, seed) cells —
+ * from a spec file or CLI axis flags — and runs them on a
+ * work-stealing pool with a content-addressed result cache.
+ *
+ * The output is deterministic: any --jobs count (and any cache state)
+ * produces byte-identical tables and, under --stable, byte-identical
+ * --json documents, so CI can diff a 1-job run against a 4-job run.
+ *
+ * Modes:
+ *   (default)    run the grid, print per-cell and aggregate tables
+ *   --campaign   run the ticsfault adversarial campaign on the pool
+ *   --crossval   run the ticsverify cross-validation on the pool
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "fault/campaign.hpp"
+#include "harness/report.hpp"
+#include "sweep/sweep.hpp"
+#include "verify/crossval.hpp"
+#include "verify/verifier.hpp"
+
+using namespace ticsim;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [--spec PATH] [--apps L] [--runtimes L]\n"
+        "          [--supplies L] [--caps-uf L] [--segments L]\n"
+        "          [--seeds L] [--jobs N] [--no-cache]\n"
+        "          [--cache-dir PATH] [--budget-s N] [--stable]\n"
+        "          [--json PATH] [--trace PATH]\n"
+        "       %s --campaign [--seed N] [--random N] [--jobs N]\n"
+        "          [--budget-s N] [--max-seconds S] [--patterns PATH]\n"
+        "       %s --crossval [--seed N] [--jobs N]\n"
+        "Runs the cross-product of experiment axes on a work-stealing\n"
+        "pool with a content-addressed result cache. Axis lists (L)\n"
+        "are comma-separated; supplies accept continuous, rf,\n"
+        "stochastic and pattern:<periodMs>:<onFraction>. --jobs 0\n"
+        "uses every hardware thread. --stable zeroes the wall-clock\n"
+        "and cache fields of the JSON report so repeated runs are\n"
+        "byte-identical.\n",
+        argv0, argv0, argv0);
+}
+
+/** Translate a SweepResult into the report's plain-data grid section.
+ *  --stable zeroes every field that legitimately varies between
+ *  otherwise identical runs (jobs, wall clock, cache split). */
+harness::GridSection
+gridSection(const sweep::SweepResult &r, bool stable)
+{
+    harness::GridSection g;
+    g.cacheHits = stable ? 0 : r.cacheHits;
+    g.cacheMisses = stable ? 0 : r.cacheMisses;
+    g.jobs = stable ? 0 : r.jobs;
+    g.wallMs = stable ? 0.0 : r.wallMs;
+    for (const auto &out : r.cells) {
+        harness::GridCellEntry e;
+        e.jobId = out.cell.jobIdHex();
+        e.app = out.cell.app;
+        e.runtime = out.cell.runtime;
+        e.supply = out.cell.supply.token();
+        e.capUf = out.cell.capUf;
+        e.segmentBytes = out.cell.segmentBytes;
+        e.seed = out.cell.seed;
+        e.completed = out.result.completed;
+        e.starved = out.result.starved;
+        e.verified = out.result.verified;
+        e.reboots = out.result.reboots;
+        e.cycles = out.result.cycles;
+        e.elapsedNs = out.result.elapsedNs;
+        e.onTimeNs = out.result.onTimeNs;
+        e.simMs = out.result.simMsValue();
+        e.cached = stable ? false : out.fromCache;
+        g.cells.push_back(std::move(e));
+    }
+    for (const auto &agg : r.aggregates) {
+        harness::GridAggregateEntry e;
+        e.app = agg.representative.app;
+        e.runtime = agg.representative.runtime;
+        e.supply = agg.representative.supply.token();
+        e.capUf = agg.representative.capUf;
+        e.segmentBytes = agg.representative.segmentBytes;
+        e.cells = agg.cellsMerged;
+        e.completed = agg.completedCells;
+        e.mean = agg.simMs.mean();
+        e.stddev = agg.simMs.stddev();
+        e.min = agg.simMs.min();
+        e.max = agg.simMs.max();
+        e.p50 = agg.simMs.p50();
+        e.p95 = agg.simMs.p95();
+        e.p99 = agg.simMs.p99();
+        g.aggregates.push_back(std::move(e));
+    }
+    return g;
+}
+
+int
+campaignMain(harness::BenchSession &session,
+             const fault::CampaignConfig &cfg,
+             const std::string &patternsPath)
+{
+    session.setSeed(cfg.seed);
+    const fault::CampaignReport report = fault::runCampaign(cfg);
+    fault::campaignTable(report).print(std::cout);
+    fault::violationTable(report).print(std::cout);
+
+    for (const auto &p : report.pairs) {
+        for (const auto &v : p.found) {
+            harness::ReportFinding rf;
+            rf.analysis = "fault-campaign";
+            rf.app = v.app;
+            rf.runtime = v.runtime;
+            rf.subject = v.kind;
+            rf.bytes = v.divergentBytes;
+            rf.detail = v.plan;
+            session.addFinding(std::move(rf));
+        }
+    }
+    if (!patternsPath.empty()) {
+        std::ofstream os(patternsPath);
+        if (!os) {
+            std::fprintf(stderr, "ticssweep: cannot open '%s'\n",
+                         patternsPath.c_str());
+        } else {
+            for (const auto &p : report.pairs)
+                for (const auto &v : p.found)
+                    os << v.app << '/' << v.runtime << ':' << v.plan
+                       << '\n';
+        }
+    }
+    if (report.truncated)
+        std::printf("ticssweep: campaign truncated by --max-seconds; "
+                    "result is not seed-reproducible\n");
+    if (report.ok()) {
+        std::printf("ticssweep: campaign of %llu schedules, protection "
+                    "split holds\n",
+                    static_cast<unsigned long long>(
+                        report.totalSchedules));
+        return 0;
+    }
+    std::printf("ticssweep: UNEXPECTED campaign outcome\n");
+    return 1;
+}
+
+int
+crossvalMain(harness::BenchSession &session,
+             const verify::VerifyConfig &cfg)
+{
+    session.setSeed(cfg.seed);
+    const auto report = verify::crossValidate(cfg);
+    verify::crossValTable(report).print(std::cout);
+    std::printf("ticssweep: coverage %zu/%zu dynamic detections, "
+                "%zu/%zu static findings confirmed\n",
+                report.totalMatched, report.totalDynamic,
+                report.totalConfirmed, report.totalStatic);
+    if (!report.fullCoverage()) {
+        std::printf("UNEXPECTED: dynamic detections escaped the "
+                    "static analyses\n");
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Strips --json/--trace before our own argument loop.
+    harness::BenchSession session("ticssweep", argc, argv);
+
+    enum class Mode { Grid, Campaign, CrossVal };
+    Mode mode = Mode::Grid;
+
+    sweep::SweepConfig cfg;
+    fault::CampaignConfig campaign;
+    verify::VerifyConfig crossval;
+    std::string patternsPath;
+    bool stable = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        const auto axis = [&](const char *key) {
+            std::string err;
+            if (!sweep::parseAxis(cfg.grid, key, next(), err)) {
+                std::fprintf(stderr, "ticssweep: %s\n", err.c_str());
+                std::exit(2);
+            }
+        };
+        if (std::strcmp(arg, "--campaign") == 0) {
+            mode = Mode::Campaign;
+        } else if (std::strcmp(arg, "--crossval") == 0) {
+            mode = Mode::CrossVal;
+        } else if (std::strcmp(arg, "--spec") == 0) {
+            std::string err;
+            if (!sweep::parseGridFile(next(), cfg.grid, err)) {
+                std::fprintf(stderr, "ticssweep: %s\n", err.c_str());
+                return 2;
+            }
+        } else if (std::strcmp(arg, "--apps") == 0) {
+            axis("apps");
+        } else if (std::strcmp(arg, "--runtimes") == 0) {
+            axis("runtimes");
+        } else if (std::strcmp(arg, "--supplies") == 0) {
+            axis("supplies");
+        } else if (std::strcmp(arg, "--caps-uf") == 0) {
+            axis("caps_uf");
+        } else if (std::strcmp(arg, "--segments") == 0) {
+            axis("segments");
+        } else if (std::strcmp(arg, "--seeds") == 0) {
+            axis("seeds");
+        } else if (std::strcmp(arg, "--jobs") == 0) {
+            const unsigned jobs =
+                static_cast<unsigned>(std::atoi(next()));
+            cfg.jobs = jobs;
+            campaign.jobs = jobs;
+            crossval.jobs = jobs;
+        } else if (std::strcmp(arg, "--no-cache") == 0) {
+            cfg.useCache = false;
+        } else if (std::strcmp(arg, "--cache-dir") == 0) {
+            cfg.cacheDir = next();
+        } else if (std::strcmp(arg, "--budget-s") == 0) {
+            const TimeNs b =
+                static_cast<TimeNs>(std::atoll(next())) * kNsPerSec;
+            cfg.budget = b;
+            campaign.budget = b;
+        } else if (std::strcmp(arg, "--stable") == 0) {
+            stable = true;
+        } else if (std::strcmp(arg, "--seed") == 0) {
+            const auto seed =
+                static_cast<std::uint64_t>(std::atoll(next()));
+            campaign.seed = seed;
+            crossval.seed = seed;
+            if (cfg.grid.seeds.size() == 1)
+                cfg.grid.seeds[0] = seed;
+        } else if (std::strcmp(arg, "--random") == 0) {
+            campaign.randomSchedules =
+                static_cast<std::uint32_t>(std::atoi(next()));
+        } else if (std::strcmp(arg, "--max-seconds") == 0) {
+            campaign.maxSeconds = std::atof(next());
+        } else if (std::strcmp(arg, "--patterns") == 0) {
+            patternsPath = next();
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    if (mode == Mode::Campaign)
+        return campaignMain(session, campaign, patternsPath);
+    if (mode == Mode::CrossVal)
+        return crossvalMain(session, crossval);
+
+    const sweep::SweepResult result = sweep::runSweep(cfg);
+    sweep::sweepTable(result).print(std::cout);
+    sweep::aggregateTable(result).print(std::cout);
+    session.setGrid(gridSection(result, stable));
+
+    if (cfg.useCache)
+        std::printf("ticssweep: %zu cells (%llu cached, %llu run) on "
+                    "%u job(s)\n",
+                    result.cells.size(),
+                    static_cast<unsigned long long>(result.cacheHits),
+                    static_cast<unsigned long long>(result.cacheMisses),
+                    result.jobs);
+    else
+        std::printf("ticssweep: %zu cells (cache disabled) on %u "
+                    "job(s)\n",
+                    result.cells.size(), result.jobs);
+    return 0;
+}

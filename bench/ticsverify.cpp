@@ -46,7 +46,7 @@ usage(const char *argv0)
     std::printf(
         "usage: %s [--period-ms N] [--on-fraction F] [--seed N]\n"
         "          [--capacitance-uf F] [--scenario nonterminating]\n"
-        "          [--crossval] [--verbose]\n"
+        "          [--crossval] [--jobs N] [--verbose]\n"
         "          [--baseline PATH] [--write-baseline PATH]\n"
         "          [--json PATH] [--trace PATH]\n"
         "Statically verifies energy progress, timeliness, and I/O\n"
@@ -170,6 +170,8 @@ main(int argc, char **argv)
             nonterminating = true;
         } else if (std::strcmp(arg, "--crossval") == 0) {
             crossval = true;
+        } else if (std::strcmp(arg, "--jobs") == 0) {
+            cfg.jobs = static_cast<unsigned>(std::atoi(next()));
         } else if (std::strcmp(arg, "--verbose") == 0) {
             verbose = true;
         } else if (std::strcmp(arg, "--baseline") == 0) {

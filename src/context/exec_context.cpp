@@ -36,8 +36,11 @@ unpoisonFiberStack(std::uint8_t *base, std::size_t size)
 #endif
 }
 
-/** The context whose trampoline should run next (single-threaded). */
-ExecContext *currentCtx = nullptr;
+/** The context whose trampoline should run next. Thread-local so
+ *  concurrent sweep Boards (one ucontext pair per thread) never see
+ *  each other's contexts; a context must be entered and exited on the
+ *  same thread, which Board::run guarantees by construction. */
+thread_local ExecContext *currentCtx = nullptr;
 
 } // namespace
 

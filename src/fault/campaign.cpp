@@ -1,6 +1,7 @@
 #include "campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <set>
@@ -15,6 +16,7 @@
 #include "runtimes/mementos.hpp"
 #include "runtimes/plainc.hpp"
 #include "support/rng.hpp"
+#include "sweep/job_pool.hpp"
 #include "tics/runtime.hpp"
 #include "timekeeper/timekeeper.hpp"
 
@@ -528,6 +530,13 @@ CampaignReport::ok() const
 CampaignReport
 runCampaign(const CampaignConfig &cfg)
 {
+    // Phased execution on the sweep JobPool. Every subject run uses a
+    // fresh Board and depends only on (pair, plan), so runs can
+    // execute on any worker in any order; the report is assembled
+    // from per-index slots in (pair, schedule) order afterwards,
+    // which makes the output identical for every job count (the
+    // wall-clock cap is the only nondeterministic input, exactly as
+    // in the serial driver).
     CampaignReport rep;
     const auto wallStart = std::chrono::steady_clock::now();
     const auto timeUp = [&] {
@@ -538,45 +547,119 @@ runCampaign(const CampaignConfig &cfg)
         return elapsed.count() >= cfg.maxSeconds;
     };
 
+    const sweep::JobPool pool(cfg.jobs);
     const auto pairs = campaignPairs(cfg);
+
+    // Phase 1: all failure-free reference runs (observe mode).
+    std::vector<PairRunOutcome> refs(pairs.size());
+    pool.run(pairs.size(), [&](std::size_t pi) {
+        refs[pi] = runWithPlan(cfg, pairs[pi], FaultPlan{},
+                               /*observe=*/true);
+    });
+
+    // Phase 2 (serial, cheap): schedule generation from each census.
+    // The Rng stream is a pure function of (seed, pair index).
+    std::vector<std::vector<FaultPlan>> schedules(pairs.size());
     for (std::size_t pi = 0; pi < pairs.size(); ++pi) {
-        const PairSpec &spec = pairs[pi];
-        PairReport pr;
-        pr.app = spec.app;
-        pr.runtime = spec.runtime;
-        pr.isProtected = spec.isProtected;
-
-        const PairRunOutcome ref =
-            runWithPlan(cfg, spec, FaultPlan{}, /*observe=*/true);
-        pr.refCompleted = ref.res.completed;
-        if (!pr.refCompleted) {
-            rep.pairs.push_back(std::move(pr));
+        if (!refs[pi].res.completed)
             continue;
-        }
-
         Rng rng(cfg.seed ^ (0x5FA017ULL + pi * 0x9E3779B97F4A7C15ULL));
-        std::vector<FaultPlan> schedules =
-            systematicSchedules(cfg, spec, ref.census);
-        for (auto &p : randomSchedules(cfg, ref.census, rng))
-            schedules.push_back(std::move(p));
+        schedules[pi] = systematicSchedules(cfg, pairs[pi],
+                                            refs[pi].census);
+        for (auto &p : randomSchedules(cfg, refs[pi].census, rng))
+            schedules[pi].push_back(std::move(p));
+    }
+
+    // Phase 3: every (pair, schedule) subject run, flattened.
+    struct SubjectTask {
+        std::size_t pi = 0;
+        std::size_t si = 0;
+        bool ran = false;
+        std::uint64_t injectedDeaths = 0;
+        std::uint64_t tearsApplied = 0;
+        std::uint64_t flipsApplied = 0;
+        Classification cls;
+    };
+    std::vector<SubjectTask> tasks;
+    for (std::size_t pi = 0; pi < pairs.size(); ++pi) {
+        for (std::size_t si = 0; si < schedules[pi].size(); ++si) {
+            SubjectTask t;
+            t.pi = pi;
+            t.si = si;
+            tasks.push_back(std::move(t));
+        }
+    }
+    std::atomic<bool> truncated{false};
+    pool.run(tasks.size(), [&](std::size_t ti) {
+        SubjectTask &t = tasks[ti];
+        if (timeUp()) {
+            truncated.store(true, std::memory_order_relaxed);
+            return;
+        }
+        const PairRunOutcome sub = runWithPlan(
+            cfg, pairs[t.pi], schedules[t.pi][t.si], false);
+        t.ran = true;
+        t.injectedDeaths = sub.injectedDeaths;
+        t.tearsApplied = sub.tearsApplied;
+        t.flipsApplied = sub.flipsApplied;
+        t.cls = classify(refs[t.pi], sub);
+    });
+
+    // Phase 4: shrink every violating schedule. A shrink is a pure
+    // function of (pair, reference, original plan), so these also
+    // parallelize; shrinkRuns are attributed per violation.
+    std::vector<std::size_t> violating;
+    for (std::size_t ti = 0; ti < tasks.size(); ++ti)
+        if (tasks[ti].ran && !tasks[ti].cls.kind.empty())
+            violating.push_back(ti);
+    std::vector<Violation> shrunk(violating.size());
+    pool.run(violating.size(), [&](std::size_t vi) {
+        if (timeUp()) {
+            // Report the unshrunk schedule rather than dropping the
+            // violation: a truncated campaign must still fail ok().
+            truncated.store(true, std::memory_order_relaxed);
+            const SubjectTask &t = tasks[violating[vi]];
+            Violation v;
+            v.app = pairs[t.pi].app;
+            v.runtime = pairs[t.pi].runtime;
+            v.originalPlan = schedules[t.pi][t.si].format();
+            v.plan = v.originalPlan;
+            v.kind = t.cls.kind;
+            v.divergentBytes = t.cls.divergentBytes;
+            v.replayVerified = false;
+            shrunk[vi] = std::move(v);
+            return;
+        }
+        const SubjectTask &t = tasks[violating[vi]];
+        shrunk[vi] =
+            shrinkViolation(cfg, pairs[t.pi], refs[t.pi],
+                            schedules[t.pi][t.si], t.cls);
+    });
+
+    // Phase 5 (serial): assemble in (pair, schedule) order.
+    std::size_t ti = 0;
+    std::size_t vi = 0;
+    for (std::size_t pi = 0; pi < pairs.size(); ++pi) {
+        PairReport pr;
+        pr.app = pairs[pi].app;
+        pr.runtime = pairs[pi].runtime;
+        pr.isProtected = pairs[pi].isProtected;
+        pr.refCompleted = refs[pi].res.completed;
 
         std::set<std::string> minimizedSeen;
-        for (const auto &plan : schedules) {
-            if (timeUp()) {
-                rep.truncated = true;
-                break;
-            }
-            const PairRunOutcome sub =
-                runWithPlan(cfg, spec, plan, false);
+        for (std::size_t si = 0; si < schedules[pi].size();
+             ++si, ++ti) {
+            const SubjectTask &t = tasks[ti];
+            if (!t.ran)
+                continue;
             ++pr.schedules;
-            pr.injectedDeaths += sub.injectedDeaths;
-            pr.tearsApplied += sub.tearsApplied;
-            pr.flipsApplied += sub.flipsApplied;
-            const Classification c = classify(ref, sub);
-            if (c.kind.empty())
+            pr.injectedDeaths += t.injectedDeaths;
+            pr.tearsApplied += t.tearsApplied;
+            pr.flipsApplied += t.flipsApplied;
+            if (t.cls.kind.empty())
                 continue;
             ++pr.violations;
-            Violation v = shrinkViolation(cfg, spec, ref, plan, c);
+            Violation v = shrunk[vi++];
             // Distinct failing schedules often shrink to the same
             // minimal reproducer; report each reproducer once.
             if (minimizedSeen.insert(v.plan).second)
@@ -586,9 +669,8 @@ runCampaign(const CampaignConfig &cfg)
         rep.totalSchedules += pr.schedules;
         rep.totalViolations += pr.violations;
         rep.pairs.push_back(std::move(pr));
-        if (rep.truncated)
-            break;
     }
+    rep.truncated = truncated.load();
     return rep;
 }
 

@@ -52,6 +52,14 @@ struct CampaignConfig {
     /** Wall-clock cap in seconds; 0 = unlimited. A capped campaign
      *  marks itself truncated (and is then not seed-reproducible). */
     double maxSeconds = 0;
+    /**
+     * Worker threads for the reference / subject / shrink phases
+     * (0 = all hardware threads). Every run uses a fresh Board and
+     * results are assembled in (pair, schedule) order, so any job
+     * count produces the identical report as long as the wall-clock
+     * cap does not fire.
+     */
+    unsigned jobs = 1;
     apps::BcParams bc{};
     apps::CuckooParams cuckoo{};
 

@@ -17,6 +17,8 @@ makeSupply(const SupplySpec &spec)
             spec.patternPeriod, spec.patternOnFraction);
       case PowerSetup::RfHarvested: {
         energy::HarvestingSupply::Config cfg;
+        if (spec.capacitanceF > 0.0)
+            cfg.capacitance = spec.capacitanceF;
         auto rf = std::make_unique<energy::RfHarvester>(
             spec.rfTxEirp, spec.rfDistanceM);
         rf->setFading(/*sigmaDb=*/2.2, /*blockNs=*/40 * kNsPerMs,
@@ -26,6 +28,8 @@ makeSupply(const SupplySpec &spec)
       }
       case PowerSetup::Stochastic: {
         energy::HarvestingSupply::Config cfg;
+        if (spec.capacitanceF > 0.0)
+            cfg.capacitance = spec.capacitanceF;
         return std::make_unique<energy::HarvestingSupply>(
             cfg, std::make_unique<energy::StochasticHarvester>(
                      spec.stochasticPower, spec.stochasticOn,

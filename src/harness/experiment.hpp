@@ -32,6 +32,12 @@ struct SupplySpec {
     /** RF: transmitter EIRP and distance. */
     Watts rfTxEirp = 3.0;
     double rfDistanceM = 2.9;
+    /**
+     * Energy-buffer capacitance override for the harvested setups
+     * (RfHarvested/Stochastic). 0 keeps the supply's default; the
+     * capacitor-sweep experiments (Fig. 9-style) set it per cell.
+     */
+    double capacitanceF = 0.0;
     /** Stochastic: mean power and interval lengths. */
     Watts stochasticPower = 2.2e-3;
     TimeNs stochasticOn = 80 * kNsPerMs;

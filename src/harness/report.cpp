@@ -88,7 +88,8 @@ parseReportArgs(int &argc, char **argv)
 }
 
 BenchSession::BenchSession(std::string bench, ReportOptions opts)
-    : bench_(std::move(bench)), opts_(std::move(opts))
+    : bench_(std::move(bench)), opts_(std::move(opts)),
+      owner_(std::this_thread::get_id())
 {
     gSession = this;
 }
@@ -116,6 +117,15 @@ BenchSession::record(const std::string &label, board::Runtime &rt,
                      board::Board &b, const board::RunResult &res)
 {
     if (!opts_.enabled())
+        return;
+    // Only the session owner's thread records runs. When a driver
+    // (fault campaign, cross-validation) fans board runs out across a
+    // JobPool, worker-thread runs are summarized by that driver's own
+    // deterministic result assembly instead of appending here in
+    // nondeterministic completion order; single-job runs execute
+    // inline on the owner thread and keep recording exactly as
+    // before.
+    if (std::this_thread::get_id() != owner_)
         return;
     RunRecord r;
     r.label = label;
@@ -147,6 +157,13 @@ BenchSession::addFinding(ReportFinding finding)
 }
 
 void
+BenchSession::setGrid(GridSection grid)
+{
+    grid_ = std::move(grid);
+    haveGrid_ = true;
+}
+
+void
 BenchSession::finish()
 {
     if (finished_)
@@ -168,10 +185,13 @@ BenchSession::writeJson() const
     JsonWriter w(os);
     w.beginObject();
     w.member("schema", "ticsim.run_report");
-    // Documents without findings keep emitting version 1 byte-for-byte;
-    // the findings section is the only version-2 addition.
-    w.member("version", findings_.empty() ? kReportVersion
-                                          : kReportVersionFindings);
+    // Documents without findings keep emitting version 1 byte-for-byte
+    // and documents without a grid stay at version 2 (or 1); each
+    // optional section only bumps the version of documents that
+    // actually carry it.
+    w.member("version", haveGrid_ ? kReportVersionGrid
+                        : findings_.empty() ? kReportVersion
+                                            : kReportVersionFindings);
     w.member("bench", bench_);
     // Optional: absent from documents whose bench never set a seed, so
     // their output stays byte-identical.
@@ -229,6 +249,65 @@ BenchSession::writeJson() const
             w.endObject();
         }
         w.endArray();
+    }
+    if (haveGrid_) {
+        w.key("grid").beginObject();
+        w.member("jobs", grid_.jobs);
+        w.member("wall_ms", grid_.wallMs);
+        w.key("cache")
+            .beginObject()
+            .member("hits", grid_.cacheHits)
+            .member("misses", grid_.cacheMisses)
+            .endObject();
+        w.key("cells").beginArray();
+        for (const GridCellEntry &c : grid_.cells) {
+            w.beginObject();
+            w.member("job_id", c.jobId);
+            w.member("app", c.app);
+            w.member("runtime", c.runtime);
+            w.member("supply", c.supply);
+            w.member("cap_uf", c.capUf);
+            w.member("segment_bytes", c.segmentBytes);
+            w.member("seed", c.seed);
+            w.key("result")
+                .beginObject()
+                .member("completed", c.completed)
+                .member("starved", c.starved)
+                .member("verified", c.verified)
+                .member("reboots", c.reboots)
+                .member("cycles", c.cycles)
+                .member("elapsed_ns", c.elapsedNs)
+                .member("on_time_ns", c.onTimeNs)
+                .member("sim_ms", c.simMs)
+                .endObject();
+            w.member("cached", c.cached);
+            w.endObject();
+        }
+        w.endArray();
+        w.key("aggregates").beginArray();
+        for (const GridAggregateEntry &a : grid_.aggregates) {
+            w.beginObject();
+            w.member("app", a.app);
+            w.member("runtime", a.runtime);
+            w.member("supply", a.supply);
+            w.member("cap_uf", a.capUf);
+            w.member("segment_bytes", a.segmentBytes);
+            w.member("cells", a.cells);
+            w.member("completed", a.completed);
+            w.key("sim_ms")
+                .beginObject()
+                .member("mean", a.mean)
+                .member("stddev", a.stddev)
+                .member("min", a.min)
+                .member("max", a.max)
+                .member("p50", a.p50)
+                .member("p95", a.p95)
+                .member("p99", a.p99)
+                .endObject();
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
     }
     w.endObject();
     os << '\n';

@@ -23,6 +23,7 @@
 #define TICSIM_HARNESS_REPORT_HPP
 
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "board/board.hpp"
@@ -36,6 +37,9 @@ constexpr int kReportVersion = 1;
 
 /** Version emitted when the report carries a `findings` section. */
 constexpr int kReportVersionFindings = 2;
+
+/** Version emitted when the report carries a `grid` section. */
+constexpr int kReportVersionGrid = 3;
 
 /**
  * One analysis finding in the report's optional `findings` section
@@ -53,6 +57,65 @@ struct ReportFinding {
     std::uint64_t offset = 0;
     std::uint64_t bytes = 0;
     std::string detail;
+};
+
+/**
+ * One sweep cell in the report's optional `grid` section. Plain data,
+ * deliberately decoupled from the sweep subsystem's types so the
+ * harness stays below it in the library layering.
+ */
+struct GridCellEntry {
+    std::string jobId; ///< 16-hex content hash of the configuration
+    std::string app;
+    std::string runtime;
+    std::string supply;
+    double capUf = 0.0;
+    std::uint64_t segmentBytes = 0;
+    std::uint64_t seed = 0;
+    bool completed = false;
+    bool starved = false;
+    bool verified = false;
+    std::uint64_t reboots = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t elapsedNs = 0;
+    std::uint64_t onTimeNs = 0;
+    double simMs = 0.0;
+    bool cached = false;
+};
+
+/** One cross-seed aggregate row in the `grid` section. */
+struct GridAggregateEntry {
+    std::string app;
+    std::string runtime;
+    std::string supply;
+    double capUf = 0.0;
+    std::uint64_t segmentBytes = 0;
+    std::uint64_t cells = 0;
+    std::uint64_t completed = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+/**
+ * The `grid` section (written by ticssweep; bumps the report to
+ * version 3). Cells must already be in canonical JobId order — the
+ * writer serializes them verbatim, which is what makes serial and
+ * parallel sweeps emit byte-identical documents. `jobs` and `wallMs`
+ * are the only fields that legitimately vary between otherwise
+ * identical runs; --stable mode zeroes them before recording.
+ */
+struct GridSection {
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t jobs = 0;
+    double wallMs = 0.0;
+    std::vector<GridCellEntry> cells;
+    std::vector<GridAggregateEntry> aggregates;
 };
 
 struct ReportOptions {
@@ -103,6 +166,9 @@ class BenchSession
     /** Attach an analysis finding; bumps the report to version 2. */
     void addFinding(ReportFinding finding);
 
+    /** Attach the sweep grid; bumps the report to version 3. */
+    void setGrid(GridSection grid);
+
     /** Write the JSON report and trace now (idempotent). */
     void finish();
 
@@ -130,7 +196,11 @@ class BenchSession
     bool haveSeed_ = false;
     std::vector<RunRecord> runs_;
     std::vector<ReportFinding> findings_;
+    GridSection grid_;
+    bool haveGrid_ = false;
     bool finished_ = false;
+    /** The thread that constructed the session (see record()). */
+    std::thread::id owner_;
 };
 
 /**

@@ -5,7 +5,10 @@ namespace ticsim::mem {
 namespace {
 
 MemHooks passThrough;
-MemHooks *current = &passThrough;
+// Thread-local like the trace sink and store gate: each concurrently
+// sweeping Board installs its runtime's hooks on its own thread. The
+// stateless pass-through instance is safely shared by all threads.
+thread_local MemHooks *current = &passThrough;
 
 } // namespace
 

@@ -45,10 +45,11 @@ class MemHooks
     virtual void preRead(const void *hostAddr, std::uint32_t bytes) {}
 };
 
-/** Currently installed hooks (never null; defaults to pass-through). */
+/** The calling thread's installed hooks (never null; defaults to a
+ *  shared stateless pass-through). */
 MemHooks &hooks();
 
-/** Install hooks; returns the previous set (single-threaded sim). */
+/** Install hooks on the calling thread; returns the previous set. */
 MemHooks *setHooks(MemHooks *h);
 
 /** RAII hook installation for Board::run scopes. */

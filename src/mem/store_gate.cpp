@@ -3,7 +3,7 @@
 namespace ticsim::mem {
 
 namespace detail {
-StoreGate *g_gate = nullptr;
+thread_local StoreGate *g_gate = nullptr;
 } // namespace detail
 
 StoreGate *

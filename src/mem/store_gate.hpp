@@ -53,11 +53,13 @@ class StoreGate
 };
 
 namespace detail {
-extern StoreGate *g_gate;
+/** Thread-local for the same reason as mem::detail::g_sink: concurrent
+ *  sweep Boards each install their own injector without cross-talk. */
+extern thread_local StoreGate *g_gate;
 } // namespace detail
 
-/** Install @p g as the store gate; returns the previous one (may be
- *  null). Pass nullptr to restore direct stores. Single-threaded sim. */
+/** Install @p g as the calling thread's store gate; returns the
+ *  previous one (may be null). Pass nullptr to restore direct stores. */
 StoreGate *setStoreGate(StoreGate *g);
 
 /** Perform an instrumented NV store through the installed gate. */
@@ -71,7 +73,8 @@ gatedStore(StoreSite site, void *dst, const void *src,
         std::memcpy(dst, src, bytes);
 }
 
-/** RAII gate installation for the scope of one faulted Board::run. */
+/** RAII gate installation for the scope of one faulted Board::run on
+ *  the current thread. */
 class ScopedStoreGate
 {
   public:
@@ -84,6 +87,9 @@ class ScopedStoreGate
   private:
     StoreGate *prev_;
 };
+
+/** Short name used by the sweep/fault/verify subsystems. */
+using ScopedGate = ScopedStoreGate;
 
 } // namespace ticsim::mem
 

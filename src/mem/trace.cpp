@@ -3,7 +3,7 @@
 namespace ticsim::mem {
 
 namespace detail {
-AccessSink *g_sink = nullptr;
+thread_local AccessSink *g_sink = nullptr;
 } // namespace detail
 
 AccessSink *

@@ -101,11 +101,18 @@ class AccessSink
 };
 
 namespace detail {
-extern AccessSink *g_sink;
+/**
+ * The installed sink is thread-local: every simulated Board lives on
+ * exactly one host thread, and the sweep engine (src/sweep/) runs many
+ * Boards on concurrent threads — each with its own tracer — so the
+ * sink must never leak between them. Serial code is unaffected (one
+ * thread, one slot, same semantics as the old process global).
+ */
+extern thread_local AccessSink *g_sink;
 } // namespace detail
 
-/** Install @p s as the trace sink; returns the previous one (may be
- *  null). Pass nullptr to disable tracing. Single-threaded sim. */
+/** Install @p s as the calling thread's trace sink; returns the
+ *  previous one (may be null). Pass nullptr to disable tracing. */
 AccessSink *setAccessSink(AccessSink *s);
 
 /** Currently installed sink, or nullptr when tracing is off. */
@@ -160,7 +167,8 @@ traceSideEvent(SideEventKind kind, const char *id = nullptr,
         detail::g_sink->sideEvent(SideEvent{kind, id, u0, u1});
 }
 
-/** RAII sink installation for the scope of one traced Board::run. */
+/** RAII sink installation for the scope of one traced Board::run on
+ *  the current thread. */
 class ScopedAccessSink
 {
   public:
@@ -173,6 +181,9 @@ class ScopedAccessSink
   private:
     AccessSink *prev_;
 };
+
+/** Short name used by the sweep/fault/verify subsystems. */
+using ScopedSink = ScopedAccessSink;
 
 } // namespace ticsim::mem
 

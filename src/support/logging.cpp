@@ -3,20 +3,42 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 namespace ticsim {
 
+namespace {
+
+/** Per-thread virtual-clock binding for the log-line prefix. */
+thread_local const std::uint64_t *tlsClockNs = nullptr;
+
+/** Per-thread sweep-cell job tag (nullptr outside a sweep). */
+thread_local const char *tlsJobTag = nullptr;
+
+/** Serializes line emission across concurrent sweep workers. */
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
+
 Logger::Logger()
 {
+    // Read TICSIM_LOG exactly once, in the Magic Statics-guarded
+    // singleton constructor. Worker threads only ever see the cached
+    // atomic level; they never touch the environment.
     const char *env = std::getenv("TICSIM_LOG");
     if (env == nullptr)
         return;
     if (std::strcmp(env, "quiet") == 0) {
-        level_ = LogLevel::Quiet;
+        setLevel(LogLevel::Quiet);
     } else if (std::strcmp(env, "normal") == 0) {
-        level_ = LogLevel::Normal;
+        setLevel(LogLevel::Normal);
     } else if (std::strcmp(env, "debug") == 0) {
-        level_ = LogLevel::Debug;
+        setLevel(LogLevel::Debug);
     } else {
         std::fprintf(stderr,
                      "warn: TICSIM_LOG=%s not one of quiet/normal/debug; "
@@ -32,15 +54,37 @@ Logger::get()
     return instance;
 }
 
+const std::uint64_t *
+Logger::setClock(const std::uint64_t *nowNs)
+{
+    const std::uint64_t *prev = tlsClockNs;
+    tlsClockNs = nowNs;
+    return prev;
+}
+
+const char *
+Logger::setJobTag(const char *tag)
+{
+    const char *prev = tlsJobTag;
+    tlsJobTag = tag;
+    return prev;
+}
+
 void
 Logger::vlog(LogLevel level, const char *prefix, const char *fmt,
              std::va_list ap)
 {
-    if (level > level_)
+    if (level > this->level())
         return;
-    if (clockNs_ != nullptr) {
+    // One lock per line: the prefix (job tag + the calling board's
+    // virtual time), body and newline must never interleave with
+    // another worker's output.
+    std::lock_guard<std::mutex> lock(logMutex());
+    if (tlsJobTag != nullptr)
+        std::fprintf(stderr, "[%s] ", tlsJobTag);
+    if (tlsClockNs != nullptr) {
         std::fprintf(stderr, "[%12.3f ms] ",
-                     static_cast<double>(*clockNs_) / 1e6);
+                     static_cast<double>(*tlsClockNs) / 1e6);
     }
     std::fprintf(stderr, "%s", prefix);
     std::vfprintf(stderr, fmt, ap);

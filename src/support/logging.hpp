@@ -9,7 +9,9 @@
 #ifndef TICSIM_SUPPORT_LOGGING_HPP
 #define TICSIM_SUPPORT_LOGGING_HPP
 
+#include <atomic>
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 
 namespace ticsim {
@@ -27,31 +29,47 @@ enum class LogLevel {
  * own tables.
  *
  * The initial level honors the TICSIM_LOG environment variable
- * ("quiet", "normal" or "debug"), so bench binaries and CI can raise
- * or silence verbosity without recompiling; setLevel() still wins
- * afterwards. While a Board is running it binds its virtual clock
- * here, and every line is prefixed with the current virtual time.
+ * ("quiet", "normal" or "debug"), read exactly once at first use and
+ * cached — concurrent sweep workers must never call getenv() while
+ * another thread might be mutating the environment. setLevel() still
+ * wins afterwards (the level is atomic, so workers may read it while
+ * the main thread adjusts it).
+ *
+ * The virtual-time clock binding and the sweep job tag are
+ * thread-local: every Board runs on exactly one host thread, so the
+ * log-line prefix always shows the *calling board's* clock, and lines
+ * emitted from inside a sweep cell are tagged with its JobId. Line
+ * emission is serialized so concurrent boards never interleave
+ * characters within a line.
  */
 class Logger
 {
   public:
     static Logger &get();
 
-    void setLevel(LogLevel level) { level_ = level; }
-    LogLevel level() const { return level_; }
+    void setLevel(LogLevel level)
+    {
+        level_.store(level, std::memory_order_relaxed);
+    }
+    LogLevel level() const
+    {
+        return level_.load(std::memory_order_relaxed);
+    }
 
     /**
-     * Bind the virtual-time source used for the log-line prefix
-     * (nullptr unbinds). @return the previous binding, so scoped users
-     * (Board::run) can restore it.
+     * Bind the calling thread's virtual-time source used for the
+     * log-line prefix (nullptr unbinds). @return the previous binding,
+     * so scoped users (Board::run) can restore it.
      */
-    const std::uint64_t *
-    setClock(const std::uint64_t *nowNs)
-    {
-        const std::uint64_t *prev = clockNs_;
-        clockNs_ = nowNs;
-        return prev;
-    }
+    const std::uint64_t *setClock(const std::uint64_t *nowNs);
+
+    /**
+     * Tag the calling thread's log lines with a sweep job identifier
+     * (nullptr untags). The string must outlive the binding; the sweep
+     * engine scopes it around one cell's execution. @return the
+     * previous tag, for RAII restoration.
+     */
+    const char *setJobTag(const char *tag);
 
     /** printf-style message at the given level (no newline appended). */
     void vlog(LogLevel level, const char *prefix, const char *fmt,
@@ -60,8 +78,24 @@ class Logger
   private:
     Logger();
 
-    LogLevel level_ = LogLevel::Normal;
-    const std::uint64_t *clockNs_ = nullptr;
+    std::atomic<LogLevel> level_{LogLevel::Normal};
+};
+
+/** Scoped sweep-cell job tag for the calling thread's log lines. */
+class ScopedLogJobTag
+{
+  public:
+    explicit ScopedLogJobTag(const char *tag)
+        : prev_(Logger::get().setJobTag(tag))
+    {
+    }
+    ~ScopedLogJobTag() { Logger::get().setJobTag(prev_); }
+
+    ScopedLogJobTag(const ScopedLogJobTag &) = delete;
+    ScopedLogJobTag &operator=(const ScopedLogJobTag &) = delete;
+
+  private:
+    const char *prev_;
 };
 
 /**

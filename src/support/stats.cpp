@@ -2,9 +2,24 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <iomanip>
+#include <sstream>
 
 #include "logging.hpp"
+
+namespace {
+
+/** Bit-exact double-to-text for the cache encoding. */
+std::string
+fmtDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
 
 namespace ticsim {
 
@@ -59,6 +74,82 @@ void
 Distribution::reset()
 {
     *this = Distribution();
+}
+
+void
+Distribution::merge(const Distribution &other)
+{
+    if (other.count_ == 0)
+        return; // empty shard: nothing to fold in
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double n = na + nb;
+    const double delta = other.mean_ - mean_;
+    // Chan et al. parallel update: the cross term accounts for the two
+    // shards' means disagreeing.
+    mean_ += delta * (nb / n);
+    m2_ += other.m2_ + delta * delta * (na * nb / n);
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    for (int i = 0; i < kBuckets; ++i)
+        hist_[static_cast<std::size_t>(i)] +=
+            other.hist_[static_cast<std::size_t>(i)];
+}
+
+std::string
+Distribution::encode() const
+{
+    std::ostringstream os;
+    os << count_ << ' ' << fmtDouble(sum_) << ' ' << fmtDouble(mean_)
+       << ' ' << fmtDouble(m2_) << ' ' << fmtDouble(min_) << ' '
+       << fmtDouble(max_);
+    // Sparse histogram: "index:count" for non-empty buckets only.
+    for (int i = 0; i < kBuckets; ++i) {
+        const std::uint64_t c = hist_[static_cast<std::size_t>(i)];
+        if (c != 0)
+            os << ' ' << i << ':' << c;
+    }
+    return os.str();
+}
+
+bool
+Distribution::decode(const std::string &text)
+{
+    reset();
+    std::istringstream is(text);
+    if (!(is >> count_ >> sum_ >> mean_ >> m2_ >> min_ >> max_)) {
+        reset();
+        return false;
+    }
+    std::string tok;
+    while (is >> tok) {
+        const auto colon = tok.find(':');
+        if (colon == std::string::npos) {
+            reset();
+            return false;
+        }
+        int idx = -1;
+        std::uint64_t c = 0;
+        try {
+            idx = std::stoi(tok.substr(0, colon));
+            c = std::stoull(tok.substr(colon + 1));
+        } catch (...) {
+            reset();
+            return false;
+        }
+        if (idx < 0 || idx >= kBuckets) {
+            reset();
+            return false;
+        }
+        hist_[static_cast<std::size_t>(idx)] = c;
+    }
+    return true;
 }
 
 double

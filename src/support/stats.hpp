@@ -51,6 +51,29 @@ class Distribution
     void sample(double v);
     void reset();
 
+    /**
+     * Fold another distribution's samples into this one, as if every
+     * sample() call on @p other had been made here instead. Uses the
+     * parallel Welford combination (Chan et al.) for the mean and
+     * squared-deviation sum, so sweep shards merged in any order give
+     * the same mean/stddev as a single-pass accumulation up to
+     * floating-point rounding, and bucket-wise histogram addition so
+     * percentiles are exact with respect to the shared bucket layout.
+     */
+    void merge(const Distribution &other);
+
+    /**
+     * Serialize the full state (moments plus non-empty histogram
+     * buckets) to a compact text form for the sweep result cache.
+     * Doubles use %.17g so decode() round-trips bit-exactly and a
+     * cache-hit replay emits byte-identical JSON reports.
+     */
+    std::string encode() const;
+
+    /** Rebuild from encode() output. @return false on malformed text
+     *  (the distribution is reset in that case). */
+    bool decode(const std::string &text);
+
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
     double mean() const { return count_ ? mean_ : 0.0; }

@@ -1,0 +1,123 @@
+#include "cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.hpp"
+
+namespace ticsim::sweep {
+
+std::string
+CellResult::encode() const
+{
+    std::ostringstream os;
+    os << (completed ? 1 : 0) << ' ' << (starved ? 1 : 0) << ' '
+       << (verified ? 1 : 0) << ' ' << reboots << ' ' << cycles << ' '
+       << elapsedNs << ' ' << onTimeNs;
+    return os.str();
+}
+
+bool
+CellResult::decode(const std::string &text)
+{
+    *this = CellResult{};
+    std::istringstream is(text);
+    int c = 0;
+    int s = 0;
+    int v = 0;
+    if (!(is >> c >> s >> v >> reboots >> cycles >> elapsedNs >>
+          onTimeNs)) {
+        *this = CellResult{};
+        return false;
+    }
+    completed = c != 0;
+    starved = s != 0;
+    verified = v != 0;
+    return true;
+}
+
+ResultCache::ResultCache(std::string dir, std::string salt)
+    : dir_(std::move(dir)), salt_(std::move(salt))
+{
+}
+
+std::string
+ResultCache::entryPath(const Cell &cell) const
+{
+    const std::uint64_t key =
+        fnv1a64(cell.canonical() + "|salt=" + salt_);
+    char name[32];
+    std::snprintf(name, sizeof(name), "%016llx.cell",
+                  static_cast<unsigned long long>(key));
+    return dir_ + "/" + name;
+}
+
+bool
+ResultCache::lookup(const Cell &cell, CellResult &out) const
+{
+    if (!enabled())
+        return false;
+    std::ifstream in(entryPath(cell));
+    if (!in)
+        return false;
+    std::string header;
+    std::string config;
+    std::string salt;
+    std::string result;
+    std::string dist;
+    if (!std::getline(in, header) || !std::getline(in, config) ||
+        !std::getline(in, salt) || !std::getline(in, result) ||
+        !std::getline(in, dist))
+        return false;
+    // Verify the configuration echo: a key collision or stale salt is
+    // a miss, never a wrong result.
+    if (header != "ticssweep-cache 1" ||
+        config != "config " + cell.canonical() ||
+        salt != "salt " + salt_)
+        return false;
+    CellResult r;
+    if (result.rfind("result ", 0) != 0 ||
+        dist.rfind("dist ", 0) != 0 ||
+        !r.decode(result.substr(7)) || !r.simMs.decode(dist.substr(5)))
+        return false;
+    out = r;
+    return true;
+}
+
+void
+ResultCache::store(const Cell &cell, const CellResult &r) const
+{
+    if (!enabled())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+        warn("ticssweep cache: cannot create '%s': %s", dir_.c_str(),
+             ec.message().c_str());
+        return;
+    }
+    const std::string path = entryPath(cell);
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream outF(tmp, std::ios::trunc);
+        if (!outF) {
+            warn("ticssweep cache: cannot write '%s'", tmp.c_str());
+            return;
+        }
+        outF << "ticssweep-cache 1\n"
+             << "config " << cell.canonical() << '\n'
+             << "salt " << salt_ << '\n'
+             << "result " << r.encode() << '\n'
+             << "dist " << r.simMs.encode() << '\n';
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        warn("ticssweep cache: cannot publish '%s': %s", path.c_str(),
+             ec.message().c_str());
+        std::filesystem::remove(tmp, ec);
+    }
+}
+
+} // namespace ticsim::sweep

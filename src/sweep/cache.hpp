@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Content-addressed result cache for sweep cells.
+ *
+ * A cell's outcome is fully determined by its canonical configuration
+ * string (the simulator is deterministic per seed and every run gets a
+ * fresh Board), so results are cached under
+ * hash(canonical-config + code-version salt). The salt is bumped
+ * whenever a change to the simulator can alter results, invalidating
+ * the whole cache rather than serving stale numbers. Every entry
+ * echoes the exact configuration and salt it was written for, and a
+ * lookup whose echo does not match is treated as a miss — a hash
+ * collision or hand-edited file can cost a re-run, never a wrong
+ * result.
+ *
+ * All numeric state is serialized with %.17g (see
+ * Distribution::encode), so a cache hit reproduces the original run's
+ * doubles bit-exactly and cached and fresh sweeps emit byte-identical
+ * JSON reports.
+ */
+
+#ifndef TICSIM_SWEEP_CACHE_HPP
+#define TICSIM_SWEEP_CACHE_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "support/stats.hpp"
+#include "sweep/grid.hpp"
+
+namespace ticsim::sweep {
+
+/**
+ * Bump on any simulator change that can alter cell results (cost
+ * model, runtime logic, supply models, app workloads...). The sweep
+ * driver folds this into every cache key.
+ */
+inline constexpr const char *kCacheSalt = "ticsim-sweep-v1";
+
+/** One cell's measured outcome. */
+struct CellResult {
+    bool completed = false;
+    bool starved = false;
+    bool verified = false; ///< the app's own output verification
+    std::uint64_t reboots = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t elapsedNs = 0; ///< total virtual time (on + off)
+    std::uint64_t onTimeNs = 0;  ///< powered virtual time
+    /** Powered-ms samples (one per run) for cross-seed aggregation. */
+    Distribution simMs;
+
+    /** Single-line text serialization (cache payload). */
+    std::string encode() const;
+    /** @return false on malformed text (result is reset). */
+    bool decode(const std::string &text);
+
+    double simMsValue() const
+    {
+        return static_cast<double>(onTimeNs) / 1e6;
+    }
+};
+
+/**
+ * Directory-backed cache, one file per cell keyed by
+ * fnv1a64(canonical + salt). Concurrent writers are safe: entries are
+ * staged to a per-key temp file and published with an atomic rename.
+ */
+class ResultCache
+{
+  public:
+    /** @param dir cache directory; empty disables the cache. */
+    explicit ResultCache(std::string dir,
+                         std::string salt = kCacheSalt);
+
+    bool enabled() const { return !dir_.empty(); }
+
+    /** @return true and fill @p out on a verified hit. */
+    bool lookup(const Cell &cell, CellResult &out) const;
+
+    /** Persist @p r for @p cell (no-op when disabled). */
+    void store(const Cell &cell, const CellResult &r) const;
+
+    /** The key file path for @p cell (for tests and diagnostics). */
+    std::string entryPath(const Cell &cell) const;
+
+  private:
+    std::string dir_;
+    std::string salt_;
+};
+
+} // namespace ticsim::sweep
+
+#endif // TICSIM_SWEEP_CACHE_HPP

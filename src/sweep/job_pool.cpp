@@ -1,0 +1,109 @@
+#include "job_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ticsim::sweep {
+
+JobPool::JobPool(unsigned jobs)
+    : jobs_(jobs == 0 ? defaultJobs() : jobs)
+{
+}
+
+unsigned
+JobPool::defaultJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1u : hw;
+}
+
+namespace {
+
+/** One worker's share of the index space. */
+struct WorkerQueue {
+    std::mutex m;
+    std::deque<std::size_t> dq;
+};
+
+} // namespace
+
+void
+JobPool::run(std::size_t count,
+             const std::function<void(std::size_t)> &body) const
+{
+    if (count == 0)
+        return;
+
+    const std::size_t nWorkers =
+        std::min<std::size_t>(jobs_, count);
+    if (nWorkers <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    std::vector<WorkerQueue> queues(nWorkers);
+    for (std::size_t i = 0; i < count; ++i)
+        queues[i % nWorkers].dq.push_back(i);
+
+    std::atomic<bool> aborting{false};
+    std::exception_ptr firstError;
+    std::mutex errorMutex;
+
+    // Pop from the front of our own deque; steal from the back of a
+    // neighbor's so the victim's cache-warm front entries stay put.
+    const auto nextIndex = [&](std::size_t self,
+                               std::size_t &out) -> bool {
+        {
+            WorkerQueue &q = queues[self];
+            std::lock_guard<std::mutex> lock(q.m);
+            if (!q.dq.empty()) {
+                out = q.dq.front();
+                q.dq.pop_front();
+                return true;
+            }
+        }
+        for (std::size_t off = 1; off < nWorkers; ++off) {
+            WorkerQueue &q = queues[(self + off) % nWorkers];
+            std::lock_guard<std::mutex> lock(q.m);
+            if (!q.dq.empty()) {
+                out = q.dq.back();
+                q.dq.pop_back();
+                return true;
+            }
+        }
+        return false;
+    };
+
+    {
+        std::vector<std::jthread> workers;
+        workers.reserve(nWorkers);
+        for (std::size_t w = 0; w < nWorkers; ++w) {
+            workers.emplace_back([&, w] {
+                std::size_t idx = 0;
+                while (!aborting.load(std::memory_order_relaxed) &&
+                       nextIndex(w, idx)) {
+                    try {
+                        body(idx);
+                    } catch (...) {
+                        std::lock_guard<std::mutex> lock(errorMutex);
+                        if (!firstError)
+                            firstError = std::current_exception();
+                        aborting.store(true,
+                                       std::memory_order_relaxed);
+                    }
+                }
+            });
+        }
+    } // jthread joins here
+
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+} // namespace ticsim::sweep

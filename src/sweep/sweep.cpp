@@ -1,0 +1,321 @@
+#include "sweep.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "apps/ar/ar_chinchilla.hpp"
+#include "apps/ar/ar_legacy.hpp"
+#include "apps/ar/ar_task.hpp"
+#include "apps/bc/bc_chinchilla.hpp"
+#include "apps/bc/bc_legacy.hpp"
+#include "apps/bc/bc_task.hpp"
+#include "apps/cuckoo/cuckoo_chinchilla.hpp"
+#include "apps/cuckoo/cuckoo_legacy.hpp"
+#include "apps/cuckoo/cuckoo_task.hpp"
+#include "harness/experiment.hpp"
+#include "runtimes/chinchilla.hpp"
+#include "runtimes/mementos.hpp"
+#include "runtimes/plainc.hpp"
+#include "runtimes/task_core.hpp"
+#include "support/logging.hpp"
+#include "sweep/job_pool.hpp"
+#include "tics/runtime.hpp"
+
+namespace ticsim::sweep {
+
+namespace {
+
+harness::SupplySpec
+supplySpecFor(const Cell &cell)
+{
+    harness::SupplySpec spec;
+    switch (cell.supply.kind) {
+      case SupplyKind::Continuous:
+        spec = harness::continuousSpec();
+        break;
+      case SupplyKind::Pattern:
+        spec = harness::patternSpec(
+            static_cast<TimeNs>(cell.supply.periodMs *
+                                static_cast<double>(kNsPerMs)),
+            cell.supply.onFraction);
+        break;
+      case SupplyKind::Rf:
+        spec.setup = harness::PowerSetup::RfHarvested;
+        break;
+      case SupplyKind::Stochastic:
+        spec.setup = harness::PowerSetup::Stochastic;
+        break;
+    }
+    spec.seed = cell.seed;
+    if (cell.capUf > 0.0)
+        spec.capacitanceF = cell.capUf * 1e-6;
+    return spec;
+}
+
+/**
+ * One fresh board + runtime + app, exactly like the checker's
+ * reference runs: nothing persists between cells, so a cell's result
+ * depends only on its configuration.
+ */
+template <typename MakeRt, typename MakeApp>
+CellResult
+runWith(const Cell &cell, TimeNs budget, const MakeRt &makeRt,
+        const MakeApp &makeApp)
+{
+    auto board = harness::makeBoard(supplySpecFor(cell), cell.seed);
+    auto rt = makeRt();
+    auto app = makeApp(*board, *rt);
+
+    std::function<void()> entry;
+    if constexpr (requires { app->main(); })
+        entry = [&app] { app->main(); };
+
+    const board::RunResult res =
+        board->run(*rt, std::move(entry), budget);
+
+    CellResult out;
+    out.completed = res.completed;
+    out.starved = res.starved;
+    out.verified = app->verify();
+    out.reboots = res.reboots;
+    out.cycles = res.cycles;
+    out.elapsedNs = res.elapsed;
+    out.onTimeNs = res.onTime;
+    out.simMs.sample(out.simMsValue());
+    return out;
+}
+
+template <typename MakeRt>
+CellResult
+runLegacyApp(const Cell &cell, TimeNs budget, const MakeRt &makeRt)
+{
+    if (cell.app == "AR") {
+        return runWith(cell, budget, makeRt,
+                       [](board::Board &b, auto &rt) {
+                           return std::make_unique<apps::ArLegacyApp>(
+                               b, rt, apps::ArParams{});
+                       });
+    }
+    if (cell.app == "BC") {
+        return runWith(cell, budget, makeRt,
+                       [](board::Board &b, auto &rt) {
+                           return std::make_unique<apps::BcLegacyApp>(
+                               b, rt, apps::BcParams{});
+                       });
+    }
+    return runWith(cell, budget, makeRt,
+                   [](board::Board &b, auto &rt) {
+                       return std::make_unique<apps::CuckooLegacyApp>(
+                           b, rt, apps::CuckooParams{});
+                   });
+}
+
+} // namespace
+
+CellResult
+runCell(const Cell &cell, const SweepConfig &cfg)
+{
+    // Plain C under an interrupting supply restarts from scratch every
+    // reboot; time-box it like the checker does.
+    const bool interrupting =
+        cell.supply.kind != SupplyKind::Continuous;
+    const TimeNs budget = (cell.runtime == "plain-C" && interrupting)
+                              ? cfg.unprotectedBudget
+                              : cfg.budget;
+
+    if (cell.runtime == "plain-C") {
+        return runLegacyApp(cell, budget, [] {
+            return std::make_unique<runtimes::PlainCRuntime>();
+        });
+    }
+    if (cell.runtime == "TICS") {
+        const std::uint32_t seg =
+            cell.segmentBytes ? cell.segmentBytes : 256;
+        return runLegacyApp(cell, budget, [seg] {
+            tics::TicsConfig tc;
+            tc.segmentBytes = seg;
+            tc.policy = tics::PolicyKind::Timer;
+            tc.timerPeriod = 10 * kNsPerMs;
+            return std::make_unique<tics::TicsRuntime>(tc);
+        });
+    }
+    if (cell.runtime == "MementOS-like") {
+        return runLegacyApp(cell, budget, [] {
+            return std::make_unique<runtimes::MementosRuntime>();
+        });
+    }
+    if (cell.runtime == "Chinchilla-like") {
+        const auto makeRt = [] {
+            return std::make_unique<runtimes::ChinchillaRuntime>();
+        };
+        if (cell.app == "AR") {
+            return runWith(
+                cell, budget, makeRt, [](board::Board &b, auto &rt) {
+                    return std::make_unique<apps::ArChinchillaApp>(
+                        b, rt, apps::ArParams{});
+                });
+        }
+        if (cell.app == "BC") {
+            // Chinchilla cannot compile the recursive BC; the sweep
+            // runs the hand-derecursed variant (Fig. 9's extra row).
+            return runWith(
+                cell, budget, makeRt, [](board::Board &b, auto &rt) {
+                    return std::make_unique<apps::BcChinchillaApp>(
+                        b, rt, apps::BcParams{});
+                });
+        }
+        return runWith(
+            cell, budget, makeRt, [](board::Board &b, auto &rt) {
+                return std::make_unique<apps::CuckooChinchillaApp>(
+                    b, rt, apps::CuckooParams{});
+            });
+    }
+    if (cell.runtime == "Alpaca-like") {
+        const auto makeRt = [] {
+            return std::make_unique<taskrt::TaskRuntime>();
+        };
+        if (cell.app == "AR") {
+            return runWith(
+                cell, budget, makeRt, [](board::Board &b, auto &rt) {
+                    return std::make_unique<apps::ArTaskApp>(
+                        b, rt, apps::ArParams{});
+                });
+        }
+        if (cell.app == "BC") {
+            return runWith(
+                cell, budget, makeRt, [](board::Board &b, auto &rt) {
+                    return std::make_unique<apps::BcTaskApp>(
+                        b, rt, apps::BcParams{});
+                });
+        }
+        return runWith(
+            cell, budget, makeRt, [](board::Board &b, auto &rt) {
+                return std::make_unique<apps::CuckooTaskApp>(
+                    b, rt, apps::CuckooParams{});
+            });
+    }
+    fatal("ticssweep: unknown runtime '%s'", cell.runtime.c_str());
+}
+
+SweepResult
+runSweep(const SweepConfig &cfg)
+{
+    SweepResult result;
+    const std::vector<Cell> cells = cfg.grid.cells();
+    result.cells.resize(cells.size());
+
+    const ResultCache cache(cfg.useCache ? cfg.cacheDir
+                                         : std::string());
+    const JobPool pool(cfg.jobs);
+    result.jobs = pool.jobs();
+
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+
+    const auto wallStart = std::chrono::steady_clock::now();
+    pool.run(cells.size(), [&](std::size_t i) {
+        const Cell &cell = cells[i];
+        SweepCellOutcome &out = result.cells[i];
+        out.cell = cell;
+        if (cache.lookup(cell, out.result)) {
+            out.fromCache = true;
+            hits.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        // Tag this worker's log lines with the cell's JobId for the
+        // duration of the run.
+        const std::string tag = cell.jobIdHex();
+        ScopedLogJobTag logTag(tag.c_str());
+        out.result = runCell(cell, cfg);
+        out.fromCache = false;
+        if (cache.enabled()) {
+            cache.store(cell, out.result);
+            misses.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+    const auto wallEnd = std::chrono::steady_clock::now();
+    result.wallMs =
+        std::chrono::duration<double, std::milli>(wallEnd - wallStart)
+            .count();
+    result.cacheHits = hits.load();
+    result.cacheMisses = misses.load();
+
+    // Aggregate across seeds: groups keyed by the configuration minus
+    // the seed, merged in the cells' canonical JobId order (std::map
+    // makes the group order itself deterministic too).
+    std::map<std::string, SweepAggregate> groups;
+    for (const SweepCellOutcome &out : result.cells) {
+        const std::string key = out.cell.groupKey();
+        auto [it, inserted] =
+            groups.try_emplace(key, SweepAggregate{});
+        SweepAggregate &agg = it->second;
+        if (inserted) {
+            agg.groupKey = key;
+            agg.representative = out.cell;
+        }
+        ++agg.cellsMerged;
+        if (out.result.completed)
+            ++agg.completedCells;
+        agg.simMs.merge(out.result.simMs);
+    }
+    result.aggregates.reserve(groups.size());
+    for (auto &kv : groups)
+        result.aggregates.push_back(std::move(kv.second));
+    return result;
+}
+
+Table
+sweepTable(const SweepResult &r)
+{
+    Table t("ticssweep: per-cell results");
+    t.header({"JobId", "App", "Runtime", "Supply", "Cap uF", "Seg",
+              "Seed", "Done", "Verified", "Reboots", "Sim ms",
+              "Cached"});
+    for (const auto &out : r.cells) {
+        const Cell &c = out.cell;
+        t.row()
+            .cell(c.jobIdHex())
+            .cell(c.app)
+            .cell(c.runtime)
+            .cell(c.supply.token())
+            .cell(c.capUf)
+            .cell(static_cast<std::uint64_t>(c.segmentBytes))
+            .cell(c.seed)
+            .cell(out.result.completed ? "yes" : "no")
+            .cell(out.result.verified ? "yes" : "no")
+            .cell(out.result.reboots)
+            .cell(out.result.simMsValue())
+            .cell(out.fromCache ? "hit" : "run");
+    }
+    return t;
+}
+
+Table
+aggregateTable(const SweepResult &r)
+{
+    Table t("ticssweep: cross-seed aggregates (powered sim ms)");
+    t.header({"App", "Runtime", "Supply", "Cap uF", "Seg", "Cells",
+              "Done", "Mean", "Stddev", "p50", "p95", "p99"});
+    for (const auto &agg : r.aggregates) {
+        const Cell &c = agg.representative;
+        t.row()
+            .cell(c.app)
+            .cell(c.runtime)
+            .cell(c.supply.token())
+            .cell(c.capUf)
+            .cell(static_cast<std::uint64_t>(c.segmentBytes))
+            .cell(agg.cellsMerged)
+            .cell(agg.completedCells)
+            .cell(agg.simMs.mean())
+            .cell(agg.simMs.stddev())
+            .cell(agg.simMs.p50())
+            .cell(agg.simMs.p95())
+            .cell(agg.simMs.p99());
+    }
+    return t;
+}
+
+} // namespace ticsim::sweep

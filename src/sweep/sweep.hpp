@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The ticssweep engine: runs every cell of a GridSpec on a
+ * work-stealing JobPool, consults the content-addressed ResultCache,
+ * and aggregates per-cell results across seeds into merged
+ * Distributions.
+ *
+ * Determinism contract: runSweep() produces identical SweepResults
+ * (bit-for-bit, including every double) for any job count and any
+ * cache state. Each cell runs on a fresh Board whose behavior depends
+ * only on the cell configuration; outcomes are stored by cell index
+ * (never completion order) and aggregated in the grid's canonical
+ * JobId order; cached results round-trip through %.17g text. The only
+ * fields that vary between invocations are the wall-clock time and
+ * the cache hit/miss split, which live beside — not inside — the cell
+ * results.
+ */
+
+#ifndef TICSIM_SWEEP_SWEEP_HPP
+#define TICSIM_SWEEP_SWEEP_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "board/board.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "sweep/cache.hpp"
+#include "sweep/grid.hpp"
+
+namespace ticsim::sweep {
+
+struct SweepConfig {
+    GridSpec grid;
+    /** Worker threads; 0 = all hardware threads. */
+    unsigned jobs = 0;
+    bool useCache = true;
+    std::string cacheDir = ".ticssweep-cache";
+    /** Virtual-time budget for protected runs (they complete). */
+    TimeNs budget = 600 * kNsPerSec;
+    /** Time-box for plain-C under an interrupting supply (it restarts
+     *  from scratch every reboot and may never finish). */
+    TimeNs unprotectedBudget = 3 * kNsPerSec;
+};
+
+/** One enumerated cell's outcome. */
+struct SweepCellOutcome {
+    Cell cell;
+    CellResult result;
+    bool fromCache = false;
+};
+
+/** Cross-seed aggregate over one configuration group. */
+struct SweepAggregate {
+    std::string groupKey;
+    Cell representative; ///< any cell of the group (seed meaningless)
+    std::uint64_t cellsMerged = 0;
+    std::uint64_t completedCells = 0;
+    Distribution simMs; ///< merged per-cell powered-ms distributions
+};
+
+struct SweepResult {
+    std::vector<SweepCellOutcome> cells; ///< JobId order
+    std::vector<SweepAggregate> aggregates; ///< groupKey order
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    unsigned jobs = 1;
+    double wallMs = 0.0; ///< host wall-clock of the run phase
+};
+
+/** Execute one cell (fresh Board, no cache involvement). */
+CellResult runCell(const Cell &cell, const SweepConfig &cfg);
+
+/** Run the whole grid; see the determinism contract above. */
+SweepResult runSweep(const SweepConfig &cfg);
+
+/** Per-cell results in the repo's standard table format. */
+Table sweepTable(const SweepResult &r);
+
+/** Cross-seed aggregate table. */
+Table aggregateTable(const SweepResult &r);
+
+} // namespace ticsim::sweep
+
+#endif // TICSIM_SWEEP_SWEEP_HPP

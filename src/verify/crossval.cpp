@@ -1,6 +1,7 @@
 #include "crossval.hpp"
 
 #include <cstdio>
+#include <functional>
 #include <map>
 #include <memory>
 #include <utility>
@@ -12,6 +13,7 @@
 #include "apps/study/study.hpp"
 #include "harness/experiment.hpp"
 #include "runtimes/plainc.hpp"
+#include "sweep/job_pool.hpp"
 #include "verify/demo_app.hpp"
 
 namespace ticsim::verify {
@@ -113,22 +115,20 @@ struct PairKey {
 CrossValReport
 crossValidate(const VerifyConfig &cfg)
 {
-    // --- static side -----------------------------------------------------
-    const auto verdicts = verifyMatrix(cfg);
-    std::map<PairKey, const AppVerdict *> staticByPair;
-    for (const auto &v : verdicts)
-        staticByPair[{v.app, v.runtime}] = &v;
-
-    // --- dynamic side ----------------------------------------------------
+    // The evidence gatherers — the static verifier matrix, the dynamic
+    // checker matrix and the seven probe runs — are independent (every
+    // run builds a fresh Board and all runtime hooks are thread_local),
+    // so they execute as coarse jobs on the sweep pool. Each writes
+    // into its own pre-allocated slot; the matching below walks the
+    // slots in a fixed order, so the report does not depend on the job
+    // count or completion order.
     analysis::CheckConfig dyn;
     dyn.patternPeriod = cfg.patternPeriod;
     dyn.patternOnFraction = cfg.patternOnFraction;
     dyn.seed = cfg.seed;
     dyn.bc = cfg.bc;
     dyn.cuckoo = cfg.cuckoo;
-    const auto scenarios = analysis::checkMatrix(dyn);
 
-    std::vector<DynamicEvidence> probes;
     const auto makeTics = [] {
         return std::make_unique<tics::TicsRuntime>(probeTicsConfig());
     };
@@ -147,34 +147,63 @@ crossValidate(const VerifyConfig &cfg)
         return std::make_unique<apps::GhmPlainApp>(b, rt, p);
     };
 
-    probes.push_back(runProbe(cfg, "AR", protectedBudget, makeTics,
-                              arLegacy));
-    probes.push_back(runProbe(cfg, "AR", unprotectedBudget, makePlain,
-                              arLegacy));
-    probes.push_back(runProbe(cfg, "GHM", protectedBudget, makeTics,
-                              ghmPlain));
-    probes.push_back(runProbe(cfg, "GHM", unprotectedBudget, makePlain,
-                              ghmPlain));
-    probes.push_back(runProbe(
-        cfg, "Study", protectedBudget, makeTics,
-        [](board::Board &b, tics::TicsRuntime &rt) {
-            return std::make_unique<apps::study::TimekeepTics>(
-                b, rt, 40 * kNsPerMs);
-        }));
-    probes.push_back(runProbe(
-        cfg, "Relay+guard", protectedBudget, makeTics,
-        [](board::Board &b, tics::TicsRuntime &rt) {
-            SensorRelayOptions o;
-            return std::make_unique<SensorRelayApp>(b, rt, o);
-        }));
-    probes.push_back(runProbe(
-        cfg, "Relay-unguard", protectedBudget, makeTics,
-        [](board::Board &b, tics::TicsRuntime &rt) {
-            SensorRelayOptions o;
-            o.checkFreshness = false;
-            o.useVirtualRadio = false;
-            return std::make_unique<SensorRelayApp>(b, rt, o);
-        }));
+    std::vector<AppVerdict> verdicts;
+    std::vector<analysis::ScenarioFinding> scenarios;
+    std::vector<DynamicEvidence> probes(7);
+
+    std::vector<std::function<void()>> gather;
+    gather.push_back([&] { verdicts = verifyMatrix(cfg); });
+    gather.push_back([&] { scenarios = analysis::checkMatrix(dyn); });
+    gather.push_back([&] {
+        probes[0] = runProbe(cfg, "AR", protectedBudget, makeTics,
+                             arLegacy);
+    });
+    gather.push_back([&] {
+        probes[1] = runProbe(cfg, "AR", unprotectedBudget, makePlain,
+                             arLegacy);
+    });
+    gather.push_back([&] {
+        probes[2] = runProbe(cfg, "GHM", protectedBudget, makeTics,
+                             ghmPlain);
+    });
+    gather.push_back([&] {
+        probes[3] = runProbe(cfg, "GHM", unprotectedBudget, makePlain,
+                             ghmPlain);
+    });
+    gather.push_back([&] {
+        probes[4] = runProbe(
+            cfg, "Study", protectedBudget, makeTics,
+            [](board::Board &b, tics::TicsRuntime &rt) {
+                return std::make_unique<apps::study::TimekeepTics>(
+                    b, rt, 40 * kNsPerMs);
+            });
+    });
+    gather.push_back([&] {
+        probes[5] = runProbe(
+            cfg, "Relay+guard", protectedBudget, makeTics,
+            [](board::Board &b, tics::TicsRuntime &rt) {
+                SensorRelayOptions o;
+                return std::make_unique<SensorRelayApp>(b, rt, o);
+            });
+    });
+    gather.push_back([&] {
+        probes[6] = runProbe(
+            cfg, "Relay-unguard", protectedBudget, makeTics,
+            [](board::Board &b, tics::TicsRuntime &rt) {
+                SensorRelayOptions o;
+                o.checkFreshness = false;
+                o.useVirtualRadio = false;
+                return std::make_unique<SensorRelayApp>(b, rt, o);
+            });
+    });
+
+    const sweep::JobPool pool(cfg.jobs);
+    pool.run(gather.size(),
+             [&](std::size_t i) { gather[i](); });
+
+    std::map<PairKey, const AppVerdict *> staticByPair;
+    for (const auto &v : verdicts)
+        staticByPair[{v.app, v.runtime}] = &v;
 
     // --- matching --------------------------------------------------------
     std::map<PairKey, CrossValRow> rows;

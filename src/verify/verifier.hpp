@@ -47,6 +47,17 @@ struct VerifyConfig {
     std::uint64_t seed = 11;
     std::uint64_t rebootLimit = 300; ///< starvation bound (outages)
 
+    /**
+     * Worker threads for the cross-validation harness's independent
+     * evidence gatherers (static matrix, dynamic matrix, probe runs);
+     * 0 = all hardware threads. Results are matched in a fixed order
+     * afterwards, so the report is identical for any job count. Note
+     * that with more than one job the per-run report records
+     * (--json `runs`) are skipped for worker-thread runs; coverage
+     * numbers are unaffected.
+     */
+    unsigned jobs = 1;
+
     apps::BcParams bc{};
     apps::CuckooParams cuckoo{};
     apps::ArParams ar{};

@@ -7,15 +7,20 @@ Uses the `jsonschema` package when importable; otherwise falls back to
 a small structural validator covering the subset of JSON Schema the
 run-report schema actually uses (type, const, enum, required,
 additionalProperties, items, $ref into #/definitions, minimum,
-minLength). Either way it also checks the one semantic invariant the
-schema cannot express: phases.total == result.cycles == sum of the
-per-phase counts, for every run.
+minLength, pattern). Either way it also checks the semantic invariants
+the schema cannot express: phases.total == result.cycles == sum of the
+per-phase counts for every run, and for version-3 documents that the
+grid's cells are sorted by job_id, that each cell's sim_ms matches its
+on_time_ns, that the cache hit/miss split accounts for every cell (or
+is zeroed, as under --stable / --no-cache), and that the aggregates
+partition the cells.
 
 Exit status: 0 when every report validates, 1 otherwise.
 """
 
 import json
 import os
+import re
 import sys
 
 SCHEMA_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
@@ -80,6 +85,9 @@ def _structural_validate(value, schema, root, path):
             raise ValueError(f"{path}: expected string, got {type(value).__name__}")
         if len(value) < schema.get("minLength", 0):
             raise ValueError(f"{path}: string shorter than minLength")
+        if "pattern" in schema and not re.search(schema["pattern"], value):
+            raise ValueError(
+                f"{path}: {value!r} does not match {schema['pattern']!r}")
     elif t == "integer":
         if not isinstance(value, int) or isinstance(value, bool):
             raise ValueError(f"{path}: expected integer, got {type(value).__name__}")
@@ -118,6 +126,48 @@ def validate_invariants(report):
             raise ValueError(
                 f"runs[{i}] ({run['label']}): phases.total {total} != "
                 f"result.cycles {cycles}")
+
+    if "grid" in report and report["version"] < 3:
+        raise ValueError("grid section requires version >= 3")
+    if report["version"] >= 3 and "grid" not in report:
+        raise ValueError("version 3 document has no grid section")
+    if "grid" in report:
+        validate_grid(report["grid"])
+
+
+def validate_grid(grid):
+    """The ticssweep section's determinism and accounting invariants."""
+    cells = grid["cells"]
+
+    # JobIds are fixed-width lowercase hex, so lexicographic order is
+    # numeric order; the sorted sequence is what makes serial and
+    # parallel sweeps byte-identical.
+    ids = [c["job_id"] for c in cells]
+    if ids != sorted(ids):
+        raise ValueError("grid.cells not sorted by job_id")
+    if len(set(ids)) != len(ids):
+        raise ValueError("grid.cells contain duplicate job_ids")
+
+    for i, cell in enumerate(cells):
+        want = cell["result"]["on_time_ns"] / 1e6
+        got = cell["result"]["sim_ms"]
+        if abs(got - want) > max(1e-9, 1e-12 * want):
+            raise ValueError(
+                f"grid.cells[{i}] ({cell['job_id']}): sim_ms {got} != "
+                f"on_time_ns/1e6 {want}")
+
+    hits = grid["cache"]["hits"]
+    misses = grid["cache"]["misses"]
+    if (hits, misses) != (0, 0) and hits + misses != len(cells):
+        raise ValueError(
+            f"grid.cache hits {hits} + misses {misses} != "
+            f"{len(cells)} cells (and not the zeroed stable form)")
+
+    agg_cells = sum(a["cells"] for a in grid["aggregates"])
+    if agg_cells != len(cells):
+        raise ValueError(
+            f"grid.aggregates cover {agg_cells} cells, grid has "
+            f"{len(cells)}")
 
 
 def main(argv):
