@@ -1,0 +1,92 @@
+#include "budget.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <limits>
+
+namespace ticsim::energy {
+
+namespace {
+
+std::string
+fmt(const char *f, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, f);
+    std::vsnprintf(buf, sizeof(buf), f, ap);
+    va_end(ap);
+    return buf;
+}
+
+} // namespace
+
+EnergyBudget
+unboundedBudget()
+{
+    EnergyBudget b;
+    b.bounded = false;
+    b.source = "continuous";
+    return b;
+}
+
+EnergyBudget
+patternBudget(TimeNs period, double onFraction,
+              const device::CostModel &costs,
+              std::uint64_t rebootLimit)
+{
+    EnergyBudget b;
+    b.bounded = true;
+    const auto onNs = static_cast<TimeNs>(
+        static_cast<double>(period) * onFraction);
+    b.windowCycles = static_cast<Cycles>(
+        onNs / std::max<TimeNs>(1, costs.cycleTimeNs()));
+    b.maxOutageNs = period - onNs;
+    b.maxOutages = rebootLimit;
+    b.source = fmt("pattern %llu ms @ %.2f",
+                   static_cast<unsigned long long>(period / kNsPerMs),
+                   onFraction);
+    return b;
+}
+
+EnergyBudget
+capacitorBudget(double capacitanceF, double vOn, double vOff,
+                TimeNs maxOffTime, const device::CostModel &costs,
+                std::uint64_t rebootLimit)
+{
+    EnergyBudget b;
+    b.bounded = true;
+    const double usable = usableEnergyJ(capacitanceF, vOn, vOff);
+    const double perCycle = costs.activePower / costs.clockHz;
+    b.windowCycles = static_cast<Cycles>(usable / perCycle);
+    b.maxOutageNs = maxOffTime;
+    b.maxOutages = rebootLimit;
+    b.source = fmt("capacitor %.2f uF (%.2fV..%.2fV)",
+                   capacitanceF * 1e6, vOff, vOn);
+    return b;
+}
+
+double
+usableEnergyJ(double capacitanceF, double vOn, double vOff)
+{
+    return 0.5 * capacitanceF * (vOn * vOn - vOff * vOff);
+}
+
+double
+drainSeconds(double energyJ, double loadW)
+{
+    if (loadW <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return energyJ / loadW;
+}
+
+double
+chargeSeconds(double energyJ, double harvestW)
+{
+    if (harvestW <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return energyJ / harvestW;
+}
+
+} // namespace ticsim::energy

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The supply's energy budget reduced to cycle arithmetic, shared by
+ * the static analyses (verify/) and the probabilistic environment
+ * models (verify/envmodel). One fully-charged window executes a fixed
+ * number of cycles; between windows the power can be away for a
+ * bounded time, a bounded number of times.
+ *
+ * Two concrete reductions exist: the pre-programmed reset pattern
+ * (tier-1 deterministic supply) and the capacitor-backed harvesting
+ * frontend, where one window holds the usable energy between the
+ * turn-on and brown-out thresholds, E = C/2 * (Von^2 - Voff^2), and
+ * each active cycle costs activePower / clockHz joules.
+ */
+
+#ifndef TICSIM_ENERGY_BUDGET_HPP
+#define TICSIM_ENERGY_BUDGET_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "device/costs.hpp"
+#include "support/units.hpp"
+
+namespace ticsim::energy {
+
+/**
+ * How many cycles one fully-charged window can execute, and how long
+ * / how often the power can be away between windows.
+ */
+struct EnergyBudget {
+    bool bounded = false;          ///< false: continuous bench supply
+    Cycles windowCycles = 0;       ///< cycles per powered window
+    TimeNs maxOutageNs = 0;        ///< worst single off-interval
+    std::uint64_t maxOutages = 0;  ///< bound on fruitless reboots
+    std::string source;            ///< human description of the budget
+
+    /** Worst-case off-time a datum can accumulate across re-boots. */
+    TimeNs worstOutageAccumulationNs() const
+    {
+        return maxOutageNs * static_cast<TimeNs>(maxOutages);
+    }
+};
+
+/** Unbounded budget (continuous supply): nothing can be flagged. */
+EnergyBudget unboundedBudget();
+
+/** Budget of a pre-programmed reset pattern. */
+EnergyBudget patternBudget(TimeNs period, double onFraction,
+                           const device::CostModel &costs,
+                           std::uint64_t rebootLimit);
+
+/**
+ * Budget of a capacitor-backed harvesting frontend: one window holds
+ * the usable energy between the turn-on and brown-out thresholds.
+ */
+EnergyBudget capacitorBudget(double capacitanceF, double vOn,
+                             double vOff, TimeNs maxOffTime,
+                             const device::CostModel &costs,
+                             std::uint64_t rebootLimit);
+
+/** Usable joules between @p vOn and @p vOff on a @p capacitanceF cap. */
+double usableEnergyJ(double capacitanceF, double vOn, double vOff);
+
+/**
+ * Seconds a charge of @p energyJ sustains a drain of @p loadW.
+ * Returns +inf when the load is zero.
+ */
+double drainSeconds(double energyJ, double loadW);
+
+/**
+ * Seconds to accumulate @p energyJ at @p harvestW net income
+ * (harvest minus leakage). Returns +inf when nothing accrues.
+ */
+double chargeSeconds(double energyJ, double harvestW);
+
+} // namespace ticsim::energy
+
+#endif // TICSIM_ENERGY_BUDGET_HPP

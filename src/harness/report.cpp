@@ -164,6 +164,13 @@ BenchSession::setGrid(GridSection grid)
 }
 
 void
+BenchSession::setProb(ProbSection prob)
+{
+    prob_ = std::move(prob);
+    haveProb_ = true;
+}
+
+void
 BenchSession::finish()
 {
     if (finished_)
@@ -189,7 +196,8 @@ BenchSession::writeJson() const
     // and documents without a grid stay at version 2 (or 1); each
     // optional section only bumps the version of documents that
     // actually carry it.
-    w.member("version", haveGrid_ ? kReportVersionGrid
+    w.member("version", haveProb_   ? kReportVersionProb
+                        : haveGrid_ ? kReportVersionGrid
                         : findings_.empty() ? kReportVersion
                                             : kReportVersionFindings);
     w.member("bench", bench_);
@@ -307,6 +315,72 @@ BenchSession::writeJson() const
             w.endObject();
         }
         w.endArray();
+        w.endObject();
+    }
+    if (haveProb_) {
+        w.key("prob").beginObject();
+        w.key("tolerance")
+            .beginObject()
+            .member("p50", prob_.tolP50)
+            .member("p95", prob_.tolP95)
+            .member("p99", prob_.tolP99)
+            .endObject();
+        w.member("crossval", prob_.crossval);
+        w.key("rows").beginArray();
+        for (const ProbRowEntry &r : prob_.rows) {
+            w.beginObject();
+            w.member("app", r.app);
+            w.member("runtime", r.runtime);
+            w.member("env", r.env);
+            w.member("cap_uf", r.capUf);
+            w.key("static")
+                .beginObject()
+                .member("p50_ms", r.staticP50Ms)
+                .member("p95_ms", r.staticP95Ms)
+                .member("p99_ms", r.staticP99Ms)
+                .member("mean_ms", r.staticMeanMs)
+                .member("p_nonterm", r.pNonterm)
+                .member("mean_outages", r.meanOutages)
+                .endObject();
+            w.key("simulated")
+                .beginObject()
+                .member("cells", r.simCells)
+                .member("completed", r.simCompleted)
+                .member("p50_ms", r.simP50Ms)
+                .member("p95_ms", r.simP95Ms)
+                .member("p99_ms", r.simP99Ms)
+                .endObject();
+            w.member("within_tolerance", r.withinTolerance);
+            w.member("gate", r.gateKind);
+            w.member("failed_percentile", r.failedPercentile);
+            w.endObject();
+        }
+        w.endArray();
+        w.key("freshness").beginArray();
+        for (const ProbFreshnessEntry &f : prob_.freshness) {
+            w.beginObject();
+            w.member("app", f.app);
+            w.member("runtime", f.runtime);
+            w.member("env", f.env);
+            w.member("subject", f.subject);
+            w.member("lifetime_ms", f.lifetimeMs);
+            w.member("p_violation", f.pViolation);
+            w.member("sites", f.sites);
+            w.endObject();
+        }
+        w.endArray();
+        if (prob_.haveSlo) {
+            w.key("slo")
+                .beginObject()
+                .member("app", prob_.slo.app)
+                .member("runtime", prob_.slo.runtime)
+                .member("slo", prob_.slo.slo)
+                .member("deadline_ms", prob_.slo.deadlineMs)
+                .member("feasible", prob_.slo.feasible)
+                .member("capacitance_uf", prob_.slo.capacitanceUf)
+                .member("p_on_time", prob_.slo.pOnTime)
+                .endObject();
+        }
         w.endObject();
     }
     w.endObject();

@@ -41,6 +41,9 @@ constexpr int kReportVersionFindings = 2;
 /** Version emitted when the report carries a `grid` section. */
 constexpr int kReportVersionGrid = 3;
 
+/** Version emitted when the report carries a `prob` section. */
+constexpr int kReportVersionProb = 4;
+
 /**
  * One analysis finding in the report's optional `findings` section
  * (written by static-analysis benches like ticsverify; plain benches
@@ -118,6 +121,72 @@ struct GridSection {
     std::vector<GridAggregateEntry> aggregates;
 };
 
+/**
+ * One (app, runtime, environment) row of the probabilistic timing
+ * section: statically derived completion-time percentiles beside the
+ * simulated cross-seed ones when cross-validation ran (sim_cells == 0
+ * means static-only).
+ */
+struct ProbRowEntry {
+    std::string app;
+    std::string runtime;
+    std::string env;     ///< supply-axis token
+    double capUf = 0.0;
+    double staticP50Ms = 0.0;
+    double staticP95Ms = 0.0;
+    double staticP99Ms = 0.0;
+    double staticMeanMs = 0.0;
+    double pNonterm = 0.0;
+    double meanOutages = 0.0;
+    std::uint64_t simCells = 0;
+    std::uint64_t simCompleted = 0;
+    double simP50Ms = 0.0;
+    double simP95Ms = 0.0;
+    double simP99Ms = 0.0;
+    bool withinTolerance = true;
+    std::string gateKind;         ///< "percentiles" | "nonterm" | "static"
+    std::string failedPercentile; ///< empty when within tolerance
+};
+
+/** One timed variable's freshness-violation probability. */
+struct ProbFreshnessEntry {
+    std::string app;
+    std::string runtime;
+    std::string env;
+    std::string subject;
+    double lifetimeMs = 0.0;
+    double pViolation = 0.0;
+    std::uint64_t sites = 0;
+};
+
+/** The inverse capacitor-sizing query's outcome, when one ran. */
+struct ProbSloEntry {
+    std::string app;
+    std::string runtime;
+    double slo = 0.0;
+    double deadlineMs = 0.0;
+    bool feasible = false;
+    double capacitanceUf = 0.0;
+    double pOnTime = 0.0;
+};
+
+/**
+ * The `prob` section (written by ticsverify --prob; bumps the report
+ * to version 4): probabilistic completion-time and freshness analysis
+ * results, the declared cross-validation tolerances, and optionally
+ * the capacitor-sizing SLO query.
+ */
+struct ProbSection {
+    double tolP50 = 0.0;
+    double tolP95 = 0.0;
+    double tolP99 = 0.0;
+    bool crossval = false; ///< rows carry a simulated side
+    std::vector<ProbRowEntry> rows;
+    std::vector<ProbFreshnessEntry> freshness;
+    bool haveSlo = false;
+    ProbSloEntry slo;
+};
+
 struct ReportOptions {
     std::string jsonPath;  ///< empty = no JSON report
     std::string tracePath; ///< empty = no timeline trace
@@ -169,6 +238,9 @@ class BenchSession
     /** Attach the sweep grid; bumps the report to version 3. */
     void setGrid(GridSection grid);
 
+    /** Attach the probabilistic timing section; bumps to version 4. */
+    void setProb(ProbSection prob);
+
     /** Write the JSON report and trace now (idempotent). */
     void finish();
 
@@ -198,6 +270,8 @@ class BenchSession
     std::vector<ReportFinding> findings_;
     GridSection grid_;
     bool haveGrid_ = false;
+    ProbSection prob_;
+    bool haveProb_ = false;
     bool finished_ = false;
     /** The thread that constructed the session (see record()). */
     std::thread::id owner_;

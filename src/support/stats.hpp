@@ -93,18 +93,26 @@ class Distribution
     double p95() const { return percentile(0.95); }
     double p99() const { return percentile(0.99); }
 
+    /**
+     * The bucket layout is public so the static analyses' discrete
+     * PMFs (verify/prob) can share it: a statically derived percentile
+     * and a simulated one land in the same bucket when they agree, so
+     * cross-validation compares like with like.
+     */
+
     /** Histogram bucket resolution (buckets per power of two). */
     static constexpr int kSubBuckets = 8;
-
-  private:
     static constexpr int kMinExp = -20; ///< ~1e-6 lower edge
     static constexpr int kMaxExp = 49;  ///< ~5.6e14 upper edge
     static constexpr int kBuckets =
         1 + (kMaxExp - kMinExp + 1) * kSubBuckets;
 
+    /** Bucket index of @p v (0: the <= 0 underflow bucket). */
     static int bucketIndex(double v);
+    /** Representative midpoint of bucket @p idx. */
     static double bucketMid(int idx);
 
+  private:
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
     double mean_ = 0.0;

@@ -47,54 +47,6 @@ touchedPath(const ProgramModel &m, const RegionNode &r, std::size_t k)
 
 } // namespace
 
-EnergyBudget
-unboundedBudget()
-{
-    EnergyBudget b;
-    b.bounded = false;
-    b.source = "continuous";
-    return b;
-}
-
-EnergyBudget
-patternBudget(TimeNs period, double onFraction,
-              const device::CostModel &costs,
-              std::uint64_t rebootLimit)
-{
-    EnergyBudget b;
-    b.bounded = true;
-    const auto onNs = static_cast<TimeNs>(
-        static_cast<double>(period) * onFraction);
-    b.windowCycles = static_cast<Cycles>(
-        onNs / std::max<TimeNs>(1, costs.cycleTimeNs()));
-    b.maxOutageNs = period - onNs;
-    b.maxOutages = rebootLimit;
-    b.source = fmt("pattern %llu ms @ %.2f",
-                   static_cast<unsigned long long>(period / kNsPerMs),
-                   onFraction);
-    return b;
-}
-
-EnergyBudget
-capacitorBudget(double capacitanceF, double vOn, double vOff,
-                TimeNs maxOffTime, const device::CostModel &costs,
-                std::uint64_t rebootLimit)
-{
-    EnergyBudget b;
-    b.bounded = true;
-    // Usable charge of one window: E = C/2 * (Von^2 - Voff^2); each
-    // active cycle costs activePower / clockHz joules.
-    const double usable =
-        0.5 * capacitanceF * (vOn * vOn - vOff * vOff);
-    const double perCycle = costs.activePower / costs.clockHz;
-    b.windowCycles = static_cast<Cycles>(usable / perCycle);
-    b.maxOutageNs = maxOffTime;
-    b.maxOutages = rebootLimit;
-    b.source = fmt("capacitor %.2f uF (%.2fV..%.2fV)",
-                   capacitanceF * 1e6, vOff, vOn);
-    return b;
-}
-
 Cycles
 reentryCycles(const ProgramModel &m, const RegionNode &r,
               const device::CostModel &costs)

@@ -40,9 +40,18 @@
 #include <vector>
 
 #include "device/costs.hpp"
+#include "energy/budget.hpp"
 #include "verify/model.hpp"
 
 namespace ticsim::verify {
+
+// The budget arithmetic lives in energy/budget.hpp so the simulator's
+// energy layer and the prob/envmodel passes share one definition; the
+// verify names remain the canonical spelling inside the analyses.
+using energy::EnergyBudget;
+using energy::capacitorBudget;
+using energy::patternBudget;
+using energy::unboundedBudget;
 
 /** One static finding, in run-report style. */
 struct Finding {
@@ -57,42 +66,6 @@ struct Finding {
     std::uint32_t bytes = 0;  ///< WAR ranges: range length
     std::string detail;   ///< human explanation with the offending path
 };
-
-/**
- * The supply's energy budget reduced to cycle arithmetic: how many
- * cycles one fully-charged window can execute, and how long / how
- * often the power can be away between windows.
- */
-struct EnergyBudget {
-    bool bounded = false;          ///< false: continuous bench supply
-    Cycles windowCycles = 0;       ///< cycles per powered window
-    TimeNs maxOutageNs = 0;        ///< worst single off-interval
-    std::uint64_t maxOutages = 0;  ///< bound on fruitless reboots
-    std::string source;            ///< human description of the budget
-
-    /** Worst-case off-time a datum can accumulate across re-boots. */
-    TimeNs worstOutageAccumulationNs() const
-    {
-        return maxOutageNs * static_cast<TimeNs>(maxOutages);
-    }
-};
-
-/** Unbounded budget (continuous supply): nothing can be flagged. */
-EnergyBudget unboundedBudget();
-
-/** Budget of a pre-programmed reset pattern. */
-EnergyBudget patternBudget(TimeNs period, double onFraction,
-                           const device::CostModel &costs,
-                           std::uint64_t rebootLimit);
-
-/**
- * Budget of a capacitor-backed harvesting frontend: one window holds
- * the usable energy between the turn-on and brown-out thresholds.
- */
-EnergyBudget capacitorBudget(double capacitanceF, double vOn,
-                             double vOff, TimeNs maxOffTime,
-                             const device::CostModel &costs,
-                             std::uint64_t rebootLimit);
 
 /** Worst-case re-entry cost of @p r: boot + restore + rollback. */
 Cycles reentryCycles(const ProgramModel &m, const RegionNode &r,

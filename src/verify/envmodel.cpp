@@ -1,0 +1,107 @@
+#include "envmodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ticsim::verify {
+
+EnvModel
+patternEnv(TimeNs period, double onFraction,
+           const device::CostModel &costs, std::uint64_t rebootLimit)
+{
+    const energy::EnergyBudget b =
+        energy::patternBudget(period, onFraction, costs, rebootLimit);
+    EnvModel env;
+    env.name = b.source;
+    env.windowCycles =
+        Pmf::delta(static_cast<double>(b.windowCycles));
+    env.outageNs = Pmf::delta(static_cast<double>(b.maxOutageNs));
+    env.maxOutages = rebootLimit;
+    return env;
+}
+
+EnvModel
+stochasticEnv(const StochasticEnvParams &p,
+              const device::CostModel &costs,
+              std::uint64_t rebootLimit)
+{
+    EnvModel env;
+    env.name = "stochastic";
+    env.maxOutages = rebootLimit;
+
+    const double load = costs.activePower + p.leakage;
+    const double meanOnSec = nsToSec(p.meanOnNs);
+    const double meanOffSec = nsToSec(p.meanOffNs);
+
+    // Ride-through: the seconds the capacitor sustains the load with
+    // no harvest. Taken at the full vMax charge — during an on
+    // interval the surplus (mean harvest ~3x the load) tops the
+    // capacitor up within a few ms, so most off intervals start from
+    // a full buffer.
+    const double rideSec = energy::drainSeconds(
+        energy::usableEnergyJ(p.capacitanceF, p.vMax, p.vOff), load);
+    // An off interval is fatal when it outlasts the ride-through.
+    const double pDie = std::exp(-rideSec / meanOffSec);
+
+    // A powered window: N ~ Geometric(pDie) harvester-on intervals
+    // joined by the N-1 survived (truncated) off intervals, ending in
+    // the fatal off's ride-through drain.
+    const Pmf onSec = Pmf::exponential(meanOnSec, p.atoms);
+    const Pmf shortOffSec =
+        Pmf::truncatedExponential(meanOffSec, rideSec, p.atoms);
+
+    Pmf windowSec;
+    Pmf chain; // sum of k on intervals and k-1 survived offs
+    double tail = 1.0; // P[N > k-1]
+    for (int k = 1; tail > 1e-6 && k <= 64; ++k) {
+        chain = k == 1 ? onSec
+                       : chain.convolve(shortOffSec).convolve(onSec);
+        chain.prune(1e-8);
+        windowSec.mixIn(chain.convolve(Pmf::delta(rideSec)),
+                        tail * pDie);
+        tail *= 1.0 - pDie;
+    }
+    windowSec.normalize();
+    env.windowCycles = windowSec.scaled(
+        1e9 / static_cast<double>(costs.cycleTimeNs()));
+
+    // Off time per death: the fatal off's remainder past the ride-
+    // through is again Exp(meanOff) (memoryless), plus recharging
+    // from vOff to vOn at the mean net harvest rate.
+    const double rechargeSec = energy::chargeSeconds(
+        energy::usableEnergyJ(p.capacitanceF, p.vOn, p.vOff),
+        p.meanPower - p.leakage);
+    env.outageNs =
+        Pmf::exponential(meanOffSec, p.atoms)
+            .convolve(Pmf::delta(rechargeSec))
+            .scaled(1e9);
+    env.outageNs.prune(1e-10);
+    return env;
+}
+
+CapacitorSizing
+sizeCapacitor(const ProgramModel &m, const StochasticEnvParams &base,
+              const device::CostModel &costs, const SloQuery &q,
+              const CapacitorGrid &grid, std::uint64_t rebootLimit)
+{
+    CapacitorSizing out;
+    for (double c = grid.minF; c <= grid.maxF * (1.0 + 1e-9);
+         c *= grid.stepFactor) {
+        StochasticEnvParams p = base;
+        p.capacitanceF = c;
+        const EnvModel env = stochasticEnv(p, costs, rebootLimit);
+        const TimingEstimate est = completionTime(m, env, costs);
+        const double pOnTime = (1.0 - est.pNonterm) *
+                               est.completionNs.cdfAt(q.deadlineNs);
+        out.curve.emplace_back(c, pOnTime);
+        if (pOnTime >= q.slo) {
+            out.feasible = true;
+            out.capacitanceF = c;
+            out.pOnTime = pOnTime;
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace ticsim::verify

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Probabilistic environment models for the static timing analysis: a
+ * distribution over powered-window lengths (in cycles) and one over
+ * per-death off times (in ns), derived from the same parameters the
+ * simulated supplies use, via the shared energy/budget arithmetic.
+ *
+ *  - patternEnv: the deterministic tier-1 reset pattern; both
+ *    distributions are point masses, so the probabilistic analysis
+ *    degenerates to the boolean one's arithmetic.
+ *
+ *  - stochasticEnv: the Gilbert-style bursty harvester feeding a
+ *    capacitor (harness PowerSetup::Stochastic). The device rides
+ *    through a harvester-off interval when the capacitor's stored
+ *    energy outlasts it; a window is therefore a geometric number of
+ *    exponential on-intervals joined by survived off-intervals, ending
+ *    in the ride-through drain of a fatal off. The off-time after a
+ *    death is the memoryless off remainder plus the vOff-to-vOn
+ *    recharge time at the mean harvest rate.
+ *
+ * Known approximations (see DESIGN.md): ride-through energy is taken
+ * at the full vMax charge (the capacitor tops up within ~2 ms of a
+ * 1 uF window, but a death early in a window rides on less), harvest
+ * power uses its mean (the simulator jitters per-interval by
+ * U(0.6, 1.4)), and recharging is assumed uninterrupted.
+ */
+
+#ifndef TICSIM_VERIFY_ENVMODEL_HPP
+#define TICSIM_VERIFY_ENVMODEL_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "device/costs.hpp"
+#include "energy/budget.hpp"
+#include "verify/prob.hpp"
+
+namespace ticsim::verify {
+
+/** The environment as the timing analysis sees it. */
+struct EnvModel {
+    std::string name;           ///< supply-axis token, e.g. "stochastic"
+    Pmf windowCycles;           ///< powered-window length distribution
+    Pmf outageNs;               ///< off time per death
+    std::uint64_t maxOutages = 300; ///< starvation bound (reboot limit)
+};
+
+/** Deterministic reset pattern: delta window, delta outage. */
+EnvModel patternEnv(TimeNs period, double onFraction,
+                    const device::CostModel &costs,
+                    std::uint64_t rebootLimit);
+
+/**
+ * Parameters of the stochastic harvesting environment; defaults match
+ * harness::SupplySpec / energy::HarvestingSupply::Config, so an
+ * unmodified struct models the ticssweep "stochastic" supply axis.
+ */
+struct StochasticEnvParams {
+    double capacitanceF = 10e-6;
+    double vMax = 5.25;
+    double vOn = 3.0;
+    double vOff = 1.8;
+    Watts leakage = 1e-6;
+    Watts meanPower = 2.2e-3;
+    TimeNs meanOnNs = 80 * kNsPerMs;
+    TimeNs meanOffNs = 150 * kNsPerMs;
+    int atoms = 64;             ///< quantile atoms per exponential
+};
+
+/** Stochastic-harvester environment for a given capacitance. */
+EnvModel stochasticEnv(const StochasticEnvParams &p,
+                       const device::CostModel &costs,
+                       std::uint64_t rebootLimit);
+
+/**
+ * Inverse SLO query: smallest capacitance on the grid whose derived
+ * completion-time distribution satisfies @p q, i.e. (1 - pNonterm) *
+ * P[T <= deadline] >= slo. The probability is monotone in capacitance
+ * (a bigger buffer rides out more outages), so the scan records the
+ * whole probability curve and stops at the first satisfying step.
+ */
+CapacitorSizing sizeCapacitor(const ProgramModel &m,
+                              const StochasticEnvParams &base,
+                              const device::CostModel &costs,
+                              const SloQuery &q,
+                              const CapacitorGrid &grid = {},
+                              std::uint64_t rebootLimit = 300);
+
+} // namespace ticsim::verify
+
+#endif // TICSIM_VERIFY_ENVMODEL_HPP

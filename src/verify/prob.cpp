@@ -1,0 +1,588 @@
+#include "prob.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "verify/analyses.hpp"
+#include "verify/envmodel.hpp"
+
+namespace ticsim::verify {
+
+namespace {
+
+/** Mass below which a geometric/convolution tail is folded away. */
+constexpr double kTailEps = 1e-9;
+
+/** Retry-failure probability treated as "never fits a window". */
+constexpr double kNontermThreshold = 1.0 - 1e-9;
+
+double
+bucketRep(const Pmf::Bucket &b)
+{
+    return b.mass > 0.0 ? b.m1 / b.mass : 0.0;
+}
+
+} // namespace
+
+// ---- Pmf ------------------------------------------------------------------
+
+Pmf
+Pmf::delta(double v, double p)
+{
+    Pmf out;
+    out.add(v, p);
+    return out;
+}
+
+Pmf
+Pmf::geometric(double successProb, std::uint64_t maxCount)
+{
+    Pmf out;
+    const double s = std::clamp(successProb, 0.0, 1.0);
+    if (s <= 0.0) {
+        out.add(static_cast<double>(maxCount), 1.0);
+        return out;
+    }
+    double tail = 1.0; // (1-s)^k, mass not yet assigned
+    for (std::uint64_t k = 0; k < maxCount; ++k) {
+        out.add(static_cast<double>(k), tail * s);
+        tail *= 1.0 - s;
+        if (tail < kTailEps)
+            break;
+    }
+    if (tail >= kTailEps)
+        out.add(static_cast<double>(maxCount), tail);
+    else
+        out.normalize();
+    return out;
+}
+
+Pmf
+Pmf::exponential(double meanV, int atoms)
+{
+    Pmf out;
+    atoms = std::max(1, atoms);
+    const double w = 1.0 / atoms;
+    for (int i = 0; i < atoms; ++i) {
+        const double p = (i + 0.5) * w;
+        out.add(-meanV * std::log1p(-p), w);
+    }
+    return out;
+}
+
+Pmf
+Pmf::truncatedExponential(double meanV, double cap, int atoms)
+{
+    Pmf out;
+    atoms = std::max(1, atoms);
+    if (meanV <= 0.0 || cap <= 0.0)
+        return delta(std::max(0.0, cap) * 0.5);
+    // Inverse CDF of Exp(mean) | v <= cap:
+    //   x(p) = -mean * ln(1 - p * (1 - e^{-cap/mean}))
+    const double capMass = -std::expm1(-cap / meanV);
+    const double w = 1.0 / atoms;
+    for (int i = 0; i < atoms; ++i) {
+        const double p = (i + 0.5) * w;
+        out.add(-meanV * std::log1p(-p * capMass), w);
+    }
+    return out;
+}
+
+void
+Pmf::add(double v, double p)
+{
+    if (p <= 0.0)
+        return;
+    auto &b = b_[Distribution::bucketIndex(v)];
+    b.mass += p;
+    b.m1 += v * p;
+    b.m2 += v * v * p;
+    if (!any_) {
+        min_ = max_ = v;
+        any_ = true;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+}
+
+Pmf
+Pmf::convolve(const Pmf &o) const
+{
+    Pmf out;
+    if (b_.empty() || o.b_.empty())
+        return out;
+    for (const auto &[ia, a] : b_) {
+        const double va = bucketRep(a);
+        for (const auto &[ib, b] : o.b_) {
+            const double vb = bucketRep(b);
+            auto &dst = out.b_[Distribution::bucketIndex(va + vb)];
+            // Product measure restricted to this sum bucket; the
+            // cross-moment identities keep the global mean and
+            // variance exact: E[(A+B)^2] = E[A^2] + 2 E[A]E[B] +
+            // E[B^2] for independent A, B.
+            dst.mass += a.mass * b.mass;
+            dst.m1 += a.m1 * b.mass + b.m1 * a.mass;
+            dst.m2 += a.m2 * b.mass + b.m2 * a.mass + 2.0 * a.m1 * b.m1;
+        }
+    }
+    out.any_ = true;
+    out.min_ = min_ + o.min_;
+    out.max_ = max_ + o.max_;
+    return out;
+}
+
+Pmf
+Pmf::scaled(double k) const
+{
+    Pmf out;
+    for (const auto &[idx, b] : b_) {
+        auto &dst = out.b_[Distribution::bucketIndex(bucketRep(b) * k)];
+        dst.mass += b.mass;
+        dst.m1 += b.m1 * k;
+        dst.m2 += b.m2 * k * k;
+    }
+    out.any_ = any_;
+    out.min_ = min_ * k;
+    out.max_ = max_ * k;
+    return out;
+}
+
+void
+Pmf::mixIn(const Pmf &o, double w)
+{
+    if (w <= 0.0 || o.b_.empty())
+        return;
+    for (const auto &[idx, b] : o.b_) {
+        auto &dst = b_[idx];
+        dst.mass += b.mass * w;
+        dst.m1 += b.m1 * w;
+        dst.m2 += b.m2 * w;
+    }
+    if (!any_) {
+        min_ = o.min_;
+        max_ = o.max_;
+        any_ = o.any_;
+    } else if (o.any_) {
+        min_ = std::min(min_, o.min_);
+        max_ = std::max(max_, o.max_);
+    }
+}
+
+void
+Pmf::normalize()
+{
+    const double total = totalMass();
+    if (total <= 0.0)
+        return;
+    for (auto &[idx, b] : b_) {
+        b.mass /= total;
+        b.m1 /= total;
+        b.m2 /= total;
+    }
+}
+
+void
+Pmf::prune(double eps)
+{
+    const double floor = eps * totalMass();
+    for (auto it = b_.begin(); it != b_.end();) {
+        if (it->second.mass < floor)
+            it = b_.erase(it);
+        else
+            ++it;
+    }
+}
+
+double
+Pmf::totalMass() const
+{
+    double t = 0.0;
+    for (const auto &[idx, b] : b_)
+        t += b.mass;
+    return t;
+}
+
+double
+Pmf::mean() const
+{
+    const double t = totalMass();
+    if (t <= 0.0)
+        return 0.0;
+    double m1 = 0.0;
+    for (const auto &[idx, b] : b_)
+        m1 += b.m1;
+    return m1 / t;
+}
+
+double
+Pmf::variance() const
+{
+    const double t = totalMass();
+    if (t <= 0.0)
+        return 0.0;
+    double m1 = 0.0, m2 = 0.0;
+    for (const auto &[idx, b] : b_) {
+        m1 += b.m1;
+        m2 += b.m2;
+    }
+    const double mu = m1 / t;
+    return std::max(0.0, m2 / t - mu * mu);
+}
+
+double
+Pmf::percentile(double fraction) const
+{
+    const double t = totalMass();
+    if (t <= 0.0)
+        return 0.0;
+    fraction = std::clamp(fraction, 0.0, 1.0);
+    const double target = fraction * t;
+    double seen = 0.0;
+    for (const auto &[idx, b] : b_) {
+        seen += b.mass;
+        if (seen >= target)
+            return std::clamp(Distribution::bucketMid(idx), min_, max_);
+    }
+    return max_;
+}
+
+double
+Pmf::cdfAt(double v) const
+{
+    const double t = totalMass();
+    if (t <= 0.0)
+        return 0.0;
+    double below = 0.0;
+    for (const auto &[idx, b] : b_) {
+        if (bucketRep(b) <= v)
+            below += b.mass;
+    }
+    return below / t;
+}
+
+// ---- completion time ------------------------------------------------------
+
+namespace {
+
+/**
+ * E over W of min(1, need / W): the probability that an attempt
+ * starting at a uniformly random position of a window of length W
+ * does not fit before the window ends. Used by the freshness walk,
+ * where a timed span starts at an arbitrary point of the schedule.
+ */
+double
+uniformStartFailProb(const Pmf &windowCycles, double needCycles)
+{
+    double p = 0.0;
+    const double total = windowCycles.totalMass();
+    if (total <= 0.0)
+        return 1.0;
+    for (const auto &[idx, b] : windowCycles.buckets()) {
+        const double w = bucketRep(b);
+        p += b.mass * (w <= needCycles || w <= 0.0
+                           ? 1.0
+                           : needCycles / w);
+    }
+    return std::clamp(p / total, 0.0, 1.0);
+}
+
+/**
+ * E[W - lo | lo <= W < hi]: mean wasted run time of a window that
+ * survived to position @p lo but ends before @p hi. Zero when no
+ * window mass lies in the range.
+ */
+double
+condWasteInRange(const Pmf &w, double lo, double hi)
+{
+    double num = 0.0, mass = 0.0;
+    for (const auto &[idx, b] : w.buckets()) {
+        const double r = bucketRep(b);
+        if (r < lo * (1.0 - 1e-12))
+            continue; // window ended before reaching lo
+        if (r > hi * (1.0 - 1e-12))
+            continue; // window fits the attempt
+        num += (r - lo) * b.mass;
+        mass += b.mass;
+    }
+    return mass > 0.0 ? std::max(0.0, num / mass) : 0.0;
+}
+
+/**
+ * One region advanced through the window chain. The position of the
+ * region's start within the current powered window is tracked as a
+ * distribution, so a program that deterministically fits its windows
+ * is predicted outage-free — matching the simulator, whose runs start
+ * at the beginning of a fresh window (pattern phase zero, capacitor
+ * charged to the turn-on threshold).
+ */
+struct RegionMix {
+    Pmf elapsedNs;  ///< region wall time incl. outage costs
+    Pmf newPos;     ///< window position after the region completes
+    double pFail = 0.0;      ///< first-attempt failure probability
+    double pRetryFail = 0.0; ///< fresh-window retry failure prob.
+    double pNonterm = 0.0;
+    double meanOutages = 0.0;
+};
+
+RegionMix
+advanceRegion(const EnvModel &env, const device::CostModel &costs,
+              double need, double reentry, const Pmf &pos)
+{
+    RegionMix out;
+    const double ct = static_cast<double>(costs.cycleTimeNs());
+    const Pmf &W = env.windowCycles;
+
+    // First attempt: hazard-conditioned on the window having survived
+    // to the region's start position. P[fit | alive at v] =
+    // P[W >= v + need] / P[W >= v]; the epsilon keeps an exact fit on
+    // the success side of the bucket edge.
+    double wasteNum = 0.0;
+    for (const auto &[idx, b] : pos.buckets()) {
+        const double v = bucketRep(b);
+        const double p = b.mass;
+        const double denom = 1.0 - W.cdfAt(v * (1.0 - 1e-12));
+        if (denom <= 1e-12) {
+            out.pFail += p; // window exhausted exactly here
+            continue;
+        }
+        const double pFit = std::clamp(
+            (1.0 - W.cdfAt((v + need) * (1.0 - 1e-12))) / denom, 0.0,
+            1.0);
+        out.newPos.add(v + need, p * pFit);
+        const double pf = p * (1.0 - pFit);
+        if (pf > 0.0) {
+            out.pFail += pf;
+            wasteNum += pf * condWasteInRange(W, v, v + need);
+        }
+    }
+    out.pFail = std::clamp(out.pFail, 0.0, 1.0);
+
+    // A retry restarts the region at the top of a fresh window,
+    // paying the re-entry charge before the region's work.
+    const double q =
+        W.cdfAt((need + reentry) * (1.0 - 1e-12));
+    out.pRetryFail = q;
+
+    out.elapsedNs.mixIn(Pmf::delta(need * ct), 1.0 - out.pFail);
+    if (out.pFail <= kTailEps)
+        return out;
+
+    if (q >= kNontermThreshold) {
+        // Retries can never fit: completing requires the first
+        // attempt to succeed; the failure mass starves.
+        out.pNonterm = out.pFail;
+        return out;
+    }
+
+    // K >= 1 outages: the rest of the first window (the device keeps
+    // running until the energy dies), one off time, then k - 1 failed
+    // full-window retries, then the successful retry (re-entry +
+    // work). Waste terms carry conditional means only — the off-time
+    // distributions keep their full shape.
+    const double wasteFirst = wasteNum / out.pFail;
+    const double retryWaste = condWasteInRange(W, 0.0, need + reentry);
+    Pmf perRetry = env.outageNs.convolve(Pmf::delta(retryWaste * ct));
+    perRetry.prune();
+    Pmf acc = env.outageNs.convolve(
+        Pmf::delta((wasteFirst + reentry + need) * ct));
+    acc.prune(1e-10);
+
+    double w = out.pFail; // P[K >= k] entering iteration k
+    for (std::uint64_t k = 1; w > kTailEps; ++k) {
+        if (k > 1) {
+            acc = acc.convolve(perRetry);
+            acc.prune(1e-10);
+        }
+        if (k >= env.maxOutages) {
+            out.pNonterm += w; // starvation bound exhausted
+            break;
+        }
+        out.elapsedNs.mixIn(acc, w * (1.0 - q)); // exactly k outages
+        out.meanOutages += w; // sum over k of P[K >= k] = E[K]
+        w *= q;
+    }
+
+    // A successful retry leaves the device at re-entry + work of a
+    // fresh window.
+    out.newPos.add(reentry + need,
+                   std::max(0.0, out.pFail - out.pNonterm));
+    return out;
+}
+
+} // namespace
+
+TimingEstimate
+completionTime(const ProgramModel &m, const EnvModel &env,
+               const device::CostModel &costs)
+{
+    TimingEstimate est;
+    est.app = m.app;
+    est.runtime = m.runtime;
+    est.env = env.name;
+
+    // The calibration run measures the true failure-free on-path time
+    // including runtime overhead outside the recorded regions (boot,
+    // checkpoint logic, timekeeping); spread that overhead over the
+    // regions proportionally so per-region failure probabilities see
+    // the cycles the simulator actually burns there.
+    double regionCycles = 0.0;
+    for (const auto &r : m.regions)
+        regionCycles += static_cast<double>(r.cycles);
+    const double overheadScale =
+        (regionCycles > 0.0 && m.totalCycles > 0)
+            ? static_cast<double>(m.totalCycles) / regionCycles
+            : 1.0;
+
+    est.completionNs = Pmf::delta(0.0);
+    Pmf pos = Pmf::delta(0.0); // runs start at a fresh window's top
+    double pAlive = 1.0; // P[no nonterminating region hit so far]
+
+    for (const auto &r : m.regions) {
+        const double need =
+            static_cast<double>(r.cycles) * overheadScale;
+        const double reentry =
+            static_cast<double>(reentryCycles(m, r, costs));
+
+        RegionMix mix = advanceRegion(env, costs, need, reentry, pos);
+
+        RegionTiming rt;
+        rt.index = r.index;
+        rt.anchor = r.anchor;
+        rt.needCycles = need;
+        rt.reentryCycles = reentry;
+        rt.pFirstFail = mix.pFail;
+        rt.pRetryFail = mix.pRetryFail;
+        rt.meanOutages = mix.meanOutages;
+        est.regions.push_back(std::move(rt));
+
+        est.pNonterm += pAlive * mix.pNonterm;
+        pAlive *= 1.0 - mix.pNonterm;
+        est.meanOutages += mix.meanOutages;
+
+        if (mix.newPos.totalMass() <= 0.0) {
+            // Nothing survives this region; the estimate is the
+            // failure-free prefix.
+            est.completionNs = est.completionNs.convolve(
+                Pmf::delta(need * static_cast<double>(
+                                      costs.cycleTimeNs())));
+            break;
+        }
+
+        mix.elapsedNs.normalize();
+        est.completionNs = est.completionNs.convolve(mix.elapsedNs);
+        est.completionNs.prune(1e-10);
+        mix.newPos.normalize();
+        pos = std::move(mix.newPos);
+    }
+
+    est.pNonterm = std::clamp(est.pNonterm, 0.0, 1.0);
+    est.completionNs.normalize();
+    return est;
+}
+
+// ---- freshness ------------------------------------------------------------
+
+std::vector<FreshnessEstimate>
+freshnessViolations(const ProgramModel &m, const EnvModel &env,
+                    const device::CostModel &costs)
+{
+    std::vector<FreshnessEstimate> out;
+
+    struct Taint {
+        std::size_t region = 0;
+        Cycles atCycle = 0;
+        bool seen = false;
+    };
+    std::map<std::string, Taint> taint;
+    std::map<std::string, FreshnessEstimate> flagged;
+
+    // Precompute each region's outage mixture once; a use's age
+    // accumulates the off-time of every region between its timed
+    // assignment and itself (inclusive).
+    std::vector<Pmf> regionOffNs(m.regions.size());
+    for (const auto &r : m.regions) {
+        const double need = static_cast<double>(r.cycles);
+        const double reentry =
+            static_cast<double>(reentryCycles(m, r, costs));
+        const double pFirstFail =
+            uniformStartFailProb(env.windowCycles, need);
+        const double pRetryFail =
+            env.windowCycles.cdfAt(need + reentry);
+        Pmf mix = Pmf::delta(0.0, 1.0 - pFirstFail);
+        if (pRetryFail < kNontermThreshold) {
+            Pmf acc;
+            double w = pFirstFail;
+            for (std::uint64_t k = 1;
+                 w > kTailEps && k <= env.maxOutages; ++k) {
+                acc = k == 1 ? env.outageNs : acc.convolve(env.outageNs);
+                acc.prune(1e-10);
+                mix.mixIn(acc, w * (1.0 - pRetryFail));
+                w *= pRetryFail;
+            }
+        } else {
+            // Nonterminating region: a use after it is unreachable;
+            // saturate with the worst single outage.
+            mix.mixIn(Pmf::delta(env.outageNs.maxValue()), pFirstFail);
+        }
+        mix.normalize();
+        regionOffNs[r.index] = std::move(mix);
+    }
+
+    for (const auto &r : m.regions) {
+        std::set<std::string> checkedHere;
+        for (const auto &s : r.sites) {
+            switch (s.kind) {
+              case mem::SideEventKind::TimedAssign:
+                taint[s.id] = {r.index, s.atCycle, true};
+                break;
+              case mem::SideEventKind::TimedCheck:
+                checkedHere.insert(s.id);
+                break;
+              case mem::SideEventKind::TimedUse: {
+                const auto lifetime = static_cast<double>(s.u0);
+                if (lifetime <= 0.0)
+                    break; // never expires
+                if (checkedHere.count(s.id))
+                    break; // guarded: the check re-runs on re-entry
+                const Taint &t = taint[s.id];
+                if (t.seen && t.region == r.index)
+                    break; // same region: re-execution re-assigns
+                const double onPathNs =
+                    static_cast<double>(costs.cyclesToNs(
+                        t.seen ? s.atCycle - t.atCycle : s.atCycle));
+                Pmf age = Pmf::delta(onPathNs);
+                const std::size_t from = t.seen ? t.region : 0;
+                for (std::size_t i = from; i <= r.index; ++i) {
+                    age = age.convolve(regionOffNs[i]);
+                    age.prune(1e-10);
+                }
+                const double pViol = 1.0 - age.cdfAt(lifetime);
+                auto &f = flagged[s.id];
+                ++f.sites;
+                if (pViol >= f.pViolation) {
+                    f.pViolation = pViol;
+                    f.anchor = r.anchor;
+                    f.lifetimeNs = lifetime;
+                }
+                break;
+              }
+              default:
+                break;
+            }
+        }
+    }
+
+    for (auto &[id, f] : flagged) {
+        f.app = m.app;
+        f.runtime = m.runtime;
+        f.env = env.name;
+        f.subject = id;
+        out.push_back(std::move(f));
+    }
+    return out;
+}
+
+} // namespace ticsim::verify

@@ -1,0 +1,413 @@
+/**
+ * @file
+ * Tests for the probabilistic timing analysis (ticsetap direction):
+ * closed-form known-answer tests for the Pmf arithmetic, environment
+ * model sanity, the synthetic completion/freshness estimators, the
+ * cross-validation gate (including a deliberately miscalibrated model
+ * that must fail the p95 gate with a findings entry naming the pair),
+ * and the end-to-end capacitor-sizing SLO query confirmed by a sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "device/costs.hpp"
+#include "support/stats.hpp"
+#include "sweep/sweep.hpp"
+#include "verify/envmodel.hpp"
+#include "verify/model.hpp"
+#include "verify/prob.hpp"
+#include "verify/probcrossval.hpp"
+
+using namespace ticsim;
+using namespace ticsim::verify;
+
+namespace {
+
+const device::CostModel kCosts{};
+
+/** A minimal n-region model with uniform region size. */
+ProgramModel
+syntheticModel(std::size_t regions, Cycles cyclesEach)
+{
+    ProgramModel m;
+    m.app = "synthetic";
+    m.runtime = "test";
+    m.calibrated = true;
+    for (std::size_t i = 0; i < regions; ++i) {
+        RegionNode r;
+        r.index = i;
+        r.anchor = "region#" + std::to_string(i);
+        r.cycles = cyclesEach;
+        r.startCycle = static_cast<Cycles>(i) * cyclesEach;
+        m.regions.push_back(std::move(r));
+        m.totalCycles += cyclesEach;
+    }
+    return m;
+}
+
+SiteEvent
+site(mem::SideEventKind kind, const char *id, std::uint64_t u0,
+     Cycles atCycle)
+{
+    SiteEvent s;
+    s.kind = kind;
+    s.id = id;
+    s.u0 = u0;
+    s.atCycle = atCycle;
+    return s;
+}
+
+} // namespace
+
+// ---- Pmf known-answer tests ------------------------------------------------
+
+TEST(Pmf, DeltaConvolutionIsDelta)
+{
+    const Pmf sum = Pmf::delta(3.0).convolve(Pmf::delta(4.0));
+    EXPECT_NEAR(sum.totalMass(), 1.0, 1e-12);
+    EXPECT_NEAR(sum.mean(), 7.0, 1e-12);
+    EXPECT_NEAR(sum.variance(), 0.0, 1e-9);
+    // One point of support: every percentile is the point itself.
+    EXPECT_DOUBLE_EQ(sum.p50(), 7.0);
+    EXPECT_DOUBLE_EQ(sum.p99(), 7.0);
+    EXPECT_DOUBLE_EQ(sum.minValue(), 7.0);
+    EXPECT_DOUBLE_EQ(sum.maxValue(), 7.0);
+}
+
+TEST(Pmf, GeometricMeanAndVariance)
+{
+    // Untruncated closed forms: mean (1-s)/s, variance (1-s)/s^2.
+    const double s = 0.25;
+    const Pmf k = Pmf::geometric(s, 10000);
+    EXPECT_NEAR(k.totalMass(), 1.0, 1e-12);
+    EXPECT_NEAR(k.mean(), (1.0 - s) / s, 1e-6);
+    EXPECT_NEAR(k.variance(), (1.0 - s) / (s * s), 1e-4);
+    // P[K=0] = s (bucket-mean resolution leaves ~1e-10 slack).
+    EXPECT_NEAR(k.cdfAt(0.0), s, 1e-6);
+}
+
+TEST(Pmf, GeometricTruncationKeepsTailMass)
+{
+    const Pmf k = Pmf::geometric(0.5, 3);
+    EXPECT_NEAR(k.totalMass(), 1.0, 1e-12);
+    // 1/2, 1/4, 1/8 at 0..2 and the remaining 1/8 parked at 3.
+    EXPECT_NEAR(k.cdfAt(2.0), 0.875, 1e-12);
+    EXPECT_NEAR(k.maxValue(), 3.0, 1e-12);
+}
+
+TEST(Pmf, ExponentialPreservesMean)
+{
+    const double mean = 80e6;
+    const Pmf e = Pmf::exponential(mean, 64);
+    EXPECT_NEAR(e.totalMass(), 1.0, 1e-12);
+    // Quantile-atom discretization keeps the mean within a few
+    // percent; the last atom carries the conditional tail median.
+    EXPECT_NEAR(e.mean(), mean, 0.05 * mean);
+    EXPECT_NEAR(e.percentile(0.5), mean * std::log(2.0),
+                0.1 * mean * std::log(2.0));
+}
+
+TEST(Pmf, PercentilesAgreeWithDistributionOnSharedBuckets)
+{
+    // Same samples pushed through both types: the Pmf reports the
+    // same bucket-midpoint percentiles as support/stats.hpp's
+    // Distribution because the two share one bucket layout.
+    Distribution d;
+    Pmf p;
+    std::uint64_t x = 88172645463325252ull; // deterministic xorshift
+    std::vector<double> vals;
+    for (int i = 0; i < 1000; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        vals.push_back(1.0 + static_cast<double>(x % 1000000));
+    }
+    for (double v : vals) {
+        d.sample(v);
+        p.add(v, 1.0 / static_cast<double>(vals.size()));
+    }
+    EXPECT_DOUBLE_EQ(p.p50(), d.p50());
+    EXPECT_DOUBLE_EQ(p.p95(), d.p95());
+    EXPECT_DOUBLE_EQ(p.p99(), d.p99());
+}
+
+TEST(Pmf, ScaledAndMixtureArithmetic)
+{
+    const Pmf p = Pmf::delta(10.0, 0.5).scaled(3.0);
+    EXPECT_NEAR(p.mean(), 30.0, 1e-12);
+    EXPECT_NEAR(p.totalMass(), 0.5, 1e-12);
+
+    Pmf mix = Pmf::delta(1.0, 0.25);
+    mix.mixIn(Pmf::delta(5.0), 0.75);
+    EXPECT_NEAR(mix.totalMass(), 1.0, 1e-12);
+    EXPECT_NEAR(mix.mean(), 0.25 * 1.0 + 0.75 * 5.0, 1e-12);
+}
+
+// ---- environment models ----------------------------------------------------
+
+TEST(EnvModel, PatternEnvIsDeterministic)
+{
+    const EnvModel env = patternEnv(30 * kNsPerMs, 0.6, kCosts, 300);
+    // 18 ms on at 1 MHz, 12 ms off; both are point masses.
+    EXPECT_NEAR(env.windowCycles.mean(), 18000.0, 1e-9);
+    EXPECT_NEAR(env.windowCycles.variance(), 0.0, 1e-6);
+    EXPECT_NEAR(env.outageNs.mean(), 12e6, 1e-3);
+    EXPECT_EQ(env.maxOutages, 300u);
+}
+
+TEST(EnvModel, StochasticWindowGrowsWithCapacitance)
+{
+    StochasticEnvParams small;
+    small.capacitanceF = 1e-6;
+    StochasticEnvParams big;
+    big.capacitanceF = 4e-6;
+    const EnvModel se = stochasticEnv(small, kCosts, 300);
+    const EnvModel be = stochasticEnv(big, kCosts, 300);
+    // A bigger buffer rides out more harvester-off intervals, so its
+    // powered windows chain longer before a fatal off.
+    EXPECT_GT(be.windowCycles.mean(), se.windowCycles.mean());
+    // Every death pays at least the off remainder; the smaller cap
+    // recharges faster, so its outages are no longer than the big's.
+    EXPECT_GT(se.outageNs.mean(), 0.0);
+    EXPECT_LE(se.outageNs.mean(), be.outageNs.mean() + 1.0);
+}
+
+// ---- completion-time model on synthetic programs ---------------------------
+
+TEST(CompletionTime, FitsFirstWindowExactly)
+{
+    // Two 4000-cycle regions against an 18000-cycle window: the run
+    // starts at the window top and never fails.
+    const auto m = syntheticModel(2, 4000);
+    const EnvModel env = patternEnv(30 * kNsPerMs, 0.6, kCosts, 300);
+    const TimingEstimate est = completionTime(m, env, kCosts);
+    EXPECT_NEAR(est.pNonterm, 0.0, 1e-12);
+    EXPECT_NEAR(est.meanOutages, 0.0, 1e-9);
+    // Elapsed = pure work at 1 us per cycle.
+    EXPECT_NEAR(est.completionNs.mean(), 8000e3, 1.0);
+    EXPECT_NEAR(est.completionNs.variance(), 0.0, 1e-3);
+}
+
+TEST(CompletionTime, SpillIntoSecondWindowPaysOneOutage)
+{
+    // Three regions of 8000 cycles against an 18000-cycle window: the
+    // third region starts at position 16000 + 2 * reentry and cannot
+    // fit, so exactly one outage and one re-entry are paid.
+    const auto m = syntheticModel(3, 8000);
+    const EnvModel env = patternEnv(30 * kNsPerMs, 0.6, kCosts, 300);
+    const TimingEstimate est = completionTime(m, env, kCosts);
+    EXPECT_NEAR(est.pNonterm, 0.0, 1e-12);
+    EXPECT_NEAR(est.meanOutages, 1.0, 1e-9);
+    EXPECT_GT(est.completionNs.mean(), 24000e3 + 12e6 - 1.0);
+}
+
+TEST(CompletionTime, OversizedRegionNeverTerminates)
+{
+    const auto m = syntheticModel(1, 20000); // 20423 > 18000
+    const EnvModel env = patternEnv(30 * kNsPerMs, 0.6, kCosts, 300);
+    const TimingEstimate est = completionTime(m, env, kCosts);
+    EXPECT_GT(est.pNonterm, 0.999);
+}
+
+// ---- freshness-violation probability ---------------------------------------
+
+TEST(Freshness, UnguardedCrossRegionUseEarnsOutageMass)
+{
+    // assign in region 0, use in region 1 with a lifetime shorter
+    // than the 12 ms outage: P[violation] is exactly P[an outage
+    // lands between the two], here the chance region 1 fails at
+    // least once.
+    auto m = syntheticModel(2, 12000);
+    m.regions[0].sites.push_back(site(
+        mem::SideEventKind::TimedAssign, "sensor", 0, 11000));
+    m.regions[1].sites.push_back(site(
+        mem::SideEventKind::TimedUse, "sensor",
+        5 * kNsPerMs, 13000));
+    const EnvModel env = patternEnv(30 * kNsPerMs, 0.6, kCosts, 300);
+    const auto est = freshnessViolations(m, env, kCosts);
+    ASSERT_EQ(est.size(), 1u);
+    EXPECT_EQ(est[0].subject, "sensor");
+    EXPECT_EQ(est[0].sites, 1u);
+    EXPECT_GT(est[0].pViolation, 0.0);
+    EXPECT_LE(est[0].pViolation, 1.0);
+}
+
+TEST(Freshness, GuardedUseIsNotFlagged)
+{
+    auto m = syntheticModel(2, 12000);
+    m.regions[0].sites.push_back(site(
+        mem::SideEventKind::TimedAssign, "sensor", 0, 11000));
+    m.regions[1].sites.push_back(site(
+        mem::SideEventKind::TimedCheck, "sensor", 0, 12500));
+    m.regions[1].sites.push_back(site(
+        mem::SideEventKind::TimedUse, "sensor",
+        5 * kNsPerMs, 13000));
+    const EnvModel env = patternEnv(30 * kNsPerMs, 0.6, kCosts, 300);
+    EXPECT_TRUE(freshnessViolations(m, env, kCosts).empty());
+}
+
+// ---- the cross-validation gate ---------------------------------------------
+
+namespace {
+
+/** A synthetic row whose static and simulated sides agree. */
+ProbGateRow
+calibratedRow()
+{
+    ProbGateRow row;
+    row.app = "AR";
+    row.runtime = "TICS";
+    row.env = "pattern:30:0.6";
+    row.staticP50Ms = 38.7;
+    row.staticP95Ms = 38.7;
+    row.staticP99Ms = 38.7;
+    row.simCells = 16;
+    row.simCompleted = 16;
+    row.simP50Ms = 38.5;
+    row.simP95Ms = 38.5;
+    row.simP99Ms = 38.5;
+    return row;
+}
+
+} // namespace
+
+TEST(ProbGate, CalibratedRowPasses)
+{
+    ProbGateRow row = calibratedRow();
+    gateProbRow(row, ProbGateTolerance{});
+    EXPECT_TRUE(row.gatePassed);
+    EXPECT_EQ(row.gateKind, "percentiles");
+    EXPECT_TRUE(row.failedPercentile.empty());
+}
+
+TEST(ProbGate, MiscalibratedModelFailsP95WithNamedFinding)
+{
+    // A model overestimating the tail by 4x must fail the p95 gate
+    // and produce a findings entry naming the pair and percentile.
+    ProbGateRow row = calibratedRow();
+    row.app = "BC";
+    row.runtime = "Alpaca-like";
+    row.staticP95Ms = 4.0 * row.simP95Ms;
+    row.staticP99Ms = 4.0 * row.simP99Ms;
+    gateProbRow(row, ProbGateTolerance{});
+    EXPECT_FALSE(row.gatePassed);
+    EXPECT_EQ(row.failedPercentile, "p95");
+    EXPECT_GT(row.worstRel, ProbGateTolerance{}.p95);
+
+    const Finding f = probGateFinding(row);
+    EXPECT_EQ(f.analysis, "prob-crossval");
+    EXPECT_EQ(f.app, "BC");
+    EXPECT_EQ(f.runtime, "Alpaca-like");
+    EXPECT_EQ(f.anchor, "p95");
+    EXPECT_NE(f.detail.find("p95"), std::string::npos);
+}
+
+TEST(ProbGate, OrderStatisticBandAbsorbsSamplingNoise)
+{
+    // A fat static tail whose order-statistic band still covers the
+    // simulated sample maximum passes, even though the nominal p95
+    // deviates far beyond tolerance.
+    ProbGateRow row = calibratedRow();
+    row.staticP95Ms = 104.9; // nominal tail, far from sim 38.5
+    row.staticLoP95Ms = 24.0;
+    row.staticHiP95Ms = 110.0;
+    gateProbRow(row, ProbGateTolerance{});
+    EXPECT_TRUE(row.gatePassed);
+    // Only the degenerate p50 band contributes its tiny deviation;
+    // the p95 point sits inside its band and adds none.
+    EXPECT_LT(row.worstRel, 0.01);
+
+    // ...but a simulated value outside the band by more than the
+    // tolerance still fails.
+    ProbGateRow bad = calibratedRow();
+    bad.staticP95Ms = 165.0;
+    bad.staticLoP95Ms = 160.0;
+    bad.staticHiP95Ms = 170.0;
+    gateProbRow(bad, ProbGateTolerance{});
+    EXPECT_FALSE(bad.gatePassed);
+    EXPECT_EQ(bad.failedPercentile, "p95");
+}
+
+TEST(ProbGate, NontermVerdictRequiresZeroCompletions)
+{
+    ProbGateRow row = calibratedRow();
+    row.pNonterm = 1.0;
+    row.simCompleted = 0;
+    gateProbRow(row, ProbGateTolerance{});
+    EXPECT_TRUE(row.gatePassed);
+    EXPECT_EQ(row.gateKind, "nonterm");
+
+    row.simCompleted = 3;
+    gateProbRow(row, ProbGateTolerance{});
+    EXPECT_FALSE(row.gatePassed);
+    EXPECT_EQ(row.failedPercentile, "completion");
+}
+
+TEST(ProbGate, IncompleteSimulationFailsTerminatingRow)
+{
+    ProbGateRow row = calibratedRow();
+    row.simCompleted = 12; // 4 of 16 cells starved
+    gateProbRow(row, ProbGateTolerance{});
+    EXPECT_FALSE(row.gatePassed);
+    EXPECT_EQ(row.failedPercentile, "completion");
+}
+
+// ---- capacitor sizing, confirmed by simulation -----------------------------
+
+TEST(CapacitorSizing, SweepConfirmsSloBoundary)
+{
+    // The acceptance configuration: BC under TICS against the
+    // stochastic supply, "95% of completions within 155 ms". The
+    // static query must return a capacitance the sweep confirms
+    // meets the SLO while one grid step smaller fails it.
+    ProbCrossValConfig cfg;
+    const ProgramModel model = recoverSweepPair(cfg, "BC", "TICS");
+    ASSERT_TRUE(model.calibrated);
+
+    SloQuery q;
+    q.slo = 0.95;
+    q.deadlineNs = 155e6;
+    const CapacitorSizing sized = sizeCapacitor(
+        model, StochasticEnvParams{}, kCosts, q, CapacitorGrid{},
+        cfg.rebootLimit);
+    ASSERT_TRUE(sized.feasible);
+    ASSERT_GE(sized.curve.size(), 2u);
+    EXPECT_GE(sized.pOnTime, q.slo);
+    // The grid is geometric from 0.5 uF with factor 1.5.
+    const double stepSmaller = sized.capacitanceF / 1.5;
+    EXPECT_NEAR(sized.capacitanceF, 5.6953125e-6, 1e-12);
+
+    // Simulate both candidate capacitances over the committed seeds.
+    sweep::SweepConfig sc;
+    sc.grid.apps = {"BC"};
+    sc.grid.runtimes = {"TICS"};
+    sweep::SupplyAxis sto;
+    sto.kind = sweep::SupplyKind::Stochastic;
+    sc.grid.supplies = {sto};
+    sc.grid.capsUf = {stepSmaller * 1e6, sized.capacitanceF * 1e6};
+    sc.grid.segments = {256};
+    sc.grid.seeds = cfg.seeds;
+    sc.useCache = cfg.useCache;
+    sc.cacheDir = cfg.cacheDir;
+    const sweep::SweepResult sim = sweep::runSweep(sc);
+
+    std::uint64_t okFound = 0, nFound = 0, okSmall = 0, nSmall = 0;
+    for (const auto &c : sim.cells) {
+        const bool found =
+            std::fabs(c.cell.capUf - sized.capacitanceF * 1e6) < 1e-9;
+        const bool onTime =
+            c.result.completed &&
+            static_cast<double>(c.result.elapsedNs) <= q.deadlineNs;
+        (found ? nFound : nSmall) += 1;
+        (found ? okFound : okSmall) += onTime ? 1 : 0;
+    }
+    ASSERT_EQ(nFound, cfg.seeds.size());
+    ASSERT_EQ(nSmall, cfg.seeds.size());
+    const double n = static_cast<double>(cfg.seeds.size());
+    EXPECT_GE(static_cast<double>(okFound) / n, q.slo);
+    EXPECT_LT(static_cast<double>(okSmall) / n, q.slo);
+}

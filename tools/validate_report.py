@@ -9,11 +9,14 @@ run-report schema actually uses (type, const, enum, required,
 additionalProperties, items, $ref into #/definitions, minimum,
 minLength, pattern). Either way it also checks the semantic invariants
 the schema cannot express: phases.total == result.cycles == sum of the
-per-phase counts for every run, and for version-3 documents that the
-grid's cells are sorted by job_id, that each cell's sim_ms matches its
-on_time_ns, that the cache hit/miss split accounts for every cell (or
-is zeroed, as under --stable / --no-cache), and that the aggregates
-partition the cells.
+per-phase counts for every run; for grid documents that the cells are
+sorted by job_id, that each cell's sim_ms matches its on_time_ns, that
+the cache hit/miss split accounts for every cell (or is zeroed, as
+under --stable / --no-cache), and that the aggregates partition the
+cells; and for version-4 `prob` documents that static percentiles are
+monotone, gate verdicts are consistent with --crossval and with the
+failed-percentile field, and a feasible SLO answer actually meets its
+own SLO.
 
 Exit status: 0 when every report validates, 1 otherwise.
 """
@@ -129,10 +132,17 @@ def validate_invariants(report):
 
     if "grid" in report and report["version"] < 3:
         raise ValueError("grid section requires version >= 3")
-    if report["version"] >= 3 and "grid" not in report:
+    if report["version"] == 3 and "grid" not in report:
         raise ValueError("version 3 document has no grid section")
     if "grid" in report:
         validate_grid(report["grid"])
+
+    if "prob" in report and report["version"] < 4:
+        raise ValueError("prob section requires version >= 4")
+    if report["version"] >= 4 and "prob" not in report:
+        raise ValueError("version 4 document has no prob section")
+    if "prob" in report:
+        validate_prob(report["prob"])
 
 
 def validate_grid(grid):
@@ -168,6 +178,45 @@ def validate_grid(grid):
         raise ValueError(
             f"grid.aggregates cover {agg_cells} cells, grid has "
             f"{len(cells)}")
+
+
+def validate_prob(prob):
+    """The ticsverify --prob section's internal consistency."""
+    crossval = prob["crossval"]
+    for i, row in enumerate(prob["rows"]):
+        who = f"prob.rows[{i}] ({row['app']}/{row['runtime']}/{row['env']})"
+        st = row["static"]
+        if not st["p50_ms"] <= st["p95_ms"] <= st["p99_ms"]:
+            raise ValueError(f"{who}: static percentiles not monotone")
+        sim = row["simulated"]
+        if sim["completed"] > sim["cells"]:
+            raise ValueError(f"{who}: more completions than cells")
+        if not crossval:
+            if row["gate"] != "static":
+                raise ValueError(
+                    f"{who}: gate '{row['gate']}' without --crossval")
+            if sim["cells"] != 0:
+                raise ValueError(
+                    f"{who}: simulated cells without --crossval")
+        elif row["gate"] == "static":
+            raise ValueError(f"{who}: ungated row in a --crossval report")
+        if row["within_tolerance"] and row["failed_percentile"]:
+            raise ValueError(
+                f"{who}: within tolerance yet failed "
+                f"'{row['failed_percentile']}'")
+        if not row["within_tolerance"] and not row["failed_percentile"]:
+            raise ValueError(f"{who}: failed gate names no percentile")
+
+    if "slo" in prob:
+        slo = prob["slo"]
+        if slo["feasible"]:
+            if slo["capacitance_uf"] <= 0:
+                raise ValueError(
+                    "prob.slo: feasible answer without a capacitance")
+            if slo["p_on_time"] < slo["slo"]:
+                raise ValueError(
+                    f"prob.slo: p_on_time {slo['p_on_time']} below the "
+                    f"SLO {slo['slo']} it claims to meet")
 
 
 def main(argv):
