@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "perf/host_profiler.hpp"
+
 namespace ticsim::analysis {
 
 namespace {
@@ -41,6 +43,7 @@ ReplayOracle::appStateFilter()
 ArenaSnapshot
 ReplayOracle::capture(const mem::NvRam &ram, const RegionFilter &filter)
 {
+    perf::HostScope scope(perf::HostZone::Analysis);
     ArenaSnapshot snap;
     for (const mem::NvRegion &r : ram.regions()) {
         if (!filter(r))
@@ -59,6 +62,7 @@ ReplayReport
 ReplayOracle::diff(const ArenaSnapshot &reference,
                    const ArenaSnapshot &subject)
 {
+    perf::HostScope scope(perf::HostZone::Analysis);
     ReplayReport report;
     std::unordered_map<std::string, const RegionImage *> refByName;
     for (const RegionImage &r : reference.regions)

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "perf/host_profiler.hpp"
 #include "support/json.hpp"
 #include "support/logging.hpp"
 
@@ -171,11 +172,19 @@ BenchSession::setProb(ProbSection prob)
 }
 
 void
+BenchSession::setPerf(PerfSection perf)
+{
+    perf_ = std::move(perf);
+    havePerf_ = true;
+}
+
+void
 BenchSession::finish()
 {
     if (finished_)
         return;
     finished_ = true;
+    perf::HostScope scope(perf::HostZone::Report);
     if (!opts_.jsonPath.empty())
         writeJson();
     if (!opts_.tracePath.empty())
@@ -196,7 +205,8 @@ BenchSession::writeJson() const
     // and documents without a grid stay at version 2 (or 1); each
     // optional section only bumps the version of documents that
     // actually carry it.
-    w.member("version", haveProb_   ? kReportVersionProb
+    w.member("version", havePerf_   ? kReportVersionPerf
+                        : haveProb_ ? kReportVersionProb
                         : haveGrid_ ? kReportVersionGrid
                         : findings_.empty() ? kReportVersion
                                             : kReportVersionFindings);
@@ -381,6 +391,59 @@ BenchSession::writeJson() const
                 .member("p_on_time", prob_.slo.pOnTime)
                 .endObject();
         }
+        w.endObject();
+    }
+    if (havePerf_) {
+        w.key("perf").beginObject();
+        w.member("bench_version", perf_.benchVersion);
+        w.key("build")
+            .beginObject()
+            .member("type", perf_.buildType)
+            .member("optimized", perf_.optimized)
+            .member("quick", perf_.quick)
+            .endObject();
+        w.key("counters").beginObject();
+        for (const PerfCounterEntry &c : perf_.counters)
+            w.member(c.name, c.value);
+        w.endObject();
+        w.key("microbench").beginArray();
+        for (const PerfMicrobenchEntry &m : perf_.microbench) {
+            w.beginObject();
+            w.member("name", m.name);
+            w.member("iters", m.iters);
+            w.member("ns_per_op", m.nsPerOp);
+            w.member("ops_per_sec", m.opsPerSec);
+            w.endObject();
+        }
+        w.endArray();
+        w.key("macro")
+            .beginObject()
+            .member("cells", perf_.macroCells)
+            .member("host_ms", perf_.macroHostMs)
+            .member("cells_per_sec", perf_.cellsPerSec)
+            .member("sim_cycles", perf_.macroSimCycles)
+            .member("sim_ns", perf_.macroSimNs)
+            .member("sim_cycles_per_host_sec", perf_.simCyclesPerHostSec)
+            .member("sim_seconds_per_host_sec",
+                    perf_.simSecondsPerHostSec)
+            .endObject();
+        w.key("host_time").beginObject();
+        w.member("total_ms", perf_.hostTotalMs);
+        w.key("zones").beginArray();
+        for (const PerfZoneEntry &z : perf_.zones) {
+            w.beginObject();
+            w.member("name", z.name);
+            w.member("ms", z.ms);
+            w.member("scopes", z.scopes);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        w.key("profiler_overhead")
+            .beginObject()
+            .member("clock_reads", perf_.clockReads)
+            .member("scope_ns", perf_.scopeNsPerEnterExit)
+            .endObject();
         w.endObject();
     }
     w.endObject();

@@ -44,6 +44,9 @@ constexpr int kReportVersionGrid = 3;
 /** Version emitted when the report carries a `prob` section. */
 constexpr int kReportVersionProb = 4;
 
+/** Version emitted when the report carries a `perf` section. */
+constexpr int kReportVersionPerf = 5;
+
 /**
  * One analysis finding in the report's optional `findings` section
  * (written by static-analysis benches like ticsverify; plain benches
@@ -187,6 +190,58 @@ struct ProbSection {
     ProbSloEntry slo;
 };
 
+/** One named hot-path counter value in the `perf` section. */
+struct PerfCounterEntry {
+    std::string name; ///< perf::counterFields() snake_case name
+    std::uint64_t value = 0;
+};
+
+/** One per-subsystem microbenchmark result. */
+struct PerfMicrobenchEntry {
+    std::string name; ///< e.g. nv_store, undo_append_clear
+    std::uint64_t iters = 0;
+    double nsPerOp = 0.0;
+    double opsPerSec = 0.0;
+};
+
+/** One host wall-time zone of the macro run's partition. */
+struct PerfZoneEntry {
+    std::string name; ///< perf::hostZoneName(), plus "other"
+    double ms = 0.0;
+    std::uint64_t scopes = 0; ///< 0 for the computed "other" remainder
+};
+
+/**
+ * The `perf` section (written by ticsperf; bumps the report to
+ * version 5): build provenance, the macro run's hot-path counter
+ * deltas, per-subsystem microbenchmarks, macro throughput, and the
+ * host wall-time partition. Only ticsperf calls setPerf(), so every
+ * other bench's document stays at version <= 4 byte-for-byte.
+ */
+struct PerfSection {
+    std::uint64_t benchVersion = 0; ///< trajectory point (BENCH_<n>)
+    std::string buildType;          ///< CMAKE_BUILD_TYPE at compile time
+    bool optimized = false;         ///< compiled with optimization on
+    bool quick = false;             ///< --quick (reduced iterations)
+
+    std::vector<PerfCounterEntry> counters; ///< macro-phase deltas
+    std::vector<PerfMicrobenchEntry> microbench;
+
+    std::uint64_t macroCells = 0;
+    double macroHostMs = 0.0;
+    double cellsPerSec = 0.0;
+    std::uint64_t macroSimCycles = 0;
+    std::uint64_t macroSimNs = 0;
+    double simCyclesPerHostSec = 0.0;
+    double simSecondsPerHostSec = 0.0;
+
+    double hostTotalMs = 0.0; ///< zones (incl. "other") sum to this
+    std::vector<PerfZoneEntry> zones;
+
+    std::uint64_t clockReads = 0;  ///< profiler clock queries, whole run
+    double scopeNsPerEnterExit = 0.0; ///< measured HostScope overhead
+};
+
 struct ReportOptions {
     std::string jsonPath;  ///< empty = no JSON report
     std::string tracePath; ///< empty = no timeline trace
@@ -241,6 +296,9 @@ class BenchSession
     /** Attach the probabilistic timing section; bumps to version 4. */
     void setProb(ProbSection prob);
 
+    /** Attach the perf section; bumps the report to version 5. */
+    void setPerf(PerfSection perf);
+
     /** Write the JSON report and trace now (idempotent). */
     void finish();
 
@@ -272,6 +330,8 @@ class BenchSession
     bool haveGrid_ = false;
     ProbSection prob_;
     bool haveProb_ = false;
+    PerfSection perf_;
+    bool havePerf_ = false;
     bool finished_ = false;
     /** The thread that constructed the session (see record()). */
     std::thread::id owner_;

@@ -1,5 +1,7 @@
 #include "nv.hpp"
 
+#include "perf/counters.hpp"
+
 namespace ticsim::mem {
 
 namespace {
@@ -15,6 +17,12 @@ thread_local MemHooks *current = &passThrough;
 MemHooks &
 hooks()
 {
+    // Host-side dispatch-mix accounting only; the returned reference
+    // and the modeled behaviour are unchanged.
+    if (current == &passThrough)
+        ++perf::hot().hookFastNull;
+    else
+        ++perf::hot().hookDispatches;
     return *current;
 }
 

@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <cstring>
 
+#include "perf/counters.hpp"
+
 namespace ticsim::mem {
 
 /** Which protocol step a gated store belongs to; fault plans target
@@ -67,10 +69,13 @@ inline void
 gatedStore(StoreSite site, void *dst, const void *src,
            std::uint32_t bytes)
 {
-    if (detail::g_gate)
+    if (detail::g_gate) {
+        ++perf::hot().gateDispatches;
         detail::g_gate->store(site, dst, src, bytes);
-    else
+    } else {
+        ++perf::hot().gateFastNull;
         std::memcpy(dst, src, bytes);
+    }
 }
 
 /** RAII gate installation for the scope of one faulted Board::run on

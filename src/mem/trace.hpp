@@ -22,6 +22,8 @@
 
 #include <cstdint>
 
+#include "perf/counters.hpp"
+
 namespace ticsim::mem {
 
 /**
@@ -123,48 +125,87 @@ accessSink()
 }
 
 // ---- forwarding helpers (no-ops while no sink is installed) ------------
+//
+// Each helper also bumps the calling thread's perf::HotCounters —
+// host-side observation only (no modeled cost, no NV state), so the
+// conservation invariant "sink installed => counted NV stores ==
+// delivered memWrite events" holds by construction: both tallies are
+// taken at the same dispatch point.
 
 inline void
 traceRead(const void *p, std::uint32_t bytes)
 {
-    if (detail::g_sink)
+    perf::HotCounters &c = perf::hot();
+    ++c.nvLoads;
+    c.nvLoadBytes += bytes;
+    if (detail::g_sink) {
+        ++c.sinkDispatches;
         detail::g_sink->memRead(p, bytes);
+    } else {
+        ++c.sinkFastNull;
+    }
 }
 
 inline void
 traceWrite(const void *p, std::uint32_t bytes)
 {
-    if (detail::g_sink)
+    perf::HotCounters &c = perf::hot();
+    ++c.nvStores;
+    c.nvStoreBytes += bytes;
+    if (detail::g_sink) {
+        ++c.sinkDispatches;
         detail::g_sink->memWrite(p, bytes);
+    } else {
+        ++c.sinkFastNull;
+    }
 }
 
 inline void
 traceVersioned(const void *p, std::uint32_t bytes)
 {
-    if (detail::g_sink)
+    perf::HotCounters &c = perf::hot();
+    ++c.nvVersioned;
+    c.nvVersionedBytes += bytes;
+    if (detail::g_sink) {
+        ++c.sinkDispatches;
         detail::g_sink->memVersioned(p, bytes);
+    } else {
+        ++c.sinkFastNull;
+    }
 }
 
 inline void
 traceBoot()
 {
-    if (detail::g_sink)
+    if (detail::g_sink) {
+        ++perf::hot().sinkDispatches;
         detail::g_sink->powerOn();
+    } else {
+        ++perf::hot().sinkFastNull;
+    }
 }
 
 inline void
 traceCommit()
 {
-    if (detail::g_sink)
+    if (detail::g_sink) {
+        ++perf::hot().sinkDispatches;
         detail::g_sink->commit();
+    } else {
+        ++perf::hot().sinkFastNull;
+    }
 }
 
 inline void
 traceSideEvent(SideEventKind kind, const char *id = nullptr,
                std::uint64_t u0 = 0, std::uint64_t u1 = 0)
 {
-    if (detail::g_sink)
+    if (detail::g_sink) {
+        ++perf::hot().sinkDispatches;
         detail::g_sink->sideEvent(SideEvent{kind, id, u0, u1});
+    } else {
+        ++perf::hot().sinkFastNull;
+    }
 }
 
 /** RAII sink installation for the scope of one traced Board::run on

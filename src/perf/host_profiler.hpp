@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Wall-clock host profiler (DESIGN.md Section 11).
+ *
+ * RAII HostScope guards mark subsystem boundaries — simulator core,
+ * checkpoint/restore machinery, analysis sinks, cache I/O, result
+ * aggregation, report writing — and attribute host nanoseconds to the
+ * innermost open zone, mirroring the simulated-side PhaseProfiler but
+ * against the host's steady clock instead of modeled cycles.
+ *
+ * Accounting is *exclusive*: when scopes nest, time spent inside a
+ * child zone is charged to the child only, so the per-zone totals of
+ * one thread partition that thread's covered wall time and a report
+ * can show "X ms of the macro run went to checkpoint commits" without
+ * double counting.
+ *
+ * The profiler is globally gated and off by default. A disabled
+ * HostScope is one relaxed atomic load and a branch — no clock read,
+ * no thread_local write — which is what makes it safe to leave
+ * compiled into per-checkpoint paths. clockReads() counts every
+ * steady-clock query the profiler makes, so tests can pin the
+ * disabled-mode overhead to exactly zero clock reads instead of
+ * relying on flaky wall-clock assertions.
+ *
+ * Per-zone scope durations are recorded into support/stats.hpp
+ * Distributions, so per-thread profiles merge with the same parallel
+ * Welford combination the sweep aggregator uses and a merged profile
+ * reports mean/p50/p95/p99 per zone exactly as if one thread had seen
+ * every scope.
+ */
+
+#ifndef TICSIM_PERF_HOST_PROFILER_HPP
+#define TICSIM_PERF_HOST_PROFILER_HPP
+
+#include <cstdint>
+
+#include "support/stats.hpp"
+
+namespace ticsim::perf {
+
+/** Host-side subsystem zones wall time is attributed to. */
+enum class HostZone : std::uint8_t {
+    SimCore = 0, ///< Board::run / sweep cell execution
+    Checkpoint,  ///< checkpoint capture + commit (host cost)
+    Restore,     ///< boot-time image restore + rollback
+    Analysis,    ///< analysis sinks: snapshot capture, byte diffs
+    CacheIo,     ///< result-cache lookup/store file I/O
+    Aggregate,   ///< cross-seed Welford/histogram merging
+    Report,      ///< JSON/trace report serialization
+};
+
+constexpr int kHostZoneCount = 7;
+
+/** Stable snake_case name ("sim_core", "cache_io", ...). */
+const char *hostZoneName(HostZone z);
+
+/**
+ * One thread's (or one merged) profile: per-zone scope-duration
+ * distributions in nanoseconds, exclusive accounting.
+ */
+class HostProfiler
+{
+  public:
+    /** Distribution of exclusive per-scope durations (ns) in @p z. */
+    const Distribution &zone(HostZone z) const
+    {
+        return zones_[static_cast<int>(z)];
+    }
+
+    /** Scopes closed in @p z. */
+    std::uint64_t scopeCount(HostZone z) const
+    {
+        return zones_[static_cast<int>(z)].count();
+    }
+
+    /** Exclusive ns attributed to @p z. */
+    double zoneNs(HostZone z) const
+    {
+        return zones_[static_cast<int>(z)].sum();
+    }
+
+    /** Sum of every zone's exclusive time (ns). */
+    double totalNs() const;
+
+    /** Fold @p other in (parallel Welford merge per zone). */
+    void merge(const HostProfiler &other);
+
+    void reset();
+
+    /** Record one closed scope (used by the scope machinery and by
+     *  merge-identity tests). */
+    void sample(HostZone z, double ns)
+    {
+        zones_[static_cast<int>(z)].sample(ns);
+    }
+
+  private:
+    Distribution zones_[kHostZoneCount];
+};
+
+/** Globally enable/disable HostScope timing; returns previous state.
+ *  Off by default: only ticsperf and profiler tests turn it on. */
+bool setProfilerEnabled(bool on);
+
+/** Whether HostScope guards currently take timestamps. */
+bool profilerEnabled();
+
+/** Steady-clock queries the profiler has made (process-wide, for the
+ *  disabled-overhead-is-zero tests and the self-overhead metric). */
+std::uint64_t clockReads();
+
+/**
+ * Process-wide merged profile: retired threads plus live threads.
+ * Same quiescence caveat as perf::mergedCounters().
+ */
+HostProfiler mergedProfiler();
+
+/**
+ * RAII zone scope. Construction charges the elapsed slice to the
+ * enclosing zone (if any) and opens @p z; destruction closes it and
+ * samples the scope's accumulated *exclusive* nanoseconds. When the
+ * profiler is disabled at construction, both ends are no-ops.
+ *
+ * Scopes are per-thread and must strictly nest (RAII guarantees it).
+ * Depth beyond kMaxDepth is counted but not timed.
+ */
+class HostScope
+{
+  public:
+    explicit HostScope(HostZone z);
+    ~HostScope();
+
+    HostScope(const HostScope &) = delete;
+    HostScope &operator=(const HostScope &) = delete;
+
+    static constexpr std::uint32_t kMaxDepth = 16;
+
+  private:
+    bool active_;
+};
+
+/** RAII profiler enablement for bench/test scopes. */
+class ScopedProfilerEnable
+{
+  public:
+    explicit ScopedProfilerEnable(bool on = true)
+        : prev_(setProfilerEnabled(on))
+    {
+    }
+    ~ScopedProfilerEnable() { setProfilerEnabled(prev_); }
+
+    ScopedProfilerEnable(const ScopedProfilerEnable &) = delete;
+    ScopedProfilerEnable &operator=(const ScopedProfilerEnable &) =
+        delete;
+
+  private:
+    bool prev_;
+};
+
+} // namespace ticsim::perf
+
+#endif // TICSIM_PERF_HOST_PROFILER_HPP

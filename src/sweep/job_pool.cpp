@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "perf/counters.hpp"
+
 namespace ticsim::sweep {
 
 JobPool::JobPool(unsigned jobs)
@@ -42,8 +44,10 @@ JobPool::run(std::size_t count,
     const std::size_t nWorkers =
         std::min<std::size_t>(jobs_, count);
     if (nWorkers <= 1) {
-        for (std::size_t i = 0; i < count; ++i)
+        for (std::size_t i = 0; i < count; ++i) {
+            ++perf::hot().jobsExecuted;
             body(i);
+        }
         return;
     }
 
@@ -74,6 +78,7 @@ JobPool::run(std::size_t count,
             if (!q.dq.empty()) {
                 out = q.dq.back();
                 q.dq.pop_back();
+                ++perf::hot().jobSteals;
                 return true;
             }
         }
@@ -89,6 +94,7 @@ JobPool::run(std::size_t count,
                 while (!aborting.load(std::memory_order_relaxed) &&
                        nextIndex(w, idx)) {
                     try {
+                        ++perf::hot().jobsExecuted;
                         body(idx);
                     } catch (...) {
                         std::lock_guard<std::mutex> lock(errorMutex);

@@ -16,6 +16,7 @@
 #include "apps/cuckoo/cuckoo_legacy.hpp"
 #include "apps/cuckoo/cuckoo_task.hpp"
 #include "harness/experiment.hpp"
+#include "perf/host_profiler.hpp"
 #include "runtimes/chinchilla.hpp"
 #include "runtimes/mementos.hpp"
 #include "runtimes/plainc.hpp"
@@ -73,8 +74,11 @@ runWith(const Cell &cell, TimeNs budget, const MakeRt &makeRt,
     if constexpr (requires { app->main(); })
         entry = [&app] { app->main(); };
 
-    const board::RunResult res =
-        board->run(*rt, std::move(entry), budget);
+    board::RunResult res;
+    {
+        perf::HostScope scope(perf::HostZone::SimCore);
+        res = board->run(*rt, std::move(entry), budget);
+    }
 
     CellResult out;
     out.completed = res.completed;
@@ -220,10 +224,13 @@ runSweep(const SweepConfig &cfg)
         const Cell &cell = cells[i];
         SweepCellOutcome &out = result.cells[i];
         out.cell = cell;
-        if (cache.lookup(cell, out.result)) {
-            out.fromCache = true;
-            hits.fetch_add(1, std::memory_order_relaxed);
-            return;
+        {
+            perf::HostScope scope(perf::HostZone::CacheIo);
+            if (cache.lookup(cell, out.result)) {
+                out.fromCache = true;
+                hits.fetch_add(1, std::memory_order_relaxed);
+                return;
+            }
         }
         // Tag this worker's log lines with the cell's JobId for the
         // duration of the run.
@@ -232,6 +239,7 @@ runSweep(const SweepConfig &cfg)
         out.result = runCell(cell, cfg);
         out.fromCache = false;
         if (cache.enabled()) {
+            perf::HostScope scope(perf::HostZone::CacheIo);
             cache.store(cell, out.result);
             misses.fetch_add(1, std::memory_order_relaxed);
         }
@@ -246,6 +254,7 @@ runSweep(const SweepConfig &cfg)
     // Aggregate across seeds: groups keyed by the configuration minus
     // the seed, merged in the cells' canonical JobId order (std::map
     // makes the group order itself deterministic too).
+    perf::HostScope aggScope(perf::HostZone::Aggregate);
     std::map<std::string, SweepAggregate> groups;
     for (const SweepCellOutcome &out : result.cells) {
         const std::string key = out.cell.groupKey();

@@ -1,5 +1,7 @@
 #include "events.hpp"
 
+#include "perf/counters.hpp"
+
 namespace ticsim::telemetry {
 
 const char *
@@ -31,6 +33,7 @@ EventRing::emit(EventKind kind, TimeNs at, std::uint64_t arg0,
 {
     const auto cap = static_cast<std::uint32_t>(buf_.size());
     std::uint32_t slot;
+    ++perf::hot().eventPushes;
     if (count_ < cap) {
         slot = (head_ + count_) % cap;
         ++count_;
@@ -38,6 +41,7 @@ EventRing::emit(EventKind kind, TimeNs at, std::uint64_t arg0,
         slot = head_;  // overwrite the oldest
         head_ = (head_ + 1) % cap;
         ++dropped_;
+        ++perf::hot().eventDrops;
     }
     buf_[slot] = Event{at, arg0, arg1, kind};
 }

@@ -6,6 +6,8 @@
 
 #include "board/board.hpp"
 #include "mem/store_gate.hpp"
+#include "perf/counters.hpp"
+#include "perf/host_profiler.hpp"
 #include "support/crc32.hpp"
 #include "support/logging.hpp"
 
@@ -94,6 +96,10 @@ CheckpointArea::headerValid(int i, SlotHeader &out)
 CheckpointArea::Slot *
 CheckpointArea::valid()
 {
+    // Boot-time slot validation (CRC over both images) is the host
+    // cost of a restore; the image copy itself must stay scope-free
+    // because it runs on — and overwrites — the fiber stack.
+    perf::HostScope scope(perf::HostZone::Restore);
     SlotHeader h;
     int best = -1;
     std::uint32_t bestGen = 0;
@@ -133,6 +139,7 @@ CheckpointArea::headerHostPtr(int i)
 void
 CheckpointArea::commit()
 {
+    perf::HostScope scope(perf::HostZone::Checkpoint);
     const int w = writeIndex();
     const Slot &s = slots_[w];
     SlotHeader h;
@@ -155,6 +162,11 @@ CheckpointArea::commit()
     mem::gatedStore(mem::StoreSite::CkptHeader, hdr_[w], &h,
                     static_cast<std::uint32_t>(sizeof(SlotHeader)));
     validIdx_ = static_cast<std::int8_t>(w);
+    {
+        perf::HotCounters &c = perf::hot();
+        ++c.ckptCommits;
+        c.ckptBytesMoved += sizeof(SlotHeader);
+    }
 }
 
 void
@@ -182,12 +194,21 @@ captureStackImage(board::Board &b, CheckpointArea::Slot &slot,
     slot.imgLow = low;
     slot.imgSize = static_cast<std::uint32_t>(ctx.stackTop() - low);
     rawCopy(slot.image, reinterpret_cast<void *>(low), slot.imgSize);
+    // Count on the capture path only (the resume path bailed above);
+    // perf::hot() is re-resolved here on purpose — no cached pointer
+    // may live across the getcontext boundary.
+    perf::hot().ckptBytesMoved += slot.imgSize;
     return true;
 }
 
 void
 restoreStackImage(const CheckpointArea::Slot &slot)
 {
+    {
+        perf::HotCounters &c = perf::hot();
+        ++c.ckptRestores;
+        c.ckptRestoreBytes += slot.imgSize;
+    }
     rawCopy(reinterpret_cast<void *>(slot.imgLow), slot.image,
             slot.imgSize);
 }

@@ -5,6 +5,7 @@
 
 #include "mem/store_gate.hpp"
 #include "mem/trace.hpp"
+#include "perf/counters.hpp"
 #include "support/crc32.hpp"
 #include "support/logging.hpp"
 
@@ -57,6 +58,11 @@ UndoLog::append(void *p, std::uint32_t bytes)
     // Publishing the entry is the final, host-side bump: a tear in
     // either store above dies before it and the log stays unchanged.
     ++count_;
+    {
+        perf::HotCounters &c = perf::hot();
+        ++c.undoRecordsSealed;
+        c.undoBytesSealed += bytes;
+    }
     mem::traceVersioned(p, bytes);
 }
 
@@ -81,6 +87,7 @@ UndoLog::rollbackTo(std::uint32_t watermark)
         if (e.poolOff > poolBytes_ || e.bytes > poolBytes_ - e.poolOff ||
             entryCrc(e, pool_ + e.poolOff) != e.crc) {
             ++corrupt_;
+            ++perf::hot().undoRecordsCorrupt;
             warn("undo log: record %u fails validation "
                  "(torn append or NV corruption); skipped",
                  i - 1);
@@ -88,6 +95,7 @@ UndoLog::rollbackTo(std::uint32_t watermark)
         }
         std::memcpy(e.target, pool_ + e.poolOff, e.bytes);
         ++applied;
+        ++perf::hot().undoRecordsRolledBack;
     }
     count_ = watermark;
     poolUsed_ = watermark == 0 ? 0 : entries_[watermark - 1].poolOff +

@@ -1,0 +1,271 @@
+#!/usr/bin/env python3
+"""Compare two ticsperf BENCH_*.json trajectory points.
+
+Usage: perf_diff.py BASELINE.json CANDIDATE.json
+           [--tol-timing PCT] [--tol-counters PCT] [--strict]
+
+Both inputs are run_report v5 documents (ticsperf --json). The two
+halves of the perf section are held to different standards:
+
+ * Counters are macro-phase deltas taken under --jobs 1 scheduling, so
+   on identical code they are exactly reproducible; any drift means
+   the instrumented hot paths executed differently. Default tolerance
+   0% (--tol-counters relaxes it, in percent).
+
+ * Timing metrics (microbench ns/op, macro throughput, host wall-time
+   zones) legitimately vary with load and hardware, so they get a
+   generous relative tolerance (--tol-timing, default 25%; the
+   file-I/O-bound microbenches in TIMING_TOL_MULT get a per-metric
+   multiple of it). Only changes in the "worse" direction count:
+   ns/op up, throughput down. Improvements are reported but never
+   fail the diff.
+
+Zone wall-times below 1 ms in both documents are skipped: at that
+scale timer granularity dominates and percentage noise is meaningless.
+Microbenches present in only one document are reported and, under
+--strict, fail the diff.
+
+Exit status: 0 when within tolerance, 1 on any regression, 2 on usage
+or input errors. Intended for the CI perf-smoke job (advisory) and
+for eyeballing the committed BENCH trajectory locally.
+"""
+
+import argparse
+import json
+import sys
+
+
+# Per-metric tolerance multipliers on --tol-timing. File-I/O-bound
+# microbenches swing far more run-to-run than the CPU-bound ones
+# (page cache, journal flushes), so they get proportionally more rope
+# before the diff calls regression.
+TIMING_TOL_MULT = {
+    "result_cache_roundtrip": 4.0,
+    "ckpt_commit_recover": 2.0,
+}
+
+
+class Row:
+    __slots__ = ("group", "metric", "base", "cand", "verdict")
+
+    def __init__(self, group, metric, base, cand, verdict):
+        self.group = group
+        self.metric = metric
+        self.base = base
+        self.cand = cand
+        self.verdict = verdict
+
+
+def load_perf(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"perf_diff: cannot read {path}: {e}")
+    if "perf" not in doc:
+        raise SystemExit(
+            f"perf_diff: {path} has no perf section (not a ticsperf "
+            f"report? version {doc.get('version')})")
+    return doc["perf"]
+
+
+def rel_change(base, cand):
+    """Signed relative change, or None when the baseline is zero."""
+    if base == 0:
+        return None if cand == 0 else float("inf")
+    return (cand - base) / base
+
+
+def fmt_value(v):
+    if isinstance(v, int):
+        return f"{v:,}"
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000:
+        return f"{v:,.1f}"
+    return f"{v:.3f}"
+
+
+def fmt_delta(base, cand):
+    r = rel_change(base, cand)
+    if r is None:
+        return "="
+    if r == float("inf"):
+        return "new!=0"
+    return f"{100.0 * r:+.1f}%"
+
+
+def judge(base, cand, tol, lower_is_better):
+    """'ok' | 'better' | 'REGRESSED' for a timing metric."""
+    r = rel_change(base, cand)
+    if r is None:
+        return "ok"
+    worse = r if lower_is_better else -r
+    if worse > tol:
+        return "REGRESSED"
+    if worse < -tol:
+        return "better"
+    return "ok"
+
+
+def diff_counters(base, cand, tol, rows):
+    bad = 0
+    names = sorted(set(base) | set(cand))
+    for name in names:
+        if name not in base or name not in cand:
+            rows.append(Row("counter", name, base.get(name, "-"),
+                            cand.get(name, "-"), "MISSING"))
+            bad += 1
+            continue
+        b, c = base[name], cand[name]
+        r = rel_change(b, c)
+        within = (r is None or
+                  (r != float("inf") and abs(r) <= tol) or
+                  (r == float("inf") and tol == float("inf")))
+        if b == c:
+            continue  # identical counters stay out of the table
+        verdict = "drift(ok)" if within else "DRIFT"
+        if not within:
+            bad += 1
+        rows.append(Row("counter", name, b, c, verdict))
+    return bad
+
+
+def diff_microbench(base, cand, tol, strict, rows):
+    bad = 0
+    bmap = {m["name"]: m for m in base}
+    cmap = {m["name"]: m for m in cand}
+    for name in sorted(set(bmap) | set(cmap)):
+        if name not in bmap or name not in cmap:
+            rows.append(Row("microbench", name + " ns/op",
+                            bmap.get(name, {}).get("ns_per_op", "-"),
+                            cmap.get(name, {}).get("ns_per_op", "-"),
+                            "MISSING"))
+            if strict:
+                bad += 1
+            continue
+        b = bmap[name]["ns_per_op"]
+        c = cmap[name]["ns_per_op"]
+        verdict = judge(b, c, tol * TIMING_TOL_MULT.get(name, 1.0),
+                        lower_is_better=True)
+        if verdict == "REGRESSED":
+            bad += 1
+        rows.append(Row("microbench", name + " ns/op", b, c, verdict))
+    return bad
+
+
+def diff_macro(base, cand, tol, rows):
+    bad = 0
+    for key in ("cells_per_sec", "sim_cycles_per_host_sec",
+                "sim_seconds_per_host_sec"):
+        b, c = base[key], cand[key]
+        verdict = judge(b, c, tol, lower_is_better=False)
+        if verdict == "REGRESSED":
+            bad += 1
+        rows.append(Row("macro", key, b, c, verdict))
+    return bad
+
+
+def diff_zones(base, cand, tol, rows):
+    bad = 0
+    bmap = {z["name"]: z["ms"] for z in base["zones"]}
+    cmap = {z["name"]: z["ms"] for z in cand["zones"]}
+    for name in sorted(set(bmap) | set(cmap)):
+        b = bmap.get(name, 0.0)
+        c = cmap.get(name, 0.0)
+        if b < 1.0 and c < 1.0:
+            continue  # below timer granularity; percentages meaningless
+        verdict = judge(b, c, tol, lower_is_better=True)
+        if verdict == "REGRESSED":
+            bad += 1
+        rows.append(Row("host_time", name + " ms", b, c, verdict))
+    return bad
+
+
+def print_table(rows):
+    if not rows:
+        print("perf_diff: no differences to report")
+        return
+    heads = ("group", "metric", "baseline", "candidate", "delta", "verdict")
+    table = [heads]
+    for r in rows:
+        base = r.base if isinstance(r.base, str) else fmt_value(r.base)
+        cand = r.cand if isinstance(r.cand, str) else fmt_value(r.cand)
+        delta = ("-" if isinstance(r.base, str) or isinstance(r.cand, str)
+                 else fmt_delta(r.base, r.cand))
+        table.append((r.group, r.metric, base, cand, delta, r.verdict))
+    widths = [max(len(row[i]) for row in table) for i in range(len(heads))]
+    for n, row in enumerate(table):
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+              .rstrip())
+        if n == 0:
+            print("  ".join("-" * w for w in widths))
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        prog="perf_diff.py",
+        description="Compare two ticsperf BENCH_*.json trajectory points")
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--tol-timing", type=float, default=25.0,
+                    metavar="PCT",
+                    help="relative tolerance for timing metrics "
+                         "(percent, default 25)")
+    ap.add_argument("--tol-counters", type=float, default=0.0,
+                    metavar="PCT",
+                    help="relative tolerance for counter deltas "
+                         "(percent, default 0 = exact)")
+    ap.add_argument("--strict", action="store_true",
+                    help="microbenches present in only one document "
+                         "fail the diff")
+    try:
+        args = ap.parse_args(argv[1:])
+    except SystemExit:
+        return 2
+
+    base = load_perf(args.baseline)
+    cand = load_perf(args.candidate)
+
+    if base.get("quick") != cand.get("quick"):
+        print("perf_diff: note: comparing a --quick report against a "
+              "full one; microbench iteration counts differ but rates "
+              "remain comparable", file=sys.stderr)
+    for doc, name in ((base, args.baseline), (cand, args.candidate)):
+        if not doc["build"]["optimized"]:
+            print(f"perf_diff: warning: {name} was produced by an "
+                  f"unoptimized build ({doc['build']['type']}); its "
+                  f"timing numbers are not meaningful", file=sys.stderr)
+
+    tol_t = args.tol_timing / 100.0
+    tol_c = args.tol_counters / 100.0
+
+    rows = []
+    bad = 0
+    bad += diff_counters(base["counters"], cand["counters"], tol_c, rows)
+    bad += diff_microbench(base["microbench"], cand["microbench"],
+                           tol_t, args.strict, rows)
+    bad += diff_macro(base["macro"], cand["macro"], tol_t, rows)
+    bad += diff_zones(base["host_time"], cand["host_time"], tol_t, rows)
+
+    print(f"perf_diff: {args.baseline} (bench_version "
+          f"{base['bench_version']}) vs {args.candidate} (bench_version "
+          f"{cand['bench_version']})")
+    print_table(rows)
+    regressed = [r for r in rows if r.verdict in ("REGRESSED", "DRIFT")
+                 or (r.verdict == "MISSING" and
+                     (r.group == "counter" or args.strict))]
+    if bad:
+        print(f"perf_diff: {bad} metric(s) regressed beyond tolerance "
+              f"(timing ±{args.tol_timing:.0f}%, counters "
+              f"±{args.tol_counters:.0f}%)", file=sys.stderr)
+        for r in regressed:
+            print(f"perf_diff:   {r.group}: {r.metric}", file=sys.stderr)
+        return 1
+    print(f"perf_diff: OK — within tolerance (timing "
+          f"±{args.tol_timing:.0f}%, counters ±{args.tol_counters:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

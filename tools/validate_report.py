@@ -16,7 +16,12 @@ under --stable / --no-cache), and that the aggregates partition the
 cells; and for version-4 `prob` documents that static percentiles are
 monotone, gate verdicts are consistent with --crossval and with the
 failed-percentile field, and a feasible SLO answer actually meets its
-own SLO.
+own SLO; and for version-5 `perf` documents that counter values are
+non-negative integers, every microbenchmark ran at least one
+iteration, the host wall-time zones partition the macro total (the
+synthetic 'other' zone closes the sum by construction), and the
+reported throughput rates are consistent with their own numerators
+and denominators.
 
 Exit status: 0 when every report validates, 1 otherwise.
 """
@@ -79,6 +84,8 @@ def _structural_validate(value, schema, root, path):
     elif t == "array":
         if not isinstance(value, list):
             raise ValueError(f"{path}: expected array, got {type(value).__name__}")
+        if len(value) < schema.get("minItems", 0):
+            raise ValueError(f"{path}: fewer than minItems entries")
         items = schema.get("items")
         if items:
             for i, v in enumerate(value):
@@ -99,6 +106,8 @@ def _structural_validate(value, schema, root, path):
     elif t == "number":
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             raise ValueError(f"{path}: expected number, got {type(value).__name__}")
+        if value < schema.get("minimum", float("-inf")):
+            raise ValueError(f"{path}: {value} below minimum")
     elif t == "boolean":
         if not isinstance(value, bool):
             raise ValueError(f"{path}: expected boolean, got {type(value).__name__}")
@@ -139,10 +148,17 @@ def validate_invariants(report):
 
     if "prob" in report and report["version"] < 4:
         raise ValueError("prob section requires version >= 4")
-    if report["version"] >= 4 and "prob" not in report:
+    if report["version"] == 4 and "prob" not in report:
         raise ValueError("version 4 document has no prob section")
     if "prob" in report:
         validate_prob(report["prob"])
+
+    if "perf" in report and report["version"] < 5:
+        raise ValueError("perf section requires version >= 5")
+    if report["version"] == 5 and "perf" not in report:
+        raise ValueError("version 5 document has no perf section")
+    if "perf" in report:
+        validate_perf(report["perf"])
 
 
 def validate_grid(grid):
@@ -217,6 +233,58 @@ def validate_prob(prob):
                 raise ValueError(
                     f"prob.slo: p_on_time {slo['p_on_time']} below the "
                     f"SLO {slo['slo']} it claims to meet")
+
+
+def validate_perf(perf):
+    """The ticsperf section's accounting invariants."""
+    for name, value in perf["counters"].items():
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise ValueError(
+                f"perf.counters.{name}: {value!r} is not a "
+                f"non-negative integer")
+
+    for i, mb in enumerate(perf["microbench"]):
+        who = f"perf.microbench[{i}] ({mb['name']})"
+        if mb["iters"] <= 0:
+            raise ValueError(f"{who}: ran {mb['iters']} iterations")
+        if mb["ns_per_op"] < 0 or mb["ops_per_sec"] < 0:
+            raise ValueError(f"{who}: negative rate")
+        # ns_per_op and ops_per_sec are reciprocals (up to ns<->s).
+        if mb["ns_per_op"] > 0:
+            want = 1e9 / mb["ns_per_op"]
+            got = mb["ops_per_sec"]
+            if abs(got - want) > 1e-6 * want:
+                raise ValueError(
+                    f"{who}: ops_per_sec {got} != 1e9/ns_per_op {want}")
+
+    host = perf["host_time"]
+    zone_sum = sum(z["ms"] for z in host["zones"])
+    total = host["total_ms"]
+    # The synthetic 'other' zone closes the partition exactly, except
+    # when named zones overshoot the wall total (timer granularity) and
+    # 'other' clamps at zero; allow the sum to exceed total slightly.
+    if zone_sum < total - max(1e-6, 1e-9 * total):
+        raise ValueError(
+            f"perf.host_time: zones sum to {zone_sum} ms, short of "
+            f"total_ms {total}")
+    names = [z["name"] for z in host["zones"]]
+    if len(set(names)) != len(names):
+        raise ValueError("perf.host_time: duplicate zone names")
+
+    macro = perf["macro"]
+    if macro["host_ms"] > 0:
+        secs = macro["host_ms"] / 1e3
+        checks = (
+            ("cells_per_sec", macro["cells"] / secs),
+            ("sim_cycles_per_host_sec", macro["sim_cycles"] / secs),
+            ("sim_seconds_per_host_sec", macro["sim_ns"] / 1e9 / secs),
+        )
+        for key, want in checks:
+            got = macro[key]
+            if abs(got - want) > max(1e-9, 1e-6 * want):
+                raise ValueError(
+                    f"perf.macro.{key}: {got} inconsistent with "
+                    f"recomputed {want}")
 
 
 def main(argv):
