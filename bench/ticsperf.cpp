@@ -57,7 +57,7 @@ using namespace ticsim;
 namespace {
 
 /** Trajectory point this binary produces (BENCH_<n>.json). */
-constexpr std::uint64_t kBenchVersion = 7;
+constexpr std::uint64_t kBenchVersion = 8;
 
 #ifdef __OPTIMIZE__
 constexpr bool kOptimized = true;

@@ -14,6 +14,18 @@
 #include <sanitizer/asan_interface.h>
 #endif
 
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define TICSIM_TSAN_ACTIVE 1
+#endif
+#elif defined(__SANITIZE_THREAD__)
+#define TICSIM_TSAN_ACTIVE 1
+#endif
+
+#if defined(TICSIM_TSAN_ACTIVE)
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace ticsim::context {
 
 namespace {
@@ -36,6 +48,73 @@ unpoisonFiberStack(std::uint8_t *base, std::size_t size)
 #endif
 }
 
+/**
+ * TSan fiber shims. TSan tracks shadow state per stack; without
+ * telling it about ucontext switches it sees one OS thread's accesses
+ * jump between the scheduler stack and the simulated FRAM stack and
+ * reports them as races against the sweep pool's other workers. Each
+ * ExecContext owns one fiber (its stack buffer survives simulated
+ * reboots, so the fiber does too), and every swapcontext/setcontext
+ * is bracketed by a switch annotation.
+ *
+ * Known limitation: a brown-out abandonment leaves the fiber via
+ * setcontext without unwinding, and a checkpoint resume re-enters a
+ * frame captured by an earlier getcontext. Neither jump runs the
+ * instrumented function exits in between, and the fiber API has no
+ * longjmp-style shadow-stack rewind, so each abandon/resume cycle
+ * leaks (abandon depth - capture depth) stale shadow frames. Fresh
+ * boots reset the fiber (see prepare()), which keeps restart-style
+ * runtimes bounded, but checkpoint-resume runs with hundreds of
+ * reboots can still exhaust TSan's fixed-size shadow stack. The TSan
+ * preset therefore targets the genuinely concurrent layer (sweep
+ * pool, perf counters/profiler); reboot-heavy single-threaded
+ * simulation suites are exercised under ASan instead.
+ */
+inline void *
+tsanFiberCreate()
+{
+#if defined(TICSIM_TSAN_ACTIVE)
+    return __tsan_create_fiber(0);
+#else
+    return nullptr;
+#endif
+}
+
+inline void
+tsanFiberDestroy(void *fiber)
+{
+#if defined(TICSIM_TSAN_ACTIVE)
+    if (fiber != nullptr)
+        __tsan_destroy_fiber(fiber);
+#else
+    (void)fiber;
+#endif
+}
+
+/* Forced inline: if these helpers kept their own frames, TSan's
+ * function-entry would be recorded on one fiber's shadow stack and the
+ * matching exit popped from the other's. */
+__attribute__((always_inline)) inline void *
+tsanFiberCurrent()
+{
+#if defined(TICSIM_TSAN_ACTIVE)
+    return __tsan_get_current_fiber();
+#else
+    return nullptr;
+#endif
+}
+
+__attribute__((always_inline)) inline void
+tsanFiberSwitch(void *fiber)
+{
+#if defined(TICSIM_TSAN_ACTIVE)
+    if (fiber != nullptr)
+        __tsan_switch_to_fiber(fiber, 0);
+#else
+    (void)fiber;
+#endif
+}
+
 /** The context whose trampoline should run next. Thread-local so
  *  concurrent sweep Boards (one ucontext pair per thread) never see
  *  each other's contexts; a context must be entered and exited on the
@@ -49,6 +128,12 @@ ExecContext::ExecContext(std::uint8_t *stackBase, std::size_t stackSize)
 {
     if (!stackBase || stackSize < 8 * 1024)
         fatal("exec context: stack buffer must be at least 8 KiB");
+    tsanFiber_ = tsanFiberCreate();
+}
+
+ExecContext::~ExecContext()
+{
+    tsanFiberDestroy(tsanFiber_);
 }
 
 void
@@ -57,16 +142,30 @@ ExecContext::trampoline()
     ExecContext *self = currentCtx;
     TICSIM_ASSERT(self != nullptr);
     self->entry_();
-    // Entry returned normally: report completion; uc_link brings us
-    // back to the scheduler context.
+    // Entry returned normally: report completion and jump back to the
+    // scheduler context explicitly (uc_link stays armed as a backstop).
+    // setcontext instead of a plain return keeps the TSan fiber switch
+    // coherent: after the annotation below, a normal return would run
+    // this function's instrumented exit and pop a frame from the
+    // *scheduler's* shadow stack.
     self->reason_ = ExitReason::Completed;
     self->inside_ = false;
+    tsanFiberSwitch(self->tsanSchedFiber_);
+    setcontext(&self->schedCtx_);
+    panic("setcontext (trampoline) returned");
 }
 
 void
 ExecContext::prepare(Entry entry)
 {
     TICSIM_ASSERT(!inside_, "prepare() from inside the context");
+    // A fresh boot starts the stack from scratch, but a brown-out
+    // abandonment (exitWith) leaves TSan's per-fiber shadow stack with
+    // all the abandoned frames still pushed — the fiber API has no
+    // longjmp-style rewind. Recreate the fiber so reboot-heavy
+    // restart-style runs cannot exhaust the shadow stack.
+    tsanFiberDestroy(tsanFiber_);
+    tsanFiber_ = tsanFiberCreate();
     entry_ = std::move(entry);
     if (getcontext(&startCtx_) != 0)
         panic("getcontext failed");
@@ -95,6 +194,8 @@ ExecContext::run()
     inside_ = true;
     currentCtx = this;
     unpoisonFiberStack(stackBase_, stackSize_);
+    tsanSchedFiber_ = tsanFiberCurrent();
+    tsanFiberSwitch(tsanFiber_);
     if (armedFresh_) {
         armedFresh_ = false;
         if (swapcontext(&schedCtx_, &startCtx_) != 0)
@@ -135,6 +236,7 @@ ExecContext::exitWith(ExitReason reason)
     reason_ = reason;
     inside_ = false;
     // Abandon the context without unwinding, like a brown-out.
+    tsanFiberSwitch(tsanSchedFiber_);
     setcontext(&schedCtx_);
     panic("setcontext returned");
 }

@@ -65,6 +65,10 @@ class ExecContext
      * @param stackSize Buffer size in bytes.
      */
     ExecContext(std::uint8_t *stackBase, std::size_t stackSize);
+    ~ExecContext();
+
+    ExecContext(const ExecContext &) = delete;
+    ExecContext &operator=(const ExecContext &) = delete;
 
     /** Arm a fresh boot: the next run() starts @p entry from scratch. */
     void prepare(Entry entry);
@@ -149,6 +153,10 @@ class ExecContext
     volatile bool resumedFlag_ = false;
     bool inside_ = false;
     ExitReason reason_ = ExitReason::Completed;
+    /** TSan fiber handles (null outside TSan builds): one fiber per
+     *  context stack, plus the scheduler fiber to switch back to. */
+    void *tsanFiber_ = nullptr;
+    void *tsanSchedFiber_ = nullptr;
 };
 
 } // namespace ticsim::context

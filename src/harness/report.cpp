@@ -179,6 +179,13 @@ BenchSession::setPerf(PerfSection perf)
 }
 
 void
+BenchSession::setLint(LintSection lint)
+{
+    lint_ = std::move(lint);
+    haveLint_ = true;
+}
+
+void
 BenchSession::finish()
 {
     if (finished_)
@@ -205,7 +212,8 @@ BenchSession::writeJson() const
     // and documents without a grid stay at version 2 (or 1); each
     // optional section only bumps the version of documents that
     // actually carry it.
-    w.member("version", havePerf_   ? kReportVersionPerf
+    w.member("version", haveLint_   ? kReportVersionLint
+                        : havePerf_ ? kReportVersionPerf
                         : haveProb_ ? kReportVersionProb
                         : haveGrid_ ? kReportVersionGrid
                         : findings_.empty() ? kReportVersion
@@ -444,6 +452,43 @@ BenchSession::writeJson() const
             .member("clock_reads", perf_.clockReads)
             .member("scope_ns", perf_.scopeNsPerEnterExit)
             .endObject();
+        w.endObject();
+    }
+    if (haveLint_) {
+        w.key("lint").beginObject();
+        w.member("files_analyzed", lint_.filesAnalyzed);
+        w.member("functions_analyzed", lint_.functionsAnalyzed);
+        w.key("findings").beginArray();
+        for (const LintFindingEntry &f : lint_.findings) {
+            w.beginObject();
+            w.member("rule", f.rule);
+            w.member("subject", f.subject);
+            w.member("file", f.file);
+            w.member("line", f.line);
+            w.member("function", f.function);
+            w.member("detail", f.detail);
+            w.endObject();
+        }
+        w.endArray();
+        w.member("crossval", lint_.crossval);
+        if (lint_.crossval) {
+            w.member("full_coverage", lint_.fullCoverage);
+            w.key("rows").beginArray();
+            for (const LintCrossValEntry &r : lint_.rows) {
+                w.beginObject();
+                w.member("app", r.app);
+                w.member("runtime", r.runtime);
+                w.member("file", r.file);
+                w.member("dynamic_findings", r.dynamicFindings);
+                w.member("matched_findings", r.matchedFindings);
+                w.member("static_findings", r.staticFindings);
+                w.member("confirmed_static", r.confirmedStatic);
+                w.member("coverage", r.coverage);
+                w.member("fp_rate", r.fpRate);
+                w.endObject();
+            }
+            w.endArray();
+        }
         w.endObject();
     }
     w.endObject();

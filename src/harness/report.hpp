@@ -47,6 +47,9 @@ constexpr int kReportVersionProb = 4;
 /** Version emitted when the report carries a `perf` section. */
 constexpr int kReportVersionPerf = 5;
 
+/** Version emitted when the report carries a `lint` section. */
+constexpr int kReportVersionLint = 6;
+
 /**
  * One analysis finding in the report's optional `findings` section
  * (written by static-analysis benches like ticsverify; plain benches
@@ -242,6 +245,45 @@ struct PerfSection {
     double scopeNsPerEnterExit = 0.0; ///< measured HostScope overhead
 };
 
+/** One source-level finding in the `lint` section. */
+struct LintFindingEntry {
+    std::string rule; ///< war | timeliness | io | segmentation
+    std::string subject;
+    std::string file; ///< repo-relative source path
+    std::uint64_t line = 0;
+    std::string function; ///< analysis entry point (qualified)
+    std::string detail;
+};
+
+/** One (app, runtime) row of the lint cross-validation. */
+struct LintCrossValEntry {
+    std::string app;
+    std::string runtime;
+    std::string file;
+    std::uint64_t dynamicFindings = 0;
+    std::uint64_t matchedFindings = 0;
+    std::uint64_t staticFindings = 0;
+    std::uint64_t confirmedStatic = 0;
+    double coverage = 1.0; ///< matched / dynamic (1.0 when no dynamic)
+    double fpRate = 0.0;   ///< (static - confirmed) / static
+};
+
+/**
+ * The `lint` section (written by ticslint; bumps the report to
+ * version 6): source-level findings from the whole-file dogfood pass
+ * and, when --crossval ran, the per-pair source-vs-model coverage
+ * rows. Only ticslint calls setLint(), so every other bench's
+ * document stays at version <= 5 byte-for-byte.
+ */
+struct LintSection {
+    std::uint64_t filesAnalyzed = 0;
+    std::uint64_t functionsAnalyzed = 0;
+    std::vector<LintFindingEntry> findings;
+    bool crossval = false;
+    bool fullCoverage = true; ///< meaningful when crossval is true
+    std::vector<LintCrossValEntry> rows;
+};
+
 struct ReportOptions {
     std::string jsonPath;  ///< empty = no JSON report
     std::string tracePath; ///< empty = no timeline trace
@@ -299,6 +341,9 @@ class BenchSession
     /** Attach the perf section; bumps the report to version 5. */
     void setPerf(PerfSection perf);
 
+    /** Attach the lint section; bumps the report to version 6. */
+    void setLint(LintSection lint);
+
     /** Write the JSON report and trace now (idempotent). */
     void finish();
 
@@ -332,6 +377,8 @@ class BenchSession
     bool haveProb_ = false;
     PerfSection perf_;
     bool havePerf_ = false;
+    LintSection lint_;
+    bool haveLint_ = false;
     bool finished_ = false;
     /** The thread that constructed the session (see record()). */
     std::thread::id owner_;

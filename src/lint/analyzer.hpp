@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/program.hpp"
+
+namespace ticsim::lint {
+
+/** One analyzed translation unit. */
+struct FileReport {
+    std::string file;            ///< display path (repo-relative)
+    std::size_t functions = 0;   ///< function definitions parsed
+    std::vector<StaticFinding> findings;
+};
+
+/**
+ * Analyze one translation unit's text. Every call-graph root — a
+ * function no other function in the file calls — is taken as an entry
+ * point under @p traits, and the per-entry findings are merged and
+ * deduplicated by (rule, subject, line). Class roots are typically
+ * `main` and the constructor; host `main` functions parse too but
+ * carry no NV bindings, so they stay silent.
+ */
+FileReport analyzeText(const std::string &displayName,
+                       const std::string &text,
+                       const RuntimeTraits &traits);
+
+/** analyzeText over a file on disk; throws std::runtime_error if
+ *  unreadable. */
+FileReport analyzeFile(const std::string &path,
+                       const std::string &displayName,
+                       const RuntimeTraits &traits);
+
+/**
+ * The dogfood source set, repo-relative: every .cpp under examples/
+ * and src/apps/ (recursively), plus the SensorRelay demo app. Sorted,
+ * so reports and baselines are stable.
+ */
+std::vector<std::string> defaultSourceSet(const std::string &sourceDir);
+
+/**
+ * Run one pair-style analysis: parse @p text and check only the entry
+ * `entryClass::main` (falling back to the constructor) under
+ * @p traits. Used by the cross-validation mode, where each
+ * (app, runtime) pair names its entry class. Returns empty when the
+ * class or entry is missing.
+ */
+std::vector<StaticFinding> analyzeEntry(const std::string &displayName,
+                                        const std::string &text,
+                                        const std::string &entryClass,
+                                        const RuntimeTraits &traits);
+
+/** Default traits for whole-file mode: boundaries exist (legacy code
+ *  is meant to run under an instrumenting runtime) but writes are not
+ *  versioned — the protection the instrumentation is there to add. */
+inline RuntimeTraits fileModeTraits()
+{
+    return RuntimeTraits{/*boundaries=*/true, /*versioned=*/false};
+}
+
+/** Traits of each verifier runtime name ("TICS", "plain-C", ...). */
+RuntimeTraits traitsForRuntime(const std::string &runtime);
+
+} // namespace ticsim::lint

@@ -1,0 +1,229 @@
+#include "cfg.hpp"
+
+#include <set>
+#include <string>
+#include <utility>
+
+namespace ticsim::lint {
+
+std::vector<std::vector<std::size_t>>
+Cfg::predecessors() const
+{
+    std::vector<std::vector<std::size_t>> preds(blocks.size());
+    for (std::size_t b = 0; b < blocks.size(); ++b)
+        for (const std::size_t s : blocks[b].succ)
+            preds[s].push_back(b);
+    return preds;
+}
+
+namespace {
+
+// ---- inliner ----------------------------------------------------------
+
+struct Inliner {
+    const SourceProgram &prog;
+    std::set<std::string> active; ///< qualified names on the call stack
+
+    const FunctionDef *resolve(const std::string &subject) const
+    {
+        const std::size_t sep = subject.find("::");
+        if (sep == std::string::npos)
+            return prog.findFunction("", subject);
+        return prog.findFunction(subject.substr(0, sep),
+                                 subject.substr(sep + 2));
+    }
+
+    /** Inline one function body; returns a Seq. */
+    Stmt inlineBody(const FunctionDef &fn)
+    {
+        active.insert(fn.qualified());
+        Stmt out = inlineStmt(fn.body);
+        active.erase(fn.qualified());
+        return out;
+    }
+
+    /** Expand Call actions in an action run into [pre-call actions,
+     *  callee body, ...] statements appended to @p out. */
+    void expandActions(const std::vector<Action> &acts, int line,
+                       std::vector<Stmt> &out)
+    {
+        Stmt cur;
+        cur.kind = StmtKind::Actions;
+        cur.line = line;
+        const auto flush = [&] {
+            if (cur.actions.empty())
+                return;
+            out.push_back(cur);
+            cur.actions.clear();
+        };
+        for (const Action &a : acts) {
+            if (a.kind != ActKind::Call) {
+                cur.actions.push_back(a);
+                continue;
+            }
+            const FunctionDef *callee = resolve(a.subject);
+            if (!callee || active.count(callee->qualified())) {
+                // Unresolved or recursive: keep the (inert) marker.
+                cur.actions.push_back(a);
+                continue;
+            }
+            flush();
+            out.push_back(inlineBody(*callee));
+        }
+        flush();
+    }
+
+    Stmt inlineStmt(const Stmt &s)
+    {
+        switch (s.kind) {
+        case StmtKind::Actions: {
+            Stmt seq;
+            seq.kind = StmtKind::Seq;
+            seq.line = s.line;
+            expandActions(s.actions, s.line, seq.children);
+            return seq;
+        }
+        case StmtKind::Seq: {
+            Stmt seq;
+            seq.kind = StmtKind::Seq;
+            seq.line = s.line;
+            for (const Stmt &c : s.children)
+                seq.children.push_back(inlineStmt(c));
+            return seq;
+        }
+        case StmtKind::If:
+        case StmtKind::Loop: {
+            Stmt node;
+            node.kind = s.kind;
+            node.line = s.line;
+            node.hasElse = s.hasElse;
+            node.boundedLoop = s.boundedLoop;
+            // Header calls: hoist the callee body in front of the
+            // statement (covers the evaluation that reaches it; the
+            // corpus has no NV-acting calls in conditions, this is a
+            // documented approximation).
+            Stmt hoisted;
+            hoisted.kind = StmtKind::Seq;
+            for (const Action &a : s.header) {
+                if (a.kind != ActKind::Call) {
+                    node.header.push_back(a);
+                    continue;
+                }
+                const FunctionDef *callee = resolve(a.subject);
+                if (!callee || active.count(callee->qualified())) {
+                    node.header.push_back(a);
+                    continue;
+                }
+                hoisted.children.push_back(inlineBody(*callee));
+            }
+            for (const Stmt &c : s.children)
+                node.children.push_back(inlineStmt(c));
+            if (hoisted.children.empty())
+                return node;
+            hoisted.children.push_back(std::move(node));
+            return hoisted;
+        }
+        }
+        return Stmt{};
+    }
+};
+
+// ---- CFG construction -------------------------------------------------
+
+struct Builder {
+    Cfg cfg;
+    std::size_t cur = 0;
+
+    std::size_t newBlock()
+    {
+        cfg.blocks.emplace_back();
+        return cfg.blocks.size() - 1;
+    }
+
+    void edge(std::size_t from, std::size_t to)
+    {
+        cfg.blocks[from].succ.push_back(to);
+    }
+
+    void append(const std::vector<Action> &acts)
+    {
+        auto &dst = cfg.blocks[cur].actions;
+        dst.insert(dst.end(), acts.begin(), acts.end());
+    }
+
+    void build(const Stmt &s)
+    {
+        switch (s.kind) {
+        case StmtKind::Actions:
+            append(s.actions);
+            return;
+        case StmtKind::Seq:
+            for (const Stmt &c : s.children)
+                build(c);
+            return;
+        case StmtKind::If: {
+            append(s.header);
+            const std::size_t fork = cur;
+            const std::size_t thenEntry = newBlock();
+            edge(fork, thenEntry);
+            cur = thenEntry;
+            if (!s.children.empty())
+                build(s.children[0]);
+            const std::size_t thenExit = cur;
+            std::size_t elseExit = fork;
+            if (s.hasElse && s.children.size() > 1) {
+                const std::size_t elseEntry = newBlock();
+                edge(fork, elseEntry);
+                cur = elseEntry;
+                build(s.children[1]);
+                elseExit = cur;
+            }
+            const std::size_t join = newBlock();
+            edge(thenExit, join);
+            edge(elseExit, join);
+            cur = join;
+            return;
+        }
+        case StmtKind::Loop: {
+            const std::size_t before = cur;
+            const std::size_t header = newBlock();
+            edge(before, header);
+            cur = header;
+            append(s.header);
+            const std::size_t headerExit = cur;
+            const std::size_t bodyEntry = newBlock();
+            edge(headerExit, bodyEntry);
+            cur = bodyEntry;
+            if (!s.children.empty())
+                build(s.children[0]);
+            edge(cur, header); // back edge
+            const std::size_t after = newBlock();
+            edge(headerExit, after);
+            cur = after;
+            return;
+        }
+        }
+    }
+};
+
+} // namespace
+
+Stmt
+inlineFunction(const SourceProgram &prog, const FunctionDef &fn)
+{
+    Inliner in{prog, {}};
+    return in.inlineBody(fn);
+}
+
+Cfg
+buildCfg(const Stmt &body)
+{
+    Builder b;
+    b.cfg.entry = b.newBlock();
+    b.cur = b.cfg.entry;
+    b.build(body);
+    b.cfg.exit = b.cur;
+    return b.cfg;
+}
+
+} // namespace ticsim::lint

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lint/program.hpp"
+
+namespace ticsim::lint {
+
+/**
+ * Control-flow graph over Action lists. Built from a (fully inlined)
+ * statement tree: Seq concatenates, If forks and joins, Loop gets a
+ * header block with a back edge from the body. Blocks are in a
+ * deterministic construction order, so worklist iteration and the
+ * reporting pass are reproducible.
+ */
+struct CfgBlock {
+    std::vector<Action> actions;
+    std::vector<std::size_t> succ;
+};
+
+struct Cfg {
+    std::vector<CfgBlock> blocks;
+    std::size_t entry = 0;
+    std::size_t exit = 0;
+
+    std::vector<std::vector<std::size_t>> predecessors() const;
+};
+
+/**
+ * Inline every same-file Call along the call graph, producing one
+ * statement tree rooted at @p fn. Recursion is cut with an active set
+ * (a cycle's second occurrence contributes nothing — its first pass
+ * already contributed the actions once, which is all a path-insensitive
+ * analysis needs). Calls to functions not defined in the file stay as
+ * Call actions, which the checks ignore.
+ */
+Stmt inlineFunction(const SourceProgram &prog, const FunctionDef &fn);
+
+/** Build the CFG of an inlined statement tree. */
+Cfg buildCfg(const Stmt &body);
+
+} // namespace ticsim::lint

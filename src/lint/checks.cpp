@@ -1,0 +1,342 @@
+#include "checks.hpp"
+
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "lint/cfg.hpp"
+
+namespace ticsim::lint {
+
+namespace {
+
+std::string
+lineStr(int line)
+{
+    return "line " + std::to_string(line);
+}
+
+// ---- WAR: may-analysis of regions read since the last boundary -------
+
+void
+warTransfer(const CfgBlock &b, const RuntimeTraits &traits,
+            std::set<std::string> &state)
+{
+    for (const Action &a : b.actions) {
+        switch (a.kind) {
+        case ActKind::NvRead:
+            state.insert(a.subject);
+            break;
+        case ActKind::Boundary:
+            if (traits.boundaries)
+                state.clear();
+            break;
+        default:
+            break;
+        }
+    }
+}
+
+void
+checkWar(const Cfg &cfg, const RuntimeTraits &traits,
+         const FunctionDef &entry, const std::string &file,
+         std::vector<StaticFinding> &out)
+{
+    const std::size_t n = cfg.blocks.size();
+    std::vector<std::set<std::string>> inS(n);
+    std::vector<std::set<std::string>> outS(n);
+    const auto preds = cfg.predecessors();
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t b = 0; b < n; ++b) {
+            std::set<std::string> in;
+            for (const std::size_t p : preds[b])
+                in.insert(outS[p].begin(), outS[p].end());
+            std::set<std::string> o = in;
+            warTransfer(cfg.blocks[b], traits, o);
+            if (in != inS[b] || o != outS[b]) {
+                inS[b] = std::move(in);
+                outS[b] = std::move(o);
+                changed = true;
+            }
+        }
+    }
+
+    for (std::size_t b = 0; b < n; ++b) {
+        std::set<std::string> state = inS[b];
+        for (const Action &a : cfg.blocks[b].actions) {
+            if (a.kind == ActKind::NvWrite) {
+                bool hazard = state.count(a.subject) > 0;
+                // Reads feeding this write from the same statement:
+                // no boundary can sit between value and store.
+                for (const std::string &r : a.sameStmtReads) {
+                    if (r == a.subject)
+                        hazard = true;
+                }
+                if (hazard) {
+                    StaticFinding f;
+                    f.rule = kRuleWar;
+                    f.subject = a.subject;
+                    f.file = file;
+                    f.line = a.line;
+                    f.function = entry.qualified();
+                    f.detail = "NV region '" + a.subject +
+                               "' written after a read with no "
+                               "checkpoint boundary between (" +
+                               lineStr(a.line) + ")";
+                    out.push_back(std::move(f));
+                }
+            }
+            // Re-run the transfer action-by-action so the state seen
+            // by each write is positionally exact within the block.
+            switch (a.kind) {
+            case ActKind::NvRead:
+                state.insert(a.subject);
+                break;
+            case ActKind::Boundary:
+                if (traits.boundaries)
+                    state.clear();
+                break;
+            default:
+                break;
+            }
+        }
+    }
+}
+
+// ---- timeliness: must-analysis of freshness-guarded timed ids --------
+
+struct GuardState {
+    bool defined = false; ///< false = TOP (unvisited)
+    std::set<std::string> guarded;
+};
+
+void
+guardTransfer(const CfgBlock &b, GuardState &s)
+{
+    for (const Action &a : b.actions) {
+        switch (a.kind) {
+        case ActKind::TimedGuard:
+            s.guarded.insert(a.subject);
+            break;
+        case ActKind::Boundary:
+            // A checkpoint ends the region; re-execution resumes here
+            // without re-evaluating earlier freshness checks.
+            s.guarded.clear();
+            break;
+        default:
+            break;
+        }
+    }
+}
+
+void
+checkTimeliness(const Cfg &cfg, const FunctionDef &entry,
+                const std::string &file,
+                std::vector<StaticFinding> &out)
+{
+    const std::size_t n = cfg.blocks.size();
+    std::vector<GuardState> inS(n);
+    std::vector<GuardState> outS(n);
+    const auto preds = cfg.predecessors();
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t b = 0; b < n; ++b) {
+            GuardState in;
+            if (b == cfg.entry) {
+                in.defined = true; // nothing guarded at entry
+            } else {
+                bool first = true;
+                for (const std::size_t p : preds[b]) {
+                    if (!outS[p].defined)
+                        continue;
+                    if (first) {
+                        in = outS[p];
+                        first = false;
+                        continue;
+                    }
+                    std::set<std::string> meet;
+                    for (const std::string &g : in.guarded)
+                        if (outS[p].guarded.count(g))
+                            meet.insert(g);
+                    in.guarded = std::move(meet);
+                }
+                if (first)
+                    continue; // all preds still TOP
+            }
+            GuardState o = in;
+            guardTransfer(cfg.blocks[b], o);
+            if (in.defined != inS[b].defined ||
+                in.guarded != inS[b].guarded ||
+                o.defined != outS[b].defined ||
+                o.guarded != outS[b].guarded) {
+                inS[b] = std::move(in);
+                outS[b] = std::move(o);
+                changed = true;
+            }
+        }
+    }
+
+    for (std::size_t b = 0; b < n; ++b) {
+        GuardState state = inS[b];
+        for (const Action &a : cfg.blocks[b].actions) {
+            if (a.kind == ActKind::TimedUse &&
+                state.guarded.count(a.subject) == 0) {
+                StaticFinding f;
+                f.rule = kRuleTimeliness;
+                f.subject = a.subject;
+                f.file = file;
+                f.line = a.line;
+                f.function = entry.qualified();
+                f.detail = "timed value '" + a.subject +
+                           "' consumed with no freshness guard on "
+                           "some path (" + lineStr(a.line) + ")";
+                out.push_back(std::move(f));
+            }
+            switch (a.kind) {
+            case ActKind::TimedGuard:
+                state.guarded.insert(a.subject);
+                break;
+            case ActKind::Boundary:
+                state.guarded.clear();
+                break;
+            default:
+                break;
+            }
+        }
+    }
+}
+
+// ---- io + segmentation: structural walks over the inlined tree ------
+
+bool
+isCost(ActKind k)
+{
+    switch (k) {
+    case ActKind::NvRead:
+    case ActKind::NvWrite:
+    case ActKind::TimedUse:
+    case ActKind::TimedGuard:
+    case ActKind::DirectSend:
+    case ActKind::StagedSend:
+    case ActKind::Charge:
+        return true;
+    default:
+        return false;
+    }
+}
+
+void
+subtreeProps(const Stmt &s, bool &hasBoundary, bool &hasCost)
+{
+    for (const Action &a : s.header) {
+        if (a.kind == ActKind::Boundary)
+            hasBoundary = true;
+        if (isCost(a.kind))
+            hasCost = true;
+    }
+    for (const Action &a : s.actions) {
+        if (a.kind == ActKind::Boundary)
+            hasBoundary = true;
+        if (isCost(a.kind))
+            hasCost = true;
+    }
+    for (const Stmt &c : s.children)
+        subtreeProps(c, hasBoundary, hasCost);
+}
+
+void
+walkIoAndLoops(const Stmt &s, const RuntimeTraits &traits,
+               const FunctionDef &entry, const std::string &file,
+               std::vector<StaticFinding> &out)
+{
+    for (const Action &a : s.header) {
+        if (a.kind == ActKind::DirectSend) {
+            StaticFinding f;
+            f.rule = kRuleIo;
+            f.subject = a.subject;
+            f.file = file;
+            f.line = a.line;
+            f.function = entry.qualified();
+            f.detail = "direct peripheral send in a re-executable "
+                       "region (" + lineStr(a.line) +
+                       "); stage through the virtual radio";
+            out.push_back(std::move(f));
+        }
+    }
+    for (const Action &a : s.actions) {
+        if (a.kind == ActKind::DirectSend) {
+            StaticFinding f;
+            f.rule = kRuleIo;
+            f.subject = a.subject;
+            f.file = file;
+            f.line = a.line;
+            f.function = entry.qualified();
+            f.detail = "direct peripheral send in a re-executable "
+                       "region (" + lineStr(a.line) +
+                       "); stage through the virtual radio";
+            out.push_back(std::move(f));
+        }
+    }
+    if (s.kind == StmtKind::Loop && !s.boundedLoop) {
+        bool hasBoundary = false;
+        bool hasCost = false;
+        for (const Action &a : s.header)
+            if (isCost(a.kind))
+                hasCost = true;
+        for (const Stmt &c : s.children)
+            subtreeProps(c, hasBoundary, hasCost);
+        if (hasCost && (!hasBoundary || !traits.boundaries)) {
+            StaticFinding f;
+            f.rule = kRuleSegmentation;
+            f.subject = entry.qualified();
+            f.file = file;
+            f.line = s.line;
+            f.function = entry.qualified();
+            f.detail =
+                !traits.boundaries
+                    ? "unbounded working loop (" + lineStr(s.line) +
+                          ") and the runtime places no boundaries: "
+                          "statically non-terminating under a finite "
+                          "charge window"
+                    : "unbounded working loop (" + lineStr(s.line) +
+                          ") with no boundary in its body: insert a "
+                          "trigger point (paper's loop-placement rule)";
+            out.push_back(std::move(f));
+        }
+    }
+    for (const Stmt &c : s.children)
+        walkIoAndLoops(c, traits, entry, file, out);
+}
+
+} // namespace
+
+std::vector<StaticFinding>
+runChecks(const SourceProgram &prog, const FunctionDef &entry,
+          const RuntimeTraits &traits)
+{
+    std::vector<StaticFinding> out;
+    const Stmt inlined = inlineFunction(prog, entry);
+    walkIoAndLoops(inlined, traits, entry, prog.file, out);
+
+    const Cfg cfg = buildCfg(inlined);
+    if (!traits.versioned)
+        checkWar(cfg, traits, entry, prog.file, out);
+    checkTimeliness(cfg, entry, prog.file, out);
+
+    // Deduplicate by (rule, subject, line) — several paths can report
+    // the same site — keeping first-seen order.
+    std::set<std::tuple<std::string, std::string, int>> seen;
+    std::vector<StaticFinding> uniq;
+    for (auto &f : out) {
+        if (seen.emplace(f.rule, f.subject, f.line).second)
+            uniq.push_back(std::move(f));
+    }
+    return uniq;
+}
+
+} // namespace ticsim::lint

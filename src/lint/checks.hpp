@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "lint/program.hpp"
+
+namespace ticsim::lint {
+
+/**
+ * The four source-level rules, run over one entry point's inlined
+ * statement tree / CFG:
+ *
+ *  - war: an NV region read and then written with no potential
+ *    checkpoint boundary in between (Surbatovich's WAR condition over
+ *    program text). May-analysis: the read set unions at joins, so any
+ *    path exhibiting the span flags the write. Skipped entirely when
+ *    the runtime versions NV writes (undo log / double buffering).
+ *  - timeliness: an instrumented timed read (Expiring::read) not
+ *    dominated by a freshness guard (assignTimed / fresh() / expires)
+ *    since the last boundary. Must-analysis: the guarded set
+ *    intersects at joins, so one unguarded path suffices to flag.
+ *  - io: a direct peripheral send reachable from the entry. Direct
+ *    sends sit inside re-executable spans on every runtime (the paper's
+ *    fix is staging through the virtual radio), so this is reachability,
+ *    not dataflow.
+ *  - segmentation: a loop with no statically evident trip bound, whose
+ *    body does modeled work (NV traffic, I/O, charge), and which no
+ *    boundary can split — either none in the body, or the runtime has
+ *    no boundaries at all. These are the paper's loop-placement sites.
+ */
+std::vector<StaticFinding> runChecks(const SourceProgram &prog,
+                                     const FunctionDef &entry,
+                                     const RuntimeTraits &traits);
+
+} // namespace ticsim::lint

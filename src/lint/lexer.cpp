@@ -1,0 +1,196 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace ticsim::lint {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Multi-character operators, longest first within each length. */
+const char *const kPunct3[] = {"<<=", ">>=", "...", "->*"};
+const char *const kPunct2[] = {"::", "->", "++", "--", "<<", ">>",
+                               "<=", ">=", "==", "!=", "&&", "||",
+                               "+=", "-=", "*=", "/=", "%=", "&=",
+                               "|=", "^="};
+
+} // namespace
+
+std::vector<Token>
+tokenize(const std::string &src)
+{
+    std::vector<Token> out;
+    const std::size_t n = src.size();
+    std::size_t i = 0;
+    int line = 1;
+
+    const auto push = [&](TokKind k, std::string text, int at) {
+        Token t;
+        t.kind = k;
+        t.text = std::move(text);
+        t.line = at;
+        out.push_back(std::move(t));
+    };
+
+    const auto countLines = [&](std::size_t beg, std::size_t end) {
+        for (std::size_t p = beg; p < end; ++p)
+            if (src[p] == '\n')
+                ++line;
+    };
+
+    while (i < n) {
+        const char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Preprocessor line (only ever at line starts after whitespace
+        // in this codebase): skip to end of line, honoring backslash
+        // continuations.
+        if (c == '#') {
+            while (i < n) {
+                if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+                    ++line;
+                    i += 2;
+                    continue;
+                }
+                if (src[i] == '\n')
+                    break;
+                ++i;
+            }
+            continue;
+        }
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            while (i < n && src[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            const std::size_t beg = i;
+            i += 2;
+            while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/'))
+                ++i;
+            i = i + 1 < n ? i + 2 : n;
+            countLines(beg, i);
+            continue;
+        }
+        // Raw string literal: R"delim( ... )delim".
+        if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+            const int at = line;
+            const std::size_t beg = i;
+            std::size_t p = i + 2;
+            std::string delim;
+            while (p < n && src[p] != '(')
+                delim += src[p++];
+            const std::string closer = ")" + delim + "\"";
+            const std::size_t end = src.find(closer, p);
+            i = end == std::string::npos ? n : end + closer.size();
+            countLines(beg, i);
+            push(TokKind::String, src.substr(beg, i - beg), at);
+            continue;
+        }
+        if (c == '"') {
+            const int at = line;
+            const std::size_t beg = i++;
+            while (i < n && src[i] != '"') {
+                if (src[i] == '\\' && i + 1 < n)
+                    ++i;
+                if (src[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            if (i < n)
+                ++i;
+            push(TokKind::String, src.substr(beg, i - beg), at);
+            continue;
+        }
+        if (c == '\'') {
+            const int at = line;
+            const std::size_t beg = i++;
+            while (i < n && src[i] != '\'') {
+                if (src[i] == '\\' && i + 1 < n)
+                    ++i;
+                ++i;
+            }
+            if (i < n)
+                ++i;
+            push(TokKind::CharLit, src.substr(beg, i - beg), at);
+            continue;
+        }
+        if (isIdentStart(c)) {
+            const std::size_t beg = i;
+            while (i < n && isIdentChar(src[i]))
+                ++i;
+            push(TokKind::Ident, src.substr(beg, i - beg), line);
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            const std::size_t beg = i;
+            while (i < n) {
+                const char d = src[i];
+                if (isIdentChar(d) || d == '.' || d == '\'') {
+                    // Exponent signs: 1e-6, 0x1p+3.
+                    if ((d == 'e' || d == 'E' || d == 'p' || d == 'P') &&
+                        i + 1 < n &&
+                        (src[i + 1] == '+' || src[i + 1] == '-')) {
+                        i += 2;
+                        continue;
+                    }
+                    ++i;
+                    continue;
+                }
+                break;
+            }
+            push(TokKind::Number, src.substr(beg, i - beg), line);
+            continue;
+        }
+        // Punctuation, longest match first.
+        bool matched = false;
+        if (i + 2 < n) {
+            const std::string three = src.substr(i, 3);
+            for (const char *p : kPunct3) {
+                if (three == p) {
+                    push(TokKind::Punct, three, line);
+                    i += 3;
+                    matched = true;
+                    break;
+                }
+            }
+        }
+        if (!matched && i + 1 < n) {
+            const std::string two = src.substr(i, 2);
+            for (const char *p : kPunct2) {
+                if (two == p) {
+                    push(TokKind::Punct, two, line);
+                    i += 2;
+                    matched = true;
+                    break;
+                }
+            }
+        }
+        if (!matched) {
+            push(TokKind::Punct, std::string(1, c), line);
+            ++i;
+        }
+    }
+    push(TokKind::End, "", line);
+    return out;
+}
+
+} // namespace ticsim::lint

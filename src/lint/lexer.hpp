@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ticsim::lint {
+
+/**
+ * Minimal C++ lexer for the source subset used by src/apps/ and
+ * examples/. Produces a flat token stream with line numbers; comments
+ * and preprocessor lines are skipped, string literals (including raw
+ * strings, which study.cpp uses to embed code-like text) collapse to a
+ * single token so brace/paren balancing downstream never sees their
+ * contents.
+ */
+enum class TokKind : std::uint8_t {
+    Ident,
+    Number,
+    String,
+    CharLit,
+    Punct,
+    End,
+};
+
+struct Token {
+    TokKind kind = TokKind::End;
+    std::string text;
+    int line = 1;
+
+    bool is(const char *t) const { return text == t; }
+    bool isIdent() const { return kind == TokKind::Ident; }
+};
+
+std::vector<Token> tokenize(const std::string &src);
+
+} // namespace ticsim::lint

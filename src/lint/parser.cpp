@@ -1,0 +1,1105 @@
+#include "program.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "lint/lexer.hpp"
+
+namespace ticsim::lint {
+
+const FunctionDef *
+SourceProgram::findFunction(const std::string &cls,
+                            const std::string &name) const
+{
+    for (const auto &f : functions)
+        if (f.className == cls && f.name == name)
+            return &f;
+    return nullptr;
+}
+
+const NvBinding *
+SourceProgram::findBinding(const std::string &cls,
+                           const std::string &member) const
+{
+    const auto it = bindings.find(cls);
+    if (it == bindings.end())
+        return nullptr;
+    for (const auto &b : it->second)
+        if (b.member == member)
+            return &b;
+    return nullptr;
+}
+
+namespace {
+
+/** Raw span of a not-yet-parsed function body. */
+struct PendingFunction {
+    std::string className;
+    std::string name;
+    bool isCtor = false;
+    int line = 0;
+    std::size_t bodyBegin = 0; ///< index of '{'
+    std::size_t bodyEnd = 0;   ///< index of matching '}'
+};
+
+class Parser {
+public:
+    Parser(const std::vector<Token> &toks, SourceProgram &out)
+        : t_(toks), out_(out)
+    {
+    }
+
+    void run()
+    {
+        scanDecls("");
+        for (const auto &pf : pending_) {
+            FunctionDef fn;
+            fn.className = pf.className;
+            fn.name = pf.name;
+            fn.isCtor = pf.isCtor;
+            fn.line = pf.line;
+            std::size_t i = pf.bodyBegin + 1;
+            fn.body = parseBlock(i, pf.bodyEnd, pf.className);
+            out_.functions.push_back(std::move(fn));
+        }
+    }
+
+private:
+    const std::vector<Token> &t_;
+    SourceProgram &out_;
+    std::vector<PendingFunction> pending_;
+
+    bool atEnd(std::size_t i) const
+    {
+        return i >= t_.size() || t_[i].kind == TokKind::End;
+    }
+
+    /** Index just past the group opened at `i` (which must be an
+     *  opener); balances (), [], {}. */
+    std::size_t skipGroup(std::size_t i) const
+    {
+        int depth = 0;
+        for (; !atEnd(i); ++i) {
+            const std::string &x = t_[i].text;
+            if (x == "(" || x == "[" || x == "{")
+                ++depth;
+            else if (x == ")" || x == "]" || x == "}") {
+                if (--depth == 0)
+                    return i + 1;
+            }
+        }
+        return i;
+    }
+
+    /** Skip to just past the next ';' at group depth zero. */
+    std::size_t skipToSemicolon(std::size_t i) const
+    {
+        while (!atEnd(i)) {
+            const std::string &x = t_[i].text;
+            if (x == ";")
+                return i + 1;
+            if (x == "(" || x == "[" || x == "{") {
+                i = skipGroup(i);
+                continue;
+            }
+            ++i;
+        }
+        return i;
+    }
+
+    // ---- pass 1: declarations -----------------------------------------
+
+    /** Scan declarations until the matching '}' of the enclosing scope
+     *  (or end of file at top level). */
+    void scanDecls(const std::string &cls)
+    {
+        while (!atEnd(pos_)) {
+            const Token &tok = t_[pos_];
+            if (tok.is("}")) {
+                ++pos_;
+                return;
+            }
+            if (tok.is("namespace")) {
+                ++pos_;
+                while (!atEnd(pos_) &&
+                       (t_[pos_].isIdent() || t_[pos_].is("::")))
+                    ++pos_;
+                if (!atEnd(pos_) && t_[pos_].is("{")) {
+                    ++pos_;
+                    scanDecls(cls);
+                } else {
+                    pos_ = skipToSemicolon(pos_);
+                }
+                continue;
+            }
+            if (tok.is("struct") || tok.is("class")) {
+                ++pos_;
+                std::string name;
+                while (!atEnd(pos_) && (t_[pos_].isIdent() ||
+                                        t_[pos_].is("::"))) {
+                    if (t_[pos_].isIdent())
+                        name = t_[pos_].text;
+                    ++pos_;
+                }
+                // Base clause / alignment / final up to '{' or ';'.
+                while (!atEnd(pos_) && !t_[pos_].is("{") &&
+                       !t_[pos_].is(";")) {
+                    if (t_[pos_].is("("))
+                        pos_ = skipGroup(pos_);
+                    else
+                        ++pos_;
+                }
+                if (!atEnd(pos_) && t_[pos_].is("{")) {
+                    ++pos_;
+                    scanDecls(name);
+                    if (!atEnd(pos_) && t_[pos_].is(";"))
+                        ++pos_;
+                } else if (!atEnd(pos_)) {
+                    ++pos_; // forward declaration ';'
+                }
+                continue;
+            }
+            if (tok.is("enum") || tok.is("using") || tok.is("typedef") ||
+                tok.is("template") || tok.is("friend") ||
+                tok.is("extern") || tok.is("public") ||
+                tok.is("private") || tok.is("protected")) {
+                // `public:` etc. are two tokens; the rest run to ';'
+                // (balancing any braces, e.g. enum bodies).
+                if (tok.is("public") || tok.is("private") ||
+                    tok.is("protected")) {
+                    ++pos_;
+                    if (!atEnd(pos_) && t_[pos_].is(":"))
+                        ++pos_;
+                    continue;
+                }
+                pos_ = skipToSemicolon(pos_);
+                continue;
+            }
+            scanMemberOrFunction(cls);
+        }
+    }
+
+    /** One declaration at class/namespace scope: either a function
+     *  definition (recorded for pass 2) or something to skip. */
+    void scanMemberOrFunction(const std::string &cls)
+    {
+        const std::size_t start = pos_;
+        std::size_t i = start;
+        // Collect the header up to the first depth-0 '=' (initializer),
+        // ';' (plain declaration) or '{' (function body / brace init).
+        std::vector<std::size_t> flat; // depth-0 token indices
+        while (!atEnd(i)) {
+            const std::string &x = t_[i].text;
+            if (x == ";") {
+                pos_ = i + 1;
+                return;
+            }
+            if (x == "=") {
+                pos_ = skipToSemicolon(i);
+                return;
+            }
+            if (x == "{")
+                break;
+            if (x == "(" || x == "[") {
+                flat.push_back(i);
+                i = skipGroup(i);
+                continue;
+            }
+            if (x == ")" || x == "]" || x == "}") {
+                // Unbalanced close: bail out conservatively.
+                pos_ = i + 1;
+                return;
+            }
+            flat.push_back(i);
+            ++i;
+        }
+        if (atEnd(i)) {
+            pos_ = i;
+            return;
+        }
+        // `i` is a depth-0 '{'. Find the parameter list: first depth-0
+        // '(' preceded by an identifier.
+        std::size_t paren = t_.size();
+        std::string fname;
+        for (std::size_t k = 0; k < flat.size(); ++k) {
+            const std::size_t idx = flat[k];
+            if (t_[idx].is("(") && k > 0 && t_[flat[k - 1]].isIdent()) {
+                paren = idx;
+                fname = t_[flat[k - 1]].text;
+                break;
+            }
+        }
+        if (paren == t_.size() || fname.empty()) {
+            // Brace initializer or something unrecognized: skip it.
+            pos_ = skipToSemicolon(i);
+            return;
+        }
+        // Qualifier: `Class :: name (`.
+        std::string fcls = cls;
+        for (std::size_t k = 0; k + 2 < flat.size(); ++k) {
+            if (t_[flat[k]].isIdent() && t_[flat[k + 1]].is("::") &&
+                flat[k + 2] == paren - 1 && t_[flat[k + 2]].isIdent())
+                fcls = t_[flat[k]].text;
+        }
+        PendingFunction pf;
+        pf.className = fcls;
+        pf.name = fname;
+        pf.isCtor = !fcls.empty() && fname == fcls;
+        pf.line = t_[paren].line;
+        if (pf.isCtor)
+            scanInitList(fcls, skipGroup(paren), i);
+        pf.bodyBegin = i;
+        pf.bodyEnd = skipGroup(i) - 1;
+        pos_ = pf.bodyEnd + 1;
+        // Trailing ';' after e.g. a class-scope definition is consumed
+        // by the caller loop as an empty statement.
+        pending_.push_back(std::move(pf));
+    }
+
+    /** Classify constructor init-list entries between the parameter
+     *  list and the body as NV bindings. */
+    void scanInitList(const std::string &cls, std::size_t from,
+                      std::size_t bodyBrace)
+    {
+        std::size_t i = from;
+        while (i < bodyBrace) {
+            if (t_[i].isIdent() && i + 1 < bodyBrace &&
+                t_[i + 1].is("(")) {
+                const std::string member = t_[i].text;
+                const std::size_t open = i + 1;
+                const std::size_t close = skipGroup(open) - 1;
+                classifyBinding(cls, member, open + 1, close,
+                                t_[i].line);
+                i = close + 1;
+                continue;
+            }
+            ++i;
+        }
+    }
+
+    void classifyBinding(const std::string &cls, const std::string &member,
+                         std::size_t beg, std::size_t end, int line)
+    {
+        bool sawNvram = false;
+        std::string region;
+        std::size_t commas = 0;
+        int depth = 0;
+        for (std::size_t i = beg; i < end; ++i) {
+            const std::string &x = t_[i].text;
+            if (x == "(" || x == "[" || x == "{")
+                ++depth;
+            else if (x == ")" || x == "]" || x == "}")
+                --depth;
+            else if (x == "," && depth == 0)
+                ++commas;
+            else if (t_[i].isIdent() && x == "nvram")
+                sawNvram = true;
+            else if (t_[i].kind == TokKind::String && region.empty() &&
+                     x.size() >= 2)
+                region = x.substr(1, x.size() - 2);
+        }
+        if (!sawNvram || region.empty())
+            return;
+        NvBinding b;
+        b.member = member;
+        b.region = region;
+        b.line = line;
+        // First argument is the runtime (e.g. `rt, b.nvram(), ...`):
+        // 4-arg form is Expiring<T> (timed), 3-arg form a task channel.
+        const bool runtimeFirst = beg < end && t_[beg].isIdent() &&
+                                  beg + 1 < end && t_[beg + 1].is(",");
+        if (runtimeFirst)
+            b.kind = commas >= 3 ? BindKind::Timed : BindKind::Channel;
+        else
+            b.kind = BindKind::NvRegion;
+        out_.bindings[cls].push_back(std::move(b));
+    }
+
+    // ---- pass 2: statement trees --------------------------------------
+
+    Stmt parseBlock(std::size_t &i, std::size_t end,
+                    const std::string &cls)
+    {
+        Stmt seq;
+        seq.kind = StmtKind::Seq;
+        seq.line = i < t_.size() ? t_[i].line : 0;
+        while (i < end && !atEnd(i)) {
+            if (t_[i].is("}")) {
+                ++i;
+                break;
+            }
+            parseStatement(i, end, cls, seq.children);
+        }
+        return seq;
+    }
+
+    void parseStatement(std::size_t &i, std::size_t end,
+                        const std::string &cls, std::vector<Stmt> &out)
+    {
+        if (i >= end || atEnd(i))
+            return;
+        const Token &tok = t_[i];
+        if (tok.is(";")) {
+            ++i;
+            return;
+        }
+        if (tok.is("{")) {
+            ++i;
+            out.push_back(parseBlock(i, end, cls));
+            return;
+        }
+        if (tok.is("if")) {
+            ++i;
+            Stmt s;
+            s.kind = StmtKind::If;
+            s.line = tok.line;
+            if (i < end && t_[i].is("(")) {
+                const std::size_t close = skipGroup(i) - 1;
+                std::vector<Stmt> condStmts;
+                scanExpr(i + 1, close, cls, condStmts);
+                // Condition actions run before the fork; hoist leaf
+                // actions, keep any nested structure as predecessors.
+                for (auto &cs : condStmts) {
+                    if (cs.kind == StmtKind::Actions)
+                        for (auto &a : cs.actions)
+                            s.header.push_back(a);
+                    else
+                        out.push_back(std::move(cs));
+                }
+                i = close + 1;
+            }
+            std::vector<Stmt> thenStmts;
+            parseStatement(i, end, cls, thenStmts);
+            Stmt thenSeq;
+            thenSeq.kind = StmtKind::Seq;
+            thenSeq.children = std::move(thenStmts);
+            s.children.push_back(std::move(thenSeq));
+            if (i < end && t_[i].is("else")) {
+                ++i;
+                std::vector<Stmt> elseStmts;
+                parseStatement(i, end, cls, elseStmts);
+                Stmt elseSeq;
+                elseSeq.kind = StmtKind::Seq;
+                elseSeq.children = std::move(elseStmts);
+                s.children.push_back(std::move(elseSeq));
+                s.hasElse = true;
+            }
+            out.push_back(std::move(s));
+            return;
+        }
+        if (tok.is("while")) {
+            ++i;
+            Stmt s;
+            s.kind = StmtKind::Loop;
+            s.line = tok.line;
+            std::vector<const Token *> cond;
+            if (i < end && t_[i].is("(")) {
+                const std::size_t close = skipGroup(i) - 1;
+                for (std::size_t k = i + 1; k < close; ++k)
+                    cond.push_back(&t_[k]);
+                std::vector<Stmt> condStmts;
+                scanExpr(i + 1, close, cls, condStmts);
+                for (auto &cs : condStmts)
+                    if (cs.kind == StmtKind::Actions)
+                        for (auto &a : cs.actions)
+                            s.header.push_back(a);
+                i = close + 1;
+            }
+            s.boundedLoop = boundedCondition(cond);
+            std::vector<Stmt> body;
+            parseStatement(i, end, cls, body);
+            Stmt bodySeq;
+            bodySeq.kind = StmtKind::Seq;
+            bodySeq.children = std::move(body);
+            s.children.push_back(std::move(bodySeq));
+            out.push_back(std::move(s));
+            return;
+        }
+        if (tok.is("do")) {
+            ++i;
+            Stmt s;
+            s.kind = StmtKind::Loop;
+            s.line = tok.line;
+            std::vector<Stmt> body;
+            parseStatement(i, end, cls, body);
+            Stmt bodySeq;
+            bodySeq.kind = StmtKind::Seq;
+            bodySeq.children = std::move(body);
+            s.children.push_back(std::move(bodySeq));
+            if (i < end && t_[i].is("while")) {
+                ++i;
+                if (i < end && t_[i].is("(")) {
+                    const std::size_t close = skipGroup(i) - 1;
+                    std::vector<const Token *> cond;
+                    for (std::size_t k = i + 1; k < close; ++k)
+                        cond.push_back(&t_[k]);
+                    s.boundedLoop = boundedCondition(cond);
+                    std::vector<Stmt> condStmts;
+                    scanExpr(i + 1, close, cls, condStmts);
+                    for (auto &cs : condStmts)
+                        if (cs.kind == StmtKind::Actions)
+                            for (auto &a : cs.actions)
+                                s.header.push_back(a);
+                    i = close + 1;
+                }
+                i = skipToSemicolon(i);
+            }
+            out.push_back(std::move(s));
+            return;
+        }
+        if (tok.is("for")) {
+            ++i;
+            Stmt s;
+            s.kind = StmtKind::Loop;
+            s.line = tok.line;
+            std::vector<Stmt> incStmts;
+            if (i < end && t_[i].is("(")) {
+                const std::size_t close = skipGroup(i) - 1;
+                // Split at depth-0 semicolons; a range-for has none.
+                std::vector<std::size_t> semis;
+                int depth = 0;
+                for (std::size_t k = i + 1; k < close; ++k) {
+                    const std::string &x = t_[k].text;
+                    if (x == "(" || x == "[" || x == "{")
+                        ++depth;
+                    else if (x == ")" || x == "]" || x == "}")
+                        --depth;
+                    else if (x == ";" && depth == 0)
+                        semis.push_back(k);
+                }
+                if (semis.size() >= 2) {
+                    // init → current flow; cond → header; inc → end of body
+                    scanExpr(i + 1, semis[0], cls, out);
+                    std::vector<const Token *> cond;
+                    for (std::size_t k = semis[0] + 1; k < semis[1]; ++k)
+                        cond.push_back(&t_[k]);
+                    s.boundedLoop = boundedCondition(cond);
+                    std::vector<Stmt> condStmts;
+                    scanExpr(semis[0] + 1, semis[1], cls, condStmts);
+                    for (auto &cs : condStmts)
+                        if (cs.kind == StmtKind::Actions)
+                            for (auto &a : cs.actions)
+                                s.header.push_back(a);
+                    scanExpr(semis[1] + 1, close, cls, incStmts);
+                } else {
+                    // Range-for: scan the whole group for reads.
+                    std::vector<Stmt> condStmts;
+                    scanExpr(i + 1, close, cls, condStmts);
+                    for (auto &cs : condStmts)
+                        if (cs.kind == StmtKind::Actions)
+                            for (auto &a : cs.actions)
+                                s.header.push_back(a);
+                }
+                i = close + 1;
+            }
+            std::vector<Stmt> body;
+            parseStatement(i, end, cls, body);
+            for (auto &inc : incStmts)
+                body.push_back(std::move(inc));
+            Stmt bodySeq;
+            bodySeq.kind = StmtKind::Seq;
+            bodySeq.children = std::move(body);
+            s.children.push_back(std::move(bodySeq));
+            out.push_back(std::move(s));
+            return;
+        }
+        if (tok.is("return")) {
+            ++i;
+            const std::size_t stop = skipToSemicolon(i) - 1;
+            scanExpr(i, stop, cls, out);
+            i = stop + 1;
+            return;
+        }
+        if (tok.is("break") || tok.is("continue")) {
+            i = skipToSemicolon(i);
+            return;
+        }
+        if (tok.is("switch")) {
+            ++i;
+            Stmt s;
+            s.kind = StmtKind::If; // one-armed over-approximation
+            s.line = tok.line;
+            if (i < end && t_[i].is("(")) {
+                const std::size_t close = skipGroup(i) - 1;
+                std::vector<Stmt> condStmts;
+                scanExpr(i + 1, close, cls, condStmts);
+                for (auto &cs : condStmts)
+                    if (cs.kind == StmtKind::Actions)
+                        for (auto &a : cs.actions)
+                            s.header.push_back(a);
+                i = close + 1;
+            }
+            std::vector<Stmt> body;
+            parseStatement(i, end, cls, body);
+            Stmt bodySeq;
+            bodySeq.kind = StmtKind::Seq;
+            bodySeq.children = std::move(body);
+            s.children.push_back(std::move(bodySeq));
+            out.push_back(std::move(s));
+            return;
+        }
+        if (tok.is("case") || tok.is("default")) {
+            while (i < end && !t_[i].is(":"))
+                ++i;
+            if (i < end)
+                ++i;
+            return;
+        }
+        // Expression / declaration statement.
+        const std::size_t stop = skipToSemicolon(i) - 1;
+        scanExpr(i, stop, cls, out);
+        i = stop + 1;
+    }
+
+    // ---- expression action extraction ----------------------------------
+
+    bool lambdaIntroAt(std::size_t i, std::size_t beg) const
+    {
+        if (!t_[i].is("["))
+            return false;
+        if (i == beg)
+            return true;
+        const Token &p = t_[i - 1];
+        return p.is("(") || p.is(",") || p.is("=") || p.is("return") ||
+               p.is("{") || p.is(";") || p.is("&&") || p.is("||") ||
+               p.is(":");
+    }
+
+    /** Parse a lambda starting at its '[': returns the body Stmt and
+     *  advances `i` past the closing '}'. */
+    Stmt parseLambda(std::size_t &i, const std::string &cls)
+    {
+        i = skipGroup(i); // capture list
+        if (!atEnd(i) && t_[i].is("("))
+            i = skipGroup(i); // parameters
+        while (!atEnd(i) && !t_[i].is("{"))
+            ++i; // trailing return type etc.
+        if (atEnd(i) || !t_[i].is("{"))
+            return Stmt{};
+        const std::size_t close = skipGroup(i) - 1;
+        std::size_t b = i + 1;
+        Stmt body = parseBlock(b, close + 1, cls);
+        i = close + 1;
+        return body;
+    }
+
+    /** Split a call's argument list (between `open`+1 and `close`) at
+     *  top-level commas. */
+    std::vector<std::pair<std::size_t, std::size_t>>
+    splitArgs(std::size_t open, std::size_t close) const
+    {
+        std::vector<std::pair<std::size_t, std::size_t>> args;
+        int depth = 0;
+        std::size_t beg = open + 1;
+        for (std::size_t k = open + 1; k < close; ++k) {
+            const std::string &x = t_[k].text;
+            if (x == "(" || x == "[" || x == "{")
+                ++depth;
+            else if (x == ")" || x == "]" || x == "}")
+                --depth;
+            else if (x == "," && depth == 0) {
+                args.emplace_back(beg, k);
+                beg = k + 1;
+            }
+        }
+        if (beg < close)
+            args.emplace_back(beg, close);
+        return args;
+    }
+
+    /** First identifier in an argument span that is an NV binding of
+     *  `cls`; empty if none. */
+    std::string argBindingRegion(std::size_t beg, std::size_t end,
+                                 const std::string &cls) const
+    {
+        for (std::size_t k = beg; k < end; ++k) {
+            if (!t_[k].isIdent())
+                continue;
+            const NvBinding *b = out_.findBinding(cls, t_[k].text);
+            if (b)
+                return b->region;
+        }
+        return {};
+    }
+
+    /** Emit actions (and nested lambda statement trees) for the token
+     *  span [beg, end). Appends to `out` in evaluation order. */
+    void scanExpr(std::size_t beg, std::size_t end,
+                  const std::string &cls, std::vector<Stmt> &out)
+    {
+        if (beg >= end)
+            return;
+        // Top-level assignment: process the RHS first (its value flows
+        // into the write), then the LHS write.
+        static const char *const kAssign[] = {"=",  "+=", "-=", "*=",
+                                              "/=", "%=", "&=", "|=",
+                                              "^=", "<<=", ">>="};
+        std::size_t assignAt = end;
+        {
+            int depth = 0;
+            for (std::size_t k = beg; k < end; ++k) {
+                const std::string &x = t_[k].text;
+                if (x == "(" || x == "[" || x == "{") {
+                    ++depth;
+                    continue;
+                }
+                if (x == ")" || x == "]" || x == "}") {
+                    --depth;
+                    continue;
+                }
+                if (depth != 0)
+                    continue;
+                for (const char *a : kAssign) {
+                    if (x == a) {
+                        assignAt = k;
+                        break;
+                    }
+                }
+                if (assignAt != end)
+                    break;
+            }
+        }
+        if (assignAt != end) {
+            const bool compound = !t_[assignAt].is("=");
+            scanExpr(assignAt + 1, end, cls, out);
+            // Regions read on the RHS (flat scan: bare members and
+            // member.get()/member.raw() chains).
+            std::vector<std::string> rhsReads;
+            for (std::size_t k = assignAt + 1; k < end; ++k) {
+                if (!t_[k].isIdent())
+                    continue;
+                if (k > assignAt + 1 &&
+                    (t_[k - 1].is(".") || t_[k - 1].is("->") ||
+                     t_[k - 1].is("::")))
+                    continue;
+                const NvBinding *b = out_.findBinding(cls, t_[k].text);
+                if (b && b->kind == BindKind::NvRegion)
+                    rhsReads.push_back(b->region);
+            }
+            // LHS: a bare NV member (possibly behind casts) is a write;
+            // anything else (locals, pointers, .raw() chains) goes
+            // through the generic walker.
+            const NvBinding *lhs = nullptr;
+            bool lhsComplex = false;
+            for (std::size_t k = beg; k < assignAt; ++k) {
+                if (!t_[k].isIdent())
+                    continue;
+                if (k > beg && (t_[k - 1].is(".") || t_[k - 1].is("->") ||
+                                t_[k - 1].is("::")))
+                    continue;
+                const NvBinding *b = out_.findBinding(cls, t_[k].text);
+                if (b) {
+                    lhs = b;
+                    // `member.raw()[i] = ...` and friends need the
+                    // generic read+write treatment.
+                    if (k + 1 < assignAt && (t_[k + 1].is(".") ||
+                                             t_[k + 1].is("->")))
+                        lhsComplex = true;
+                    break;
+                }
+            }
+            if (lhs && !lhsComplex) {
+                std::vector<Action> acts;
+                if (lhs->kind == BindKind::NvRegion) {
+                    if (compound) {
+                        Action r;
+                        r.kind = ActKind::NvRead;
+                        r.subject = lhs->region;
+                        r.line = t_[assignAt].line;
+                        acts.push_back(std::move(r));
+                        rhsReads.push_back(lhs->region);
+                    }
+                    Action w;
+                    w.kind = ActKind::NvWrite;
+                    w.subject = lhs->region;
+                    w.line = t_[assignAt].line;
+                    w.sameStmtReads = std::move(rhsReads);
+                    acts.push_back(std::move(w));
+                }
+                if (!acts.empty()) {
+                    Stmt s;
+                    s.kind = StmtKind::Actions;
+                    s.line = t_[assignAt].line;
+                    s.actions = std::move(acts);
+                    out.push_back(std::move(s));
+                }
+                return;
+            }
+            walkTokens(beg, assignAt, cls, out, &rhsReads);
+            return;
+        }
+        walkTokens(beg, end, cls, out, nullptr);
+    }
+
+    /** The generic token walker behind scanExpr. `stmtReads`, when
+     *  set, is attached to NvWrite actions produced here (LHS of an
+     *  assignment whose RHS read those regions). */
+    void walkTokens(std::size_t beg, std::size_t end,
+                    const std::string &cls, std::vector<Stmt> &out,
+                    const std::vector<std::string> *stmtReads)
+    {
+        std::vector<Action> pending;
+        const auto flush = [&] {
+            if (pending.empty())
+                return;
+            Stmt s;
+            s.kind = StmtKind::Actions;
+            s.line = pending.front().line;
+            s.actions = std::move(pending);
+            pending.clear();
+            out.push_back(std::move(s));
+        };
+        const auto act = [&](ActKind k, std::string subject, int line) {
+            Action a;
+            a.kind = k;
+            a.subject = std::move(subject);
+            a.line = line;
+            pending.push_back(std::move(a));
+        };
+
+        std::size_t i = beg;
+        while (i < end) {
+            const Token &tok = t_[i];
+            const bool memberCtx =
+                i > beg && (t_[i - 1].is(".") || t_[i - 1].is("->"));
+            const bool qualified = i > beg && t_[i - 1].is("::");
+
+            if (lambdaIntroAt(i, beg)) {
+                flush();
+                out.push_back(parseLambda(i, cls));
+                continue;
+            }
+            if (!tok.isIdent()) {
+                ++i;
+                continue;
+            }
+
+            // ---- annotation API special forms -------------------------
+            if (tok.is("expires") || tok.is("expiresCatch")) {
+                std::size_t open = i + 1;
+                if (open < end && t_[open].is("(")) {
+                    const std::size_t close = skipGroup(open) - 1;
+                    const auto args = splitArgs(open, close);
+                    flush();
+                    if (args.size() >= 2) {
+                        const NvBinding *b = nullptr;
+                        for (std::size_t k = args[1].first;
+                             k < args[1].second && !b; ++k)
+                            if (t_[k].isIdent())
+                                b = out_.findBinding(cls, t_[k].text);
+                        if (b) {
+                            Stmt g;
+                            g.kind = StmtKind::Actions;
+                            g.line = tok.line;
+                            Action a;
+                            a.kind = ActKind::TimedGuard;
+                            a.subject = b->region;
+                            a.line = tok.line;
+                            g.actions.push_back(std::move(a));
+                            out.push_back(std::move(g));
+                        }
+                    }
+                    for (const auto &arg : args) {
+                        std::size_t k = arg.first;
+                        if (k < arg.second && lambdaIntroAt(k, k)) {
+                            std::size_t p = k;
+                            out.push_back(parseLambda(p, cls));
+                        }
+                    }
+                    Stmt bnd;
+                    bnd.kind = StmtKind::Actions;
+                    bnd.line = tok.line;
+                    Action a;
+                    a.kind = ActKind::Boundary;
+                    a.subject = "expires";
+                    a.line = tok.line;
+                    bnd.actions.push_back(std::move(a));
+                    out.push_back(std::move(bnd));
+                    i = close + 1;
+                    continue;
+                }
+            }
+            if (tok.is("timely")) {
+                std::size_t open = i + 1;
+                if (open < end && t_[open].is("(")) {
+                    const std::size_t close = skipGroup(open) - 1;
+                    const auto args = splitArgs(open, close);
+                    flush();
+                    // Lambda args: [then, orElse]. The then-branch
+                    // commits a checkpoint before and after running.
+                    std::vector<Stmt> lambdas;
+                    for (const auto &arg : args) {
+                        std::size_t k = arg.first;
+                        if (k < arg.second && lambdaIntroAt(k, k)) {
+                            std::size_t p = k;
+                            lambdas.push_back(parseLambda(p, cls));
+                        }
+                    }
+                    Stmt iff;
+                    iff.kind = StmtKind::If;
+                    iff.line = tok.line;
+                    Stmt thenSeq;
+                    thenSeq.kind = StmtKind::Seq;
+                    {
+                        Stmt b1;
+                        b1.kind = StmtKind::Actions;
+                        b1.line = tok.line;
+                        Action a;
+                        a.kind = ActKind::Boundary;
+                        a.subject = "timely";
+                        a.line = tok.line;
+                        b1.actions.push_back(a);
+                        thenSeq.children.push_back(b1);
+                        if (!lambdas.empty())
+                            thenSeq.children.push_back(
+                                std::move(lambdas[0]));
+                        thenSeq.children.push_back(std::move(b1));
+                    }
+                    iff.children.push_back(std::move(thenSeq));
+                    if (lambdas.size() > 1) {
+                        Stmt elseSeq;
+                        elseSeq.kind = StmtKind::Seq;
+                        elseSeq.children.push_back(std::move(lambdas[1]));
+                        iff.children.push_back(std::move(elseSeq));
+                        iff.hasElse = true;
+                    }
+                    out.push_back(std::move(iff));
+                    i = close + 1;
+                    continue;
+                }
+            }
+            if (tok.is("addTask") && memberCtx && i + 1 < end &&
+                t_[i + 1].is("(")) {
+                const std::size_t close = skipGroup(i + 1) - 1;
+                const auto args = splitArgs(i + 1, close);
+                flush();
+                // Task entry/exit are commit points.
+                Stmt b1;
+                b1.kind = StmtKind::Actions;
+                b1.line = tok.line;
+                Action a;
+                a.kind = ActKind::Boundary;
+                a.subject = "task";
+                a.line = tok.line;
+                b1.actions.push_back(a);
+                out.push_back(b1);
+                for (const auto &arg : args) {
+                    std::size_t k = arg.first;
+                    if (k < arg.second && lambdaIntroAt(k, k)) {
+                        std::size_t p = k;
+                        out.push_back(parseLambda(p, cls));
+                    }
+                }
+                out.push_back(std::move(b1));
+                i = close + 1;
+                continue;
+            }
+            if ((tok.is("triggerPoint") || tok.is("checkpointNow")) &&
+                memberCtx) {
+                act(ActKind::Boundary, tok.text, tok.line);
+                ++i;
+                continue;
+            }
+            if (tok.is("endAtomic") && memberCtx && i + 1 < end &&
+                t_[i + 1].is("(")) {
+                const std::size_t close = skipGroup(i + 1) - 1;
+                bool ckpt = false;
+                for (std::size_t k = i + 2; k < close; ++k)
+                    if (t_[k].is("true"))
+                        ckpt = true;
+                if (ckpt)
+                    act(ActKind::Boundary, "endAtomic", tok.line);
+                i = close + 1;
+                continue;
+            }
+            // Registration calls: the .raw() pointers inside are
+            // bookkeeping, not data accesses.
+            if ((tok.is("trackGlobals") || tok.is("footprint")) &&
+                memberCtx && i + 1 < end && t_[i + 1].is("(")) {
+                i = skipGroup(i + 1);
+                continue;
+            }
+            if (tok.is("charge") && memberCtx) {
+                act(ActKind::Charge, "charge", tok.line);
+                ++i;
+                continue;
+            }
+            if ((tok.is("radioSend") || tok.is("sendAM")) && memberCtx) {
+                act(ActKind::DirectSend, "radio", tok.line);
+                ++i;
+                continue;
+            }
+            if (tok.is("send") && i > beg && t_[i - 1].is("->")) {
+                act(ActKind::StagedSend, "radio", tok.line);
+                ++i;
+                continue;
+            }
+
+            // ---- NV member accesses -----------------------------------
+            if (!memberCtx && !qualified) {
+                const NvBinding *b = out_.findBinding(cls, tok.text);
+                if (b) {
+                    const bool dot = i + 1 < end && t_[i + 1].is(".");
+                    const std::string method =
+                        dot && i + 2 < end && t_[i + 2].isIdent()
+                            ? t_[i + 2].text
+                            : "";
+                    if (b->kind == BindKind::Timed) {
+                        if (method == "read")
+                            act(ActKind::TimedUse, b->region, tok.line);
+                        else if (method == "fresh")
+                            act(ActKind::TimedGuard, b->region,
+                                tok.line);
+                        else if (method == "assignTimed") {
+                            act(ActKind::TimedGuard, b->region,
+                                tok.line);
+                            act(ActKind::Boundary, "assignTimed",
+                                tok.line);
+                        }
+                        // .get() is an uninstrumented peek: the runtime
+                        // emits no TimedUse event for it, so neither do
+                        // we (matches the dynamic model).
+                    } else if (b->kind == BindKind::NvRegion) {
+                        if (method == "get") {
+                            act(ActKind::NvRead, b->region, tok.line);
+                        } else if (method == "set") {
+                            Action w;
+                            w.kind = ActKind::NvWrite;
+                            w.subject = b->region;
+                            w.line = tok.line;
+                            if (stmtReads)
+                                w.sameStmtReads = *stmtReads;
+                            pending.push_back(std::move(w));
+                        } else if (method == "raw") {
+                            // Conservative: a raw pointer escapes, so
+                            // treat it as read+write of the region.
+                            act(ActKind::NvRead, b->region, tok.line);
+                            Action w;
+                            w.kind = ActKind::NvWrite;
+                            w.subject = b->region;
+                            w.line = tok.line;
+                            if (stmtReads)
+                                w.sameStmtReads = *stmtReads;
+                            pending.push_back(std::move(w));
+                        } else {
+                            act(ActKind::NvRead, b->region, tok.line);
+                        }
+                    }
+                    // Channel members are double-buffered and commit at
+                    // task transitions: no hazard actions.
+                    i += method.empty() ? 1 : 3;
+                    continue;
+                }
+                // Call to a function defined in this file.
+                if (i + 1 < end && t_[i + 1].is("(")) {
+                    const FunctionDef *callee =
+                        out_.findFunction(cls, tok.text);
+                    std::string calleeCls = cls;
+                    if (!callee) {
+                        callee = out_.findFunction("", tok.text);
+                        calleeCls.clear();
+                    }
+                    if (callee && pendingHasFunction(calleeCls,
+                                                     tok.text)) {
+                        Action a;
+                        a.kind = ActKind::Call;
+                        a.subject = calleeCls.empty()
+                                        ? tok.text
+                                        : calleeCls + "::" + tok.text;
+                        a.line = tok.line;
+                        pending.push_back(std::move(a));
+                    } else if (pendingHasFunction(cls, tok.text)) {
+                        Action a;
+                        a.kind = ActKind::Call;
+                        a.subject = cls.empty() ? tok.text
+                                                : cls + "::" + tok.text;
+                        a.line = tok.line;
+                        pending.push_back(std::move(a));
+                    } else if (pendingHasFunction("", tok.text)) {
+                        Action a;
+                        a.kind = ActKind::Call;
+                        a.subject = tok.text;
+                        a.line = tok.line;
+                        pending.push_back(std::move(a));
+                    }
+                }
+            }
+            ++i;
+        }
+        flush();
+    }
+
+    /** Pass 2 runs before out_.functions is filled, so resolve calls
+     *  against the pass-1 pending list. */
+    bool pendingHasFunction(const std::string &cls,
+                            const std::string &name) const
+    {
+        return std::any_of(pending_.begin(), pending_.end(),
+                           [&](const PendingFunction &p) {
+                               return p.className == cls &&
+                                      p.name == name;
+                           });
+    }
+
+    /** A loop bound is "statically bounded" when the comparison's
+     *  right-hand side is built only from literals and k-prefixed
+     *  constants (the repo's constant naming convention). */
+    static bool boundedCondition(const std::vector<const Token *> &cond)
+    {
+        if (cond.empty())
+            return false;
+        std::size_t cmp = cond.size();
+        int depth = 0;
+        for (std::size_t k = 0; k < cond.size(); ++k) {
+            const std::string &x = cond[k]->text;
+            if (x == "(" || x == "[")
+                ++depth;
+            else if (x == ")" || x == "]")
+                --depth;
+            else if (depth == 0 && (x == "<" || x == "<=" || x == ">" ||
+                                    x == ">=" || x == "!=")) {
+                cmp = k;
+                break;
+            }
+        }
+        if (cmp == cond.size() || cmp + 1 == cond.size())
+            return false;
+        for (std::size_t k = cmp + 1; k < cond.size(); ++k) {
+            const Token *t = cond[k];
+            if (t->kind == TokKind::Number)
+                continue;
+            if (t->kind == TokKind::Ident) {
+                const std::string &x = t->text;
+                const bool kConst = x.size() >= 2 && x[0] == 'k' &&
+                                    std::isupper(static_cast<
+                                                 unsigned char>(x[1]));
+                if (!kConst)
+                    return false;
+                continue;
+            }
+            const std::string &x = t->text;
+            if (x == "+" || x == "-" || x == "*" || x == "/" ||
+                x == "(" || x == ")" || x == "::")
+                continue;
+            return false;
+        }
+        return true;
+    }
+
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+SourceProgram
+parseSource(const std::string &file, const std::string &text)
+{
+    SourceProgram prog;
+    prog.file = file;
+    const std::vector<Token> toks = tokenize(text);
+    Parser parser(toks, prog);
+    parser.run();
+    return prog;
+}
+
+} // namespace ticsim::lint

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ticsim::lint {
+
+/**
+ * Source-level program model recovered purely syntactically: per-class
+ * NV bindings (from constructor init lists), per-function statement
+ * trees with the actions the dataflow checks care about, and enough
+ * loop/branch structure to build CFGs. Nothing here ever executes the
+ * program — this is the compile-time view the paper's toolchain has.
+ */
+
+/** How a member binds to non-volatile state. */
+enum class BindKind : std::uint8_t {
+    NvRegion, ///< nv<T> / nvArray<T, N>: a named NVRAM region
+    Timed,    ///< tics::Expiring<T>: timed data with a lifetime
+    Channel,  ///< taskrt channel: double-buffered, versioned by design
+};
+
+struct NvBinding {
+    std::string member; ///< e.g. "totalBits_"
+    std::string region; ///< e.g. "bc.totalBits" (== timed id for Timed)
+    BindKind kind = BindKind::NvRegion;
+    int line = 0;
+};
+
+/** One atomic step the dataflow interprets. */
+enum class ActKind : std::uint8_t {
+    NvRead,      ///< read of an NV region
+    NvWrite,     ///< write of an NV region
+    TimedGuard,  ///< freshness established: assignTimed or fresh()/expires
+    TimedUse,    ///< instrumented consume: Expiring::read(instance)
+    Boundary,    ///< potential checkpoint: triggerPoint/endAtomic(true)/...
+    DirectSend,  ///< unguarded peripheral I/O: radioSend/sendAM
+    StagedSend,  ///< VirtualRadio ->send(): staged, replay-safe
+    Charge,      ///< modeled work (board charge) — energy cost marker
+    Call,        ///< call to a function defined in the same file
+};
+
+struct Action {
+    ActKind kind = ActKind::NvRead;
+    std::string subject; ///< region / timed id / "radio" / callee name
+    int line = 0;
+    /** For NvWrite produced by splitting `x = ...x...`: regions read on
+     *  the right-hand side of the same statement. A boundary inlined
+     *  mid-expression cannot protect these (the dependent value is
+     *  in flight), so the WAR check consults them unconditionally. */
+    std::vector<std::string> sameStmtReads;
+};
+
+enum class StmtKind : std::uint8_t { Seq, Actions, If, Loop };
+
+struct Stmt {
+    StmtKind kind = StmtKind::Seq;
+    std::vector<Action> actions; ///< Actions leaves only
+    std::vector<Stmt> children;  ///< Seq body; If: [then(, else)]; Loop: [body]
+    std::vector<Action> header;  ///< If/Loop: condition actions
+    bool hasElse = false;
+    bool boundedLoop = false; ///< literal or k-constant trip bound
+    int line = 0;
+};
+
+struct FunctionDef {
+    std::string className; ///< "" for free functions
+    std::string name;
+    bool isCtor = false;
+    Stmt body;
+    int line = 0;
+
+    std::string qualified() const
+    {
+        return className.empty() ? name : className + "::" + name;
+    }
+};
+
+struct SourceProgram {
+    std::string file; ///< display path
+    std::vector<FunctionDef> functions;
+    /** className -> bindings declared in its constructor init list. */
+    std::map<std::string, std::vector<NvBinding>> bindings;
+
+    const FunctionDef *findFunction(const std::string &cls,
+                                    const std::string &name) const;
+    const NvBinding *findBinding(const std::string &cls,
+                                 const std::string &member) const;
+};
+
+/** Parse one translation unit's text into the source model. */
+SourceProgram parseSource(const std::string &file, const std::string &text);
+
+/**
+ * What the target runtime guarantees, from the analysis' point of
+ * view. `boundaries` — trigger points are potential checkpoints that
+ * close a re-execution span; `versioned` — NV writes are undo-logged /
+ * double-buffered, so WAR spans cannot corrupt state.
+ */
+struct RuntimeTraits {
+    bool boundaries = true;
+    bool versioned = false;
+};
+
+/** Rule identifiers, stable across reports and baselines. */
+inline constexpr const char *kRuleWar = "war";
+inline constexpr const char *kRuleTimeliness = "timeliness";
+inline constexpr const char *kRuleIo = "io";
+inline constexpr const char *kRuleSegmentation = "segmentation";
+
+struct StaticFinding {
+    std::string rule;    ///< war | timeliness | io | segmentation
+    std::string subject; ///< region / timed id / "radio" / "loop"
+    std::string file;
+    int line = 0;
+    std::string function; ///< analysis entry point (qualified)
+    std::string detail;
+};
+
+} // namespace ticsim::lint

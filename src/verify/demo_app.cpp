@@ -14,6 +14,13 @@ SensorRelayApp::SensorRelayApp(board::Board &b, tics::TicsRuntime &rt,
                                                       "relay.radio");
 }
 
+// ticslint on this function reports the unguarded read (timeliness),
+// the unguarded transmission (io), and the counter read-modify-writes
+// (war). All are intentional: this app is the guarded-vs-unguarded
+// demonstration the verifier cross-validates against, so the findings
+// are baselined as expected (tools/ticslint.baseline.json). The
+// path-insensitive analyzer reports them in the +guard configuration
+// too — the documented false-positive pair in the crossval table.
 void
 SensorRelayApp::main()
 {

@@ -21,7 +21,11 @@ non-negative integers, every microbenchmark ran at least one
 iteration, the host wall-time zones partition the macro total (the
 synthetic 'other' zone closes the sum by construction), and the
 reported throughput rates are consistent with their own numerators
-and denominators.
+and denominators; and for version-6 `lint` documents that every
+cross-validation row's matched count is bounded by its dynamic count
+(and confirmed by static), that coverage and fp_rate agree with the
+counts they summarize, and that full_coverage holds exactly when
+every row matched all of its dynamic findings.
 
 Exit status: 0 when every report validates, 1 otherwise.
 """
@@ -160,6 +164,13 @@ def validate_invariants(report):
     if "perf" in report:
         validate_perf(report["perf"])
 
+    if "lint" in report and report["version"] < 6:
+        raise ValueError("lint section requires version >= 6")
+    if report["version"] == 6 and "lint" not in report:
+        raise ValueError("version 6 document has no lint section")
+    if "lint" in report:
+        validate_lint(report["lint"])
+
 
 def validate_grid(grid):
     """The ticssweep section's determinism and accounting invariants."""
@@ -285,6 +296,48 @@ def validate_perf(perf):
                 raise ValueError(
                     f"perf.macro.{key}: {got} inconsistent with "
                     f"recomputed {want}")
+
+
+def validate_lint(lint):
+    """The ticslint section's coverage arithmetic."""
+    if lint["files_analyzed"] == 0:
+        raise ValueError("lint: zero files analyzed")
+    if len(lint["findings"]) > 0 and lint["functions_analyzed"] == 0:
+        raise ValueError("lint: findings without any parsed function")
+
+    crossval = lint["crossval"]
+    rows = lint.get("rows", [])
+    if crossval and "full_coverage" not in lint:
+        raise ValueError("lint: crossval report without full_coverage")
+    if not crossval and rows:
+        raise ValueError("lint: rows present without --crossval")
+
+    all_matched = True
+    for i, row in enumerate(rows):
+        who = f"lint.rows[{i}] ({row['app']}/{row['runtime']})"
+        if row["matched_findings"] > row["dynamic_findings"]:
+            raise ValueError(f"{who}: matched more than dynamic")
+        if row["confirmed_static"] > row["static_findings"]:
+            raise ValueError(f"{who}: confirmed more than static")
+        want_cov = (1.0 if row["dynamic_findings"] == 0 else
+                    row["matched_findings"] / row["dynamic_findings"])
+        if abs(row["coverage"] - want_cov) > 1e-9:
+            raise ValueError(
+                f"{who}: coverage {row['coverage']} != recomputed "
+                f"{want_cov}")
+        want_fp = (0.0 if row["static_findings"] == 0 else
+                   (row["static_findings"] - row["confirmed_static"]) /
+                   row["static_findings"])
+        if abs(row["fp_rate"] - want_fp) > 1e-9:
+            raise ValueError(
+                f"{who}: fp_rate {row['fp_rate']} != recomputed "
+                f"{want_fp}")
+        if row["matched_findings"] != row["dynamic_findings"]:
+            all_matched = False
+    if crossval and lint["full_coverage"] != all_matched:
+        raise ValueError(
+            f"lint: full_coverage {lint['full_coverage']} inconsistent "
+            f"with the rows (all matched: {all_matched})")
 
 
 def main(argv):
