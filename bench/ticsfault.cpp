@@ -38,7 +38,10 @@ usage(const char *argv0)
         "stores, retention flips) over the app x runtime matrix,\n"
         "minimizes every violation, and checks the protection split.\n"
         "--replay re-executes one plan string, e.g.\n"
-        "  --replay \"BC/plain-C:cut@commit:2+5000;off:12000000\"\n",
+        "  --replay \"BC/plain-C:cut@commit:2+5000;off:12000000\"\n"
+        "printing where each plan event fired (boundary occurrence and\n"
+        "virtual time); exits 0 consistent, 1 violation, 2 usage,\n"
+        "3 consistent-but-unreliable (a plan event never triggered).\n",
         argv0, argv0);
 }
 
@@ -80,15 +83,35 @@ replayMain(const fault::CampaignConfig &cfg, const std::string &spec)
         std::fprintf(stderr, "ticsfault: bad plan: %s\n", err.c_str());
         return 2;
     }
-    std::string verdict;
-    if (!fault::replayPlan(cfg, pairName, plan, verdict)) {
+    fault::ReplayDetail detail;
+    if (!fault::replayPlanDetailed(cfg, pairName, plan, detail)) {
         std::fprintf(stderr, "ticsfault: unknown pair \"%s\"\n",
                      pairName.c_str());
         return 2;
     }
-    std::printf("%s: %s\n    %s\n", pairName.c_str(), verdict.c_str(),
-                plan.format().c_str());
-    return verdict == "consistent" ? 0 : 1;
+    std::printf("%s: %s\n    %s\n", pairName.c_str(),
+                detail.verdict.c_str(), plan.format().c_str());
+    for (const auto &a : detail.atoms) {
+        if (a.fired)
+            std::printf("    fired    %-32s occurrence %llu at %llu ns\n",
+                        a.atom.c_str(),
+                        static_cast<unsigned long long>(a.occurrence),
+                        static_cast<unsigned long long>(a.at));
+        else
+            std::printf("    NO-FIRE  %-32s never triggered\n",
+                        a.atom.c_str());
+    }
+    if (detail.verdict != "consistent")
+        return 1;
+    if (!detail.allFired()) {
+        // A "consistent" replay whose plan never actually fired proves
+        // nothing — distinct exit code so CI scripts can tell a
+        // survived fault from a fault that never happened.
+        std::printf("    verdict unreliable: some plan events never "
+                    "triggered\n");
+        return 3;
+    }
+    return 0;
 }
 
 } // namespace

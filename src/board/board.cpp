@@ -1,9 +1,17 @@
 #include "board.hpp"
 
+#include <type_traits>
+
 #include "board/runtime.hpp"
+#include "mem/journal.hpp"
 #include "support/logging.hpp"
 
 namespace ticsim::board {
+
+// Snapshot captures the sensor objects as raw byte images.
+static_assert(std::is_trivially_copyable_v<device::Accelerometer> &&
+                  std::is_trivially_copyable_v<device::ScalarSensor>,
+              "sensors must stay trivially copyable for board::Snapshot");
 
 void
 Runtime::attach(Board &board, std::function<void()> appMain)
@@ -76,9 +84,23 @@ Board::charge(Cycles c)
 void
 Board::forcePowerFail()
 {
+    // Flag the death as injected before the lights go out, so traces
+    // can tell a campaign kill from an organic brown-out (the matching
+    // BrownOut event follows on the outage path).
+    events_.emit(telemetry::EventKind::InjectedFail, now_);
     if (ctx_->inside())
         ctx_->exitWith(context::ExitReason::PowerFail);
     sysDied_ = true;
+}
+
+void
+Board::markInjectedDeath()
+{
+    TICSIM_ASSERT(!ctx_->inside(),
+                  "markInjectedDeath() from inside the context");
+    events_.emit(telemetry::EventKind::InjectedFail, now_);
+    sysDied_ = true;
+    phase_ = RunPhase::Death;
 }
 
 bool
@@ -112,56 +134,207 @@ class LogClockScope
 RunResult
 Board::run(Runtime &rt, std::function<void()> appMain, TimeNs budget)
 {
+    beginRun(rt, std::move(appMain), budget);
+    return continueRun();
+}
+
+void
+Board::beginRun(Runtime &rt, std::function<void()> appMain, TimeNs budget)
+{
     rt.attach(*this, std::move(appMain));
+    rt_ = &rt;
     endTime_ = now_ + budget;
-    RunResult res;
-    const TimeNs start = now_;
-    std::uint32_t noProgressReboots = 0;
+    runStart_ = now_;
+    res_ = RunResult{};
+    noProgressReboots_ = 0;
+    phase_ = RunPhase::Boot;
+}
+
+RunResult
+Board::continueRun()
+{
+    TICSIM_ASSERT(rt_ != nullptr, "continueRun() without beginRun()");
     LogClockScope logClock(&now_);
 
-    while (now_ < endTime_) {
-        mem::traceBoot();
-        sysDied_ = false;
-        progressSinceBoot_ = false;
-        // Scopes opened on a stack a brown-out abandoned never closed;
-        // attribution restarts from App on every boot.
-        profiler_.resetScopes();
-        events_.emit(telemetry::EventKind::Boot, now_);
-        const bool bootOk = rt.onPowerOn() && !sysDied_;
-        if (bootOk) {
-            mem::ScopedHooks sh(rt.memHooks());
-            const auto reason = ctx_->run();
-            if (reason == context::ExitReason::Completed) {
-                res.completed = true;
+    while (phase_ != RunPhase::Done) {
+        switch (phase_) {
+        case RunPhase::Boot:
+        case RunPhase::BootNoTrace: {
+            if (now_ >= endTime_) {
+                phase_ = RunPhase::Done;
                 break;
             }
-            if (reason == context::ExitReason::TimeLimit)
-                break;
-            if (reason == context::ExitReason::Starved) {
-                res.starved = true;
-                break;
-            }
-            // PowerFail: fall through to the outage path.
-        }
-        ++res.reboots;
-        if (progressSinceBoot_) {
-            noProgressReboots = 0;
-        } else if (++noProgressReboots > cfg_.starvationRebootLimit) {
-            res.starved = true;
+            if (phase_ == RunPhase::Boot)
+                mem::traceBoot();
+            sysDied_ = false;
+            progressSinceBoot_ = false;
+            // Scopes opened on a stack a brown-out abandoned never
+            // closed; attribution restarts from App on every boot.
+            profiler_.resetScopes();
+            events_.emit(telemetry::EventKind::Boot, now_);
+            const bool bootOk = rt_->onPowerOn() && !sysDied_;
+            phase_ = bootOk ? RunPhase::Enter : RunPhase::Death;
             break;
         }
-        tk_->onPowerFail(now_);
-        events_.emit(telemetry::EventKind::BrownOut, now_);
-        const TimeNs off = supply_->offTimeAfterDeath(now_);
-        events_.emit(telemetry::EventKind::Outage, now_, 0, off);
-        now_ += off;
-        tk_->onPowerOn(now_);
+        case RunPhase::Enter: {
+            mem::ScopedHooks sh(rt_->memHooks());
+            const auto reason = ctx_->run();
+            if (reason == context::ExitReason::Completed) {
+                res_.completed = true;
+                phase_ = RunPhase::Done;
+            } else if (reason == context::ExitReason::TimeLimit) {
+                phase_ = RunPhase::Done;
+            } else if (reason == context::ExitReason::Starved) {
+                res_.starved = true;
+                phase_ = RunPhase::Done;
+            } else {
+                // PowerFail: take the outage path.
+                phase_ = RunPhase::Death;
+            }
+            break;
+        }
+        case RunPhase::Death:
+            deathPath();
+            break;
+        case RunPhase::Done:
+            break;
+        }
     }
+    return finishRun();
+}
 
+void
+Board::deathPath()
+{
+    ++res_.reboots;
+    if (progressSinceBoot_) {
+        noProgressReboots_ = 0;
+    } else if (++noProgressReboots_ > cfg_.starvationRebootLimit) {
+        res_.starved = true;
+        phase_ = RunPhase::Done;
+        return;
+    }
+    tk_->onPowerFail(now_);
+    events_.emit(telemetry::EventKind::BrownOut, now_);
+    const TimeNs off = supply_->offTimeAfterDeath(now_);
+    events_.emit(telemetry::EventKind::Outage, now_, 0, off);
+    now_ += off;
+    tk_->onPowerOn(now_);
+    phase_ = RunPhase::Boot;
+}
+
+RunResult
+Board::finishRun()
+{
+    RunResult res = res_;
     res.cycles = mcu_.cycles();
-    res.elapsed = now_ - start;
+    res.elapsed = now_ - runStart_;
     res.onTime = onTime_;
     return res;
+}
+
+bool
+Board::snapshot(Snapshot &s, bool withFiber)
+{
+    if (withFiber) {
+        s.hasFiber = true;
+        if (!ctx_->captureFiber(s.fiber))
+            return false; // re-entry path after a restore()
+    } else {
+        s.hasFiber = false;
+        s.fiber = context::FiberImage{};
+    }
+    s.now = now_;
+    s.onTime = onTime_;
+    s.endTime = endTime_;
+    s.runStart = runStart_;
+    s.sysDied = sysDied_;
+    s.progressSinceBoot = progressSinceBoot_;
+    s.phase = phase_;
+    s.partial = res_;
+    s.noProgressReboots = noProgressReboots_;
+    s.mcuCycles = mcu_.cycles();
+    s.rng = rng_;
+    {
+        StateWriter w;
+        w.put(accel_);
+        w.put(temp_);
+        w.put(moisture_);
+        s.sensors = w.take();
+    }
+    s.radioPackets = radio_.sentCount();
+    s.monitor = monitor_;
+    s.profiler = profiler_;
+    s.events = events_.mark();
+    {
+        StateWriter w;
+        supply_->saveState(w);
+        s.supply = w.take();
+    }
+    {
+        StateWriter w;
+        tk_->saveState(w);
+        s.timekeeper = w.take();
+    }
+    {
+        StateWriter w;
+        if (rt_ != nullptr)
+            rt_->saveState(w);
+        s.runtime = w.take();
+    }
+    if (rt_ != nullptr)
+        s.runtimeStats = rt_->stats();
+    s.journalMark = mem::journalMark();
+    return true;
+}
+
+void
+Board::restore(const Snapshot &s)
+{
+    TICSIM_ASSERT(!ctx_->inside(), "restore() from inside the context");
+    // NV first: the journal rolls modeled memory back to the mark
+    // taken when the snapshot's host state was captured.
+    mem::journalUndoTo(s.journalMark);
+    now_ = s.now;
+    onTime_ = s.onTime;
+    endTime_ = s.endTime;
+    runStart_ = s.runStart;
+    sysDied_ = s.sysDied;
+    progressSinceBoot_ = s.progressSinceBoot;
+    phase_ = s.phase;
+    res_ = s.partial;
+    noProgressReboots_ = s.noProgressReboots;
+    mcu_.setCycles(s.mcuCycles);
+    rng_ = s.rng;
+    {
+        StateReader r(s.sensors);
+        r.getBytes(&accel_, sizeof(accel_));
+        r.getBytes(&temp_, sizeof(temp_));
+        r.getBytes(&moisture_, sizeof(moisture_));
+        TICSIM_ASSERT(r.exhausted(), "sensor blob mismatch");
+    }
+    radio_.truncate(s.radioPackets);
+    monitor_ = s.monitor;
+    profiler_ = s.profiler;
+    events_.rewind(s.events);
+    {
+        StateReader r(s.supply);
+        supply_->loadState(r);
+        TICSIM_ASSERT(r.exhausted(), "supply blob mismatch");
+    }
+    {
+        StateReader r(s.timekeeper);
+        tk_->loadState(r);
+        TICSIM_ASSERT(r.exhausted(), "timekeeper blob mismatch");
+    }
+    if (rt_ != nullptr) {
+        StateReader r(s.runtime);
+        rt_->loadState(r);
+        TICSIM_ASSERT(r.exhausted(), "runtime blob mismatch");
+        rt_->stats() = s.runtimeStats;
+    }
+    if (s.hasFiber)
+        ctx_->armFiberResume(s.fiber);
 }
 
 device::AccelSample

@@ -24,6 +24,7 @@
 #include "mem/nvram.hpp"
 #include "mem/trace.hpp"
 #include "support/rng.hpp"
+#include "support/statebuf.hpp"
 #include "telemetry/events.hpp"
 #include "telemetry/phase.hpp"
 #include "timekeeper/timekeeper.hpp"
@@ -60,6 +61,55 @@ struct RunResult {
     TimeNs onTime = 0;       ///< powered time
 };
 
+/**
+ * Where the boot / run / brown-out loop stands between continueRun()
+ * steps. Exposed so the failure-space explorer can restore a Snapshot
+ * and steer the loop (e.g. force the death path at a decision point).
+ */
+enum class RunPhase : std::uint8_t {
+    Boot,        ///< about to boot the runtime (traceBoot fires)
+    BootNoTrace, ///< ditto, without re-announcing the boot to the sink
+    Enter,       ///< context armed; about to enter application code
+    Death,       ///< power failed; about to take the outage path
+    Done,        ///< run finished (completed / starved / budget)
+};
+
+/**
+ * Everything needed to roll a Board (and its attached runtime) back to
+ * an earlier point of the same run, in place. Host-side state is
+ * copied; modeled NV bytes are *not* imaged — the caller must have a
+ * mem::WriteJournal installed, whose mark is captured here and undone
+ * by restore(). With a FiberImage the restored run resumes mid-
+ * application; without one the restore is only meaningful if the
+ * explorer immediately forces the death path (markInjectedDeath()) or
+ * the snapshot was taken outside the application context.
+ */
+struct Snapshot {
+    TimeNs now = 0;
+    TimeNs onTime = 0;
+    TimeNs endTime = 0;
+    TimeNs runStart = 0;
+    bool sysDied = false;
+    bool progressSinceBoot = false;
+    RunPhase phase = RunPhase::Boot;
+    RunResult partial{};
+    std::uint32_t noProgressReboots = 0;
+    Cycles mcuCycles = 0;
+    Rng rng{};
+    StateBlob sensors;          ///< accel + temp + moisture images
+    std::size_t radioPackets = 0;
+    ViolationMonitor monitor{};
+    telemetry::PhaseProfiler profiler{};
+    telemetry::EventRing::Mark events{};
+    StateBlob supply;
+    StateBlob timekeeper;
+    StateBlob runtime;
+    StatGroup runtimeStats{""};
+    std::size_t journalMark = 0;
+    bool hasFiber = false;
+    context::FiberImage fiber{};
+};
+
 class Board
 {
   public:
@@ -72,6 +122,49 @@ class Board
      */
     RunResult run(Runtime &rt, std::function<void()> appMain,
                   TimeNs budget);
+
+    // ---- stepwise run control (snapshot / fork support) -------------------
+
+    /** Attach @p rt and arm the run loop without entering it yet.
+     *  run() is exactly beginRun() + continueRun(). */
+    void beginRun(Runtime &rt, std::function<void()> appMain,
+                  TimeNs budget);
+
+    /** Drive the boot / run / brown-out loop from the current RunPhase
+     *  to completion. Also the re-entry point after restore(). */
+    RunResult continueRun();
+
+    /** Current position of the run loop. */
+    RunPhase phase() const { return phase_; }
+
+    /** The runtime of the active run (null outside beginRun/run). */
+    Runtime *runtime() { return rt_; }
+
+    /**
+     * Capture the board's host-side state (plus the installed write
+     * journal's mark) into @p s. With @p withFiber, also images the
+     * live application stack + registers so the restored run resumes
+     * mid-application; in that case the call must come from inside the
+     * app context and returns false on the re-entry path after a
+     * restore() (mirroring ExecContext::captureFiber).
+     */
+    bool snapshot(Snapshot &s, bool withFiber = false);
+
+    /**
+     * Roll the board back to @p s, in place, undoing journaled NV
+     * writes. Must be called from the scheduler side; if the snapshot
+     * holds a fiber image the context is re-armed so continueRun()
+     * resumes mid-application.
+     */
+    void restore(const Snapshot &s);
+
+    /**
+     * Explorer-side emulated death: mark the current boot dead (as
+     * forcePowerFail() would from the scheduler side) and steer the
+     * run loop onto the outage path. Emits an InjectedFail event so
+     * traces distinguish it from an organic brown-out.
+     */
+    void markInjectedDeath();
 
     // ---- component access -------------------------------------------------
     mem::NvRam &nvram() { return nvram_; }
@@ -171,8 +264,22 @@ class Board
     bool sysDied_ = false;
     bool progressSinceBoot_ = false;
 
+    // ---- run-loop state (lives in members so snapshot/restore can
+    //      re-enter the loop mid-run) ------------------------------------
+    Runtime *rt_ = nullptr;
+    RunResult res_{};
+    TimeNs runStart_ = 0;
+    std::uint32_t noProgressReboots_ = 0;
+    RunPhase phase_ = RunPhase::Done;
+
     /** @return true if the supply browned out during the charge. */
     bool drainCycles(Cycles c);
+
+    /** One brown-out: reboot bookkeeping, outage, clock re-sync. */
+    void deathPath();
+
+    /** Finalize the cross-boot totals of the active run. */
+    RunResult finishRun();
 };
 
 } // namespace ticsim::board

@@ -20,6 +20,7 @@
 
 #include "mem/footprint.hpp"
 #include "mem/nv.hpp"
+#include "support/statebuf.hpp"
 #include "support/stats.hpp"
 
 namespace ticsim::board {
@@ -120,6 +121,21 @@ class Runtime
      * runtimes version writes instead and ignore this.
      */
     virtual void trackGlobals(void *base, std::uint32_t bytes) {}
+
+    /**
+     * Snapshot/restore hooks for the failure-space explorer
+     * (board::Snapshot). A runtime serializes every *host-side*
+     * mutable field that models volatile or NV-backed state and is
+     * not already covered by the NV write journal — caches of NV
+     * contents (undo-log cursors, checkpoint-slot validity), pending
+     * ISR queues, policy clocks, per-cause counters. Modeled NV bytes
+     * themselves are restored by mem::WriteJournal; the statistics
+     * group and footprint are captured separately by the Board. The
+     * default covers runtimes with no host state (plain C). A blob is
+     * only ever replayed into the same object it was captured from.
+     */
+    virtual void saveState(StateWriter &) const {}
+    virtual void loadState(StateReader &) {}
 
     /** Modeled .text/.data footprint ledger (Table 3). */
     mem::Footprint &footprint() { return footprint_; }

@@ -1,5 +1,7 @@
 #include "exec_context.hpp"
 
+#include <algorithm>
+
 #include "support/logging.hpp"
 
 #if defined(__has_feature)
@@ -12,6 +14,9 @@
 
 #if defined(TICSIM_ASAN_ACTIVE)
 #include <sanitizer/asan_interface.h>
+#define TICSIM_NO_ASAN_CTX __attribute__((no_sanitize_address))
+#else
+#define TICSIM_NO_ASAN_CTX
 #endif
 
 #if defined(__has_feature)
@@ -113,6 +118,21 @@ tsanFiberSwitch(void *fiber)
 #else
     (void)fiber;
 #endif
+}
+
+/**
+ * Copies a live stack image without sanitizer interception (the image
+ * spans frames whose ASan redzones are poisoned by design). A volatile
+ * byte loop keeps the compiler from lowering this back into a memcpy
+ * libcall.
+ */
+TICSIM_NO_ASAN_CTX void
+rawStackCopy(void *dst, const void *src, std::size_t n)
+{
+    auto *d = static_cast<volatile unsigned char *>(dst);
+    auto *s = static_cast<const volatile unsigned char *>(src);
+    for (std::size_t i = 0; i < n; ++i)
+        d[i] = s[i];
 }
 
 /** The context whose trampoline should run next. Thread-local so
@@ -227,6 +247,50 @@ ExecContext::captureRegs(RegSlot &slot)
         return false;
     }
     return true;
+}
+
+bool
+ExecContext::captureFiber(FiberImage &img, std::uint32_t redzoneBytes)
+{
+    TICSIM_ASSERT(inside_, "captureFiber() outside the context");
+    resumedFlag_ = false;
+    if (getcontext(&img.regs.uc) != 0)
+        panic("getcontext (fiber capture) failed");
+    // Two returns, like captureRegs(): the resume path must not touch
+    // @p img (the snapshot that carried it may have been relocated).
+    if (resumedFlag_) {
+        resumedFlag_ = false;
+        return false;
+    }
+    const auto base = reinterpret_cast<std::uintptr_t>(stackBase_);
+    std::uintptr_t low = probeSp();
+    low = low > redzoneBytes ? low - redzoneBytes : 0;
+    low = std::max(low, base);
+    img.low = low;
+    img.bytes.resize(stackTop() - low);
+    rawStackCopy(img.bytes.data(), reinterpret_cast<void *>(low),
+                 img.bytes.size());
+    return true;
+}
+
+void
+ExecContext::armFiberResume(const FiberImage &img)
+{
+    TICSIM_ASSERT(!inside_, "armFiberResume() from inside the context");
+    TICSIM_ASSERT(img.low >= reinterpret_cast<std::uintptr_t>(stackBase_) &&
+                      img.low + img.bytes.size() == stackTop(),
+                  "fiber image does not describe this stack buffer");
+    rawStackCopy(reinterpret_cast<void *>(img.low), img.bytes.data(),
+                 img.bytes.size());
+    fiberResumeRegs_ = img.regs;
+#if defined(__x86_64__) && defined(__GLIBC__)
+    // glibc's getcontext points uc_mcontext.fpregs into the ucontext_t
+    // itself; after relocating the slot the pointer must be re-homed
+    // or setcontext restores FP state from a dangling address.
+    fiberResumeRegs_.uc.uc_mcontext.fpregs =
+        &fiberResumeRegs_.uc.__fpregs_mem;
+#endif
+    prepareResume(fiberResumeRegs_);
 }
 
 void

@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 namespace ticsim::context {
 
@@ -47,6 +48,20 @@ enum class ExitReason {
  */
 struct RegSlot {
     ucontext_t uc;
+};
+
+/**
+ * A relocatable suspended-fiber image: machine registers plus the live
+ * stack bytes, owned on the host heap. Unlike a checkpoint slot (whose
+ * RegSlot must stay at its capture address), a FiberImage may be moved
+ * and stored inside a board::Snapshot; armFiberResume() re-homes the
+ * registers before resuming. Captured by captureFiber() from inside
+ * the context, resumed by armFiberResume() + run() from outside.
+ */
+struct FiberImage {
+    RegSlot regs{};
+    std::uintptr_t low = 0;         ///< lowest stack address in the image
+    std::vector<std::uint8_t> bytes; ///< [low, stackTop) at capture time
 };
 
 /**
@@ -120,6 +135,25 @@ class ExecContext
     }
 
     /**
+     * From inside the application context: capture the registers and
+     * the live stack region into @p img (heap-owned, relocatable).
+     * Mirrors the checkpoint capture discipline: the stack copy is
+     * taken *after* the register capture in the same frame, so every
+     * spill slot the resume path can read is part of the image.
+     * @return true on the capture path; false when execution re-enters
+     *         here through armFiberResume()/run().
+     */
+    bool captureFiber(FiberImage &img, std::uint32_t redzoneBytes = 256);
+
+    /**
+     * Arm a resume from @p img: restores the stack bytes and re-homes
+     * the register slot into this context, so the next run() re-enters
+     * the captureFiber() call that produced the image. @p img must
+     * describe this context's stack buffer.
+     */
+    void armFiberResume(const FiberImage &img);
+
+    /**
      * From inside the application context: abandon execution (no
      * unwinding) and return @p reason from the pending run().
      */
@@ -148,6 +182,10 @@ class ExecContext
     ucontext_t schedCtx_{};
     ucontext_t startCtx_{};
     RegSlot *resumeSlot_ = nullptr;
+    /** Stable home for relocated FiberImage registers: glibc x86-64
+     *  ucontext_t points at its own FP-state member, so a moved copy
+     *  must be re-homed into one fixed slot before setcontext. */
+    RegSlot fiberResumeRegs_{};
     bool armedFresh_ = false;
     bool armedResume_ = false;
     volatile bool resumedFlag_ = false;

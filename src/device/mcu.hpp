@@ -58,6 +58,10 @@ class Mcu
         return costs_.cyclesToJoules(c);
     }
 
+    /** Restore the cycle counter to a snapshotted value without phase
+     *  attribution (the profiler is restored wholesale alongside). */
+    void setCycles(Cycles c) { cycles_ = c; }
+
     void
     reset()
     {

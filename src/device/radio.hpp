@@ -33,6 +33,13 @@ class Radio
 
     void reset() { packets_.clear(); }
 
+    /** Forget packets beyond the first @p n (snapshot restore). */
+    void truncate(std::size_t n)
+    {
+        if (n < packets_.size())
+            packets_.resize(n);
+    }
+
   private:
     std::vector<Packet> packets_;
 };

@@ -147,4 +147,22 @@ StochasticHarvester::power(TimeNs now)
     return current_;
 }
 
+void
+StochasticHarvester::saveState(StateWriter &w) const
+{
+    w.put(rng_);
+    w.put(stateEnd_);
+    w.put(on_);
+    w.put(current_);
+}
+
+void
+StochasticHarvester::loadState(StateReader &r)
+{
+    rng_ = r.get<Rng>();
+    stateEnd_ = r.get<TimeNs>();
+    on_ = r.get<bool>();
+    current_ = r.get<Watts>();
+}
+
 } // namespace ticsim::energy

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "support/rng.hpp"
+#include "support/statebuf.hpp"
 #include "support/units.hpp"
 
 namespace ticsim::energy {
@@ -32,6 +33,12 @@ class Harvester
 
     /** Output power in watts at virtual time @p now. */
     virtual Watts power(TimeNs now) = 0;
+
+    /** Snapshot/restore hooks for the failure-space explorer. The
+     *  defaults cover the stateless models (constant, square-wave,
+     *  RF, trace): their output is a pure function of `now`. */
+    virtual void saveState(StateWriter &) const {}
+    virtual void loadState(StateReader &) {}
 };
 
 /** Fixed output power (bench power supply / strong steady source). */
@@ -136,6 +143,9 @@ class StochasticHarvester : public Harvester
                         Rng rng);
 
     Watts power(TimeNs now) override;
+
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
   private:
     void advanceTo(TimeNs now);

@@ -19,6 +19,7 @@
 
 #include "energy/capacitor.hpp"
 #include "energy/harvester.hpp"
+#include "support/statebuf.hpp"
 #include "support/stats.hpp"
 #include "support/units.hpp"
 
@@ -66,6 +67,18 @@ class Supply
     virtual Volts voltageNow() const { return -1.0; }
 
     StatGroup &stats() { return stats_; }
+
+    /**
+     * Snapshot/restore hooks for the failure-space explorer
+     * (board::Snapshot). Implementations serialize exactly the
+     * mutable dynamics that influence future drain() results; the
+     * statistics group is captured separately by the Board (StatGroup
+     * is copyable). The defaults cover stateless supplies
+     * (continuous, pattern). A blob is only replayed into the same
+     * object it was captured from.
+     */
+    virtual void saveState(StateWriter &) const {}
+    virtual void loadState(StateReader &) {}
 
   protected:
     StatGroup stats_;
@@ -143,6 +156,12 @@ class ScheduledSupply : public Supply
     std::size_t cutsFired() const { return next_; }
     const ResetPattern &pattern() const { return pattern_; }
 
+    void saveState(StateWriter &w) const override { w.put(next_); }
+    void loadState(StateReader &r) override
+    {
+        next_ = r.get<std::size_t>();
+    }
+
   private:
     ResetPattern pattern_;
     std::size_t next_ = 0; ///< index of the first unconsumed cut
@@ -176,6 +195,17 @@ class HarvestingSupply : public Supply
     Volts voltage() const { return cap_.voltage(); }
     Volts voltageNow() const override { return cap_.voltage(); }
     const Config &config() const { return cfg_; }
+
+    void saveState(StateWriter &w) const override
+    {
+        w.put(cap_.voltage());
+        harvester_->saveState(w);
+    }
+    void loadState(StateReader &r) override
+    {
+        cap_.setVoltage(r.get<Volts>());
+        harvester_->loadState(r);
+    }
 
   private:
     Config cfg_;

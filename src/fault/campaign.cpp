@@ -12,6 +12,7 @@
 #include "apps/cuckoo/cuckoo_chinchilla.hpp"
 #include "apps/cuckoo/cuckoo_legacy.hpp"
 #include "apps/cuckoo/cuckoo_task.hpp"
+#include "fault/explore.hpp"
 #include "runtimes/chinchilla.hpp"
 #include "runtimes/mementos.hpp"
 #include "runtimes/plainc.hpp"
@@ -33,71 +34,6 @@ ticsCampaignConfig()
     c.segmentBytes = 256;
     c.policy = tics::PolicyKind::Timer;
     c.timerPeriod = 5 * kNsPerMs;
-    return c;
-}
-
-/**
- * One subject (or reference) execution: fresh board, fresh runtime and
- * app from the pair's factories, a FaultedSupply over a continuous
- * inner supply, and the injector installed as access sink + store gate
- * for the whole run. The factories rebuild identical objects each
- * time, so arena layouts match and the replay diff is byte-meaningful.
- */
-PairRunOutcome
-runWithPlan(const CampaignConfig &cfg, const PairSpec &spec,
-            const FaultPlan &plan, bool observe)
-{
-    board::BoardConfig bcfg;
-    bcfg.seed = cfg.seed;
-
-    auto supply = std::make_unique<FaultedSupply>(
-        std::make_unique<energy::ContinuousSupply>(), plan.offNs);
-    if (!observe) {
-        std::vector<TimeNs> abs;
-        for (const auto &c : plan.cuts)
-            if (c.absolute)
-                abs.push_back(c.atNs);
-        std::sort(abs.begin(), abs.end());
-        supply->scheduleAbsolute(std::move(abs));
-    }
-    FaultedSupply *sup = supply.get();
-
-    board::Board board(bcfg, std::move(supply),
-                       std::make_unique<timekeeper::PerfectTimekeeper>());
-    FaultInjector inj(board, *sup, plan, observe);
-    mem::ScopedAccessSink sink(&inj);
-    mem::ScopedStoreGate gate(&inj);
-
-    PairRunOutcome out = spec.run(board, cfg.budget);
-    out.census = inj.census();
-    out.firedCuts = sup->firedAt();
-    out.injectedDeaths = sup->injectedDeaths();
-    out.tearsApplied = inj.tearsApplied();
-    out.flipsApplied = inj.flipsApplied();
-    return out;
-}
-
-struct Classification {
-    std::string kind; ///< empty = consistent
-    std::uint64_t divergentBytes = 0;
-};
-
-Classification
-classify(const PairRunOutcome &ref, const PairRunOutcome &sub)
-{
-    Classification c;
-    const auto diff = analysis::ReplayOracle::diff(ref.snap, sub.snap);
-    c.divergentBytes = diff.divergentBytes;
-    if (diff.regionMismatches > 0)
-        c.kind = "layout";
-    else if (sub.res.starved)
-        c.kind = "starved";
-    else if (!sub.res.completed)
-        c.kind = "not-completed";
-    else if (!sub.verified)
-        c.kind = "verify-failed";
-    else if (diff.divergentBytes > 0)
-        c.kind = "diverged";
     return c;
 }
 
@@ -286,8 +222,120 @@ randomSchedules(const CampaignConfig &cfg, const EventCensus &census,
     return out;
 }
 
-/** Rebuild a plan from a subset of its atoms (shrinker granularity:
- *  one cut, tear, or flip per atom; offNs always carried over). */
+template <typename MakeRt, typename MakeApp>
+PairSpec
+makePairSpec(std::string app, std::string runtime, bool isProtected,
+             std::string ckptPrefix, MakeRt makeRt, MakeApp makeApp)
+{
+    PairSpec s;
+    s.app = std::move(app);
+    s.runtime = std::move(runtime);
+    s.isProtected = isProtected;
+    s.ckptPrefix = std::move(ckptPrefix);
+    s.make = [makeRt, makeApp](board::Board &b) {
+        PairEnv env;
+        auto rt = makeRt();
+        auto appInst = makeApp(b, *rt);
+        // Task-model apps register their entry with the runtime; the
+        // others expose a legacy main(). The raw pointer captures stay
+        // valid for env's lifetime because env.app owns the object.
+        auto *ap = appInst.get();
+        if constexpr (requires { appInst->main(); })
+            env.entry = [ap] { ap->main(); };
+        env.verify = [ap] { return ap->verify(); };
+        env.app = std::shared_ptr<void>(std::move(appInst));
+        env.runtime = std::move(rt);
+        return env;
+    };
+    s.run = [make = s.make](board::Board &b, TimeNs budget) {
+        PairEnv env = make(b);
+        PairRunOutcome out;
+        out.res = b.run(*env.runtime, env.entry, budget);
+        out.verified = env.verify();
+        out.snap = analysis::ReplayOracle::capture(
+            b.nvram(), analysis::ReplayOracle::appStateFilter());
+        return out;
+    };
+    return s;
+}
+
+} // namespace
+
+PairRunOutcome
+runPairWithPlan(const CampaignConfig &cfg, const PairSpec &spec,
+                const FaultPlan &plan, bool observe)
+{
+    board::BoardConfig bcfg;
+    bcfg.seed = cfg.seed;
+
+    auto supply = std::make_unique<FaultedSupply>(
+        std::make_unique<energy::ContinuousSupply>(), plan.offNs);
+    if (!observe) {
+        std::vector<TimeNs> abs;
+        for (const auto &c : plan.cuts)
+            if (c.absolute)
+                abs.push_back(c.atNs);
+        std::sort(abs.begin(), abs.end());
+        supply->scheduleAbsolute(std::move(abs));
+    }
+    FaultedSupply *sup = supply.get();
+
+    board::Board board(bcfg, std::move(supply),
+                       std::make_unique<timekeeper::PerfectTimekeeper>());
+    FaultInjector inj(board, *sup, plan, observe);
+    mem::ScopedAccessSink sink(&inj);
+    mem::ScopedStoreGate gate(&inj);
+
+    PairRunOutcome out = spec.run(board, cfg.budget);
+    out.census = inj.census();
+    out.firedCuts = sup->firedAt();
+    out.injectedDeaths = sup->injectedDeaths();
+    out.tearsApplied = inj.tearsApplied();
+    out.flipsApplied = inj.flipsApplied();
+
+    // Per-atom firing records in planFromAtoms order. Relative cuts
+    // were tracked by the injector; absolute cuts are matched against
+    // the scheduled instants the supply consumed.
+    std::vector<TimeNs> absFired = sup->absFiredAt();
+    for (std::size_t i = 0; i < plan.cuts.size(); ++i) {
+        AtomFiring a = inj.cutFirings()[i];
+        if (plan.cuts[i].absolute) {
+            const auto it = std::find(absFired.begin(), absFired.end(),
+                                      plan.cuts[i].atNs);
+            if (it != absFired.end()) {
+                a.fired = true;
+                a.at = plan.cuts[i].atNs;
+                absFired.erase(it);
+            }
+        }
+        out.atomFirings.push_back(a);
+    }
+    for (const AtomFiring &a : inj.tearFirings())
+        out.atomFirings.push_back(a);
+    for (const AtomFiring &a : inj.flipFirings())
+        out.atomFirings.push_back(a);
+    return out;
+}
+
+Classification
+classifyOutcome(const PairRunOutcome &ref, const PairRunOutcome &sub)
+{
+    Classification c;
+    const auto diff = analysis::ReplayOracle::diff(ref.snap, sub.snap);
+    c.divergentBytes = diff.divergentBytes;
+    if (diff.regionMismatches > 0)
+        c.kind = "layout";
+    else if (sub.res.starved)
+        c.kind = "starved";
+    else if (!sub.res.completed)
+        c.kind = "not-completed";
+    else if (!sub.verified)
+        c.kind = "verify-failed";
+    else if (diff.divergentBytes > 0)
+        c.kind = "diverged";
+    return c;
+}
+
 FaultPlan
 planFromAtoms(const FaultPlan &full, const std::vector<std::size_t> &keep)
 {
@@ -306,17 +354,9 @@ planFromAtoms(const FaultPlan &full, const std::vector<std::size_t> &keep)
     return p;
 }
 
-/**
- * ddmin over the plan's atoms, then — for cuts-only survivors — an
- * absolutization pass: re-run the minimized plan, take the instants at
- * which its cuts actually fired, and prefer the equivalent explicit
- * `cut@t:` ResetPattern when it still reproduces. The result replays
- * without any event counting.
- */
 Violation
-shrinkViolation(const CampaignConfig &cfg, const PairSpec &spec,
-                const PairRunOutcome &ref, const FaultPlan &original,
-                const Classification &firstSeen)
+shrinkPlanWith(const PairSpec &spec, const FaultPlan &original,
+               const Classification &firstSeen, const PlanEval &eval)
 {
     Violation v;
     v.app = spec.app;
@@ -327,12 +367,12 @@ shrinkViolation(const CampaignConfig &cfg, const PairSpec &spec,
 
     const auto violates = [&](const FaultPlan &p,
                               Classification *out = nullptr) {
-        const PairRunOutcome sub = runWithPlan(cfg, spec, p, false);
+        const PlanProbe probe = eval(p);
         ++v.shrinkRuns;
-        const Classification c = classify(ref, sub);
+        v.shrinkCycles += probe.cycles;
         if (out)
-            *out = c;
-        return !c.kind.empty();
+            *out = probe.cls;
+        return !probe.cls.kind.empty();
     };
 
     std::vector<std::size_t> atoms(original.atomCount());
@@ -378,11 +418,10 @@ shrinkViolation(const CampaignConfig &cfg, const PairSpec &spec,
 
     if (!minimized.cuts.empty() && minimized.tears.empty() &&
         minimized.flips.empty()) {
-        const PairRunOutcome probe =
-            runWithPlan(cfg, spec, minimized, false);
+        const PlanProbe probe = eval(minimized);
         ++v.shrinkRuns;
-        if (!classify(ref, probe).kind.empty() &&
-            !probe.firedCuts.empty()) {
+        v.shrinkCycles += probe.cycles;
+        if (!probe.cls.kind.empty() && !probe.firedCuts.empty()) {
             FaultPlan absolute;
             absolute.offNs = minimized.offNs;
             for (const TimeNs t : probe.firedCuts) {
@@ -407,35 +446,21 @@ shrinkViolation(const CampaignConfig &cfg, const PairSpec &spec,
     return v;
 }
 
-template <typename MakeRt, typename MakeApp>
-PairSpec
-makePairSpec(std::string app, std::string runtime, bool isProtected,
-             std::string ckptPrefix, MakeRt makeRt, MakeApp makeApp)
+Violation
+shrinkViolationFromBoot(const CampaignConfig &cfg, const PairSpec &spec,
+                        const PairRunOutcome &ref, const FaultPlan &original,
+                        const Classification &firstSeen)
 {
-    PairSpec s;
-    s.app = std::move(app);
-    s.runtime = std::move(runtime);
-    s.isProtected = isProtected;
-    s.ckptPrefix = std::move(ckptPrefix);
-    s.run = [makeRt, makeApp](board::Board &b, TimeNs budget) {
-        auto rt = makeRt();
-        auto appInst = makeApp(b, *rt);
-        // Task-model apps register their entry with the runtime; the
-        // others expose a legacy main().
-        std::function<void()> entry;
-        if constexpr (requires { appInst->main(); })
-            entry = [&appInst] { appInst->main(); };
-        PairRunOutcome out;
-        out.res = b.run(*rt, std::move(entry), budget);
-        out.verified = appInst->verify();
-        out.snap = analysis::ReplayOracle::capture(
-            b.nvram(), analysis::ReplayOracle::appStateFilter());
-        return out;
-    };
-    return s;
+    return shrinkPlanWith(
+        spec, original, firstSeen, [&](const FaultPlan &p) {
+            const PairRunOutcome sub = runPairWithPlan(cfg, spec, p, false);
+            PlanProbe probe;
+            probe.cls = classifyOutcome(ref, sub);
+            probe.firedCuts = sub.firedCuts;
+            probe.cycles = sub.res.cycles;
+            return probe;
+        });
 }
-
-} // namespace
 
 std::vector<PairSpec>
 campaignPairs(const CampaignConfig &cfg)
@@ -553,8 +578,8 @@ runCampaign(const CampaignConfig &cfg)
     // Phase 1: all failure-free reference runs (observe mode).
     std::vector<PairRunOutcome> refs(pairs.size());
     pool.run(pairs.size(), [&](std::size_t pi) {
-        refs[pi] = runWithPlan(cfg, pairs[pi], FaultPlan{},
-                               /*observe=*/true);
+        refs[pi] = runPairWithPlan(cfg, pairs[pi], FaultPlan{},
+                                   /*observe=*/true);
     });
 
     // Phase 2 (serial, cheap): schedule generation from each census.
@@ -596,13 +621,13 @@ runCampaign(const CampaignConfig &cfg)
             truncated.store(true, std::memory_order_relaxed);
             return;
         }
-        const PairRunOutcome sub = runWithPlan(
+        const PairRunOutcome sub = runPairWithPlan(
             cfg, pairs[t.pi], schedules[t.pi][t.si], false);
         t.ran = true;
         t.injectedDeaths = sub.injectedDeaths;
         t.tearsApplied = sub.tearsApplied;
         t.flipsApplied = sub.flipsApplied;
-        t.cls = classify(refs[t.pi], sub);
+        t.cls = classifyOutcome(refs[t.pi], sub);
     });
 
     // Phase 4: shrink every violating schedule. A shrink is a pure
@@ -632,8 +657,11 @@ runCampaign(const CampaignConfig &cfg)
         }
         const SubjectTask &t = tasks[violating[vi]];
         shrunk[vi] =
-            shrinkViolation(cfg, pairs[t.pi], refs[t.pi],
-                            schedules[t.pi][t.si], t.cls);
+            cfg.forkShrink
+                ? forkShrinkViolation(cfg, pairs[t.pi], refs[t.pi],
+                                      schedules[t.pi][t.si], t.cls)
+                : shrinkViolationFromBoot(cfg, pairs[t.pi], refs[t.pi],
+                                          schedules[t.pi][t.si], t.cls);
     });
 
     // Phase 5 (serial): assemble in (pair, schedule) order.
@@ -678,18 +706,53 @@ bool
 replayPlan(const CampaignConfig &cfg, const std::string &pairName,
            const FaultPlan &plan, std::string &verdictOut)
 {
+    ReplayDetail detail;
+    if (!replayPlanDetailed(cfg, pairName, plan, detail))
+        return false;
+    verdictOut = detail.verdict;
+    return true;
+}
+
+namespace {
+
+/** Serialize one atom of @p plan on its own, without the off suffix. */
+std::string
+formatAtom(const FaultPlan &plan, std::size_t idx)
+{
+    const FaultPlan one = planFromAtoms(plan, {idx});
+    std::string s = one.format();
+    const auto off = s.rfind(";off:");
+    if (off != std::string::npos)
+        s.resize(off);
+    return s;
+}
+
+} // namespace
+
+bool
+replayPlanDetailed(const CampaignConfig &cfg, const std::string &pairName,
+                   const FaultPlan &plan, ReplayDetail &out)
+{
     for (const auto &spec : campaignPairs(cfg)) {
         if (spec.app + "/" + spec.runtime != pairName)
             continue;
         const PairRunOutcome ref =
-            runWithPlan(cfg, spec, FaultPlan{}, /*observe=*/true);
+            runPairWithPlan(cfg, spec, FaultPlan{}, /*observe=*/true);
         if (!ref.res.completed) {
-            verdictOut = "reference-incomplete";
+            out.verdict = "reference-incomplete";
             return true;
         }
-        const PairRunOutcome sub = runWithPlan(cfg, spec, plan, false);
-        const Classification c = classify(ref, sub);
-        verdictOut = c.kind.empty() ? "consistent" : c.kind;
+        const PairRunOutcome sub = runPairWithPlan(cfg, spec, plan, false);
+        const Classification c = classifyOutcome(ref, sub);
+        out.verdict = c.kind.empty() ? "consistent" : c.kind;
+        for (std::size_t i = 0; i < sub.atomFirings.size(); ++i) {
+            ReplayAtomStatus st;
+            st.atom = formatAtom(plan, i);
+            st.fired = sub.atomFirings[i].fired;
+            st.occurrence = sub.atomFirings[i].occurrence;
+            st.at = sub.atomFirings[i].at;
+            out.atoms.push_back(std::move(st));
+        }
         return true;
     }
     return false;

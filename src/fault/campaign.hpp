@@ -25,6 +25,7 @@
 #define TICSIM_FAULT_CAMPAIGN_HPP
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,10 @@ struct CampaignConfig {
      * cap does not fire.
      */
     unsigned jobs = 1;
+    /** Minimize violations by forking from a snapshot instead of
+     *  re-running every ddmin candidate from boot (same minimal plans,
+     *  fewer simulated cycles; see fault/explore.hpp). */
+    bool forkShrink = false;
     apps::BcParams bc{};
     apps::CuckooParams cuckoo{};
 
@@ -81,6 +86,22 @@ struct PairRunOutcome {
     std::uint64_t injectedDeaths = 0;
     std::uint64_t tearsApplied = 0;
     std::uint64_t flipsApplied = 0;
+    /** Per-atom trigger records in planFromAtoms order (cuts, tears,
+     *  flips) — what `ticsfault --replay` reports per plan event. */
+    std::vector<AtomFiring> atomFirings;
+};
+
+/**
+ * A pair's components, disassembled: stepwise drivers (the failure-
+ * space explorer, the fork shrinker) begin/continue the board run
+ * themselves and call verify() at every explored leaf instead of once
+ * after a whole run.
+ */
+struct PairEnv {
+    std::unique_ptr<board::Runtime> runtime;
+    std::shared_ptr<void> app; ///< keeps the app object alive
+    std::function<void()> entry; ///< null for task-model apps
+    std::function<bool()> verify;
 };
 
 /** One (app, runtime) campaign target. */
@@ -93,12 +114,56 @@ struct PairSpec {
     std::string ckptPrefix;
     /** Build runtime + app on @p board and run to completion/budget. */
     std::function<PairRunOutcome(board::Board &, TimeNs budget)> run;
+    /** Build runtime + app on @p board without running (see PairEnv). */
+    std::function<PairEnv(board::Board &)> make;
 };
+
+/**
+ * Verdict of a subject run against the reference: empty kind means
+ * consistent; otherwise layout | starved | not-completed |
+ * verify-failed | diverged, in that precedence order.
+ */
+struct Classification {
+    std::string kind;
+    std::uint64_t divergentBytes = 0;
+};
+
+Classification classifyOutcome(const PairRunOutcome &ref,
+                               const PairRunOutcome &sub);
+
+/**
+ * One subject (or reference) execution: fresh board, fresh runtime and
+ * app from the pair's factories, a FaultedSupply over a continuous
+ * inner supply, and the injector installed as access sink + store gate
+ * for the whole run. The factories rebuild identical objects each
+ * time, so arena layouts match and the replay diff is byte-meaningful.
+ */
+PairRunOutcome runPairWithPlan(const CampaignConfig &cfg,
+                               const PairSpec &spec, const FaultPlan &plan,
+                               bool observe);
+
+/** Rebuild a plan from a subset of its atom indices (ddmin
+ *  granularity: one cut, tear, or flip per atom, in that order;
+ *  offNs always carried over). */
+FaultPlan planFromAtoms(const FaultPlan &full,
+                        const std::vector<std::size_t> &keep);
 
 /** The campaign matrix: BC and Cuckoo under TICS, MementOS-like,
  *  Chinchilla-like, Alpaca-like tasks, and plain C (10 pairs,
  *  mirroring ticscheck). */
 std::vector<PairSpec> campaignPairs(const CampaignConfig &cfg);
+
+/** What one evaluation of a candidate plan observed. */
+struct PlanProbe {
+    Classification cls;
+    std::vector<TimeNs> firedCuts; ///< for cut absolutization
+    Cycles cycles = 0; ///< simulated cycles the evaluation executed
+};
+
+/** Evaluate one candidate plan against the pair's reference. The
+ *  from-boot evaluator re-runs the whole pair; the fork evaluator
+ *  restores a snapshot and only executes the suffix. */
+using PlanEval = std::function<PlanProbe(const FaultPlan &)>;
 
 /** A minimized, replay-verified consistency violation. */
 struct Violation {
@@ -111,7 +176,26 @@ struct Violation {
     std::uint64_t divergentBytes = 0;
     std::uint32_t shrinkRuns = 0;  ///< subject runs the shrinker spent
     bool replayVerified = false;   ///< minimized plan still violates
+    Cycles shrinkCycles = 0;       ///< simulated cycles all evals spent
 };
+
+/**
+ * ddmin over the plan's atoms through @p eval, then — for cuts-only
+ * survivors — an absolutization pass preferring the equivalent
+ * explicit `cut@t:` schedule, then a final confirmation evaluation.
+ * Pure in @p eval: plug in a from-boot or a fork-based evaluator and
+ * the minimal plans come out the same.
+ */
+Violation shrinkPlanWith(const PairSpec &spec, const FaultPlan &original,
+                         const Classification &firstSeen,
+                         const PlanEval &eval);
+
+/** The from-boot shrinker: shrinkPlanWith over full re-runs. */
+Violation shrinkViolationFromBoot(const CampaignConfig &cfg,
+                                  const PairSpec &spec,
+                                  const PairRunOutcome &ref,
+                                  const FaultPlan &original,
+                                  const Classification &firstSeen);
 
 struct PairReport {
     std::string app;
@@ -153,6 +237,32 @@ CampaignReport runCampaign(const CampaignConfig &cfg);
  */
 bool replayPlan(const CampaignConfig &cfg, const std::string &pairName,
                 const FaultPlan &plan, std::string &verdictOut);
+
+/** One plan atom's replay status, human-readable. */
+struct ReplayAtomStatus {
+    std::string atom;   ///< the atom, re-serialized on its own
+    bool fired = false;
+    std::uint64_t occurrence = 0; ///< boundary/store/boot ordinal hit
+    TimeNs at = 0;                ///< virtual time of the trigger
+};
+
+/** replayPlan plus per-atom firing detail for `ticsfault --replay`. */
+struct ReplayDetail {
+    std::string verdict;
+    std::vector<ReplayAtomStatus> atoms;
+
+    bool allFired() const
+    {
+        for (const auto &a : atoms)
+            if (!a.fired)
+                return false;
+        return true;
+    }
+};
+
+bool replayPlanDetailed(const CampaignConfig &cfg,
+                        const std::string &pairName, const FaultPlan &plan,
+                        ReplayDetail &out);
 
 /** Per-pair summary in the repo's standard table format. */
 Table campaignTable(const CampaignReport &report);

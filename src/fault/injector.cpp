@@ -4,6 +4,7 @@
 #include <cstring>
 #include <limits>
 
+#include "mem/journal.hpp"
 #include "support/logging.hpp"
 
 namespace ticsim::fault {
@@ -29,13 +30,14 @@ FaultedSupply::scheduleAbsolute(std::vector<TimeNs> cutsAt)
     nextAbs_ = 0;
 }
 
-void
+bool
 FaultedSupply::armCutAfter(TimeNs delay)
 {
     if (havePending_ || haveArmed_)
-        return; // first armed boundary wins
+        return false; // first armed boundary wins
     havePending_ = true;
     pendingDelay_ = delay;
+    return true;
 }
 
 energy::DrainResult
@@ -69,10 +71,12 @@ FaultedSupply::drain(TimeNs now, TimeNs dur, Watts load)
             return pre;
         }
     }
-    if (cut == armCut)
+    if (cut == armCut) {
         haveArmed_ = false;
-    else
+    } else {
+        absFired_.push_back(abs_[nextAbs_]);
         ++nextAbs_;
+    }
     forced_ = true;
     ++injected_;
     fired_.push_back(cut > now ? cut : now);
@@ -100,14 +104,92 @@ FaultedSupply::reset()
     forced_ = false;
     injected_ = 0;
     fired_.clear();
+    absFired_.clear();
+}
+
+void
+FaultedSupply::saveState(StateWriter &w) const
+{
+    w.put(nextAbs_);
+    w.put(havePending_);
+    w.put(pendingDelay_);
+    w.put(haveArmed_);
+    w.put(armedAt_);
+    w.put(forced_);
+    w.put(injected_);
+    w.put(fired_.size());
+    for (const TimeNs t : fired_)
+        w.put(t);
+    w.put(absFired_.size());
+    for (const TimeNs t : absFired_)
+        w.put(t);
+    inner_->saveState(w);
+}
+
+void
+FaultedSupply::loadState(StateReader &r)
+{
+    nextAbs_ = r.get<std::size_t>();
+    havePending_ = r.get<bool>();
+    pendingDelay_ = r.get<TimeNs>();
+    haveArmed_ = r.get<bool>();
+    armedAt_ = r.get<TimeNs>();
+    forced_ = r.get<bool>();
+    injected_ = r.get<std::uint64_t>();
+    fired_.resize(r.get<std::size_t>());
+    for (TimeNs &t : fired_)
+        t = r.get<TimeNs>();
+    absFired_.resize(r.get<std::size_t>());
+    for (TimeNs &t : absFired_)
+        t = r.get<TimeNs>();
+    inner_->loadState(r);
 }
 
 // ---- FaultInjector ---------------------------------------------------------
 
 FaultInjector::FaultInjector(board::Board &board, FaultedSupply &supply,
                              const FaultPlan &plan, bool observeOnly)
-    : board_(board), supply_(supply), plan_(plan), observe_(observeOnly)
+    : board_(board), supply_(supply), plan_(&plan), observe_(observeOnly)
 {
+    resizeFirings();
+}
+
+void
+FaultInjector::resizeFirings()
+{
+    cutFired_.assign(plan_->cuts.size(), AtomFiring{});
+    tearFired_.assign(plan_->tears.size(), AtomFiring{});
+    flipFired_.assign(plan_->flips.size(), AtomFiring{});
+}
+
+void
+FaultInjector::rebind(const FaultPlan *plan, bool observeOnly)
+{
+    TICSIM_ASSERT(plan != nullptr, "fault: rebind to null plan");
+    plan_ = plan;
+    observe_ = observeOnly;
+    tears_ = 0;
+    flips_ = 0;
+    flipsUnmatched_ = 0;
+    resizeFirings();
+}
+
+InjectorState
+FaultInjector::state() const
+{
+    InjectorState s;
+    s.census = census_;
+    s.started = started_;
+    s.boots = boots_;
+    return s;
+}
+
+void
+FaultInjector::setState(const InjectorState &s)
+{
+    census_ = s.census;
+    started_ = s.started;
+    boots_ = s.boots;
 }
 
 void
@@ -116,9 +198,14 @@ FaultInjector::note(Boundary b)
     const std::uint64_t occ = ++census_.boundary[static_cast<int>(b)];
     if (observe_)
         return;
-    for (const auto &c : plan_.cuts) {
-        if (!c.absolute && c.boundary == b && c.occurrence == occ)
-            supply_.armCutAfter(c.delayNs);
+    for (std::size_t i = 0; i < plan_->cuts.size(); ++i) {
+        const auto &c = plan_->cuts[i];
+        if (!c.absolute && c.boundary == b && c.occurrence == occ &&
+            supply_.armCutAfter(c.delayNs)) {
+            cutFired_[i].fired = true;
+            cutFired_[i].occurrence = occ;
+            cutFired_[i].at = board_.now();
+        }
     }
 }
 
@@ -129,9 +216,9 @@ FaultInjector::powerOn()
     ++boots_;
     if (!observe_ && boots_ >= 2) {
         // Off window N separates powerOn N from powerOn N+1.
-        for (const auto &f : plan_.flips) {
-            if (f.outageIndex + 1 == boots_)
-                applyFlip(f);
+        for (std::size_t i = 0; i < plan_->flips.size(); ++i) {
+            if (plan_->flips[i].outageIndex + 1 == boots_)
+                applyFlip(plan_->flips[i], i);
         }
     }
     note(Boundary::Boot);
@@ -179,8 +266,13 @@ FaultInjector::store(mem::StoreSite site, void *dst, const void *src,
     census_.maxStoreBytes[s] =
         std::max(census_.maxStoreBytes[s], bytes);
     if (!observe_) {
-        for (const auto &t : plan_.tears) {
+        for (std::size_t i = 0; i < plan_->tears.size(); ++i) {
+            const auto &t = plan_->tears[i];
             if (t.site == site && t.occurrence == occ) {
+                tearFired_[i].fired = true;
+                tearFired_[i].occurrence = occ;
+                tearFired_[i].at = board_.now();
+                mem::journalNote(dst, bytes);
                 applyTornStore(t, dst, src, bytes);
                 ++tears_;
                 supply_.noteForcedDeath();
@@ -192,6 +284,7 @@ FaultInjector::store(mem::StoreSite site, void *dst, const void *src,
             }
         }
     }
+    mem::journalNote(dst, bytes);
     std::memcpy(dst, src, bytes);
 }
 
@@ -237,7 +330,7 @@ applyTornStore(const TornWrite &t, void *dst, const void *src,
 }
 
 void
-FaultInjector::applyFlip(const BitFlip &f)
+FaultInjector::applyFlip(const BitFlip &f, std::size_t atomIdx)
 {
     auto &ram = board_.nvram();
     for (const auto &r : ram.regions()) {
@@ -246,8 +339,13 @@ FaultInjector::applyFlip(const BitFlip &f)
                 ++flipsUnmatched_;
                 return;
             }
-            ram.hostPtr(r.base)[f.offset] ^= f.mask;
+            std::uint8_t *cell = ram.hostPtr(r.base) + f.offset;
+            mem::journalNote(cell, 1);
+            *cell ^= f.mask;
             ++flips_;
+            flipFired_[atomIdx].fired = true;
+            flipFired_[atomIdx].occurrence = boots_;
+            flipFired_[atomIdx].at = board_.now();
             return;
         }
     }

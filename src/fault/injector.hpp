@@ -65,8 +65,9 @@ class FaultedSupply : public energy::Supply
      * Arm one cut @p delay after the next drain's start. No-op while a
      * previously armed cut is still pending (first boundary wins —
      * overlapping schedules stay deterministic).
+     * @return whether this call actually armed the cut.
      */
-    void armCutAfter(TimeNs delay);
+    bool armCutAfter(TimeNs delay);
 
     /** A tear killed the system; bill the next off window to the plan. */
     void noteForcedDeath() { forced_ = true; }
@@ -77,6 +78,16 @@ class FaultedSupply : public energy::Supply
     /** Absolute instants at which injected cuts actually fired, in
      *  order — the raw material for absolutized ResetPatterns. */
     const std::vector<TimeNs> &firedAt() const { return fired_; }
+
+    /** Scheduled instants of the absolute cuts that fired (subset of
+     *  scheduleAbsolute()'s list) — lets the replay reporter tell
+     *  which `cut@t:` atoms actually triggered. */
+    const std::vector<TimeNs> &absFiredAt() const { return absFired_; }
+
+    /** Snapshot/fork support: the decorator's pending/armed/fired cut
+     *  state rides inside board::Snapshot's supply blob. */
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
   private:
     std::unique_ptr<energy::Supply> inner_;
@@ -90,6 +101,7 @@ class FaultedSupply : public energy::Supply
     bool forced_ = false;
     std::uint64_t injected_ = 0;
     std::vector<TimeNs> fired_;
+    std::vector<TimeNs> absFired_;
 };
 
 /** Per-boundary and per-store-site occurrence totals of one run. */
@@ -97,6 +109,27 @@ struct EventCensus {
     std::uint64_t boundary[kBoundaryCount] = {};
     std::uint64_t stores[mem::kStoreSiteCount] = {};
     std::uint32_t maxStoreBytes[mem::kStoreSiteCount] = {};
+};
+
+/** Whether (and where) one plan atom actually took effect during a
+ *  run: the boundary/store/outage occurrence it matched and the
+ *  virtual time of that trigger. Atoms that never matched stay
+ *  fired == false — `ticsfault --replay` reports them and exits
+ *  non-zero, since a plan that never fires proves nothing. */
+struct AtomFiring {
+    bool fired = false;
+    std::uint64_t occurrence = 0;
+    TimeNs at = 0;
+};
+
+/** The injector's replayable progress state: everything occurrence
+ *  counting depends on. The fork shrinker seeds a fresh injector with
+ *  the state recorded at its snapshot point so "the 3rd commit" keeps
+ *  meaning the same instant in a resumed run. */
+struct InjectorState {
+    EventCensus census{};
+    bool started = false;
+    std::uint64_t boots = 0;
 };
 
 /**
@@ -133,13 +166,32 @@ class FaultInjector : public mem::AccessSink, public mem::StoreGate
     /** Flips whose region name matched no NV region (plan bugs). */
     std::uint64_t flipsUnmatched() const { return flipsUnmatched_; }
 
+    /**
+     * Point the injector at a different plan (and mode) mid-stream
+     * without resetting occurrence counts. The fork shrinker restores
+     * a snapshot, rebinds to the candidate subset plan, and resumes —
+     * the census keeps counting from where the recording left off.
+     */
+    void rebind(const FaultPlan *plan, bool observeOnly);
+
+    InjectorState state() const;
+    void setState(const InjectorState &s);
+
+    /** Per-atom trigger records, indexed like the plan's vectors.
+     *  Relative cuts are marked fired when their boundary arms the
+     *  supply (absolute cuts are tracked by FaultedSupply instead). */
+    const std::vector<AtomFiring> &cutFirings() const { return cutFired_; }
+    const std::vector<AtomFiring> &tearFirings() const { return tearFired_; }
+    const std::vector<AtomFiring> &flipFirings() const { return flipFired_; }
+
   private:
     void note(Boundary b);
-    void applyFlip(const BitFlip &f);
+    void applyFlip(const BitFlip &f, std::size_t atomIdx);
+    void resizeFirings();
 
     board::Board &board_;
     FaultedSupply &supply_;
-    const FaultPlan &plan_;
+    const FaultPlan *plan_;
     bool observe_;
     bool started_ = false; ///< first powerOn seen; stores count from here
     std::uint64_t boots_ = 0;
@@ -147,6 +199,9 @@ class FaultInjector : public mem::AccessSink, public mem::StoreGate
     std::uint64_t tears_ = 0;
     std::uint64_t flips_ = 0;
     std::uint64_t flipsUnmatched_ = 0;
+    std::vector<AtomFiring> cutFired_;
+    std::vector<AtomFiring> tearFired_;
+    std::vector<AtomFiring> flipFired_;
 };
 
 } // namespace ticsim::fault

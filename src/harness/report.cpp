@@ -186,6 +186,13 @@ BenchSession::setLint(LintSection lint)
 }
 
 void
+BenchSession::setMc(McSection mc)
+{
+    mc_ = std::move(mc);
+    haveMc_ = true;
+}
+
+void
 BenchSession::finish()
 {
     if (finished_)
@@ -212,7 +219,8 @@ BenchSession::writeJson() const
     // and documents without a grid stay at version 2 (or 1); each
     // optional section only bumps the version of documents that
     // actually carry it.
-    w.member("version", haveLint_   ? kReportVersionLint
+    w.member("version", haveMc_     ? kReportVersionMc
+                        : haveLint_ ? kReportVersionLint
                         : havePerf_ ? kReportVersionPerf
                         : haveProb_ ? kReportVersionProb
                         : haveGrid_ ? kReportVersionGrid
@@ -489,6 +497,44 @@ BenchSession::writeJson() const
             }
             w.endArray();
         }
+        w.endObject();
+    }
+    if (haveMc_) {
+        w.key("mc").beginObject();
+        w.member("max_faults", mc_.maxFaults);
+        w.member("max_decisions", mc_.maxDecisions);
+        w.member("jobs", mc_.jobs);
+        w.member("all_exhausted", mc_.allExhausted);
+        w.key("pairs").beginArray();
+        for (const McPairEntry &p : mc_.pairs) {
+            w.beginObject();
+            w.member("app", p.app);
+            w.member("runtime", p.runtime);
+            w.member("protected", p.isProtected);
+            w.member("ref_completed", p.refCompleted);
+            w.member("recording_consistent", p.recordingConsistent);
+            w.member("decision_points", p.decisionPoints);
+            w.member("branches_taken", p.branchesTaken);
+            w.member("states_explored", p.statesExplored);
+            w.member("frontier_cutoffs", p.frontierCutoffs);
+            w.member("exhausted", p.exhausted);
+            w.member("confirmed_violations", p.confirmedViolations);
+            w.endObject();
+        }
+        w.endArray();
+        w.key("violations").beginArray();
+        for (const McViolationEntry &v : mc_.violations) {
+            w.beginObject();
+            w.member("app", v.app);
+            w.member("runtime", v.runtime);
+            w.member("kind", v.kind);
+            w.member("plan", v.plan);
+            w.member("found_as", v.foundAs);
+            w.member("divergent_bytes", v.divergentBytes);
+            w.member("confirmed", v.confirmed);
+            w.endObject();
+        }
+        w.endArray();
         w.endObject();
     }
     w.endObject();

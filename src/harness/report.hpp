@@ -50,6 +50,9 @@ constexpr int kReportVersionPerf = 5;
 /** Version emitted when the report carries a `lint` section. */
 constexpr int kReportVersionLint = 6;
 
+/** Version emitted when the report carries an `mc` section. */
+constexpr int kReportVersionMc = 7;
+
 /**
  * One analysis finding in the report's optional `findings` section
  * (written by static-analysis benches like ticsverify; plain benches
@@ -284,6 +287,48 @@ struct LintSection {
     std::vector<LintCrossValEntry> rows;
 };
 
+/** One (app, runtime) row of the `mc` section. */
+struct McPairEntry {
+    std::string app;
+    std::string runtime;
+    bool isProtected = true;
+    bool refCompleted = false;
+    bool recordingConsistent = true;
+    std::uint64_t decisionPoints = 0;
+    std::uint64_t branchesTaken = 0;
+    std::uint64_t statesExplored = 0;
+    std::uint64_t frontierCutoffs = 0;
+    bool exhausted = false; ///< proof-of-exhaustion flag for this pair
+    std::uint64_t confirmedViolations = 0;
+};
+
+/** One violating schedule the explorer found. */
+struct McViolationEntry {
+    std::string app;
+    std::string runtime;
+    std::string kind;
+    std::string plan;    ///< minimal confirmed schedule
+    std::string foundAs; ///< schedule the walk first hit it with
+    std::uint64_t divergentBytes = 0;
+    bool confirmed = false; ///< replayed from boot and still violates
+};
+
+/**
+ * The `mc` section (written by ticsmc; bumps the report to version 7):
+ * the exhaustive failure-space census — per-pair decision/branch/leaf
+ * counts, frontier cut-offs, the proof-of-exhaustion flags, and every
+ * violation with its minimal schedule. Only ticsmc calls setMc(), so
+ * every other bench's document stays at version <= 6 byte-for-byte.
+ */
+struct McSection {
+    std::uint64_t maxFaults = 1;
+    std::uint64_t maxDecisions = 0; ///< frontier cap (0 = unbounded)
+    std::uint64_t jobs = 1;
+    bool allExhausted = false;
+    std::vector<McPairEntry> pairs;
+    std::vector<McViolationEntry> violations;
+};
+
 struct ReportOptions {
     std::string jsonPath;  ///< empty = no JSON report
     std::string tracePath; ///< empty = no timeline trace
@@ -344,6 +389,9 @@ class BenchSession
     /** Attach the lint section; bumps the report to version 6. */
     void setLint(LintSection lint);
 
+    /** Attach the mc section; bumps the report to version 7. */
+    void setMc(McSection mc);
+
     /** Write the JSON report and trace now (idempotent). */
     void finish();
 
@@ -379,6 +427,8 @@ class BenchSession
     bool havePerf_ = false;
     LintSection lint_;
     bool haveLint_ = false;
+    McSection mc_;
+    bool haveMc_ = false;
     bool finished_ = false;
     /** The thread that constructed the session (see record()). */
     std::thread::id owner_;

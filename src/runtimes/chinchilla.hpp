@@ -62,6 +62,34 @@ class ChinchillaRuntime : public board::Runtime, private mem::MemHooks
 
     std::uint64_t checkpointsTotal() const { return ckpts_; }
 
+    void
+    saveState(StateWriter &w) const override
+    {
+        w.put(lastCkptTrue_);
+        w.put(ckpts_);
+        w.put(versions_->cursor());
+        w.put(static_cast<std::uint64_t>(epochLogged_.size()));
+        for (const auto &[p, bytes] : epochLogged_) {
+            w.put(reinterpret_cast<std::uintptr_t>(p));
+            w.put(bytes);
+        }
+        area_->saveHostState(w);
+    }
+    void
+    loadState(StateReader &r) override
+    {
+        lastCkptTrue_ = r.get<TimeNs>();
+        ckpts_ = r.get<std::uint64_t>();
+        versions_->setCursor(r.get<tics::UndoLog::Cursor>());
+        epochLogged_.clear();
+        const auto n = r.get<std::uint64_t>();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            auto *p = reinterpret_cast<void *>(r.get<std::uintptr_t>());
+            epochLogged_[p] = r.get<std::uint32_t>();
+        }
+        area_->loadHostState(r);
+    }
+
   private:
     void preWrite(void *hostAddr, std::uint32_t bytes) override;
     bool doCheckpoint();

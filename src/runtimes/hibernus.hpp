@@ -72,6 +72,19 @@ class HibernusRuntime : public MementosRuntime
             b.charge(400);
     }
 
+    void
+    saveState(StateWriter &w) const override
+    {
+        MementosRuntime::saveState(w);
+        w.put(savedThisLife_);
+    }
+    void
+    loadState(StateReader &r) override
+    {
+        MementosRuntime::loadState(r);
+        savedThisLife_ = r.get<bool>();
+    }
+
   private:
     Volts vSave_;
     /** Volatile comparator latch (re-armed by every boot). */

@@ -52,6 +52,23 @@ class InkRuntime : public TaskRuntime
         events_.push_back({period, priority, root, 0});
     }
 
+    void
+    saveState(StateWriter &w) const override
+    {
+        TaskRuntime::saveState(w);
+        w.put(sleepUntil_);
+        for (const Event &e : events_)
+            w.put(e.nextDue);
+    }
+    void
+    loadState(StateReader &r) override
+    {
+        TaskRuntime::loadState(r);
+        sleepUntil_ = r.get<TimeNs>();
+        for (Event &e : events_)
+            e.nextDue = r.get<TimeNs>();
+    }
+
   protected:
     TaskId
     preDispatch(TaskId t) override

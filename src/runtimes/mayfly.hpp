@@ -77,6 +77,19 @@ class MayflyRuntime : public TaskRuntime
 
     std::uint64_t expiredDispatches() const { return expired_; }
 
+    void
+    saveState(StateWriter &w) const override
+    {
+        TaskRuntime::saveState(w);
+        w.put(expired_);
+    }
+    void
+    loadState(StateReader &r) override
+    {
+        TaskRuntime::loadState(r);
+        expired_ = r.get<std::uint64_t>();
+    }
+
   protected:
     TaskId
     preDispatch(TaskId t) override

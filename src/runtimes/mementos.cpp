@@ -4,6 +4,7 @@
 
 #include <cstring>
 
+#include "mem/journal.hpp"
 #include "mem/trace.hpp"
 #include "support/logging.hpp"
 #include "telemetry/phase.hpp"
@@ -73,6 +74,7 @@ MementosRuntime::onPowerOn()
         // Without it, globals dirtied before the first-ever checkpoint
         // would survive an outage that restarts main() from scratch.
         for (auto &g : globals_) {
+            mem::journalNote(g.base, g.bytes);
             std::memcpy(g.base, g.genesis, g.bytes);
             mem::traceVersioned(g.base, g.bytes);
         }
@@ -97,6 +99,7 @@ MementosRuntime::onPowerOn()
     tics::restoreStackImage(*slot);
     const int idx = area_->validIndex();
     for (auto &g : globals_) {
+        mem::journalNote(g.base, g.bytes);
         std::memcpy(g.base, g.shadow + static_cast<std::size_t>(idx) *
                                 g.bytes,
                     g.bytes);
@@ -132,9 +135,13 @@ MementosRuntime::doCheckpoint()
     if (!tics::captureStackImage(b, slot, tics::TicsConfig::kHostRedzone))
         return false; // resumed after a reboot
 
-    for (auto &g : globals_)
+    for (auto &g : globals_) {
+        mem::journalNote(g.shadow + static_cast<std::size_t>(idx) *
+                             g.bytes,
+                         g.bytes);
         std::memcpy(g.shadow + static_cast<std::size_t>(idx) * g.bytes,
                     g.base, g.bytes);
+    }
     b.charge(ckptCost / 2);
     area_->commit();
     ckptModel_ = model_;

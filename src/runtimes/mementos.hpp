@@ -57,6 +57,27 @@ class MementosRuntime : public board::Runtime
 
     std::uint64_t checkpointsTotal() const { return ckpts_; }
 
+    void
+    saveState(StateWriter &w) const override
+    {
+        w.put(model_);
+        w.put(ckptModel_);
+        w.put(committedStackBytes_);
+        w.put(lastCkptTrue_);
+        w.put(ckpts_);
+        area_->saveHostState(w);
+    }
+    void
+    loadState(StateReader &r) override
+    {
+        model_ = r.get<board::ModelStack>();
+        ckptModel_ = r.get<board::ModelStack>();
+        committedStackBytes_ = r.get<std::uint32_t>();
+        lastCkptTrue_ = r.get<TimeNs>();
+        ckpts_ = r.get<std::uint64_t>();
+        area_->loadHostState(r);
+    }
+
   private:
     bool doCheckpoint();
 

@@ -24,6 +24,7 @@
 
 #include "board/board.hpp"
 #include "board/runtime.hpp"
+#include "mem/journal.hpp"
 #include "mem/trace.hpp"
 
 namespace ticsim::taskrt {
@@ -55,6 +56,15 @@ class ChannelBase
 
     /** True time of the latest commit (0 if never committed). */
     virtual TimeNs committedAt() const { return 0; }
+
+    /**
+     * Host-side volatile state (the dirty flag and changed-byte
+     * count), packed for snapshot/restore: bit 0 = dirty, bits 32..63
+     * = dirtyBytes. The channel payloads live in NV and are restored
+     * by the write journal.
+     */
+    virtual std::uint64_t volatileState() const = 0;
+    virtual void setVolatileState(std::uint64_t s) = 0;
 };
 
 /**
@@ -103,7 +113,25 @@ class Channel : public ChannelBase
 
     /** Commit timestamp (true time), for MayFly edge expiry. */
     TimeNs committedAt() const override { return *commitTs_; }
-    void stampCommit(TimeNs t) override { *commitTs_ = t; }
+    void
+    stampCommit(TimeNs t) override
+    {
+        mem::journalNote(commitTs_, sizeof(TimeNs));
+        *commitTs_ = t;
+    }
+
+    std::uint64_t
+    volatileState() const override
+    {
+        return (static_cast<std::uint64_t>(dirtyBytes_) << 32) |
+               (dirty_ ? 1u : 0u);
+    }
+    void
+    setVolatileState(std::uint64_t s) override
+    {
+        dirty_ = (s & 1u) != 0;
+        dirtyBytes_ = static_cast<std::uint32_t>(s >> 32);
+    }
 
   private:
     TaskRuntime &rt_;
@@ -164,6 +192,23 @@ class TaskRuntime : public board::Runtime
     std::size_t channelCount() const { return channels_.size(); }
     TaskId currentTask() const { return current_; }
 
+    void
+    saveState(StateWriter &w) const override
+    {
+        w.put(current_);
+        w.put(transitions_);
+        for (const ChannelBase *c : channels_)
+            w.put(c->volatileState());
+    }
+    void
+    loadState(StateReader &r) override
+    {
+        current_ = r.get<TaskId>();
+        transitions_ = r.get<std::uint64_t>();
+        for (ChannelBase *c : channels_)
+            c->setVolatileState(r.get<std::uint64_t>());
+    }
+
   protected:
     /**
      * Inspect/adjust the dispatch before running @p t (MayFly edge
@@ -213,6 +258,7 @@ Channel<T>::commit()
     if (!dirty_)
         return 0;
     const std::uint32_t committed = dirtyBytes_;
+    mem::journalNote(value_, sizeof(T));
     std::memcpy(value_, shadow_, sizeof(T));
     // A committed write refreshes the token's timestamp even when the
     // new value happens to equal the old one (MayFly edges care about
@@ -263,6 +309,7 @@ Channel<T>::set(const T &v)
     // copy stays intact until the two-phase transition publishes it.
     mem::traceVersioned(shadow_, sizeof(T));
     mem::traceWrite(shadow_, sizeof(T));
+    mem::journalNote(shadow_, sizeof(T));
     std::memcpy(shadow_, &v, sizeof(T));
     dirty_ = true;
     dirtyBytes_ = changed;

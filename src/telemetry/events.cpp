@@ -10,6 +10,7 @@ eventName(EventKind k)
     switch (k) {
       case EventKind::Boot:             return "boot";
       case EventKind::BrownOut:         return "brown_out";
+      case EventKind::InjectedFail:     return "injected_fail";
       case EventKind::Outage:           return "outage";
       case EventKind::CheckpointCommit: return "checkpoint_commit";
       case EventKind::Restore:          return "restore";
@@ -63,6 +64,16 @@ EventRing::clear()
     head_ = 0;
     count_ = 0;
     dropped_ = 0;
+}
+
+bool
+EventRing::rewind(const Mark &m)
+{
+    const bool exact = dropped_ == m.dropped;
+    head_ = m.head;
+    count_ = m.count;
+    dropped_ = m.dropped;
+    return exact;
 }
 
 } // namespace ticsim::telemetry

@@ -26,6 +26,8 @@ namespace ticsim::telemetry {
 enum class EventKind : std::uint8_t {
     Boot,             ///< power restored, runtime boot begins
     BrownOut,         ///< supply died (instant)
+    InjectedFail,     ///< injected death (fault campaign / explorer),
+                      ///< emitted just before the matching BrownOut
     Outage,           ///< off interval; at = death time, arg1 = off ns
     CheckpointCommit, ///< a checkpoint committed (arg0 = cause)
     Restore,          ///< a restore re-armed the application
@@ -70,6 +72,26 @@ class EventRing
     std::uint64_t dropped() const { return dropped_; }
 
     void clear();
+
+    /**
+     * Position marker for snapshot/rewind. rewind() truncates the
+     * ring back to a mark taken earlier, making a restored run's
+     * timeline identical to a from-scratch run's. Truncation is only
+     * exact while no events have been overwritten since the mark;
+     * rewind() reports that as its return value (and restores the
+     * counters regardless, so a subsequent snapshot() is still
+     * consistent with the mark's view of the ring).
+     */
+    struct Mark {
+        std::uint32_t head = 0;
+        std::uint32_t count = 0;
+        std::uint64_t dropped = 0;
+    };
+
+    Mark mark() const { return Mark{head_, count_, dropped_}; }
+
+    /** @return true iff the rewind is exact (no drops since @p m). */
+    bool rewind(const Mark &m);
 
   private:
     std::vector<Event> buf_;

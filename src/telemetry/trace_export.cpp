@@ -77,6 +77,7 @@ writeProcess(JsonWriter &w, const TraceProcess &proc, int pid)
             slice(w, "power off", pid, kTidPower, ev.at, ev.arg1);
             break;
           case EventKind::BrownOut:
+          case EventKind::InjectedFail:
           case EventKind::SupplyState:
             instant(w, eventName(ev.kind), pid, kTidPower, ev.at);
             break;

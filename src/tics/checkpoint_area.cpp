@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "board/board.hpp"
+#include "mem/journal.hpp"
 #include "mem/store_gate.hpp"
 #include "perf/counters.hpp"
 #include "perf/host_profiler.hpp"
@@ -172,8 +173,10 @@ CheckpointArea::commit()
 void
 CheckpointArea::invalidate()
 {
-    for (auto *h : hdr_)
+    for (auto *h : hdr_) {
+        mem::journalNote(h, sizeof(SlotHeader));
         *h = SlotHeader{}; // all-zero = fails the magic check
+    }
     validIdx_ = -1;
 }
 
@@ -193,6 +196,9 @@ captureStackImage(board::Board &b, CheckpointArea::Slot &slot,
     low = std::max(low, base);
     slot.imgLow = low;
     slot.imgSize = static_cast<std::uint32_t>(ctx.stackTop() - low);
+    // Journal the image pool overwrite (raw NV write); the stack
+    // source itself is exempt from journaling by design.
+    mem::journalNote(slot.image, slot.imgSize);
     rawCopy(slot.image, reinterpret_cast<void *>(low), slot.imgSize);
     // Count on the capture path only (the resume path bailed above);
     // perf::hot() is re-resolved here on purpose — no cached pointer

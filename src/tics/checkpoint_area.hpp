@@ -36,6 +36,7 @@
 
 #include "context/exec_context.hpp"
 #include "mem/nvram.hpp"
+#include "support/statebuf.hpp"
 #include "tics/segmentation.hpp"
 
 namespace ticsim::board {
@@ -124,6 +125,40 @@ class CheckpointArea
     /** Headers that carried the magic but failed CRC/bounds validation
      *  (torn commits and retention flips detected and demoted). */
     std::uint64_t rejectedHeaders() const { return rejected_; }
+
+    /**
+     * Host-side snapshot/restore for the failure-space explorer. The
+     * NV headers and image pools are restored by the write journal;
+     * this covers the host fields: both slots' register snapshots,
+     * segmentation copies and image geometry, plus the validity cache
+     * and rejection counter. Only replayed into the same object (the
+     * register snapshot contains self-referential ucontext pointers
+     * that survive an in-place byte copy but not relocation).
+     */
+    void
+    saveHostState(StateWriter &w) const
+    {
+        for (const Slot &s : slots_) {
+            w.put(s.regs);
+            w.put(s.seg);
+            w.put(s.imgLow);
+            w.put(s.imgSize);
+        }
+        w.put(validIdx_);
+        w.put(rejected_);
+    }
+    void
+    loadHostState(StateReader &r)
+    {
+        for (Slot &s : slots_) {
+            s.regs = r.get<context::RegSlot>();
+            s.seg = r.get<Segmentation>();
+            s.imgLow = r.get<std::uintptr_t>();
+            s.imgSize = r.get<std::uint32_t>();
+        }
+        validIdx_ = r.get<std::int8_t>();
+        rejected_ = r.get<std::uint64_t>();
+    }
 
   private:
     /** Parse + validate header @p i; true iff restorable. */

@@ -409,4 +409,61 @@ TicsRuntime::setPostCommitHook(std::function<void()> hook)
     postCommitHook_ = std::move(hook);
 }
 
+void
+TicsRuntime::saveState(StateWriter &w) const
+{
+    // Pending ISR closures cannot be serialized; explorer decision
+    // points never carry one in the modeled workloads, and a reboot
+    // would drop them anyway.
+    TICSIM_ASSERT(pendingIsrs_.empty(),
+                  "tics: snapshot with pending interrupts unsupported");
+    w.put(seg_);
+    w.put(atomicDepth_);
+    w.put(deferredCheckpoint_);
+    w.put(inIsr_);
+    w.put(isrServiced_);
+    w.put(isrLost_);
+    w.put(inPostCommitHook_);
+    w.put(expiresArmed_);
+    w.put(expiresDeadlineTrue_);
+    w.put(lastCkptTrue_);
+    w.putBytes(ckptByCause_, sizeof(ckptByCause_));
+    w.put(ckptTotal_);
+    w.put(undoLog_->cursor());
+    w.put(expiresLog_->cursor());
+    w.put(static_cast<std::uint64_t>(epochLogged_.size()));
+    for (const auto &[p, bytes] : epochLogged_) {
+        w.put(reinterpret_cast<std::uintptr_t>(p));
+        w.put(bytes);
+    }
+    area_->saveHostState(w);
+}
+
+void
+TicsRuntime::loadState(StateReader &r)
+{
+    pendingIsrs_.clear();
+    seg_ = r.get<Segmentation>();
+    atomicDepth_ = r.get<std::uint32_t>();
+    deferredCheckpoint_ = r.get<bool>();
+    inIsr_ = r.get<bool>();
+    isrServiced_ = r.get<std::uint64_t>();
+    isrLost_ = r.get<std::uint64_t>();
+    inPostCommitHook_ = r.get<bool>();
+    expiresArmed_ = r.get<bool>();
+    expiresDeadlineTrue_ = r.get<TimeNs>();
+    lastCkptTrue_ = r.get<TimeNs>();
+    r.getBytes(ckptByCause_, sizeof(ckptByCause_));
+    ckptTotal_ = r.get<std::uint64_t>();
+    undoLog_->setCursor(r.get<UndoLog::Cursor>());
+    expiresLog_->setCursor(r.get<UndoLog::Cursor>());
+    epochLogged_.clear();
+    const auto n = r.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        auto *p = reinterpret_cast<void *>(r.get<std::uintptr_t>());
+        epochLogged_[p] = r.get<std::uint32_t>();
+    }
+    area_->loadHostState(r);
+}
+
 } // namespace ticsim::tics

@@ -135,6 +135,9 @@ class TicsRuntime : public board::Runtime, private mem::MemHooks
 
     std::uint64_t checkpointsTotal() const { return ckptTotal_; }
 
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
+
   private:
     // mem::MemHooks
     void preWrite(void *hostAddr, std::uint32_t bytes) override;

@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <cstring>
 
+#include "mem/journal.hpp"
 #include "mem/store_gate.hpp"
 #include "mem/trace.hpp"
 #include "perf/counters.hpp"
@@ -93,6 +94,7 @@ UndoLog::rollbackTo(std::uint32_t watermark)
                  i - 1);
             continue;
         }
+        mem::journalNote(e.target, e.bytes);
         std::memcpy(e.target, pool_ + e.poolOff, e.bytes);
         ++applied;
         ++perf::hot().undoRecordsRolledBack;

@@ -81,6 +81,27 @@ class UndoLog
     /** Sum of record sizes in [watermark, end) (for cost charging). */
     std::uint32_t bytesSince(std::uint32_t watermark) const;
 
+    /**
+     * Host-side cursor state for snapshot/restore (the records and
+     * pool bytes live in NV and are restored by the write journal;
+     * these cursors model registers a reboot would rebuild but a
+     * mid-run restore must reinstate directly).
+     */
+    struct Cursor {
+        std::uint32_t count = 0;
+        std::uint32_t poolUsed = 0;
+        std::uint32_t corrupt = 0;
+    };
+
+    Cursor cursor() const { return Cursor{count_, poolUsed_, corrupt_}; }
+    void
+    setCursor(const Cursor &c)
+    {
+        count_ = c.count;
+        poolUsed_ = c.poolUsed;
+        corrupt_ = c.corrupt;
+    }
+
   private:
     struct Entry {
         std::uint8_t *target;

@@ -22,6 +22,7 @@
 #define TICSIM_TIMEKEEPER_TIMEKEEPER_HPP
 
 #include "support/rng.hpp"
+#include "support/statebuf.hpp"
 #include "support/units.hpp"
 
 namespace ticsim::timekeeper {
@@ -43,6 +44,11 @@ class Timekeeper
 
     /** Restore initial state for a new experiment. */
     virtual void reset() {}
+
+    /** Snapshot/restore hooks for the failure-space explorer; the
+     *  defaults cover stateless clocks (the oracle). */
+    virtual void saveState(StateWriter &) const {}
+    virtual void loadState(StateReader &) {}
 };
 
 /** Oracle clock: estimate == truth. */
@@ -73,6 +79,19 @@ class RtcCapTimekeeper : public Timekeeper
     void onPowerOn(TimeNs trueNow) override;
     void reset() override;
 
+    void saveState(StateWriter &w) const override
+    {
+        w.put(failAt_);
+        w.put(inOutage_);
+        w.put(epoch_);
+    }
+    void loadState(StateReader &r) override
+    {
+        failAt_ = r.get<TimeNs>();
+        inOutage_ = r.get<bool>();
+        epoch_ = r.get<TimeNs>();
+    }
+
   private:
     TimeNs holdTime_;
     double driftPpm_;
@@ -101,6 +120,21 @@ class RemanenceTimekeeper : public Timekeeper
     void onPowerFail(TimeNs trueNow) override;
     void onPowerOn(TimeNs trueNow) override;
     void reset() override;
+
+    void saveState(StateWriter &w) const override
+    {
+        w.put(rng_);
+        w.put(failAt_);
+        w.put(inOutage_);
+        w.put(skewNs_);
+    }
+    void loadState(StateReader &r) override
+    {
+        rng_ = r.get<Rng>();
+        failAt_ = r.get<TimeNs>();
+        inOutage_ = r.get<bool>();
+        skewNs_ = r.get<std::int64_t>();
+    }
 
   private:
     double errorFraction_;

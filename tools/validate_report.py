@@ -25,7 +25,12 @@ and denominators; and for version-6 `lint` documents that every
 cross-validation row's matched count is bounded by its dynamic count
 (and confirmed by static), that coverage and fp_rate agree with the
 counts they summarize, and that full_coverage holds exactly when
-every row matched all of its dynamic findings.
+every row matched all of its dynamic findings; and for version-7 `mc`
+documents that a pair claiming exhaustion was recorded consistently
+and hit no frontier cut-off, that all_exhausted mirrors the pair
+flags, that every violation references an explored pair, and that
+each pair's confirmed_violations count equals the number of its
+confirmed violation rows.
 
 Exit status: 0 when every report validates, 1 otherwise.
 """
@@ -170,6 +175,13 @@ def validate_invariants(report):
         raise ValueError("version 6 document has no lint section")
     if "lint" in report:
         validate_lint(report["lint"])
+
+    if "mc" in report and report["version"] < 7:
+        raise ValueError("mc section requires version >= 7")
+    if report["version"] == 7 and "mc" not in report:
+        raise ValueError("version 7 document has no mc section")
+    if "mc" in report:
+        validate_mc(report["mc"])
 
 
 def validate_grid(grid):
@@ -338,6 +350,58 @@ def validate_lint(lint):
         raise ValueError(
             f"lint: full_coverage {lint['full_coverage']} inconsistent "
             f"with the rows (all matched: {all_matched})")
+
+
+def validate_mc(mc):
+    """The ticsmc section's exhaustion and confirmation bookkeeping."""
+    pairs = {}
+    for i, p in enumerate(mc["pairs"]):
+        who = f"mc.pairs[{i}] ({p['app']}/{p['runtime']})"
+        key = (p["app"], p["runtime"])
+        if key in pairs:
+            raise ValueError(f"{who}: duplicate pair entry")
+        pairs[key] = p
+        if p["exhausted"]:
+            if not p["recording_consistent"]:
+                raise ValueError(
+                    f"{who}: exhausted yet the recording pass diverged "
+                    f"from the reference")
+            if p["frontier_cutoffs"] != 0:
+                raise ValueError(
+                    f"{who}: exhausted with {p['frontier_cutoffs']} "
+                    f"frontier cut-offs")
+        if p["decision_points"] == 0 and p["branches_taken"] != 0:
+            raise ValueError(
+                f"{who}: {p['branches_taken']} branches without any "
+                f"decision point")
+        if p["states_explored"] < p["branches_taken"]:
+            # Every branch the walk takes runs to a classified leaf, so
+            # leaves can only exceed branches (never trail them).
+            raise ValueError(
+                f"{who}: {p['states_explored']} states from "
+                f"{p['branches_taken']} branches")
+
+    want_all = all(p["exhausted"] for p in mc["pairs"])
+    if mc["all_exhausted"] != want_all:
+        raise ValueError(
+            f"mc.all_exhausted {mc['all_exhausted']} inconsistent with "
+            f"the pair flags (all exhausted: {want_all})")
+
+    confirmed = {k: 0 for k in pairs}
+    for i, v in enumerate(mc["violations"]):
+        key = (v["app"], v["runtime"])
+        if key not in pairs:
+            raise ValueError(
+                f"mc.violations[{i}]: {v['app']}/{v['runtime']} was "
+                f"never explored")
+        if v["confirmed"]:
+            confirmed[key] += 1
+    for key, p in pairs.items():
+        if p["confirmed_violations"] != confirmed[key]:
+            raise ValueError(
+                f"mc pair {key[0]}/{key[1]}: confirmed_violations "
+                f"{p['confirmed_violations']} != {confirmed[key]} "
+                f"confirmed violation rows")
 
 
 def main(argv):
