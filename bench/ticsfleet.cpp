@@ -1,0 +1,167 @@
+/**
+ * @file
+ * ticsfleet: multi-process sweep orchestration. Shards a grid across N
+ * re-exec'd `ticssweep --worker` processes, streams their per-cell
+ * results through the shared content-addressed cache, and merges the
+ * shard outcomes with the same aggregation as the in-process engine —
+ * so a fleet run's grid output is byte-identical to a serial ticssweep
+ * run at any worker count, including after a crashed worker's cells
+ * are retried.
+ *
+ * --workers 0 runs the grid in-process (the literal ticssweep engine);
+ * CI byte-compares that against --workers 1 and --workers 4 under
+ * --stable. --kill-worker N is the deterministic chaos hook CI uses to
+ * exercise the crash-retry path.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "fleet/coordinator.hpp"
+#include "harness/report.hpp"
+#include "sweep/sweep.hpp"
+
+using namespace ticsim;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [--spec PATH] [--apps L] [--runtimes L]\n"
+        "          [--supplies L] [--caps-uf L] [--segments L]\n"
+        "          [--envs L] [--seeds L] [--workers N] [--jobs N]\n"
+        "          [--no-cache] [--cache-dir PATH] [--budget-s S]\n"
+        "          [--sim-budget-s S] [--max-retries N]\n"
+        "          [--heartbeat-timeout-s S] [--worker-bin PATH]\n"
+        "          [--kill-worker SHARD] [--require-complete]\n"
+        "          [--stable] [--json PATH] [--trace PATH]\n"
+        "Shards the grid across --workers ticssweep --worker\n"
+        "processes; --workers 0 runs in-process with --jobs threads.\n"
+        "--budget-s caps host wall-clock for the whole fleet (each\n"
+        "worker also honors it locally); --sim-budget-s is the\n"
+        "per-cell virtual-time budget. --require-complete exits\n"
+        "nonzero unless every cell produced a result. --kill-worker\n"
+        "makes that shard's first process SIGKILL itself after one\n"
+        "result, exercising the retry path deterministically.\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    harness::BenchSession session("ticsfleet", argc, argv);
+
+    fleet::FleetConfig cfg;
+    cfg.workerBin = fleet::defaultWorkerBin(argv[0]);
+    bool stable = false;
+    bool requireComplete = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        const auto axis = [&](const char *key) {
+            std::string err;
+            if (!sweep::parseAxis(cfg.sweep.grid, key, next(), err)) {
+                std::fprintf(stderr, "ticsfleet: %s\n", err.c_str());
+                std::exit(2);
+            }
+        };
+        if (std::strcmp(arg, "--spec") == 0) {
+            std::string err;
+            if (!sweep::parseGridFile(next(), cfg.sweep.grid, err)) {
+                std::fprintf(stderr, "ticsfleet: %s\n", err.c_str());
+                return 2;
+            }
+        } else if (std::strcmp(arg, "--apps") == 0) {
+            axis("apps");
+        } else if (std::strcmp(arg, "--runtimes") == 0) {
+            axis("runtimes");
+        } else if (std::strcmp(arg, "--supplies") == 0) {
+            axis("supplies");
+        } else if (std::strcmp(arg, "--caps-uf") == 0) {
+            axis("caps_uf");
+        } else if (std::strcmp(arg, "--segments") == 0) {
+            axis("segments");
+        } else if (std::strcmp(arg, "--envs") == 0) {
+            axis("envs");
+        } else if (std::strcmp(arg, "--seeds") == 0) {
+            axis("seeds");
+        } else if (std::strcmp(arg, "--workers") == 0) {
+            cfg.workers = static_cast<unsigned>(std::atoi(next()));
+        } else if (std::strcmp(arg, "--jobs") == 0) {
+            cfg.sweep.jobs =
+                static_cast<unsigned>(std::atoi(next()));
+        } else if (std::strcmp(arg, "--no-cache") == 0) {
+            cfg.sweep.useCache = false;
+        } else if (std::strcmp(arg, "--cache-dir") == 0) {
+            cfg.sweep.cacheDir = next();
+        } else if (std::strcmp(arg, "--budget-s") == 0) {
+            cfg.wallBudgetS = std::atof(next());
+        } else if (std::strcmp(arg, "--sim-budget-s") == 0) {
+            cfg.sweep.budget =
+                static_cast<TimeNs>(std::atoll(next())) * kNsPerSec;
+        } else if (std::strcmp(arg, "--max-retries") == 0) {
+            cfg.maxRetries = static_cast<unsigned>(std::atoi(next()));
+        } else if (std::strcmp(arg, "--heartbeat-timeout-s") == 0) {
+            cfg.heartbeatTimeoutS = std::atof(next());
+        } else if (std::strcmp(arg, "--worker-bin") == 0) {
+            cfg.workerBin = next();
+        } else if (std::strcmp(arg, "--kill-worker") == 0) {
+            cfg.killWorkerShard = std::atoi(next());
+        } else if (std::strcmp(arg, "--require-complete") == 0) {
+            requireComplete = true;
+        } else if (std::strcmp(arg, "--stable") == 0) {
+            stable = true;
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    fleet::FleetResult result = fleet::runFleet(cfg);
+    result.fleet.requireComplete = requireComplete;
+
+    sweep::sweepTable(result.sweep).print(std::cout);
+    sweep::aggregateTable(result.sweep).print(std::cout);
+    session.setGrid(sweep::toGridSection(result.sweep, stable));
+    // --stable documents are byte-compared against plain ticssweep
+    // output, so the run-varying fleet account is dropped there.
+    if (!stable)
+        session.setFleet(result.fleet);
+
+    std::printf("ticsfleet: %llu/%llu cells over %u worker(s), "
+                "%llu spawn(s), %llu retr%s%s\n",
+                static_cast<unsigned long long>(
+                    result.fleet.cellsCompleted),
+                static_cast<unsigned long long>(
+                    result.fleet.cellsTotal),
+                cfg.workers,
+                static_cast<unsigned long long>(
+                    result.fleet.workersSpawned),
+                static_cast<unsigned long long>(result.fleet.retries),
+                result.fleet.retries == 1 ? "y" : "ies",
+                result.complete ? "" : " [INCOMPLETE]");
+    if (requireComplete && !result.complete) {
+        std::fprintf(stderr,
+                     "ticsfleet: --require-complete: %llu cell(s) "
+                     "missing\n",
+                     static_cast<unsigned long long>(
+                         result.fleet.cellsTotal -
+                         result.fleet.cellsCompleted));
+        return 1;
+    }
+    return 0;
+}

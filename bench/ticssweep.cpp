@@ -13,6 +13,7 @@
  *   (default)    run the grid, print per-cell and aggregate tables
  *   --campaign   run the ticsfault adversarial campaign on the pool
  *   --crossval   run the ticsverify cross-validation on the pool
+ *   --worker     serve the ticsfleet worker protocol on stdin/stdout
  */
 
 #include <cstdio>
@@ -23,6 +24,7 @@
 #include <string>
 
 #include "fault/campaign.hpp"
+#include "fleet/worker.hpp"
 #include "harness/report.hpp"
 #include "sweep/sweep.hpp"
 #include "verify/crossval.hpp"
@@ -38,72 +40,22 @@ usage(const char *argv0)
     std::printf(
         "usage: %s [--spec PATH] [--apps L] [--runtimes L]\n"
         "          [--supplies L] [--caps-uf L] [--segments L]\n"
-        "          [--seeds L] [--jobs N] [--no-cache]\n"
+        "          [--envs L] [--seeds L] [--jobs N] [--no-cache]\n"
         "          [--cache-dir PATH] [--budget-s N] [--stable]\n"
         "          [--json PATH] [--trace PATH]\n"
         "       %s --campaign [--seed N] [--random N] [--jobs N]\n"
         "          [--budget-s N] [--max-seconds S] [--patterns PATH]\n"
         "       %s --crossval [--seed N] [--jobs N]\n"
+        "       %s --worker   (ticsfleet worker protocol on stdio)\n"
         "Runs the cross-product of experiment axes on a work-stealing\n"
         "pool with a content-addressed result cache. Axis lists (L)\n"
         "are comma-separated; supplies accept continuous, rf,\n"
         "stochastic and pattern:<periodMs>:<onFraction>. --jobs 0\n"
         "uses every hardware thread. --stable zeroes the wall-clock\n"
         "and cache fields of the JSON report so repeated runs are\n"
-        "byte-identical.\n",
-        argv0, argv0, argv0);
-}
-
-/** Translate a SweepResult into the report's plain-data grid section.
- *  --stable zeroes every field that legitimately varies between
- *  otherwise identical runs (jobs, wall clock, cache split). */
-harness::GridSection
-gridSection(const sweep::SweepResult &r, bool stable)
-{
-    harness::GridSection g;
-    g.cacheHits = stable ? 0 : r.cacheHits;
-    g.cacheMisses = stable ? 0 : r.cacheMisses;
-    g.jobs = stable ? 0 : r.jobs;
-    g.wallMs = stable ? 0.0 : r.wallMs;
-    for (const auto &out : r.cells) {
-        harness::GridCellEntry e;
-        e.jobId = out.cell.jobIdHex();
-        e.app = out.cell.app;
-        e.runtime = out.cell.runtime;
-        e.supply = out.cell.supply.token();
-        e.capUf = out.cell.capUf;
-        e.segmentBytes = out.cell.segmentBytes;
-        e.seed = out.cell.seed;
-        e.completed = out.result.completed;
-        e.starved = out.result.starved;
-        e.verified = out.result.verified;
-        e.reboots = out.result.reboots;
-        e.cycles = out.result.cycles;
-        e.elapsedNs = out.result.elapsedNs;
-        e.onTimeNs = out.result.onTimeNs;
-        e.simMs = out.result.simMsValue();
-        e.cached = stable ? false : out.fromCache;
-        g.cells.push_back(std::move(e));
-    }
-    for (const auto &agg : r.aggregates) {
-        harness::GridAggregateEntry e;
-        e.app = agg.representative.app;
-        e.runtime = agg.representative.runtime;
-        e.supply = agg.representative.supply.token();
-        e.capUf = agg.representative.capUf;
-        e.segmentBytes = agg.representative.segmentBytes;
-        e.cells = agg.cellsMerged;
-        e.completed = agg.completedCells;
-        e.mean = agg.simMs.mean();
-        e.stddev = agg.simMs.stddev();
-        e.min = agg.simMs.min();
-        e.max = agg.simMs.max();
-        e.p50 = agg.simMs.p50();
-        e.p95 = agg.simMs.p95();
-        e.p99 = agg.simMs.p99();
-        g.aggregates.push_back(std::move(e));
-    }
-    return g;
+        "byte-identical. --worker is ticsfleet's re-exec entry and\n"
+        "takes no other flags.\n",
+        argv0, argv0, argv0, argv0);
 }
 
 int
@@ -178,6 +130,11 @@ crossvalMain(harness::BenchSession &session,
 int
 main(int argc, char **argv)
 {
+    // The fleet worker entry speaks a framed protocol on stdio; it
+    // must run before BenchSession can print anything to stdout.
+    if (argc >= 2 && std::strcmp(argv[1], "--worker") == 0)
+        return fleet::runWorker();
+
     // Strips --json/--trace before our own argument loop.
     harness::BenchSession session("ticssweep", argc, argv);
 
@@ -226,6 +183,8 @@ main(int argc, char **argv)
             axis("caps_uf");
         } else if (std::strcmp(arg, "--segments") == 0) {
             axis("segments");
+        } else if (std::strcmp(arg, "--envs") == 0) {
+            axis("envs");
         } else if (std::strcmp(arg, "--seeds") == 0) {
             axis("seeds");
         } else if (std::strcmp(arg, "--jobs") == 0) {
@@ -273,7 +232,7 @@ main(int argc, char **argv)
     const sweep::SweepResult result = sweep::runSweep(cfg);
     sweep::sweepTable(result).print(std::cout);
     sweep::aggregateTable(result).print(std::cout);
-    session.setGrid(gridSection(result, stable));
+    session.setGrid(sweep::toGridSection(result, stable));
 
     if (cfg.useCache)
         std::printf("ticssweep: %zu cells (%llu cached, %llu run) on "

@@ -1,0 +1,203 @@
+#include "protocol.hpp"
+
+#include <cstdio>
+
+#include "support/json.hpp"
+
+namespace ticsim::fleet {
+
+std::string
+encodeFrame(const Frame &f)
+{
+    std::string json;
+    json += '{';
+    bool first = true;
+    for (const auto &kv : f) {
+        if (!first)
+            json += ',';
+        first = false;
+        json += JsonWriter::escape(kv.first);
+        json += ':';
+        json += JsonWriter::escape(kv.second);
+    }
+    json += '}';
+    return std::to_string(json.size()) + "\n" + json + "\n";
+}
+
+namespace {
+
+/** Parse a JSON string literal at s[i] (opening quote). */
+bool
+parseString(const std::string &s, std::size_t &i, std::string &out,
+            std::string &err)
+{
+    if (i >= s.size() || s[i] != '"') {
+        err = "expected '\"'";
+        return false;
+    }
+    ++i;
+    out.clear();
+    while (i < s.size()) {
+        const char c = s[i];
+        if (c == '"') {
+            ++i;
+            return true;
+        }
+        if (c != '\\') {
+            out += c;
+            ++i;
+            continue;
+        }
+        if (++i >= s.size())
+            break;
+        switch (s[i]) {
+          case '"':  out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/':  out += '/'; break;
+          case 'b':  out += '\b'; break;
+          case 'f':  out += '\f'; break;
+          case 'n':  out += '\n'; break;
+          case 'r':  out += '\r'; break;
+          case 't':  out += '\t'; break;
+          case 'u': {
+            if (i + 4 >= s.size()) {
+                err = "truncated \\u escape";
+                return false;
+            }
+            unsigned code = 0;
+            for (int k = 1; k <= 4; ++k) {
+                const char h = s[i + static_cast<std::size_t>(k)];
+                code <<= 4;
+                if (h >= '0' && h <= '9')
+                    code |= static_cast<unsigned>(h - '0');
+                else if (h >= 'a' && h <= 'f')
+                    code |= static_cast<unsigned>(h - 'a' + 10);
+                else if (h >= 'A' && h <= 'F')
+                    code |= static_cast<unsigned>(h - 'A' + 10);
+                else {
+                    err = "bad \\u escape";
+                    return false;
+                }
+            }
+            // The writer only \u-escapes control characters, so the
+            // single-byte range is all the protocol ever ships.
+            if (code > 0xFF) {
+                err = "\\u escape outside the protocol's range";
+                return false;
+            }
+            out += static_cast<char>(code);
+            i += 4;
+            break;
+          }
+          default:
+            err = "unknown escape";
+            return false;
+        }
+        ++i;
+    }
+    err = "unterminated string";
+    return false;
+}
+
+} // namespace
+
+bool
+parseFrameJson(const std::string &json, Frame &out, std::string &err)
+{
+    out.clear();
+    err.clear();
+    std::size_t i = 0;
+    if (i >= json.size() || json[i] != '{') {
+        err = "frame must be a JSON object";
+        return false;
+    }
+    ++i;
+    if (i < json.size() && json[i] == '}')
+        return ++i == json.size();
+    while (true) {
+        std::string key;
+        std::string value;
+        if (!parseString(json, i, key, err))
+            return false;
+        if (i >= json.size() || json[i] != ':') {
+            err = "expected ':'";
+            return false;
+        }
+        ++i;
+        if (!parseString(json, i, value, err))
+            return false;
+        if (!out.emplace(std::move(key), std::move(value)).second) {
+            err = "duplicate key";
+            return false;
+        }
+        if (i >= json.size()) {
+            err = "truncated frame";
+            return false;
+        }
+        if (json[i] == ',') {
+            ++i;
+            continue;
+        }
+        if (json[i] == '}') {
+            ++i;
+            if (i != json.size()) {
+                err = "trailing bytes after frame";
+                return false;
+            }
+            return true;
+        }
+        err = "expected ',' or '}'";
+        return false;
+    }
+}
+
+bool
+FrameReader::next(Frame &frame, std::string &err)
+{
+    err.clear();
+    if (poisoned_) {
+        err = "frame stream poisoned by an earlier error";
+        return false;
+    }
+    const auto nl = buf_.find('\n');
+    if (nl == std::string::npos) {
+        if (buf_.size() > 32) { // no sane length line is this long
+            poisoned_ = true;
+            err = "oversized length line";
+        }
+        return false;
+    }
+    std::size_t len = 0;
+    {
+        const std::string line = buf_.substr(0, nl);
+        if (line.empty() ||
+            line.find_first_not_of("0123456789") != std::string::npos) {
+            poisoned_ = true;
+            err = "bad length line '" + line + "'";
+            return false;
+        }
+        len = static_cast<std::size_t>(std::stoull(line));
+        if (len > (64u << 20)) {
+            poisoned_ = true;
+            err = "frame length " + line + " is implausible";
+            return false;
+        }
+    }
+    // length \n payload \n
+    if (buf_.size() < nl + 1 + len + 1)
+        return false;
+    const std::string payload = buf_.substr(nl + 1, len);
+    if (buf_[nl + 1 + len] != '\n') {
+        poisoned_ = true;
+        err = "missing frame terminator";
+        return false;
+    }
+    buf_.erase(0, nl + 1 + len + 1);
+    if (!parseFrameJson(payload, frame, err)) {
+        poisoned_ = true;
+        return false;
+    }
+    return true;
+}
+
+} // namespace ticsim::fleet

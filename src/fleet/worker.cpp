@@ -1,0 +1,235 @@
+#include "worker.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "fleet/protocol.hpp"
+#include "support/logging.hpp"
+#include "sweep/sweep.hpp"
+
+namespace ticsim::fleet {
+
+namespace {
+
+/** Writes frames to an fd whole, under a lock (results vs heartbeats
+ *  race); a short write or EPIPE means the coordinator is gone. */
+class FrameWriter
+{
+  public:
+    explicit FrameWriter(int fd) : fd_(fd) {}
+
+    bool send(const Frame &f)
+    {
+        const std::string wire = encodeFrame(f);
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::size_t off = 0;
+        while (off < wire.size()) {
+            const ssize_t n = ::write(fd_, wire.data() + off,
+                                      wire.size() - off);
+            if (n <= 0)
+                return false;
+            off += static_cast<std::size_t>(n);
+        }
+        return true;
+    }
+
+  private:
+    int fd_;
+    std::mutex mutex_;
+};
+
+bool
+readHello(int fd, Frame &hello, std::string &err)
+{
+    FrameReader reader;
+    char buf[4096];
+    while (true) {
+        if (reader.next(hello, err))
+            return true;
+        if (!err.empty())
+            return false;
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n <= 0) {
+            err = "EOF before hello";
+            return false;
+        }
+        reader.feed(buf, static_cast<std::size_t>(n));
+    }
+}
+
+bool
+parseIndexList(const std::string &s, std::vector<std::size_t> &out,
+               std::string &err)
+{
+    out.clear();
+    std::istringstream is(s);
+    std::uint64_t v = 0;
+    while (is >> v)
+        out.push_back(static_cast<std::size_t>(v));
+    if (!is.eof()) {
+        err = "bad index list";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+runWorker()
+{
+    // Re-point fd 1 at stderr so a stray printf from library code can
+    // never corrupt the frame stream; frames go to the saved pipe fd.
+    const int protocolFd = ::dup(STDOUT_FILENO);
+    if (protocolFd < 0)
+        return 1;
+    ::dup2(STDERR_FILENO, STDOUT_FILENO);
+    FrameWriter out(protocolFd);
+
+    const auto fail = [&](const std::string &message) {
+        out.send(Frame{{"type", "error"}, {"message", message}});
+        return 1;
+    };
+
+    Frame hello;
+    std::string err;
+    if (!readHello(STDIN_FILENO, hello, err))
+        return fail("hello: " + err);
+    if (hello["type"] != "hello")
+        return fail("expected hello, got '" + hello["type"] + "'");
+
+    sweep::SweepConfig cfg;
+    cfg.grid = sweep::GridSpec{};
+    cfg.grid.apps.clear();
+    cfg.grid.runtimes.clear();
+    cfg.grid.supplies.clear();
+    cfg.grid.capsUf.clear();
+    cfg.grid.segments.clear();
+    cfg.grid.envs.clear();
+    cfg.grid.seeds.clear();
+    if (!sweep::parseGridText(hello["spec"], "<hello>", cfg.grid, err))
+        return fail("spec: " + err);
+    cfg.useCache = hello["use_cache"] == "1";
+    cfg.cacheDir = hello["cache_dir"];
+    if (!hello["budget_ns"].empty())
+        cfg.budget = static_cast<TimeNs>(
+            std::strtoull(hello["budget_ns"].c_str(), nullptr, 10));
+    if (!hello["unprotected_budget_ns"].empty())
+        cfg.unprotectedBudget = static_cast<TimeNs>(std::strtoull(
+            hello["unprotected_budget_ns"].c_str(), nullptr, 10));
+
+    std::vector<std::size_t> indices;
+    if (!parseIndexList(hello["indices"], indices, err))
+        return fail("indices: " + err);
+
+    const std::string shard = hello["shard"];
+    const std::uint64_t dieAfter =
+        hello["die_after"].empty()
+            ? 0
+            : std::strtoull(hello["die_after"].c_str(), nullptr, 10);
+
+    // The wall deadline travels as remaining milliseconds (two hosts
+    // share no clock); convert to this process's monotonic clock once
+    // and honor it even if the coordinator dies.
+    const bool haveDeadline = !hello["deadline_ms"].empty();
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(
+            haveDeadline
+                ? std::strtoll(hello["deadline_ms"].c_str(), nullptr,
+                               10)
+                : 0);
+
+    const std::vector<sweep::Cell> cells = cfg.grid.cells();
+    for (const std::size_t i : indices) {
+        if (i >= cells.size())
+            return fail("index " + std::to_string(i) +
+                        " out of range (grid has " +
+                        std::to_string(cells.size()) + " cells)");
+    }
+
+    // Heartbeats: a cheap liveness side-channel so the coordinator
+    // can tell "cell is slow" from "process is gone".
+    std::mutex hbMutex;
+    std::condition_variable hbCv;
+    bool stopping = false;
+    std::thread heartbeat([&] {
+        std::unique_lock<std::mutex> lock(hbMutex);
+        while (!hbCv.wait_for(lock, std::chrono::milliseconds(250),
+                              [&] { return stopping; })) {
+            out.send(Frame{{"type", "heartbeat"}, {"shard", shard}});
+        }
+    });
+    const auto stopHeartbeat = [&] {
+        {
+            std::lock_guard<std::mutex> lock(hbMutex);
+            stopping = true;
+        }
+        hbCv.notify_all();
+        heartbeat.join();
+    };
+
+    const sweep::ResultCache cache(cfg.useCache ? cfg.cacheDir
+                                                : std::string());
+    std::uint64_t sent = 0;
+    bool deadlineHit = false;
+    for (const std::size_t i : indices) {
+        if (haveDeadline &&
+            std::chrono::steady_clock::now() >= deadline) {
+            deadlineHit = true;
+            break;
+        }
+        const sweep::Cell &cell = cells[i];
+        sweep::CellResult result;
+        bool cached = false;
+        if (cache.lookup(cell, result)) {
+            cached = true;
+        } else {
+            const std::string tag = cell.jobIdHex();
+            ScopedLogJobTag logTag(tag.c_str());
+            result = sweep::runCell(cell, cfg);
+            cache.store(cell, result);
+        }
+        Frame frame;
+        frame["type"] = "result";
+        frame["index"] = std::to_string(i);
+        frame["canonical"] = cell.canonical();
+        frame["result"] = result.encode();
+        frame["dist"] = result.simMs.encode();
+        frame["cached"] = cached ? "1" : "0";
+        if (!out.send(frame)) {
+            // Coordinator is gone; results so far are in the cache,
+            // so a retry (or a fresh run) will reuse them.
+            stopHeartbeat();
+            return 1;
+        }
+        ++sent;
+        if (dieAfter && sent >= dieAfter) {
+            // Chaos hook: die the hard way, mid-shard, exactly like a
+            // SIGKILLed production worker. The heartbeat thread dies
+            // with the process.
+            ::raise(SIGKILL);
+        }
+    }
+
+    stopHeartbeat();
+    Frame done;
+    done["type"] = "done";
+    done["shard"] = shard;
+    done["completed"] = std::to_string(sent);
+    done["deadline_hit"] = deadlineHit ? "1" : "0";
+    out.send(done);
+    return 0;
+}
+
+} // namespace ticsim::fleet

@@ -2,6 +2,9 @@
 
 #include <cstdio>
 
+#include "energy/trace_supply.hpp"
+#include "support/logging.hpp"
+
 namespace ticsim::harness {
 
 std::unique_ptr<energy::Supply>
@@ -34,6 +37,20 @@ makeSupply(const SupplySpec &spec)
             cfg, std::make_unique<energy::StochasticHarvester>(
                      spec.stochasticPower, spec.stochasticOn,
                      spec.stochasticOff, Rng(spec.seed ^ 0x57E9u)));
+      }
+      case PowerSetup::TraceEnv: {
+        std::string err;
+        auto trace = energy::EnvTrace::forEnv(spec.traceEnv, err);
+        if (!trace)
+            fatal("trace env '%s': %s", spec.traceEnv.c_str(),
+                  err.c_str());
+        energy::TraceSupply::Config cfg;
+        if (spec.capacitanceF > 0.0)
+            cfg.capacitance = spec.capacitanceF;
+        cfg.startOffset =
+            energy::TraceSupply::offsetForSeed(spec.seed, *trace);
+        return std::make_unique<energy::TraceSupply>(cfg,
+                                                     std::move(trace));
       }
     }
     return std::make_unique<energy::ContinuousSupply>();

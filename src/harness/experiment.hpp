@@ -16,12 +16,13 @@
 
 namespace ticsim::harness {
 
-/** The paper's power setups. */
+/** The paper's power setups, plus trace-driven environments. */
 enum class PowerSetup {
     Continuous,   ///< bench supply (Fig. 9 overhead runs)
     Pattern,      ///< pre-programmed reset pattern (Table 1)
     RfHarvested,  ///< Powercast-like RF + capacitor (Table 2 / Fig. 8)
     Stochastic,   ///< bursty ambient source (ablations)
+    TraceEnv,     ///< replayed docs/traces CSV (fleet env axis)
 };
 
 struct SupplySpec {
@@ -43,6 +44,12 @@ struct SupplySpec {
     TimeNs stochasticOn = 80 * kNsPerMs;
     TimeNs stochasticOff = 150 * kNsPerMs;
     std::uint64_t seed = 1;
+    /**
+     * TraceEnv: the environment-trace name (docs/traces/<name>.csv).
+     * The seed picks a deterministic start offset into the trace, so
+     * a seed axis becomes a population of device-days.
+     */
+    std::string traceEnv;
     /** Accelerometer activity-regime switching period (the timed AR
      *  experiments use fast switching so alert deadlines bind). */
     TimeNs accelRegimePeriod = 500 * kNsPerMs;

@@ -193,6 +193,13 @@ BenchSession::setMc(McSection mc)
 }
 
 void
+BenchSession::setFleet(FleetSection fleet)
+{
+    fleet_ = std::move(fleet);
+    haveFleet_ = true;
+}
+
+void
 BenchSession::finish()
 {
     if (finished_)
@@ -219,7 +226,8 @@ BenchSession::writeJson() const
     // and documents without a grid stay at version 2 (or 1); each
     // optional section only bumps the version of documents that
     // actually carry it.
-    w.member("version", haveMc_     ? kReportVersionMc
+    w.member("version", haveFleet_  ? kReportVersionFleet
+                        : haveMc_   ? kReportVersionMc
                         : haveLint_ ? kReportVersionLint
                         : havePerf_ ? kReportVersionPerf
                         : haveProb_ ? kReportVersionProb
@@ -302,6 +310,10 @@ BenchSession::writeJson() const
             w.member("supply", c.supply);
             w.member("cap_uf", c.capUf);
             w.member("segment_bytes", c.segmentBytes);
+            // Optional: absent for plain-supply cells so pre-env
+            // documents stay byte-identical.
+            if (!c.env.empty())
+                w.member("env", c.env);
             w.member("seed", c.seed);
             w.key("result")
                 .beginObject()
@@ -326,6 +338,8 @@ BenchSession::writeJson() const
             w.member("supply", a.supply);
             w.member("cap_uf", a.capUf);
             w.member("segment_bytes", a.segmentBytes);
+            if (!a.env.empty())
+                w.member("env", a.env);
             w.member("cells", a.cells);
             w.member("completed", a.completed);
             w.key("sim_ms")
@@ -532,6 +546,40 @@ BenchSession::writeJson() const
             w.member("found_as", v.foundAs);
             w.member("divergent_bytes", v.divergentBytes);
             w.member("confirmed", v.confirmed);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    if (haveFleet_) {
+        w.key("fleet").beginObject();
+        w.member("workers_requested", fleet_.workersRequested);
+        w.member("workers_spawned", fleet_.workersSpawned);
+        w.member("retries", fleet_.retries);
+        w.member("crashes", fleet_.crashes);
+        w.member("timeouts", fleet_.timeouts);
+        w.member("stragglers_cancelled", fleet_.stragglersCancelled);
+        w.member("duplicate_results", fleet_.duplicateResults);
+        w.member("heartbeats", fleet_.heartbeats);
+        w.member("cells_total", fleet_.cellsTotal);
+        w.member("cells_completed", fleet_.cellsCompleted);
+        w.member("complete", fleet_.complete);
+        w.member("require_complete", fleet_.requireComplete);
+        w.member("wall_ms", fleet_.wallMs);
+        w.key("envs").beginArray();
+        for (const std::string &e : fleet_.envs)
+            w.value(e);
+        w.endArray();
+        w.key("workers").beginArray();
+        for (const FleetWorkerEntry &fw : fleet_.workers) {
+            w.beginObject();
+            w.member("shard", fw.shard);
+            w.member("spawns", fw.spawns);
+            w.member("assigned", fw.assigned);
+            w.member("completed", fw.completed);
+            w.member("crashed", fw.crashed);
+            w.member("timed_out", fw.timedOut);
+            w.member("cancelled", fw.cancelled);
             w.endObject();
         }
         w.endArray();

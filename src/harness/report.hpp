@@ -53,6 +53,9 @@ constexpr int kReportVersionLint = 6;
 /** Version emitted when the report carries an `mc` section. */
 constexpr int kReportVersionMc = 7;
 
+/** Version emitted when the report carries a `fleet` section. */
+constexpr int kReportVersionFleet = 8;
+
 /**
  * One analysis finding in the report's optional `findings` section
  * (written by static-analysis benches like ticsverify; plain benches
@@ -83,6 +86,7 @@ struct GridCellEntry {
     std::string supply;
     double capUf = 0.0;
     std::uint64_t segmentBytes = 0;
+    std::string env; ///< environment-trace name; "" = plain supply
     std::uint64_t seed = 0;
     bool completed = false;
     bool starved = false;
@@ -102,6 +106,7 @@ struct GridAggregateEntry {
     std::string supply;
     double capUf = 0.0;
     std::uint64_t segmentBytes = 0;
+    std::string env; ///< environment-trace name; "" = plain supply
     std::uint64_t cells = 0;
     std::uint64_t completed = 0;
     double mean = 0.0;
@@ -329,6 +334,42 @@ struct McSection {
     std::vector<McViolationEntry> violations;
 };
 
+/** One worker shard's account in the `fleet` section. */
+struct FleetWorkerEntry {
+    std::uint64_t shard = 0;    ///< shard index (stable across retries)
+    std::uint64_t spawns = 0;   ///< processes launched for this shard
+    std::uint64_t assigned = 0; ///< cells assigned over all attempts
+    std::uint64_t completed = 0;
+    bool crashed = false;       ///< at least one attempt died
+    bool timedOut = false;      ///< at least one attempt missed heartbeats
+    bool cancelled = false;     ///< straggler killed after coverage
+};
+
+/**
+ * The `fleet` section (written by ticsfleet; bumps the report to
+ * version 8): the multi-process orchestration account — worker/retry/
+ * failure bookkeeping beside (never inside) the deterministic grid
+ * section. Only ticsfleet calls setFleet(), so every other bench's
+ * document stays at version <= 7 byte-for-byte.
+ */
+struct FleetSection {
+    std::uint64_t workersRequested = 0;
+    std::uint64_t workersSpawned = 0; ///< incl. retry respawns
+    std::uint64_t retries = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t stragglersCancelled = 0;
+    std::uint64_t duplicateResults = 0; ///< late frames ignored
+    std::uint64_t heartbeats = 0;
+    std::uint64_t cellsTotal = 0;
+    std::uint64_t cellsCompleted = 0;
+    bool complete = false; ///< every cell produced a result
+    bool requireComplete = false;
+    double wallMs = 0.0;
+    std::vector<std::string> envs; ///< distinct trace names in the grid
+    std::vector<FleetWorkerEntry> workers; ///< by shard index
+};
+
 struct ReportOptions {
     std::string jsonPath;  ///< empty = no JSON report
     std::string tracePath; ///< empty = no timeline trace
@@ -392,6 +433,9 @@ class BenchSession
     /** Attach the mc section; bumps the report to version 7. */
     void setMc(McSection mc);
 
+    /** Attach the fleet section; bumps the report to version 8. */
+    void setFleet(FleetSection fleet);
+
     /** Write the JSON report and trace now (idempotent). */
     void finish();
 
@@ -429,6 +473,8 @@ class BenchSession
     bool haveLint_ = false;
     McSection mc_;
     bool haveMc_ = false;
+    FleetSection fleet_;
+    bool haveFleet_ = false;
     bool finished_ = false;
     /** The thread that constructed the session (see record()). */
     std::thread::id owner_;

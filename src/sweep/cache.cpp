@@ -1,9 +1,13 @@
 #include "cache.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "support/logging.hpp"
 
@@ -99,19 +103,45 @@ ResultCache::store(const Cell &cell, const CellResult &r) const
         return;
     }
     const std::string path = entryPath(cell);
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream outF(tmp, std::ios::trunc);
-        if (!outF) {
+
+    // Concurrent *processes* (fleet workers) publish the same entry:
+    // each stages to its own O_EXCL-created temp name (pid + an
+    // in-process counter), so no two writers ever share a staging
+    // file. The final rename() is atomic; a racing winner is harmless
+    // because determinism makes every writer's content identical.
+    static std::atomic<std::uint64_t> tmpCounter{0};
+    std::string tmp;
+    int fd = -1;
+    for (int attempt = 0; attempt < 8 && fd < 0; ++attempt) {
+        tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+              std::to_string(
+                  tmpCounter.fetch_add(1, std::memory_order_relaxed));
+        fd = ::open(tmp.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    }
+    if (fd < 0) {
+        warn("ticssweep cache: cannot stage '%s'", tmp.c_str());
+        return;
+    }
+    std::ostringstream body;
+    body << "ticssweep-cache 1\n"
+         << "config " << cell.canonical() << '\n'
+         << "salt " << salt_ << '\n'
+         << "result " << r.encode() << '\n'
+         << "dist " << r.simMs.encode() << '\n';
+    const std::string text = body.str();
+    std::size_t off = 0;
+    while (off < text.size()) {
+        const ssize_t n =
+            ::write(fd, text.data() + off, text.size() - off);
+        if (n <= 0) {
             warn("ticssweep cache: cannot write '%s'", tmp.c_str());
+            ::close(fd);
+            std::filesystem::remove(tmp, ec);
             return;
         }
-        outF << "ticssweep-cache 1\n"
-             << "config " << cell.canonical() << '\n'
-             << "salt " << salt_ << '\n'
-             << "result " << r.encode() << '\n'
-             << "dist " << r.simMs.encode() << '\n';
+        off += static_cast<std::size_t>(n);
     }
+    ::close(fd);
     std::filesystem::rename(tmp, path, ec);
     if (ec) {
         warn("ticssweep cache: cannot publish '%s': %s", path.c_str(),

@@ -62,8 +62,11 @@ struct CellResult {
 
 /**
  * Directory-backed cache, one file per cell keyed by
- * fnv1a64(canonical + salt). Concurrent writers are safe: entries are
- * staged to a per-key temp file and published with an atomic rename.
+ * fnv1a64(canonical + salt). Concurrent writers — threads or whole
+ * processes (fleet workers) — are safe: each writer stages to its own
+ * O_EXCL-created temp name (pid + counter) and publishes with an
+ * atomic rename, and a racing winner is tolerated because the
+ * simulator's determinism makes every writer's content identical.
  */
 class ResultCache
 {

@@ -152,6 +152,25 @@ parseSupplyToken(const std::string &tok, SupplyAxis &out)
     return false;
 }
 
+bool
+parseEnvToken(const std::string &tok, std::string &out)
+{
+    const std::string t = lower(trim(tok));
+    if (t.empty())
+        return false;
+    if (t == "none") {
+        out.clear();
+        return true;
+    }
+    for (const char c : t) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) &&
+            c != '_' && c != '-')
+            return false;
+    }
+    out = t;
+    return true;
+}
+
 const char *
 canonicalApp(const std::string &token)
 {
@@ -210,6 +229,11 @@ Cell::canonical() const
     s += fmtExact(capUf);
     s += "|seg=";
     s += std::to_string(segmentBytes);
+    // The env axis is appended only when set, so every pre-existing
+    // cell keeps its canonical string (and JobId, and cache entry)
+    // byte-for-byte.
+    if (!env.empty())
+        s += "|env=" + env;
     return s + "|seed=" + std::to_string(seed);
 }
 
@@ -240,6 +264,8 @@ Cell::label() const
         s += "/cap=" + fmtShort(capUf) + "uF";
     if (segmentBytes > 0)
         s += "/seg=" + std::to_string(segmentBytes);
+    if (!env.empty())
+        s += "/env=" + env;
     s += "/seed=" + std::to_string(seed);
     return s;
 }
@@ -254,21 +280,33 @@ GridSpec::cells() const
             for (const auto &supply : supplies) {
                 for (const double cap : capsUf) {
                     for (const std::uint32_t seg : segments) {
+                      for (const auto &env : envs) {
                         for (const std::uint64_t seed : seeds) {
                             Cell c;
                             c.app = app;
                             c.runtime = rt;
                             c.supply = supply;
+                            c.env = env;
                             c.seed = seed;
                             // Normalize axes that cannot affect this
                             // cell, collapsing redundant grid points.
                             c.segmentBytes =
                                 (rt == "TICS") ? seg : 0;
-                            c.capUf =
-                                supply.harvested() ? cap : 0.0;
+                            if (env.empty()) {
+                                c.capUf =
+                                    supply.harvested() ? cap : 0.0;
+                            } else {
+                                // A trace replaces the supply axis
+                                // entirely (and is always harvested,
+                                // so the capacitor axis applies).
+                                c.supply = SupplyAxis{
+                                    SupplyKind::Continuous, 0.0, 1.0};
+                                c.capUf = cap;
+                            }
                             if (seen.insert(c.jobId()).second)
                                 out.push_back(std::move(c));
                         }
+                      }
                     }
                 }
             }
@@ -360,6 +398,20 @@ parseAxis(GridSpec &spec, const std::string &key,
         }
         return true;
     }
+    if (k == "envs" || k == "env") {
+        spec.envs.clear();
+        for (const auto &it : items) {
+            std::string env;
+            if (!parseEnvToken(it, env)) {
+                err = "bad env token '" + it +
+                      "' (none, or a docs/traces name like "
+                      "solar_diurnal)";
+                return false;
+            }
+            spec.envs.push_back(env);
+        }
+        return true;
+    }
     if (k == "seeds") {
         spec.seeds.clear();
         for (const auto &it : items) {
@@ -373,19 +425,16 @@ parseAxis(GridSpec &spec, const std::string &key,
         return true;
     }
     err = "unknown axis '" + key +
-          "' (apps, runtimes, supplies, caps_uf, segments, seeds)";
+          "' (apps, runtimes, supplies, caps_uf, segments, envs, "
+          "seeds)";
     return false;
 }
 
 bool
-parseGridFile(const std::string &path, GridSpec &spec,
-              std::string &err)
+parseGridText(const std::string &text, const std::string &origin,
+              GridSpec &spec, std::string &err)
 {
-    std::ifstream in(path);
-    if (!in) {
-        err = "cannot open grid spec '" + path + "'";
-        return false;
-    }
+    std::istringstream in(text);
     std::string line;
     int lineNo = 0;
     while (std::getline(in, line)) {
@@ -398,19 +447,85 @@ parseGridFile(const std::string &path, GridSpec &spec,
             continue;
         const auto eq = line.find('=');
         if (eq == std::string::npos) {
-            err = path + ":" + std::to_string(lineNo) +
+            err = origin + ":" + std::to_string(lineNo) +
                   ": expected 'axis = v1, v2, ...'";
             return false;
         }
         std::string axisErr;
         if (!parseAxis(spec, line.substr(0, eq), line.substr(eq + 1),
                        axisErr)) {
-            err = path + ":" + std::to_string(lineNo) + ": " +
+            err = origin + ":" + std::to_string(lineNo) + ": " +
                   axisErr;
             return false;
         }
     }
     return true;
+}
+
+bool
+parseGridFile(const std::string &path, GridSpec &spec,
+              std::string &err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        err = "cannot open grid spec '" + path + "'";
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parseGridText(text.str(), path, spec, err);
+}
+
+std::string
+formatSpec(const GridSpec &spec)
+{
+    const auto join = [](const auto &items, auto &&render) {
+        std::string s;
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            if (i)
+                s += ", ";
+            s += render(items[i]);
+        }
+        return s;
+    };
+    std::string out;
+    out += "apps = " +
+           join(spec.apps, [](const std::string &a) { return a; }) +
+           "\n";
+    out += "runtimes = " +
+           join(spec.runtimes,
+                [](const std::string &r) { return r; }) +
+           "\n";
+    // Pattern tokens carry doubles: render them with %.17g so the
+    // re-parsed spec hashes to the same JobIds as the original.
+    out += "supplies = " +
+           join(spec.supplies,
+                [](const SupplyAxis &a) -> std::string {
+                    if (a.kind == SupplyKind::Pattern)
+                        return "pattern:" + fmtExact(a.periodMs) +
+                               ":" + fmtExact(a.onFraction);
+                    return a.token();
+                }) +
+           "\n";
+    out += "caps_uf = " +
+           join(spec.capsUf,
+                [](double v) { return fmtExact(v); }) +
+           "\n";
+    out += "segments = " +
+           join(spec.segments,
+                [](std::uint32_t v) { return std::to_string(v); }) +
+           "\n";
+    out += "envs = " +
+           join(spec.envs,
+                [](const std::string &e) -> std::string {
+                    return e.empty() ? "none" : e;
+                }) +
+           "\n";
+    out += "seeds = " +
+           join(spec.seeds,
+                [](std::uint64_t v) { return std::to_string(v); }) +
+           "\n";
+    return out;
 }
 
 } // namespace ticsim::sweep

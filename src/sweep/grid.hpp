@@ -64,6 +64,13 @@ const char *canonicalApp(const std::string &token);
 /** Canonical runtime name for a token, or nullptr. */
 const char *canonicalRuntime(const std::string &token);
 
+/**
+ * Validate an environment-trace axis token: "none" (no trace) or a
+ * [a-z0-9_-] trace name resolved against docs/traces at run time.
+ * @return false on a malformed token; @p out is "" for "none".
+ */
+bool parseEnvToken(const std::string &tok, std::string &out);
+
 /** One grid point. */
 struct Cell {
     std::string app;          ///< "AR" | "BC" | "CF"
@@ -72,6 +79,8 @@ struct Cell {
     SupplyAxis supply;
     double capUf = 0.0;       ///< 0 = supply default (harvested only)
     std::uint32_t segmentBytes = 0; ///< 0 = default (TICS only)
+    /** Environment-trace name ("" = none; replaces the supply axis). */
+    std::string env;
     std::uint64_t seed = 11;
 
     /**
@@ -100,6 +109,8 @@ struct GridSpec {
     std::vector<SupplyAxis> supplies{SupplyAxis{}};
     std::vector<double> capsUf{0.0};
     std::vector<std::uint32_t> segments{256};
+    /** Environment traces; "" = the plain supply axis (default). */
+    std::vector<std::string> envs{""};
     std::vector<std::uint64_t> seeds{11};
 
     /**
@@ -126,6 +137,22 @@ bool parseGridFile(const std::string &path, GridSpec &spec,
  *  spec-file grammar). */
 bool parseAxis(GridSpec &spec, const std::string &key,
                const std::string &values, std::string &err);
+
+/**
+ * parseGridFile over in-memory text (@p origin labels error
+ * messages). The fleet protocol ships a whole GridSpec through this:
+ * the coordinator formats, the worker re-parses, and both enumerate
+ * the identical canonical cell order.
+ */
+bool parseGridText(const std::string &text, const std::string &origin,
+                   GridSpec &spec, std::string &err);
+
+/**
+ * Render @p spec in the spec-file grammar so parseGridText() round-
+ * trips it exactly: doubles use %.17g, and the envs line says "none"
+ * for the empty (no-trace) environment.
+ */
+std::string formatSpec(const GridSpec &spec);
 
 } // namespace ticsim::sweep
 

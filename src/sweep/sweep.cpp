@@ -33,6 +33,14 @@ harness::SupplySpec
 supplySpecFor(const Cell &cell)
 {
     harness::SupplySpec spec;
+    if (!cell.env.empty()) {
+        spec.setup = harness::PowerSetup::TraceEnv;
+        spec.traceEnv = cell.env;
+        spec.seed = cell.seed;
+        if (cell.capUf > 0.0)
+            spec.capacitanceF = cell.capUf * 1e-6;
+        return spec;
+    }
     switch (cell.supply.kind) {
       case SupplyKind::Continuous:
         spec = harness::continuousSpec();
@@ -123,8 +131,10 @@ CellResult
 runCell(const Cell &cell, const SweepConfig &cfg)
 {
     // Plain C under an interrupting supply restarts from scratch every
-    // reboot; time-box it like the checker does.
+    // reboot; time-box it like the checker does. Environment traces
+    // are always interrupting (that is their point).
     const bool interrupting =
+        !cell.env.empty() ||
         cell.supply.kind != SupplyKind::Continuous;
     const TimeNs budget = (cell.runtime == "plain-C" && interrupting)
                               ? cfg.unprotectedBudget
@@ -251,12 +261,19 @@ runSweep(const SweepConfig &cfg)
     result.cacheHits = hits.load();
     result.cacheMisses = misses.load();
 
+    result.aggregates = aggregateOutcomes(result.cells);
+    return result;
+}
+
+std::vector<SweepAggregate>
+aggregateOutcomes(const std::vector<SweepCellOutcome> &cells)
+{
     // Aggregate across seeds: groups keyed by the configuration minus
     // the seed, merged in the cells' canonical JobId order (std::map
     // makes the group order itself deterministic too).
     perf::HostScope aggScope(perf::HostZone::Aggregate);
     std::map<std::string, SweepAggregate> groups;
-    for (const SweepCellOutcome &out : result.cells) {
+    for (const SweepCellOutcome &out : cells) {
         const std::string key = out.cell.groupKey();
         auto [it, inserted] =
             groups.try_emplace(key, SweepAggregate{});
@@ -270,10 +287,62 @@ runSweep(const SweepConfig &cfg)
             ++agg.completedCells;
         agg.simMs.merge(out.result.simMs);
     }
-    result.aggregates.reserve(groups.size());
+    std::vector<SweepAggregate> aggregates;
+    aggregates.reserve(groups.size());
     for (auto &kv : groups)
-        result.aggregates.push_back(std::move(kv.second));
-    return result;
+        aggregates.push_back(std::move(kv.second));
+    return aggregates;
+}
+
+harness::GridSection
+toGridSection(const SweepResult &r, bool stable)
+{
+    harness::GridSection g;
+    g.cacheHits = stable ? 0 : r.cacheHits;
+    g.cacheMisses = stable ? 0 : r.cacheMisses;
+    g.jobs = stable ? 0 : r.jobs;
+    g.wallMs = stable ? 0.0 : r.wallMs;
+    for (const auto &out : r.cells) {
+        harness::GridCellEntry e;
+        e.jobId = out.cell.jobIdHex();
+        e.app = out.cell.app;
+        e.runtime = out.cell.runtime;
+        e.supply = out.cell.supply.token();
+        e.capUf = out.cell.capUf;
+        e.segmentBytes = out.cell.segmentBytes;
+        e.env = out.cell.env;
+        e.seed = out.cell.seed;
+        e.completed = out.result.completed;
+        e.starved = out.result.starved;
+        e.verified = out.result.verified;
+        e.reboots = out.result.reboots;
+        e.cycles = out.result.cycles;
+        e.elapsedNs = out.result.elapsedNs;
+        e.onTimeNs = out.result.onTimeNs;
+        e.simMs = out.result.simMsValue();
+        e.cached = stable ? false : out.fromCache;
+        g.cells.push_back(std::move(e));
+    }
+    for (const auto &agg : r.aggregates) {
+        harness::GridAggregateEntry e;
+        e.app = agg.representative.app;
+        e.runtime = agg.representative.runtime;
+        e.supply = agg.representative.supply.token();
+        e.capUf = agg.representative.capUf;
+        e.segmentBytes = agg.representative.segmentBytes;
+        e.env = agg.representative.env;
+        e.cells = agg.cellsMerged;
+        e.completed = agg.completedCells;
+        e.mean = agg.simMs.mean();
+        e.stddev = agg.simMs.stddev();
+        e.min = agg.simMs.min();
+        e.max = agg.simMs.max();
+        e.p50 = agg.simMs.p50();
+        e.p95 = agg.simMs.p95();
+        e.p99 = agg.simMs.p99();
+        g.aggregates.push_back(std::move(e));
+    }
+    return g;
 }
 
 Table
@@ -289,7 +358,7 @@ sweepTable(const SweepResult &r)
             .cell(c.jobIdHex())
             .cell(c.app)
             .cell(c.runtime)
-            .cell(c.supply.token())
+            .cell(c.env.empty() ? c.supply.token() : "env:" + c.env)
             .cell(c.capUf)
             .cell(static_cast<std::uint64_t>(c.segmentBytes))
             .cell(c.seed)
@@ -313,7 +382,7 @@ aggregateTable(const SweepResult &r)
         t.row()
             .cell(c.app)
             .cell(c.runtime)
-            .cell(c.supply.token())
+            .cell(c.env.empty() ? c.supply.token() : "env:" + c.env)
             .cell(c.capUf)
             .cell(static_cast<std::uint64_t>(c.segmentBytes))
             .cell(agg.cellsMerged)

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "board/board.hpp"
+#include "harness/report.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 #include "sweep/cache.hpp"
@@ -72,8 +73,26 @@ struct SweepResult {
 /** Execute one cell (fresh Board, no cache involvement). */
 CellResult runCell(const Cell &cell, const SweepConfig &cfg);
 
+/**
+ * Merge per-cell outcomes into cross-seed aggregates. @p cells must
+ * be in canonical JobId order; groups come out in groupKey order.
+ * Shared by the in-process engine and the fleet coordinator — both
+ * aggregate the same outcome sequence with the same code, which is
+ * half of the fleet's byte-identity argument.
+ */
+std::vector<SweepAggregate>
+aggregateOutcomes(const std::vector<SweepCellOutcome> &cells);
+
 /** Run the whole grid; see the determinism contract above. */
 SweepResult runSweep(const SweepConfig &cfg);
+
+/**
+ * Translate a SweepResult into the report's plain-data grid section.
+ * @p stable zeroes every field that legitimately varies between
+ * otherwise identical runs (jobs, wall clock, cache split), which is
+ * what lets CI byte-compare reports across job and worker counts.
+ */
+harness::GridSection toGridSection(const SweepResult &r, bool stable);
 
 /** Per-cell results in the repo's standard table format. */
 Table sweepTable(const SweepResult &r);

@@ -30,7 +30,10 @@ documents that a pair claiming exhaustion was recorded consistently
 and hit no frontier cut-off, that all_exhausted mirrors the pair
 flags, that every violation references an explored pair, and that
 each pair's confirmed_violations count equals the number of its
-confirmed violation rows.
+confirmed violation rows; and for version-8 `fleet` documents that the
+completion flag, cell counts, per-shard accounts and the retry/crash
+bookkeeping are mutually consistent, and that cells_total matches the
+grid section the fleet ran.
 
 Exit status: 0 when every report validates, 1 otherwise.
 """
@@ -182,6 +185,13 @@ def validate_invariants(report):
         raise ValueError("version 7 document has no mc section")
     if "mc" in report:
         validate_mc(report["mc"])
+
+    if "fleet" in report and report["version"] < 8:
+        raise ValueError("fleet section requires version >= 8")
+    if report["version"] == 8 and "fleet" not in report:
+        raise ValueError("version 8 document has no fleet section")
+    if "fleet" in report:
+        validate_fleet(report["fleet"], report.get("grid"))
 
 
 def validate_grid(grid):
@@ -402,6 +412,49 @@ def validate_mc(mc):
                 f"mc pair {key[0]}/{key[1]}: confirmed_violations "
                 f"{p['confirmed_violations']} != {confirmed[key]} "
                 f"confirmed violation rows")
+
+
+def validate_fleet(fleet, grid):
+    """The ticsfleet section's orchestration bookkeeping."""
+    total = fleet["cells_total"]
+    done = fleet["cells_completed"]
+    if done > total:
+        raise ValueError(f"fleet: {done} cells completed of {total}")
+    if fleet["complete"] != (done == total):
+        raise ValueError(
+            f"fleet: complete {fleet['complete']} inconsistent with "
+            f"{done}/{total} cells")
+    if grid is not None and total != len(grid["cells"]):
+        raise ValueError(
+            f"fleet: cells_total {total} != {len(grid['cells'])} grid "
+            f"cells in the same document")
+
+    workers = fleet["workers"]
+    shards = [w["shard"] for w in workers]
+    if shards != sorted(set(shards)):
+        raise ValueError("fleet.workers not one entry per shard, "
+                         "sorted by shard index")
+    if sum(w["spawns"] for w in workers) != fleet["workers_spawned"]:
+        raise ValueError(
+            f"fleet: workers_spawned {fleet['workers_spawned']} != "
+            f"sum of per-shard spawns")
+    if sum(w["completed"] for w in workers) != done:
+        raise ValueError(
+            f"fleet: cells_completed {done} != sum of per-shard "
+            f"completed counts")
+    for w in workers:
+        if w["completed"] > w["assigned"]:
+            raise ValueError(
+                f"fleet shard {w['shard']}: completed {w['completed']} "
+                f"> assigned {w['assigned']}")
+    # Every retry respawns a shard that crashed or timed out first.
+    if fleet["retries"] > fleet["crashes"] + fleet["timeouts"]:
+        raise ValueError(
+            f"fleet: {fleet['retries']} retries exceed "
+            f"{fleet['crashes']} crashes + {fleet['timeouts']} "
+            f"timeouts")
+    if fleet["envs"] != sorted(set(fleet["envs"])):
+        raise ValueError("fleet.envs not sorted and distinct")
 
 
 def main(argv):
